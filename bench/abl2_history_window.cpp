@@ -1,0 +1,67 @@
+// Ablation A2 — history window size x.
+//
+// §4.3 bounds the past-query table to x entries to fit the EPC. The window
+// size trades memory against decoy diversity and privacy: a tiny window
+// recycles the same few decoys (and skews them toward recent users), while
+// a huge one costs memory. Measured here per x: enclave memory, decoy
+// distinctness over a burst of obfuscations, and the SimAttack
+// re-identification rate at k = 3.
+#include <cstdio>
+#include <unordered_set>
+
+#include "attack/simattack.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "sgx/epc.hpp"
+#include "xsearch/history.hpp"
+#include "xsearch/obfuscator.hpp"
+
+namespace {
+using namespace xsearch;  // NOLINT
+}
+
+int main() {
+  std::printf("# Ablation A2: history window size vs memory, diversity, privacy\n");
+  const auto bed = bench::make_testbed();
+  attack::SimAttack simattack(bed->split.train);
+  constexpr std::size_t kK = 3;
+  constexpr std::size_t kTestQueries = 150;
+
+  std::printf("%-10s %12s %16s %14s\n", "window_x", "memory_KB",
+              "distinct_decoys", "reid_rate_k3");
+  for (const std::size_t window : {100u, 1'000u, 10'000u, 100'000u}) {
+    sgx::EpcAccountant epc;
+    core::QueryHistory history(window, &epc);
+    for (const auto& r : bed->split.train.records()) history.add(r.text);
+    core::Obfuscator obfuscator(history, kK);
+    Rng rng(9000 + window);
+
+    // Decoy diversity: distinct fakes across a burst of obfuscations.
+    std::unordered_set<std::string> distinct;
+    std::size_t total_fakes = 0;
+    for (std::size_t i = 0; i < 200; ++i) {
+      const auto obf = obfuscator.obfuscate("probe " + std::to_string(i), rng);
+      for (const auto& f : obf.fakes) {
+        distinct.insert(f);
+        ++total_fakes;
+      }
+    }
+
+    // Privacy at k=3 under this window.
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < kTestQueries; ++i) {
+      const auto& rec = bed->split.test.records()[i * 37 % bed->split.test.size()];
+      const auto obf = obfuscator.obfuscate(rec.text, rng);
+      const auto id = simattack.attack(obf.sub_queries);
+      if (id && id->user == rec.user && id->query == rec.text) ++correct;
+    }
+
+    std::printf("%-10zu %12.1f %11zu/%-4zu %14.3f\n", window,
+                static_cast<double>(epc.in_use()) / 1024.0, distinct.size(),
+                total_fakes,
+                static_cast<double>(correct) / static_cast<double>(kTestQueries));
+  }
+  std::printf("\n# expectation: memory grows ~linearly with x; diversity saturates;\n");
+  std::printf("# privacy roughly stable once the window spans many users\n");
+  return 0;
+}

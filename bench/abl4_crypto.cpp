@@ -1,0 +1,131 @@
+// Ablation A4 — microbenchmarks of the crypto substrate (google-benchmark).
+//
+// The proxy-capacity claims of Figure 5 rest on the per-record crypto being
+// cheap relative to network/stack costs; these microbenches pin down what
+// each primitive actually costs in this implementation.
+#include <benchmark/benchmark.h>
+
+#include "common/bytes.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/random.hpp"
+#include "crypto/secure_channel.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace {
+
+using namespace xsearch;          // NOLINT
+using namespace xsearch::crypto;  // NOLINT
+
+void BM_Sha256(benchmark::State& state) {
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha256::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+  const Bytes key(32, 0x11);
+  const Bytes data(static_cast<std::size_t>(state.range(0)), 0xab);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hmac_sha256(key, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+
+void BM_AeadSeal(benchmark::State& state) {
+  AeadKey key{};
+  key.fill(0x42);
+  const Bytes plaintext(static_cast<std::size_t>(state.range(0)), 0xcd);
+  std::uint64_t counter = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        aead_seal(key, make_nonce(1, counter++), {}, plaintext));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_AeadOpen(benchmark::State& state) {
+  AeadKey key{};
+  key.fill(0x42);
+  const Bytes plaintext(static_cast<std::size_t>(state.range(0)), 0xcd);
+  const Bytes sealed = aead_seal(key, make_nonce(1, 7), {}, plaintext);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(aead_open(key, make_nonce(1, 7), {}, sealed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_AeadOpen)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_X25519SharedSecret(benchmark::State& state) {
+  X25519Key a{}, b{};
+  a.fill(1);
+  b.fill(2);
+  const auto alice = x25519_keypair_from_seed(a);
+  const auto bob = x25519_keypair_from_seed(b);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(x25519(alice.private_key, bob.public_key));
+  }
+}
+BENCHMARK(BM_X25519SharedSecret);
+
+void BM_SecureChannelRoundTrip(benchmark::State& state) {
+  ChaChaKey seed{};
+  seed.fill(3);
+  SecureRandom rng(seed);
+  X25519Key s{}, ec{}, es{};
+  rng.fill(s);
+  rng.fill(ec);
+  rng.fill(es);
+  const auto server_static = x25519_keypair_from_seed(s);
+  const auto client_eph = x25519_keypair_from_seed(ec);
+  const auto server_eph = x25519_keypair_from_seed(es);
+  auto client = SecureChannel::initiator(client_eph, server_static.public_key,
+                                         server_eph.public_key);
+  auto server =
+      SecureChannel::responder(server_static, server_eph, client_eph.public_key);
+
+  const Bytes query = to_bytes("a typical web search query");
+  for (auto _ : state) {
+    const Bytes record = client.seal(query);
+    auto opened = server.open(record);
+    benchmark::DoNotOptimize(opened);
+    const Bytes response = server.seal(query);
+    auto opened2 = client.open(response);
+    benchmark::DoNotOptimize(opened2);
+  }
+}
+BENCHMARK(BM_SecureChannelRoundTrip);
+
+void BM_HandshakeKeyDerivation(benchmark::State& state) {
+  ChaChaKey seed{};
+  seed.fill(4);
+  SecureRandom rng(seed);
+  X25519Key s{}, es{};
+  rng.fill(s);
+  rng.fill(es);
+  const auto server_static = x25519_keypair_from_seed(s);
+  const auto server_eph = x25519_keypair_from_seed(es);
+  std::uint8_t i = 0;
+  for (auto _ : state) {
+    X25519Key ec{};
+    ec.fill(++i);
+    const auto client_eph = x25519_keypair_from_seed(ec);
+    benchmark::DoNotOptimize(SecureChannel::initiator(
+        client_eph, server_static.public_key, server_eph.public_key));
+  }
+}
+BENCHMARK(BM_HandshakeKeyDerivation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Ablation A6 — SimAttack vs a Naive Bayes ML attack.
+//
+// §5.3.1 motivates SimAttack because it outperforms earlier attacks
+// "including a machine learning attack" (Peddinti & Saxena). This bench
+// checks that claim against our substrate: both adversaries attack the same
+// protected traffic; a stronger attack means a *higher* re-identification
+// rate (worse for the user).
+#include <cstdio>
+#include <vector>
+
+#include "attack/ml_attack.hpp"
+#include "attack/simattack.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "xsearch/history.hpp"
+#include "xsearch/obfuscator.hpp"
+
+namespace {
+using namespace xsearch;  // NOLINT
+}
+
+int main() {
+  std::printf("# Ablation A6: re-identification rate, SimAttack vs Naive Bayes\n");
+  const auto bed = bench::make_testbed();
+  constexpr std::size_t kTestQueries = 200;
+
+  attack::SimAttack simattack(bed->split.train);
+  attack::NaiveBayesAttack bayes(bed->split.train);
+
+  std::printf("%-4s %12s %12s\n", "k", "SimAttack", "NaiveBayes");
+  for (const std::size_t k : {0u, 1u, 3u, 5u}) {
+    core::QueryHistory history(200'000);
+    for (const auto& r : bed->split.train.records()) history.add(r.text);
+    core::Obfuscator obfuscator(history, k);
+    Rng rng(6000 + k);
+
+    std::size_t sim_correct = 0, nb_correct = 0;
+    for (std::size_t i = 0; i < kTestQueries; ++i) {
+      const auto& rec = bed->split.test.records()[i * 37 % bed->split.test.size()];
+      const auto obf = obfuscator.obfuscate(rec.text, rng);
+
+      if (const auto id = simattack.attack(obf.sub_queries);
+          id && id->user == rec.user && id->query == rec.text) {
+        ++sim_correct;
+      }
+      if (const auto id = bayes.attack(obf.sub_queries);
+          id && id->user == rec.user && id->query == rec.text) {
+        ++nb_correct;
+      }
+    }
+    std::printf("%-4zu %12.3f %12.3f\n", k,
+                static_cast<double>(sim_correct) / kTestQueries,
+                static_cast<double>(nb_correct) / kTestQueries);
+  }
+  std::printf("\n# paper §5.3.1 (on AOL): SimAttack >= the ML attack. On the synthetic\n");
+  std::printf("# log the NB baseline is comparable and can edge ahead — synthetic users\n");
+  std::printf("# repeat exact queries more than AOL users, which frequency-based NB\n");
+  std::printf("# exploits. Deviation documented in EXPERIMENTS.md (A6).\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Figure 3 — re-identification rate vs k for X-Search and PEAS.
+//
+// Paper claims: (1) with unlinkability alone (k = 0) SimAttack re-associates
+// ~40% of test queries to their user; (2) the rate drops with k; (3)
+// X-Search's real-past-query fakes beat PEAS's co-occurrence fakes at every
+// k (23%-35% better protection).
+//
+// Protocol (§5.3.1): per test query of the top-100 users, build the
+// protected query (k+1 sub-queries), run SimAttack against the training
+// profiles, and count a success only when both the original query and the
+// requesting user are recovered.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "attack/simattack.hpp"
+#include "baselines/peas/peas.hpp"
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "xsearch/history.hpp"
+#include "xsearch/obfuscator.hpp"
+
+namespace {
+
+using namespace xsearch;  // NOLINT
+
+struct AttackInput {
+  dataset::UserId user;
+  std::string original;
+  std::vector<std::string> sub_queries;
+};
+
+double reidentification_rate(const attack::SimAttack& simattack,
+                             const std::vector<AttackInput>& inputs) {
+  std::size_t correct = 0;
+  for (const auto& input : inputs) {
+    const auto id = simattack.attack(input.sub_queries);
+    if (id && id->user == input.user && id->query == input.original) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(inputs.size());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("# Figure 3: re-identification rate vs k (lower = better privacy)\n");
+  const auto bed = bench::make_testbed();
+  constexpr std::size_t kTestQueries = 250;
+
+  attack::SimAttack simattack(bed->split.train);
+
+  // Test queries, round-robin over the test split for user diversity.
+  std::vector<std::pair<dataset::UserId, std::string>> tests;
+  for (std::size_t i = 0; i < kTestQueries; ++i) {
+    const auto& r = bed->split.test.records()[i * 37 % bed->split.test.size()];
+    tests.emplace_back(r.user, r.text);
+  }
+
+  baselines::peas::FakeQueryGenerator peas_gen(bed->split.train);
+
+  std::printf("%-4s %14s %14s %16s\n", "k", "X-Search", "PEAS",
+              "improvement(%)");
+  for (std::size_t k = 0; k <= 7; ++k) {
+    // --- X-Search: fakes drawn from the proxy's history of real queries.
+    // The proxy is warmed with the training stream (queries of all users,
+    // stored without identities), exactly the state a long-running proxy
+    // would have.
+    Rng rng(1000 + k);
+    core::QueryHistory history(200'000);
+    for (const auto& r : bed->split.train.records()) history.add(r.text);
+    core::Obfuscator obfuscator(history, k);
+
+    std::vector<AttackInput> xs_inputs;
+    for (const auto& [user, query] : tests) {
+      const auto obf = obfuscator.obfuscate(query, rng);
+      xs_inputs.push_back({user, query, obf.sub_queries});
+    }
+    const double xs_rate = reidentification_rate(simattack, xs_inputs);
+
+    // --- PEAS: fakes from co-occurrence walks, client-side.
+    Rng peas_rng(2000 + k);
+    std::vector<AttackInput> peas_inputs;
+    for (const auto& [user, query] : tests) {
+      std::vector<std::string> subs = peas_gen.generate_k(query, k, peas_rng);
+      const std::size_t pos = peas_rng.uniform(subs.size() + 1);
+      subs.insert(subs.begin() + static_cast<std::ptrdiff_t>(pos), query);
+      peas_inputs.push_back({user, query, std::move(subs)});
+    }
+    const double peas_rate = reidentification_rate(simattack, peas_inputs);
+
+    const double improvement =
+        peas_rate > 0 ? (peas_rate - xs_rate) / peas_rate * 100.0 : 0.0;
+    std::printf("%-4zu %14.3f %14.3f %16.1f\n", k, xs_rate, peas_rate, improvement);
+  }
+
+  std::printf("\n# paper: k=0 ~0.40 for both; X-Search below PEAS for all k>=1\n");
+  return 0;
+}

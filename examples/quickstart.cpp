@@ -1,0 +1,83 @@
+// Quickstart: stand up the whole X-Search deployment in-process and run one
+// private web search.
+//
+//   1. build a synthetic query log and a search engine over a matching corpus;
+//   2. launch an X-Search proxy inside a (simulated) SGX enclave;
+//   3. attest the enclave from a client broker and open a secure channel;
+//   4. search — the engine only ever sees an obfuscated OR query, and the
+//      broker receives filtered, analytics-scrubbed results.
+//
+// Run: ./build/examples/quickstart [query words...]
+#include <cstdio>
+#include <string>
+
+#include "dataset/synthetic.hpp"
+#include "engine/corpus.hpp"
+#include "engine/search_engine.hpp"
+#include "sgx/attestation.hpp"
+#include "xsearch/broker.hpp"
+#include "xsearch/proxy.hpp"
+
+using namespace xsearch;  // NOLINT
+
+int main(int argc, char** argv) {
+  // --- 1. The world: a query log and a search engine. -----------------------
+  dataset::SyntheticLogConfig log_config;
+  log_config.num_users = 100;
+  log_config.total_queries = 20'000;
+  const auto log = dataset::generate_synthetic_log(log_config);
+
+  engine::Corpus corpus(log, engine::CorpusConfig{.num_documents = 5'000});
+  engine::SearchEngine search_engine(corpus);
+  search_engine.set_observer([](std::string_view q) {
+    std::printf("  [engine sees]  %.*s\n", static_cast<int>(q.size()), q.data());
+  });
+
+  // --- 2. The X-Search proxy on an "untrusted cloud host". ------------------
+  sgx::AttestationAuthority intel(to_bytes("simulated-intel-epid-root"));
+  core::XSearchProxy::Options options;
+  options.k = 3;  // three fake queries per real one
+  core::XSearchProxy proxy(&search_engine, intel, options);
+  std::printf("proxy enclave measurement: %s...\n",
+              hex_encode(ByteSpan(proxy.measurement().data(), 8)).c_str());
+
+  // --- 3. Client broker: attest, then connect. -------------------------------
+  core::ClientBroker broker(proxy, intel, proxy.measurement(), /*seed=*/1);
+  if (const auto status = broker.connect(); !status.is_ok()) {
+    std::fprintf(stderr, "attestation failed: %s\n", status.to_string().c_str());
+    return 1;
+  }
+  std::printf("attestation OK, secure channel established\n\n");
+
+  // Warm the proxy history so the obfuscator has decoys (in production the
+  // proxy is warm from other users' traffic).
+  for (std::size_t i = 0; i < 50; ++i) {
+    (void)broker.search(log.records()[i * 97 % log.size()].text);
+  }
+
+  // --- 4. A private search. ---------------------------------------------------
+  std::string query;
+  for (int i = 1; i < argc; ++i) {
+    if (!query.empty()) query += ' ';
+    query += argv[i];
+  }
+  if (query.empty()) query = log.records()[12'345].text;
+
+  std::printf("[user asks]    %s\n", query.c_str());
+  const auto results = broker.search(query);
+  if (!results.is_ok()) {
+    std::fprintf(stderr, "search failed: %s\n", results.status().to_string().c_str());
+    return 1;
+  }
+
+  std::printf("\n%zu filtered results:\n", results.value().size());
+  std::size_t rank = 1;
+  for (const auto& r : results.value()) {
+    std::printf("  %2zu. %s\n      %s\n", rank++, r.title.c_str(), r.url.c_str());
+    if (rank > 10) break;
+  }
+  std::printf("\nnote: the engine line above shows the OR query — the real query\n"
+              "is hidden among %zu decoys drawn from other users' past queries.\n",
+              proxy.options().k);
+  return 0;
+}

@@ -1,0 +1,83 @@
+#include "attack/ml_attack.hpp"
+
+#include <cmath>
+
+#include "text/tokenizer.hpp"
+
+namespace xsearch::attack {
+
+NaiveBayesAttack::NaiveBayesAttack(const dataset::QueryLog& training_log,
+                                   NaiveBayesConfig config)
+    : config_(config) {
+  users_ = training_log.users();
+  for (const auto& record : training_log.records()) {
+    UserModel& model = models_[record.user];
+    ++model.query_count;
+    for (const auto& token : text::tokenize_no_stopwords(record.text)) {
+      ++model.term_counts[vocab_.intern(token)];
+      ++model.total_terms;
+    }
+  }
+  const double total_queries = static_cast<double>(training_log.size());
+  for (auto& [user, model] : models_) {
+    model.log_prior =
+        std::log(static_cast<double>(model.query_count) / total_queries);
+  }
+}
+
+double NaiveBayesAttack::log_score(std::string_view query, dataset::UserId user) const {
+  const auto it = models_.find(user);
+  if (it == models_.end()) return -1e300;
+  const UserModel& model = it->second;
+
+  const double vocab_size = static_cast<double>(vocab_.size());
+  const double denom =
+      static_cast<double>(model.total_terms) + config_.laplace_alpha * vocab_size;
+
+  double score = model.log_prior;
+  for (const auto& token : text::tokenize_no_stopwords(query)) {
+    const auto id = vocab_.lookup(token);
+    double count = 0.0;
+    if (id) {
+      const auto cit = model.term_counts.find(*id);
+      if (cit != model.term_counts.end()) count = static_cast<double>(cit->second);
+    }
+    score += std::log((count + config_.laplace_alpha) / denom);
+  }
+  return score;
+}
+
+std::optional<NaiveBayesAttack::Identification> NaiveBayesAttack::attack(
+    const std::vector<std::string>& sub_queries) const {
+  double best = -1e300;
+  bool found = false;
+  bool unique = false;
+  Identification id;
+
+  for (const auto& sub : sub_queries) {
+    // Skip sub-queries whose terms are all unknown: their likelihood is
+    // pure smoothing noise and would only produce arbitrary guesses.
+    const auto tokens = text::tokenize_no_stopwords(sub);
+    bool any_known = false;
+    for (const auto& t : tokens) any_known |= vocab_.lookup(t).has_value();
+    if (!any_known) continue;
+
+    for (const auto& [user, model] : models_) {
+      (void)model;
+      const double score = log_score(sub, user);
+      if (!found || score > best) {
+        best = score;
+        found = true;
+        unique = true;
+        id = Identification{user, sub, score};
+      } else if (score == best) {
+        unique = false;
+      }
+    }
+  }
+
+  if (!found || !unique) return std::nullopt;
+  return id;
+}
+
+}  // namespace xsearch::attack

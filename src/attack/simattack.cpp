@@ -1,0 +1,84 @@
+#include "attack/simattack.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "text/tokenizer.hpp"
+
+namespace xsearch::attack {
+
+SimAttack::SimAttack(const dataset::QueryLog& training_log, SimAttackConfig config)
+    : config_(config) {
+  users_ = training_log.users();
+  for (const auto& record : training_log.records()) {
+    profiles_[record.user].push_back(text::tf_vector(vocab_, record.text));
+  }
+}
+
+text::SparseVector SimAttack::query_vector(std::string_view query) const {
+  // Words never seen in training still contribute to the query's norm (they
+  // make the query *less* similar to every profile). They are mapped to
+  // sentinel ids in the upper id half so they can never collide with
+  // training vocabulary.
+  std::vector<text::SparseEntry> entries;
+  for (const auto& token : text::tokenize_no_stopwords(query)) {
+    if (const auto id = vocab_.lookup(token)) {
+      entries.push_back({*id, 1.0});
+    } else {
+      std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+      for (const char c : token) h = splitmix64(h ^= static_cast<std::uint8_t>(c));
+      entries.push_back(
+          {static_cast<text::TermId>(0x80000000u | (h & 0x7fffffffu)), 1.0});
+    }
+  }
+  return text::SparseVector::from_pairs(std::move(entries));
+}
+
+double SimAttack::similarity(std::string_view query, dataset::UserId user) const {
+  const auto it = profiles_.find(user);
+  if (it == profiles_.end()) return 0.0;
+  const text::SparseVector qv = query_vector(query);
+  std::vector<double> sims;
+  sims.reserve(it->second.size());
+  for (const auto& pv : it->second) sims.push_back(qv.cosine(pv));
+  return text::exponential_smoothing(std::move(sims), config_.smoothing);
+}
+
+std::optional<SimAttack::Identification> SimAttack::attack(
+    const std::vector<std::string>& sub_queries) const {
+  double best = -1.0;
+  bool unique = false;
+  Identification id;
+
+  for (const auto& sub : sub_queries) {
+    const text::SparseVector qv = query_vector(sub);
+    for (const auto& [user, profile] : profiles_) {
+      std::vector<double> sims;
+      sims.reserve(profile.size());
+      for (const auto& pv : profile) sims.push_back(qv.cosine(pv));
+      const double score = text::exponential_smoothing(std::move(sims),
+                                                       config_.smoothing);
+      if (score > best) {
+        best = score;
+        unique = true;
+        id = Identification{user, sub, score};
+      } else if (score == best) {
+        unique = false;  // ambiguous maximum: the attack gives up
+      }
+    }
+  }
+
+  if (best <= 0.0 || !unique) return std::nullopt;
+  return id;
+}
+
+double SimAttack::max_similarity_to_any_past_query(std::string_view query) const {
+  const text::SparseVector qv = query_vector(query);
+  double best = 0.0;
+  for (const auto& [_, profile] : profiles_) {
+    for (const auto& pv : profile) best = std::max(best, qv.cosine(pv));
+  }
+  return best;
+}
+
+}  // namespace xsearch::attack

@@ -1,0 +1,71 @@
+// SimAttack — the re-identification attack used in the paper's privacy
+// evaluation (Petit et al., "SimAttack: private web search under fire",
+// JISA 2016; paper §5.3.1).
+//
+// The adversary (the honest-but-curious search engine) holds a profile per
+// user: the queries that user issued during the training period. Given a
+// protected query it computes, for every (sub-query, user) pair, a
+// similarity
+//
+//   sim(q, P_u) = ExpSmooth_{alpha}( sort_asc { cos(q, q_i) : q_i in P_u } )
+//
+// and declares the attack successful only when a *unique* pair attains the
+// maximum — in which case that pair is its guess for (original query,
+// requesting user).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "dataset/query_log.hpp"
+#include "text/sparse_vector.hpp"
+#include "text/vocabulary.hpp"
+
+namespace xsearch::attack {
+
+struct SimAttackConfig {
+  /// Exponential smoothing factor; the paper empirically sets 0.5.
+  double smoothing = 0.5;
+};
+
+class SimAttack {
+ public:
+  /// Builds per-user profiles from the adversary's training log.
+  SimAttack(const dataset::QueryLog& training_log, SimAttackConfig config = {});
+
+  /// sim(query, P_user); 0 when the user is unknown.
+  [[nodiscard]] double similarity(std::string_view query, dataset::UserId user) const;
+
+  /// The adversary's verdict on one protected query.
+  struct Identification {
+    dataset::UserId user = 0;
+    std::string query;   // the sub-query believed to be the original
+    double score = 0.0;
+  };
+
+  /// Attacks an obfuscated query (the k+1 sub-queries of the OR query, in
+  /// the order the engine sees them). For a plain unlinkability system
+  /// (k = 0) pass a single sub-query. Returns nullopt when no unique
+  /// maximum exists (the attack reports failure).
+  [[nodiscard]] std::optional<Identification> attack(
+      const std::vector<std::string>& sub_queries) const;
+
+  [[nodiscard]] const std::vector<dataset::UserId>& users() const { return users_; }
+
+  /// Maximum cosine similarity between `query` and any training query of
+  /// any user — the metric of Figure 1 (how "real" a fake query looks).
+  [[nodiscard]] double max_similarity_to_any_past_query(std::string_view query) const;
+
+ private:
+  [[nodiscard]] text::SparseVector query_vector(std::string_view query) const;
+
+  SimAttackConfig config_;
+  text::Vocabulary vocab_;  // frozen after construction
+  std::vector<dataset::UserId> users_;
+  std::unordered_map<dataset::UserId, std::vector<text::SparseVector>> profiles_;
+};
+
+}  // namespace xsearch::attack

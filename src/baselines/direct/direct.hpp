@@ -1,0 +1,26 @@
+// Direct baseline: the client queries the engine with no protection
+// whatsoever (paper §5.2). Both the identity and the query are exposed —
+// the lower bound on latency and the upper bound on privacy loss.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "engine/search_engine.hpp"
+
+namespace xsearch::baselines::direct {
+
+class DirectClient {
+ public:
+  explicit DirectClient(const engine::SearchEngine& engine) : engine_(&engine) {}
+
+  [[nodiscard]] std::vector<engine::SearchResult> search(std::string_view query,
+                                                         std::size_t top_k = 20) const {
+    return engine_->search(query, top_k);
+  }
+
+ private:
+  const engine::SearchEngine* engine_;
+};
+
+}  // namespace xsearch::baselines::direct

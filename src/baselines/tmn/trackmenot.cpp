@@ -1,0 +1,74 @@
+#include "baselines/tmn/trackmenot.hpp"
+
+#include <vector>
+
+#include "text/tokenizer.hpp"
+
+namespace xsearch::baselines::tmn {
+
+namespace {
+
+/// News-flavoured pseudo-words, built from a syllable inventory disjoint
+/// from the query-log generator's (see dataset/synthetic.cpp) so RSS
+/// vocabulary and search vocabulary do not overlap — the structural gap
+/// TrackMeNot's fakes exhibit against the AOL log.
+std::string rss_word(std::uint64_t index, std::uint64_t seed) {
+  static constexpr const char* kSyllables[] = {
+      "ux", "yx", "qua", "quo", "ex", "ix", "ox", "ash", "esh", "ish",
+      "osh", "ush", "arn", "ern", "irn", "orn", "urn", "alt", "elt", "ilt",
+      "olt", "ult", "amp", "emp", "imp", "omp", "ump", "and", "end", "ind",
+      "ond", "und", "ack", "eck", "ick", "ock", "uck", "ydd", "ywn", "yss"};
+  constexpr std::size_t kNumSyllables = std::size(kSyllables);
+
+  std::uint64_t state = seed ^ (index * 0xda942042e4dd58b5ULL);
+  const std::uint64_t mixed = splitmix64(state);
+  const std::size_t syllable_count = 2 + (mixed % 2);
+  std::string word;
+  for (std::size_t s = 0; s < syllable_count; ++s) {
+    word += kSyllables[splitmix64(state) % kNumSyllables];
+  }
+  return word;
+}
+
+}  // namespace
+
+TmnGenerator::TmnGenerator(const TmnConfig& config) {
+  Rng rng(config.seed);
+  ZipfSampler word_popularity(config.rss_vocab_size, config.rss_word_zipf);
+
+  std::vector<std::string> vocab;
+  vocab.reserve(config.rss_vocab_size);
+  for (std::size_t i = 0; i < config.rss_vocab_size; ++i) {
+    vocab.push_back(rss_word(i, config.seed));
+  }
+
+  headlines_.reserve(config.feed_headline_count);
+  for (std::size_t h = 0; h < config.feed_headline_count; ++h) {
+    const auto words = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(config.headline_words_min),
+                        static_cast<std::int64_t>(config.headline_words_max)));
+    std::string headline;
+    for (std::size_t w = 0; w < words; ++w) {
+      if (!headline.empty()) headline += ' ';
+      headline += vocab[word_popularity.sample(rng)];
+    }
+    headlines_.push_back(std::move(headline));
+  }
+}
+
+std::string TmnGenerator::fake_query(Rng& rng) const {
+  const std::string& headline = headlines_[rng.uniform(headlines_.size())];
+  const auto tokens = text::tokenize(headline);
+  if (tokens.empty()) return headline;
+
+  const std::size_t take = 1 + rng.uniform(std::min<std::size_t>(tokens.size(), 4));
+  const std::size_t start = rng.uniform(tokens.size() - take + 1);
+  std::string query;
+  for (std::size_t i = start; i < start + take; ++i) {
+    if (!query.empty()) query += ' ';
+    query += tokens[i];
+  }
+  return query;
+}
+
+}  // namespace xsearch::baselines::tmn

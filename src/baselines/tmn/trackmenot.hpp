@@ -1,0 +1,46 @@
+// TrackMeNot baseline (Howe & Nissenbaum 2009; paper §2.1.2).
+//
+// TrackMeNot periodically sends fake queries built from *external* sources
+// — RSS news feeds — independently of the user's real queries. The paper's
+// Figure 1 shows exactly why this fails: RSS-derived phrases look nothing
+// like real search-log queries, so the engine can separate fake from real
+// traffic.
+//
+// The simulation models the RSS feeds as a stream of headline phrases over
+// a vocabulary disjoint from the query log's (news language vs search
+// language), reproducing the distributional gap the figure measures.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace xsearch::baselines::tmn {
+
+struct TmnConfig {
+  std::uint64_t seed = 0x7353;
+  std::size_t feed_headline_count = 2000;  // headlines in the simulated feeds
+  std::size_t headline_words_min = 4;
+  std::size_t headline_words_max = 9;
+  std::size_t rss_vocab_size = 3000;
+  double rss_word_zipf = 1.0;
+};
+
+/// Generates TrackMeNot-style fake queries: contiguous word windows cut out
+/// of simulated RSS headlines.
+class TmnGenerator {
+ public:
+  explicit TmnGenerator(const TmnConfig& config = {});
+
+  /// One fake query of 1-4 words excerpted from a random headline.
+  [[nodiscard]] std::string fake_query(Rng& rng) const;
+
+  /// The underlying simulated headlines (for inspection/tests).
+  [[nodiscard]] const std::vector<std::string>& headlines() const { return headlines_; }
+
+ private:
+  std::vector<std::string> headlines_;
+};
+
+}  // namespace xsearch::baselines::tmn

@@ -1,0 +1,90 @@
+// Byte-buffer helpers shared across the code base.
+//
+// All cryptographic and wire-format code in this project manipulates
+// `std::vector<std::uint8_t>` buffers through the small utilities defined
+// here (hex encoding, little/big-endian packing, constant-time compare).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace xsearch {
+
+using Bytes = std::vector<std::uint8_t>;
+using ByteSpan = std::span<const std::uint8_t>;
+
+/// Builds a byte vector from a string's raw contents.
+[[nodiscard]] inline Bytes to_bytes(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+/// Interprets a byte span as text. The bytes are copied.
+[[nodiscard]] inline std::string to_string(ByteSpan b) {
+  return std::string(b.begin(), b.end());
+}
+
+/// Lower-case hex encoding, e.g. {0xde,0xad} -> "dead".
+[[nodiscard]] std::string hex_encode(ByteSpan data);
+
+/// Parses lower/upper-case hex. Returns an empty vector on malformed input
+/// (odd length or non-hex characters).
+[[nodiscard]] Bytes hex_decode(std::string_view hex);
+
+/// Reads a little-endian 32-bit word. `p` must point at >= 4 valid bytes.
+[[nodiscard]] inline std::uint32_t load_le32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  std::memcpy(&v, p, sizeof v);  // assumes little-endian host (x86)
+  return v;
+}
+
+/// Writes a little-endian 32-bit word. `p` must point at >= 4 writable bytes.
+inline void store_le32(std::uint8_t* p, std::uint32_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Reads a little-endian 64-bit word.
+[[nodiscard]] inline std::uint64_t load_le64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+/// Writes a little-endian 64-bit word.
+inline void store_le64(std::uint8_t* p, std::uint64_t v) {
+  std::memcpy(p, &v, sizeof v);
+}
+
+/// Reads a big-endian 32-bit word.
+[[nodiscard]] inline std::uint32_t load_be32(const std::uint8_t* p) {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+/// Writes a big-endian 32-bit word.
+inline void store_be32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+
+/// Writes a big-endian 64-bit word.
+inline void store_be64(std::uint8_t* p, std::uint64_t v) {
+  store_be32(p, static_cast<std::uint32_t>(v >> 32));
+  store_be32(p + 4, static_cast<std::uint32_t>(v));
+}
+
+/// Appends `src` to `dst`.
+inline void append(Bytes& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Constant-time equality: the running time depends only on the lengths,
+/// never on the contents. Used for MAC/tag verification.
+[[nodiscard]] bool constant_time_equal(ByteSpan a, ByteSpan b);
+
+}  // namespace xsearch

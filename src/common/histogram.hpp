@@ -1,0 +1,66 @@
+// Log-linear latency histogram (HdrHistogram-flavoured).
+//
+// Values are recorded in integer units (we use nanoseconds throughout) into
+// buckets whose width grows geometrically, giving ~1% relative precision
+// over a huge dynamic range at constant memory. Used by the load generator
+// and the figure-5/7 benches to report percentiles without coordinated
+// omission artefacts.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xsearch {
+
+class Histogram {
+ public:
+  /// `sub_bucket_bits` controls relative precision: each power-of-two range
+  /// is split in 2^sub_bucket_bits linear sub-buckets (default 1/128 ≈ 0.8%).
+  explicit Histogram(int sub_bucket_bits = 7);
+
+  /// Records one observation (values clamp at 0 below).
+  void record(std::int64_t value);
+
+  /// Records `count` identical observations.
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  /// Merges another histogram (same precision required).
+  void merge(const Histogram& other);
+
+  [[nodiscard]] std::uint64_t count() const { return total_count_; }
+  [[nodiscard]] std::int64_t min() const;
+  [[nodiscard]] std::int64_t max() const { return max_value_; }
+  [[nodiscard]] double mean() const;
+
+  /// Value at quantile q in [0, 1]; returns 0 for an empty histogram.
+  /// The returned value is the upper edge of the bucket containing q
+  /// (i.e. "p99 <= value" semantics, like HdrHistogram).
+  [[nodiscard]] std::int64_t value_at_quantile(double q) const;
+
+  /// Convenience: q in percent (e.g. 99.9).
+  [[nodiscard]] std::int64_t percentile(double p) const {
+    return value_at_quantile(p / 100.0);
+  }
+
+  void reset();
+
+  /// One-line summary "count=... mean=... p50=... p99=... max=..." with the
+  /// given unit divisor/label (e.g. 1e6, "ms").
+  [[nodiscard]] std::string summary(double divisor, std::string_view unit) const;
+
+ private:
+  [[nodiscard]] std::size_t bucket_index(std::int64_t value) const;
+  [[nodiscard]] std::int64_t bucket_upper_edge(std::size_t index) const;
+  void ensure_capacity(std::size_t index);
+
+  int sub_bucket_bits_;
+  std::int64_t sub_bucket_count_;       // 2^sub_bucket_bits
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_count_ = 0;
+  std::int64_t max_value_ = 0;
+  std::int64_t min_value_ = -1;  // -1 = unset
+  double sum_ = 0.0;
+};
+
+}  // namespace xsearch

@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace xsearch {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::mutex g_log_mutex;
+
+[[nodiscard]] const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+namespace detail {
+void log_line(LogLevel level, std::string_view file, int line, std::string_view msg) {
+  // Strip directories from the file path for compact output.
+  const auto slash = file.find_last_of('/');
+  if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
+  std::lock_guard lock(g_log_mutex);
+  std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", level_tag(level),
+               static_cast<int>(file.size()), file.data(), line,
+               static_cast<int>(msg.size()), msg.data());
+}
+}  // namespace detail
+
+}  // namespace xsearch

@@ -1,0 +1,49 @@
+// Minimal leveled logger.
+//
+// Output goes to stderr; the level can be raised globally so tests and
+// benches stay quiet by default. Not a substrate of the paper — just
+// operational plumbing.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace xsearch {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+namespace detail {
+void log_line(LogLevel level, std::string_view file, int line, std::string_view msg);
+
+template <typename... Args>
+void logf(LogLevel level, std::string_view file, int line, const char* fmt,
+          Args&&... args) {
+  if (level < log_level()) return;
+  char buf[1024];
+  if constexpr (sizeof...(Args) == 0) {
+    log_line(level, file, line, fmt);
+  } else {
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wformat-security"
+    std::snprintf(buf, sizeof buf, fmt, std::forward<Args>(args)...);
+#pragma GCC diagnostic pop
+    log_line(level, file, line, buf);
+  }
+}
+}  // namespace detail
+
+}  // namespace xsearch
+
+#define XS_LOG_DEBUG(...) \
+  ::xsearch::detail::logf(::xsearch::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define XS_LOG_INFO(...) \
+  ::xsearch::detail::logf(::xsearch::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define XS_LOG_WARN(...) \
+  ::xsearch::detail::logf(::xsearch::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define XS_LOG_ERROR(...) \
+  ::xsearch::detail::logf(::xsearch::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,60 @@
+#include "crypto/aead.hpp"
+
+#include <cstring>
+
+namespace xsearch::crypto {
+
+namespace {
+
+/// Poly1305 key = first 32 bytes of the ChaCha20 keystream at counter 0.
+[[nodiscard]] Poly1305Key derive_mac_key(const AeadKey& key, const AeadNonce& nonce) {
+  const auto block = chacha20_block(key, nonce, 0);
+  Poly1305Key mac_key;
+  std::memcpy(mac_key.data(), block.data(), mac_key.size());
+  return mac_key;
+}
+
+/// MAC input = aad || pad16 || ciphertext || pad16 || le64(|aad|) || le64(|ct|).
+[[nodiscard]] Poly1305Tag compute_tag(const Poly1305Key& mac_key, ByteSpan aad,
+                                      ByteSpan ciphertext) {
+  Bytes mac_data;
+  mac_data.reserve(aad.size() + ciphertext.size() + 32);
+  append(mac_data, aad);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  append(mac_data, ciphertext);
+  mac_data.resize((mac_data.size() + 15) / 16 * 16, 0);
+  std::uint8_t lengths[16];
+  store_le64(lengths, aad.size());
+  store_le64(lengths + 8, ciphertext.size());
+  append(mac_data, ByteSpan(lengths, 16));
+  return poly1305(mac_key, mac_data);
+}
+
+}  // namespace
+
+Bytes aead_seal(const AeadKey& key, const AeadNonce& nonce, ByteSpan aad,
+                ByteSpan plaintext) {
+  Bytes out = chacha20_xor(key, nonce, 1, plaintext);
+  const Poly1305Tag tag = compute_tag(derive_mac_key(key, nonce), aad, out);
+  append(out, tag);
+  return out;
+}
+
+std::optional<Bytes> aead_open(const AeadKey& key, const AeadNonce& nonce, ByteSpan aad,
+                               ByteSpan sealed) {
+  if (sealed.size() < kAeadTagSize) return std::nullopt;
+  const ByteSpan ciphertext = sealed.first(sealed.size() - kAeadTagSize);
+  const ByteSpan tag = sealed.last(kAeadTagSize);
+  const Poly1305Tag expected = compute_tag(derive_mac_key(key, nonce), aad, ciphertext);
+  if (!constant_time_equal(expected, tag)) return std::nullopt;
+  return chacha20_xor(key, nonce, 1, ciphertext);
+}
+
+AeadNonce make_nonce(std::uint32_t prefix, std::uint64_t counter) {
+  AeadNonce nonce;
+  store_le32(nonce.data(), prefix);
+  store_le64(nonce.data() + 4, counter);
+  return nonce;
+}
+
+}  // namespace xsearch::crypto

@@ -1,0 +1,36 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//
+// The single authenticated-encryption primitive of the project: it protects
+// the client↔enclave secure channel, sealed enclave storage, PEAS group
+// encryption, and each onion layer of the Tor baseline.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace xsearch::crypto {
+
+inline constexpr std::size_t kAeadKeySize = kChaChaKeySize;     // 32
+inline constexpr std::size_t kAeadNonceSize = kChaChaNonceSize; // 12
+inline constexpr std::size_t kAeadTagSize = kPoly1305TagSize;   // 16
+
+using AeadKey = ChaChaKey;
+using AeadNonce = ChaChaNonce;
+
+/// Encrypts and authenticates `plaintext` with additional data `aad`.
+/// Returns ciphertext || 16-byte tag.
+[[nodiscard]] Bytes aead_seal(const AeadKey& key, const AeadNonce& nonce, ByteSpan aad,
+                              ByteSpan plaintext);
+
+/// Verifies and decrypts; returns nullopt on any authentication failure.
+[[nodiscard]] std::optional<Bytes> aead_open(const AeadKey& key, const AeadNonce& nonce,
+                                             ByteSpan aad, ByteSpan sealed);
+
+/// Builds a 12-byte nonce from a 64-bit counter (low 8 bytes, LE) and a
+/// 4-byte channel/direction prefix, the standard record-layer construction.
+[[nodiscard]] AeadNonce make_nonce(std::uint32_t prefix, std::uint64_t counter);
+
+}  // namespace xsearch::crypto

@@ -1,0 +1,74 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+
+namespace xsearch::crypto {
+
+namespace {
+
+inline void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                          std::uint32_t& d) {
+  a += b; d ^= a; d = std::rotl(d, 16);
+  c += d; b ^= c; b = std::rotl(b, 12);
+  a += b; d ^= a; d = std::rotl(d, 8);
+  c += d; b ^= c; b = std::rotl(b, 7);
+}
+
+using State = std::array<std::uint32_t, 16>;
+
+[[nodiscard]] State make_state(const ChaChaKey& key, const ChaChaNonce& nonce,
+                               std::uint32_t counter) {
+  State s;
+  s[0] = 0x61707865;  // "expa"
+  s[1] = 0x3320646e;  // "nd 3"
+  s[2] = 0x79622d32;  // "2-by"
+  s[3] = 0x6b206574;  // "te k"
+  for (int i = 0; i < 8; ++i) s[static_cast<std::size_t>(4 + i)] = xsearch::load_le32(key.data() + 4 * i);
+  s[12] = counter;
+  for (int i = 0; i < 3; ++i) s[static_cast<std::size_t>(13 + i)] = xsearch::load_le32(nonce.data() + 4 * i);
+  return s;
+}
+
+void core(const State& input, std::array<std::uint8_t, 64>& out) {
+  State x = input;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(x[0], x[4], x[8], x[12]);
+    quarter_round(x[1], x[5], x[9], x[13]);
+    quarter_round(x[2], x[6], x[10], x[14]);
+    quarter_round(x[3], x[7], x[11], x[15]);
+    quarter_round(x[0], x[5], x[10], x[15]);
+    quarter_round(x[1], x[6], x[11], x[12]);
+    quarter_round(x[2], x[7], x[8], x[13]);
+    quarter_round(x[3], x[4], x[9], x[14]);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    xsearch::store_le32(out.data() + 4 * i, x[i] + input[i]);
+  }
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                            std::uint32_t counter) {
+  std::array<std::uint8_t, 64> out;
+  core(make_state(key, nonce, counter), out);
+  return out;
+}
+
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter,
+                   ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  State state = make_state(key, nonce, counter);
+  std::array<std::uint8_t, 64> keystream;
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    core(state, keystream);
+    ++state[12];
+    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
+    offset += n;
+  }
+  return out;
+}
+
+}  // namespace xsearch::crypto

@@ -1,0 +1,30 @@
+// ChaCha20 stream cipher (RFC 8439 §2.4).
+//
+// Combined with Poly1305 into the AEAD that protects every record on the
+// client↔enclave channel and every onion layer of the Tor baseline.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace xsearch::crypto {
+
+inline constexpr std::size_t kChaChaKeySize = 32;
+inline constexpr std::size_t kChaChaNonceSize = 12;
+
+using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
+
+/// XORs `data` with the ChaCha20 keystream for (key, nonce) starting at
+/// block `counter`. Encryption and decryption are the same operation.
+[[nodiscard]] Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
+                                 std::uint32_t counter, ByteSpan data);
+
+/// Produces one raw 64-byte keystream block (used to derive Poly1305 keys).
+[[nodiscard]] std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                                          const ChaChaNonce& nonce,
+                                                          std::uint32_t counter);
+
+}  // namespace xsearch::crypto

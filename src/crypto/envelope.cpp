@@ -1,0 +1,74 @@
+#include "crypto/envelope.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace xsearch::crypto {
+
+namespace {
+constexpr char kInfoRequest[] = "xsearch-envelope-request-v1";
+constexpr char kInfoResponse[] = "xsearch-envelope-response-v1";
+constexpr std::uint32_t kNonceRequest = 0x454e5251;   // "ENRQ"
+constexpr std::uint32_t kNonceResponse = 0x454e5250;  // "ENRP"
+
+struct KeyPairKeys {
+  AeadKey request;
+  AeadKey response;
+};
+
+[[nodiscard]] KeyPairKeys derive_keys(const X25519Key& shared) {
+  KeyPairKeys keys;
+  const Bytes req = hkdf(/*salt=*/{}, shared, to_bytes(kInfoRequest), kAeadKeySize);
+  const Bytes rsp = hkdf(/*salt=*/{}, shared, to_bytes(kInfoResponse), kAeadKeySize);
+  std::memcpy(keys.request.data(), req.data(), keys.request.size());
+  std::memcpy(keys.response.data(), rsp.data(), keys.response.size());
+  return keys;
+}
+}  // namespace
+
+Bytes envelope_seal(const X25519Key& recipient_pub, SecureRandom& rng, ByteSpan aad,
+                    ByteSpan plaintext, AeadKey* response_key) {
+  X25519Key eph_seed{};
+  rng.fill(eph_seed);
+  const auto ephemeral = x25519_keypair_from_seed(eph_seed);
+  const KeyPairKeys keys = derive_keys(x25519(ephemeral.private_key, recipient_pub));
+  if (response_key != nullptr) *response_key = keys.response;
+
+  Bytes envelope(ephemeral.public_key.begin(), ephemeral.public_key.end());
+  append(envelope,
+         aead_seal(keys.request, make_nonce(kNonceRequest, 0), aad, plaintext));
+  return envelope;
+}
+
+Result<OpenedEnvelope> envelope_open(const X25519KeyPair& recipient, ByteSpan aad,
+                                     ByteSpan envelope) {
+  if (envelope.size() < kX25519KeySize + kAeadTagSize) {
+    return invalid_argument("envelope too short");
+  }
+  X25519Key sender_eph;
+  std::memcpy(sender_eph.data(), envelope.data(), sender_eph.size());
+  const KeyPairKeys keys = derive_keys(x25519(recipient.private_key, sender_eph));
+
+  auto plain = aead_open(keys.request, make_nonce(kNonceRequest, 0), aad,
+                         envelope.subspan(sender_eph.size()));
+  if (!plain) return permission_denied("envelope authentication failed");
+
+  OpenedEnvelope out;
+  out.plaintext = *std::move(plain);
+  out.response_key = keys.response;
+  return out;
+}
+
+Bytes envelope_reply_seal(const AeadKey& response_key, ByteSpan aad, ByteSpan plaintext) {
+  return aead_seal(response_key, make_nonce(kNonceResponse, 0), aad, plaintext);
+}
+
+Result<Bytes> envelope_reply_open(const AeadKey& response_key, ByteSpan aad,
+                                  ByteSpan sealed) {
+  auto plain = aead_open(response_key, make_nonce(kNonceResponse, 0), aad, sealed);
+  if (!plain) return permission_denied("envelope reply authentication failed");
+  return *std::move(plain);
+}
+
+}  // namespace xsearch::crypto

@@ -1,0 +1,43 @@
+// Single-shot hybrid public-key encryption ("HPKE-lite").
+//
+// One X25519 ephemeral key agreement + HKDF + ChaCha20-Poly1305, producing
+// an envelope only the recipient's private key can open, plus a symmetric
+// response key both sides derive for the reply leg. Used by PEAS's group
+// encryption to its issuer proxy and by the optional encrypted
+// enclave→engine link (the paper's footnote 2: "Using HTTPS could be also
+// supported by the SGX enclave").
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/random.hpp"
+#include "crypto/x25519.hpp"
+
+namespace xsearch::crypto {
+
+/// Result of opening an envelope: the plaintext and the key for the reply.
+struct OpenedEnvelope {
+  Bytes plaintext;
+  AeadKey response_key{};
+};
+
+/// Seals `plaintext` to `recipient_pub`. `rng` supplies the ephemeral key.
+/// On return `*response_key` holds the key for opening the reply.
+[[nodiscard]] Bytes envelope_seal(const X25519Key& recipient_pub, SecureRandom& rng,
+                                  ByteSpan aad, ByteSpan plaintext,
+                                  AeadKey* response_key);
+
+/// Opens an envelope with the recipient's key pair.
+[[nodiscard]] Result<OpenedEnvelope> envelope_open(const X25519KeyPair& recipient,
+                                                   ByteSpan aad, ByteSpan envelope);
+
+/// Seals the reply under the envelope's response key.
+[[nodiscard]] Bytes envelope_reply_seal(const AeadKey& response_key, ByteSpan aad,
+                                        ByteSpan plaintext);
+
+/// Opens a reply on the sender side.
+[[nodiscard]] Result<Bytes> envelope_reply_open(const AeadKey& response_key,
+                                                ByteSpan aad, ByteSpan sealed);
+
+}  // namespace xsearch::crypto

@@ -1,0 +1,63 @@
+#include "crypto/hmac.hpp"
+
+#include <cassert>
+#include <cstring>
+
+namespace xsearch::crypto {
+
+Sha256Digest hmac_sha256(ByteSpan key, ByteSpan data) {
+  std::array<std::uint8_t, kSha256BlockSize> block_key{};
+  if (key.size() > kSha256BlockSize) {
+    const Sha256Digest hashed = Sha256::hash(key);
+    std::memcpy(block_key.data(), hashed.data(), hashed.size());
+  } else {
+    std::memcpy(block_key.data(), key.data(), key.size());
+  }
+
+  std::array<std::uint8_t, kSha256BlockSize> ipad;
+  std::array<std::uint8_t, kSha256BlockSize> opad;
+  for (std::size_t i = 0; i < kSha256BlockSize; ++i) {
+    ipad[i] = block_key[i] ^ 0x36;
+    opad[i] = block_key[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Sha256Digest inner_digest = inner.finalize();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finalize();
+}
+
+Sha256Digest hkdf_extract(ByteSpan salt, ByteSpan ikm) { return hmac_sha256(salt, ikm); }
+
+Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length) {
+  assert(length <= 255 * kSha256DigestSize);
+  Bytes okm;
+  okm.reserve(length);
+  Sha256Digest t{};
+  std::size_t t_len = 0;
+  std::uint8_t counter = 1;
+  while (okm.size() < length) {
+    Bytes block;
+    block.reserve(t_len + info.size() + 1);
+    block.insert(block.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(t_len));
+    append(block, info);
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    t_len = t.size();
+    const std::size_t take = std::min(t.size(), length - okm.size());
+    okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
+  }
+  return okm;
+}
+
+Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length) {
+  const Sha256Digest prk = hkdf_extract(salt, ikm);
+  return hkdf_expand(prk, info, length);
+}
+
+}  // namespace xsearch::crypto

@@ -1,0 +1,138 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstring>
+
+namespace xsearch::crypto {
+
+// 26-bit limb implementation (after poly1305-donna): the accumulator and
+// multiplier are held in five 26-bit limbs so products fit in 64 bits.
+Poly1305Tag poly1305(const Poly1305Key& key, ByteSpan data) {
+  // r is clamped per the RFC.
+  const std::uint32_t t0 = load_le32(key.data() + 0);
+  const std::uint32_t t1 = load_le32(key.data() + 4);
+  const std::uint32_t t2 = load_le32(key.data() + 8);
+  const std::uint32_t t3 = load_le32(key.data() + 12);
+
+  const std::uint32_t r0 = t0 & 0x3ffffff;
+  const std::uint32_t r1 = ((t0 >> 26) | (t1 << 6)) & 0x3ffff03;
+  const std::uint32_t r2 = ((t1 >> 20) | (t2 << 12)) & 0x3ffc0ff;
+  const std::uint32_t r3 = ((t2 >> 14) | (t3 << 18)) & 0x3f03fff;
+  const std::uint32_t r4 = (t3 >> 8) & 0x00fffff;
+
+  const std::uint32_t s1 = r1 * 5;
+  const std::uint32_t s2 = r2 * 5;
+  const std::uint32_t s3 = r3 * 5;
+  const std::uint32_t s4 = r4 * 5;
+
+  std::uint32_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t offset = 0;
+  const std::size_t len = data.size();
+  while (offset < len) {
+    std::uint8_t block[17] = {0};
+    const std::size_t n = std::min<std::size_t>(16, len - offset);
+    std::memcpy(block, data.data() + offset, n);
+    block[n] = 1;  // append the 2^(8*n) bit
+    offset += n;
+
+    const std::uint32_t b0 = load_le32(block + 0);
+    const std::uint32_t b1 = load_le32(block + 4);
+    const std::uint32_t b2 = load_le32(block + 8);
+    const std::uint32_t b3 = load_le32(block + 12);
+    const std::uint32_t b4 = block[16];
+
+    h0 += b0 & 0x3ffffff;
+    h1 += ((b0 >> 26) | (b1 << 6)) & 0x3ffffff;
+    h2 += ((b1 >> 20) | (b2 << 12)) & 0x3ffffff;
+    h3 += ((b2 >> 14) | (b3 << 18)) & 0x3ffffff;
+    h4 += (b3 >> 8) | (static_cast<std::uint32_t>(b4) << 24);
+
+    // h *= r (mod 2^130 - 5)
+    const std::uint64_t d0 =
+        static_cast<std::uint64_t>(h0) * r0 + static_cast<std::uint64_t>(h1) * s4 +
+        static_cast<std::uint64_t>(h2) * s3 + static_cast<std::uint64_t>(h3) * s2 +
+        static_cast<std::uint64_t>(h4) * s1;
+    std::uint64_t d1 =
+        static_cast<std::uint64_t>(h0) * r1 + static_cast<std::uint64_t>(h1) * r0 +
+        static_cast<std::uint64_t>(h2) * s4 + static_cast<std::uint64_t>(h3) * s3 +
+        static_cast<std::uint64_t>(h4) * s2;
+    std::uint64_t d2 =
+        static_cast<std::uint64_t>(h0) * r2 + static_cast<std::uint64_t>(h1) * r1 +
+        static_cast<std::uint64_t>(h2) * r0 + static_cast<std::uint64_t>(h3) * s4 +
+        static_cast<std::uint64_t>(h4) * s3;
+    std::uint64_t d3 =
+        static_cast<std::uint64_t>(h0) * r3 + static_cast<std::uint64_t>(h1) * r2 +
+        static_cast<std::uint64_t>(h2) * r1 + static_cast<std::uint64_t>(h3) * r0 +
+        static_cast<std::uint64_t>(h4) * s4;
+    std::uint64_t d4 =
+        static_cast<std::uint64_t>(h0) * r4 + static_cast<std::uint64_t>(h1) * r3 +
+        static_cast<std::uint64_t>(h2) * r2 + static_cast<std::uint64_t>(h3) * r1 +
+        static_cast<std::uint64_t>(h4) * r0;
+
+    std::uint64_t c = d0 >> 26;
+    h0 = static_cast<std::uint32_t>(d0) & 0x3ffffff;
+    d1 += c;
+    c = d1 >> 26;
+    h1 = static_cast<std::uint32_t>(d1) & 0x3ffffff;
+    d2 += c;
+    c = d2 >> 26;
+    h2 = static_cast<std::uint32_t>(d2) & 0x3ffffff;
+    d3 += c;
+    c = d3 >> 26;
+    h3 = static_cast<std::uint32_t>(d3) & 0x3ffffff;
+    d4 += c;
+    c = d4 >> 26;
+    h4 = static_cast<std::uint32_t>(d4) & 0x3ffffff;
+    h0 += static_cast<std::uint32_t>(c) * 5;
+    c = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += static_cast<std::uint32_t>(c);
+  }
+
+  // Full carry and conditional subtraction of p = 2^130 - 5.
+  std::uint32_t c = h1 >> 26;
+  h1 &= 0x3ffffff;
+  h2 += c; c = h2 >> 26; h2 &= 0x3ffffff;
+  h3 += c; c = h3 >> 26; h3 &= 0x3ffffff;
+  h4 += c; c = h4 >> 26; h4 &= 0x3ffffff;
+  h0 += c * 5; c = h0 >> 26; h0 &= 0x3ffffff;
+  h1 += c;
+
+  std::uint32_t g0 = h0 + 5;
+  c = g0 >> 26; g0 &= 0x3ffffff;
+  std::uint32_t g1 = h1 + c;
+  c = g1 >> 26; g1 &= 0x3ffffff;
+  std::uint32_t g2 = h2 + c;
+  c = g2 >> 26; g2 &= 0x3ffffff;
+  std::uint32_t g3 = h3 + c;
+  c = g3 >> 26; g3 &= 0x3ffffff;
+  const std::uint32_t g4 = h4 + c - (1u << 26);
+
+  // Select h if h < p else g, in constant time.
+  const std::uint32_t mask = (g4 >> 31) - 1;  // all-ones if g4 did not borrow
+  h0 = (h0 & ~mask) | (g0 & mask);
+  h1 = (h1 & ~mask) | (g1 & mask);
+  h2 = (h2 & ~mask) | (g2 & mask);
+  h3 = (h3 & ~mask) | (g3 & mask);
+  h4 = (h4 & ~mask) | (g4 & mask);
+
+  // h = h % 2^128, serialized little-endian.
+  const std::uint32_t f0 = h0 | (h1 << 26);
+  const std::uint32_t f1 = (h1 >> 6) | (h2 << 20);
+  const std::uint32_t f2 = (h2 >> 12) | (h3 << 14);
+  const std::uint32_t f3 = (h3 >> 18) | (h4 << 8);
+
+  // Add s = key[16..32) with carry.
+  std::uint64_t acc = static_cast<std::uint64_t>(f0) + load_le32(key.data() + 16);
+  Poly1305Tag tag;
+  store_le32(tag.data() + 0, static_cast<std::uint32_t>(acc));
+  acc = (acc >> 32) + static_cast<std::uint64_t>(f1) + load_le32(key.data() + 20);
+  store_le32(tag.data() + 4, static_cast<std::uint32_t>(acc));
+  acc = (acc >> 32) + static_cast<std::uint64_t>(f2) + load_le32(key.data() + 24);
+  store_le32(tag.data() + 8, static_cast<std::uint32_t>(acc));
+  acc = (acc >> 32) + static_cast<std::uint64_t>(f3) + load_le32(key.data() + 28);
+  store_le32(tag.data() + 12, static_cast<std::uint32_t>(acc));
+  return tag;
+}
+
+}  // namespace xsearch::crypto

@@ -1,0 +1,46 @@
+#include "crypto/random.hpp"
+
+#include <cstring>
+#include <random>
+
+namespace xsearch::crypto {
+
+SecureRandom::SecureRandom() {
+  std::random_device rd;
+  for (std::size_t i = 0; i < key_.size(); i += 4) {
+    const std::uint32_t word = rd();
+    std::memcpy(key_.data() + i, &word, 4);
+  }
+}
+
+SecureRandom::SecureRandom(const ChaChaKey& seed) : key_(seed) {}
+
+void SecureRandom::fill(std::span<std::uint8_t> out) {
+  std::size_t offset = 0;
+  while (offset < out.size()) {
+    // Each request consumes one fresh nonce; block 0 yields 64 bytes.
+    const ChaChaNonce nonce = [&] {
+      ChaChaNonce n{};
+      store_le64(n.data(), counter_++);
+      return n;
+    }();
+    const auto block = chacha20_block(key_, nonce, 0);
+    const std::size_t n = std::min<std::size_t>(block.size(), out.size() - offset);
+    std::memcpy(out.data() + offset, block.data(), n);
+    offset += n;
+  }
+}
+
+Bytes SecureRandom::bytes(std::size_t n) {
+  Bytes out(n);
+  fill(out);
+  return out;
+}
+
+ChaChaKey SecureRandom::key() {
+  ChaChaKey out;
+  fill(out);
+  return out;
+}
+
+}  // namespace xsearch::crypto

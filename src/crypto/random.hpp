@@ -1,0 +1,38 @@
+// Cryptographic random byte generation.
+//
+// A ChaCha20-based deterministic random bit generator. Seeded from
+// std::random_device by default; tests and the deterministic simulation
+// seed it explicitly so key material is reproducible when desired.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "crypto/chacha20.hpp"
+
+namespace xsearch::crypto {
+
+/// ChaCha20-backed DRBG. Not thread-safe; create one per thread.
+class SecureRandom {
+ public:
+  /// Seeds from std::random_device entropy.
+  SecureRandom();
+
+  /// Deterministic seeding (tests / reproducible simulations).
+  explicit SecureRandom(const ChaChaKey& seed);
+
+  /// Fills `out` with pseudo-random bytes.
+  void fill(std::span<std::uint8_t> out);
+
+  /// Returns `n` pseudo-random bytes.
+  [[nodiscard]] Bytes bytes(std::size_t n);
+
+  /// Returns a random 32-byte key/seed.
+  [[nodiscard]] ChaChaKey key();
+
+ private:
+  ChaChaKey key_{};
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace xsearch::crypto

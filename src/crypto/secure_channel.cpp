@@ -1,0 +1,82 @@
+#include "crypto/secure_channel.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+
+namespace xsearch::crypto {
+
+namespace {
+constexpr std::uint32_t kDirInitiatorToResponder = 0x49325200;  // "I2R"
+constexpr char kHkdfSalt[] = "xsearch-secure-channel-v1";
+}  // namespace
+
+SecureChannel::SecureChannel(ChannelRole role, ByteSpan ss_ee, ByteSpan ss_es,
+                             ByteSpan transcript) {
+  Bytes ikm;
+  ikm.reserve(ss_ee.size() + ss_es.size());
+  append(ikm, ss_ee);
+  append(ikm, ss_es);
+
+  const Bytes salt = to_bytes(kHkdfSalt);
+  const Bytes okm = hkdf(salt, ikm, transcript, 2 * kAeadKeySize);
+
+  AeadKey initiator_key;
+  AeadKey responder_key;
+  std::memcpy(initiator_key.data(), okm.data(), kAeadKeySize);
+  std::memcpy(responder_key.data(), okm.data() + kAeadKeySize, kAeadKeySize);
+
+  if (role == ChannelRole::kInitiator) {
+    send_key_ = initiator_key;
+    recv_key_ = responder_key;
+  } else {
+    send_key_ = responder_key;
+    recv_key_ = initiator_key;
+  }
+
+  const Sha256Digest sid = Sha256::hash(transcript);
+  session_id_.assign(sid.begin(), sid.end());
+}
+
+SecureChannel SecureChannel::initiator(const X25519KeyPair& local_ephemeral,
+                                       const X25519Key& responder_static_pub,
+                                       const X25519Key& responder_ephemeral_pub) {
+  const X25519Key ss_ee = x25519(local_ephemeral.private_key, responder_ephemeral_pub);
+  const X25519Key ss_es = x25519(local_ephemeral.private_key, responder_static_pub);
+  Bytes transcript;
+  append(transcript, local_ephemeral.public_key);
+  append(transcript, responder_ephemeral_pub);
+  append(transcript, responder_static_pub);
+  return SecureChannel(ChannelRole::kInitiator, ss_ee, ss_es, transcript);
+}
+
+SecureChannel SecureChannel::responder(const X25519KeyPair& local_static,
+                                       const X25519KeyPair& local_ephemeral,
+                                       const X25519Key& initiator_ephemeral_pub) {
+  const X25519Key ss_ee = x25519(local_ephemeral.private_key, initiator_ephemeral_pub);
+  const X25519Key ss_es = x25519(local_static.private_key, initiator_ephemeral_pub);
+  Bytes transcript;
+  append(transcript, initiator_ephemeral_pub);
+  append(transcript, local_ephemeral.public_key);
+  append(transcript, local_static.public_key);
+  return SecureChannel(ChannelRole::kResponder, ss_ee, ss_es, transcript);
+}
+
+Bytes SecureChannel::seal(ByteSpan plaintext) {
+  // Directions use distinct keys, so a shared nonce prefix is safe.
+  const AeadNonce nonce = make_nonce(kDirInitiatorToResponder, send_counter_++);
+  return aead_seal(send_key_, nonce, session_id_, plaintext);
+}
+
+Result<Bytes> SecureChannel::open(ByteSpan record) {
+  const AeadNonce nonce = make_nonce(kDirInitiatorToResponder, recv_counter_);
+  auto plain = aead_open(recv_key_, nonce, session_id_, record);
+  if (!plain) {
+    return permission_denied("secure channel: record authentication failed");
+  }
+  ++recv_counter_;
+  return *std::move(plain);
+}
+
+}  // namespace xsearch::crypto

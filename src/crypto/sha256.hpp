@@ -1,0 +1,42 @@
+// SHA-256 (FIPS 180-4).
+//
+// Used for enclave measurement hashes, HMAC/HKDF, attestation report MACs
+// and content digests. Incremental (init/update/final) and one-shot APIs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace xsearch::crypto {
+
+inline constexpr std::size_t kSha256DigestSize = 32;
+inline constexpr std::size_t kSha256BlockSize = 64;
+
+using Sha256Digest = std::array<std::uint8_t, kSha256DigestSize>;
+
+/// Incremental SHA-256 context.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(ByteSpan data);
+  /// Finalizes and returns the digest; the context must be reset() before
+  /// further use.
+  [[nodiscard]] Sha256Digest finalize();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Sha256Digest hash(ByteSpan data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_{};
+  std::array<std::uint8_t, kSha256BlockSize> buffer_{};
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+};
+
+}  // namespace xsearch::crypto

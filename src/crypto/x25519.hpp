@@ -1,0 +1,35 @@
+// X25519 Diffie–Hellman (RFC 7748) over Curve25519.
+//
+// Provides the key agreement used by (a) the client↔enclave secure-channel
+// handshake after attestation and (b) PEAS's hybrid group encryption.
+// Implemented with 5×51-bit limbs and a constant-time Montgomery ladder.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace xsearch::crypto {
+
+inline constexpr std::size_t kX25519KeySize = 32;
+
+using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
+
+/// Scalar multiplication: out = scalar * point (u-coordinate only).
+/// The scalar is clamped per RFC 7748 before use.
+[[nodiscard]] X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+
+/// Computes the public key for a private scalar (scalar * base point 9).
+[[nodiscard]] X25519Key x25519_public_key(const X25519Key& private_key);
+
+/// An X25519 key pair.
+struct X25519KeyPair {
+  X25519Key private_key;
+  X25519Key public_key;
+};
+
+/// Derives a key pair deterministically from 32 bytes of seed material.
+[[nodiscard]] X25519KeyPair x25519_keypair_from_seed(const X25519Key& seed);
+
+}  // namespace xsearch::crypto

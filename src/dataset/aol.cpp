@@ -1,0 +1,115 @@
+#include "dataset/aol.hpp"
+
+#include <array>
+#include <charconv>
+#include <fstream>
+
+namespace xsearch::dataset {
+
+namespace {
+
+/// Days from 1970-01-01 to the given date (proleptic Gregorian). Uses the
+/// standard civil-days algorithm (Howard Hinnant's days_from_civil).
+[[nodiscard]] std::int64_t days_from_civil(int y, int m, int d) {
+  y -= m <= 2;
+  const int era = (y >= 0 ? y : y - 399) / 400;
+  const auto yoe = static_cast<unsigned>(y - era * 400);              // [0, 399]
+  const auto doy = static_cast<unsigned>((153 * (m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                                         static_cast<unsigned>(d) - 1);  // [0, 365]
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;         // [0, 146096]
+  return static_cast<std::int64_t>(era) * 146097 + static_cast<std::int64_t>(doe) -
+         719468;
+}
+
+[[nodiscard]] bool parse_int(std::string_view s, int& out) {
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), out);
+  return ec == std::errc() && ptr == s.data() + s.size();
+}
+
+}  // namespace
+
+Result<std::int64_t> parse_aol_timestamp(std::string_view text) {
+  // "YYYY-MM-DD HH:MM:SS" = exactly 19 characters.
+  if (text.size() != 19 || text[4] != '-' || text[7] != '-' || text[10] != ' ' ||
+      text[13] != ':' || text[16] != ':') {
+    return invalid_argument("aol: bad timestamp format: " + std::string(text));
+  }
+  int year = 0, month = 0, day = 0, hour = 0, minute = 0, second = 0;
+  if (!parse_int(text.substr(0, 4), year) || !parse_int(text.substr(5, 2), month) ||
+      !parse_int(text.substr(8, 2), day) || !parse_int(text.substr(11, 2), hour) ||
+      !parse_int(text.substr(14, 2), minute) || !parse_int(text.substr(17, 2), second)) {
+    return invalid_argument("aol: non-numeric timestamp field");
+  }
+  if (month < 1 || month > 12 || day < 1 || day > 31 || hour > 23 || minute > 59 ||
+      second > 60) {
+    return invalid_argument("aol: timestamp field out of range");
+  }
+  return days_from_civil(year, month, day) * 86400 + hour * 3600 + minute * 60 + second;
+}
+
+Result<QueryLog> load_aol_file(const std::filesystem::path& path,
+                               const AolLoadOptions& options) {
+  std::ifstream in(path);
+  if (!in) return unavailable("aol: cannot open " + path.string());
+
+  std::vector<QueryRecord> records;
+  std::string line;
+  std::size_t line_no = 0;
+  UserId last_user = 0;
+  std::string last_query;
+  bool have_last = false;
+
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    if (line_no == 1 && line.starts_with("AnonID")) continue;  // header row
+
+    // Split the first three tab-separated fields; ItemRank/ClickURL may be
+    // absent entirely.
+    std::array<std::string_view, 3> fields;
+    std::string_view rest = line;
+    for (std::size_t f = 0; f < 3; ++f) {
+      const auto tab = rest.find('\t');
+      if (tab == std::string_view::npos) {
+        if (f < 2) {
+          return data_loss("aol: too few fields at line " + std::to_string(line_no));
+        }
+        fields[f] = rest;
+        rest = {};
+      } else {
+        fields[f] = rest.substr(0, tab);
+        rest.remove_prefix(tab + 1);
+      }
+    }
+
+    QueryRecord record;
+    {
+      unsigned long user = 0;
+      const auto [ptr, ec] = std::from_chars(
+          fields[0].data(), fields[0].data() + fields[0].size(), user);
+      if (ec != std::errc() || ptr != fields[0].data() + fields[0].size()) {
+        return data_loss("aol: bad AnonID at line " + std::to_string(line_no));
+      }
+      record.user = static_cast<UserId>(user);
+    }
+    record.text = std::string(fields[1]);
+    auto ts = parse_aol_timestamp(fields[2]);
+    if (!ts) return ts.status();
+    record.timestamp = ts.value();
+
+    if (record.text.size() < options.min_query_length) continue;
+    if (options.collapse_clickthroughs && have_last && record.user == last_user &&
+        record.text == last_query) {
+      continue;  // click-through repeat of the same query
+    }
+    last_user = record.user;
+    last_query = record.text;
+    have_last = true;
+
+    records.push_back(std::move(record));
+    if (options.max_records != 0 && records.size() >= options.max_records) break;
+  }
+  return QueryLog(std::move(records));
+}
+
+}  // namespace xsearch::dataset

@@ -1,0 +1,41 @@
+// Loader for the original AOL query-log distribution format.
+//
+// The paper evaluates on the 2006 AOL log, which ships as tab-separated
+// files with the header
+//
+//   AnonID\tQuery\tQueryTime\tItemRank\tClickURL
+//
+// where QueryTime is "YYYY-MM-DD HH:MM:SS". The log cannot be bundled with
+// this repository, but anyone holding a copy can load it here and run every
+// bench against the real data instead of the synthetic generator (the
+// QueryLog type downstream is identical). Click-through records (repeated
+// rows with ItemRank/ClickURL set) are collapsed to one query event, as the
+// PEAS/SimAttack line of work does.
+#pragma once
+
+#include <filesystem>
+
+#include "common/status.hpp"
+#include "dataset/query_log.hpp"
+
+namespace xsearch::dataset {
+
+struct AolLoadOptions {
+  /// Drop queries shorter than this many characters (AOL noise like "-").
+  std::size_t min_query_length = 2;
+  /// Hard cap on loaded records (0 = unlimited); useful for sampling runs.
+  std::size_t max_records = 0;
+  /// Collapse consecutive identical (user, query) rows (click-throughs).
+  bool collapse_clickthroughs = true;
+};
+
+/// Parses one AOL-format file (with or without the header row).
+[[nodiscard]] Result<QueryLog> load_aol_file(const std::filesystem::path& path,
+                                             const AolLoadOptions& options = {});
+
+/// Parses "YYYY-MM-DD HH:MM:SS" into seconds since 1970-01-01 (UTC,
+/// proleptic Gregorian — no timezone data needed). Returns an error status
+/// for malformed input.
+[[nodiscard]] Result<std::int64_t> parse_aol_timestamp(std::string_view text);
+
+}  // namespace xsearch::dataset

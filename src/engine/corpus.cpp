@@ -1,0 +1,80 @@
+#include "engine/corpus.hpp"
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "text/tokenizer.hpp"
+
+namespace xsearch::engine {
+
+Corpus::Corpus(const dataset::QueryLog& log, const CorpusConfig& config) {
+  xsearch::Rng rng(config.seed);
+
+  // Build the term co-occurrence model of the log once.
+  text::Vocabulary vocab;
+  text::CooccurrenceMatrix cooc(vocab);
+  for (const auto& record : log.records()) cooc.add_query(record.text);
+
+  const auto& records = log.records();
+  documents_.reserve(config.num_documents);
+
+  for (std::size_t d = 0; d < config.num_documents; ++d) {
+    Document doc;
+    doc.id = static_cast<DocId>(d);
+
+    // Seed document from a random log query (frequency-weighted by
+    // construction: popular queries appear more often in the log).
+    std::string seed_query;
+    if (!records.empty()) {
+      seed_query = records[rng.uniform(records.size())].text;
+    } else {
+      seed_query = cooc.sample_term(rng);
+    }
+
+    // Title: the seed query's words plus a few co-occurring words.
+    doc.title = seed_query;
+    std::string last_word;
+    {
+      const auto tokens = text::tokenize(seed_query);
+      if (!tokens.empty()) last_word = tokens.back();
+    }
+    for (std::size_t i = 0; i < config.title_extra_words; ++i) {
+      const std::string extra =
+          last_word.empty() ? cooc.sample_term(rng) : cooc.sample_neighbour(last_word, rng);
+      if (extra.empty()) break;
+      doc.title += ' ';
+      doc.title += extra;
+      last_word = extra;
+    }
+
+    // Body: mostly words related to the title, with background noise.
+    const auto body_len = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(config.body_min_words),
+                        static_cast<std::int64_t>(config.body_max_words)));
+    std::string current = last_word.empty() ? cooc.sample_term(rng) : last_word;
+    for (std::size_t w = 0; w < body_len; ++w) {
+      std::string word;
+      if (rng.bernoulli(config.body_related_fraction)) {
+        word = cooc.sample_neighbour(current, rng);
+        current = word;
+      } else {
+        word = cooc.sample_term(rng);
+      }
+      if (word.empty()) continue;
+      if (!doc.body.empty()) doc.body += ' ';
+      doc.body += word;
+    }
+
+    // Canonical URL derived from the title's first words.
+    doc.url = "https://www.site" + std::to_string(d % 997) + ".example/";
+    const auto title_tokens = text::tokenize(doc.title);
+    for (std::size_t t = 0; t < title_tokens.size() && t < 3; ++t) {
+      doc.url += title_tokens[t];
+      doc.url += (t + 1 < title_tokens.size() && t + 1 < 3) ? "-" : "";
+    }
+
+    documents_.push_back(std::move(doc));
+  }
+}
+
+}  // namespace xsearch::engine

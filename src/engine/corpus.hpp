@@ -1,0 +1,43 @@
+// Synthetic web corpus generation.
+//
+// Builds a document collection that is topically coherent with a query log:
+// each document is seeded from a (frequency-weighted) log query, its title
+// repeats and extends the query's words via the log's term co-occurrence
+// graph, and its body adds further related and background words. This
+// guarantees that queries have on-topic results — the property the accuracy
+// evaluation (Figure 4) exercises — without requiring a real web crawl.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dataset/query_log.hpp"
+#include "engine/document.hpp"
+#include "text/cooccurrence.hpp"
+#include "text/vocabulary.hpp"
+
+namespace xsearch::engine {
+
+struct CorpusConfig {
+  std::uint64_t seed = 0xd0c5;
+  std::size_t num_documents = 20'000;
+  std::size_t title_extra_words = 3;   // co-occurring words added to titles
+  std::size_t body_min_words = 20;
+  std::size_t body_max_words = 60;
+  double body_related_fraction = 0.7;  // rest is background vocabulary
+};
+
+/// A generated document collection plus the vocabulary/co-occurrence model
+/// it shares with the query log (reused by PEAS and the attack).
+class Corpus {
+ public:
+  Corpus(const dataset::QueryLog& log, const CorpusConfig& config);
+
+  [[nodiscard]] const std::vector<Document>& documents() const { return documents_; }
+  [[nodiscard]] std::size_t size() const { return documents_.size(); }
+
+ private:
+  std::vector<Document> documents_;
+};
+
+}  // namespace xsearch::engine

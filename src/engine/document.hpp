@@ -1,0 +1,32 @@
+// Web document model returned by the simulated search engine.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace xsearch::engine {
+
+using DocId = std::uint32_t;
+
+/// One indexed web page.
+struct Document {
+  DocId id = 0;
+  std::string title;
+  std::string body;  // description text; the snippet is a prefix of this
+  std::string url;   // canonical target URL
+};
+
+/// One entry of a result list as the engine serves it: title, description
+/// snippet and a *tracking* URL that bounces through the engine's analytics
+/// redirector (X-Search's proxy strips this, paper §4.1).
+struct SearchResult {
+  DocId doc = 0;
+  std::string title;
+  std::string description;
+  std::string url;  // tracking URL as served; see analytics.hpp
+  double score = 0.0;
+
+  friend bool operator==(const SearchResult&, const SearchResult&) = default;
+};
+
+}  // namespace xsearch::engine

@@ -1,0 +1,80 @@
+#include "engine/index.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "text/tokenizer.hpp"
+
+namespace xsearch::engine {
+
+void InvertedIndex::add_document(const Document& doc) {
+  assert(doc.id == doc_lengths_.size() && "documents must be added with dense ids");
+
+  std::unordered_map<text::TermId, double> weights;
+  double length = 0.0;
+  for (const auto& token : text::tokenize(doc.title)) {
+    weights[vocab_.intern(token)] += params_.title_boost;
+    length += params_.title_boost;
+  }
+  for (const auto& token : text::tokenize(doc.body)) {
+    weights[vocab_.intern(token)] += 1.0;
+    length += 1.0;
+  }
+
+  for (const auto& [term, weight] : weights) {
+    postings_[term].push_back(Posting{doc.id, static_cast<float>(weight)});
+  }
+  doc_lengths_.push_back(length);
+  total_length_ += length;
+}
+
+std::vector<ScoredDoc> InvertedIndex::search(std::string_view query,
+                                             std::size_t top_k) const {
+  const std::size_t n_docs = doc_lengths_.size();
+  if (n_docs == 0 || top_k == 0) return {};
+  const double avg_len = total_length_ / static_cast<double>(n_docs);
+
+  // Deduplicate query terms; BM25 treats repeated query terms linearly but
+  // short web queries rarely repeat words, and dedup keeps scores stable.
+  std::vector<text::TermId> terms;
+  for (const auto& token : text::tokenize(query)) {
+    if (const auto id = vocab_.lookup(token)) {
+      if (std::find(terms.begin(), terms.end(), *id) == terms.end()) {
+        terms.push_back(*id);
+      }
+    }
+  }
+  if (terms.empty()) return {};
+
+  std::unordered_map<DocId, double> scores;
+  for (const text::TermId term : terms) {
+    const auto it = postings_.find(term);
+    if (it == postings_.end()) continue;
+    const auto& plist = it->second;
+    const double df = static_cast<double>(plist.size());
+    const double idf = std::log(
+        1.0 + (static_cast<double>(n_docs) - df + 0.5) / (df + 0.5));
+    for (const Posting& p : plist) {
+      const double tf = p.weight;
+      const double norm =
+          params_.k1 * (1.0 - params_.b +
+                        params_.b * doc_lengths_[p.doc] / avg_len);
+      scores[p.doc] += idf * (tf * (params_.k1 + 1.0)) / (tf + norm);
+    }
+  }
+
+  std::vector<ScoredDoc> ranked;
+  ranked.reserve(scores.size());
+  for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
+  const std::size_t keep = std::min(top_k, ranked.size());
+  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(keep),
+                    ranked.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.doc < b.doc;
+                    });
+  ranked.resize(keep);
+  return ranked;
+}
+
+}  // namespace xsearch::engine

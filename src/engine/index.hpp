@@ -1,0 +1,58 @@
+// Inverted index with BM25 ranking.
+//
+// The retrieval core of the simulated search engine: documents are indexed
+// by their title and body terms (title terms carry a configurable field
+// boost) and queries are scored with Okapi BM25.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/document.hpp"
+#include "text/vocabulary.hpp"
+
+namespace xsearch::engine {
+
+struct Bm25Params {
+  double k1 = 1.2;
+  double b = 0.75;
+  double title_boost = 2.0;  // weight of a title occurrence vs a body one
+};
+
+/// A scored document id.
+struct ScoredDoc {
+  DocId doc = 0;
+  double score = 0.0;
+};
+
+class InvertedIndex {
+ public:
+  explicit InvertedIndex(Bm25Params params = {}) : params_(params) {}
+
+  /// Indexes one document (id must be unique).
+  void add_document(const Document& doc);
+
+  /// Top-k documents for a free-text query, BM25-ranked, deterministic
+  /// tie-break by doc id. Unknown terms are ignored.
+  [[nodiscard]] std::vector<ScoredDoc> search(std::string_view query,
+                                              std::size_t top_k) const;
+
+  [[nodiscard]] std::size_t document_count() const { return doc_lengths_.size(); }
+  [[nodiscard]] std::size_t term_count() const { return vocab_.size(); }
+
+ private:
+  struct Posting {
+    DocId doc;
+    float weight;  // field-boosted term frequency
+  };
+
+  Bm25Params params_;
+  text::Vocabulary vocab_;
+  std::unordered_map<text::TermId, std::vector<Posting>> postings_;
+  std::vector<double> doc_lengths_;  // boosted length per doc
+  double total_length_ = 0.0;
+};
+
+}  // namespace xsearch::engine

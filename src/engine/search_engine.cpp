@@ -1,0 +1,95 @@
+#include "engine/search_engine.hpp"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "engine/analytics.hpp"
+#include "text/tokenizer.hpp"
+
+namespace xsearch::engine {
+
+SearchEngine::SearchEngine(const Corpus& corpus, std::size_t snippet_words,
+                           Bm25Params params)
+    : documents_(&corpus.documents()), index_(params), snippet_words_(snippet_words) {
+  for (const auto& doc : *documents_) index_.add_document(doc);
+}
+
+SearchResult SearchEngine::decorate(const ScoredDoc& sd) const {
+  const Document& doc = (*documents_)[sd.doc];
+  SearchResult result;
+  result.doc = sd.doc;
+  result.title = doc.title;
+  result.score = sd.score;
+
+  // Snippet: leading words of the body.
+  std::size_t words = 0;
+  std::size_t end = 0;
+  while (end < doc.body.size() && words < snippet_words_) {
+    const auto space = doc.body.find(' ', end);
+    if (space == std::string::npos) {
+      end = doc.body.size();
+      break;
+    }
+    end = space + 1;
+    ++words;
+  }
+  result.description = doc.body.substr(0, end);
+  if (!result.description.empty() && result.description.back() == ' ') {
+    result.description.pop_back();
+  }
+
+  // Analytics redirect with an opaque (but deterministic) token.
+  std::uint64_t token_state = 0x414e41ull ^ (std::uint64_t{sd.doc} << 17);
+  result.url = make_tracking_url(doc.url, splitmix64(token_state));
+  return result;
+}
+
+std::vector<SearchResult> SearchEngine::search(std::string_view query,
+                                               std::size_t top_k) const {
+  if (observer_) observer_(query);
+  std::vector<SearchResult> out;
+  for (const ScoredDoc& sd : index_.search(query, top_k)) {
+    out.push_back(decorate(sd));
+  }
+  return out;
+}
+
+std::vector<SearchResult> SearchEngine::search_or(
+    const std::vector<std::string>& sub_queries, std::size_t top_k_each) const {
+  if (observer_) {
+    // The engine sees one OR query, exactly as the proxy sends it.
+    std::string combined;
+    for (const auto& q : sub_queries) {
+      if (!combined.empty()) combined += " OR ";
+      combined += q;
+    }
+    observer_(combined);
+  }
+
+  // Evaluate each sub-query independently (paper §5.3.2) ...
+  std::vector<std::vector<SearchResult>> per_query;
+  per_query.reserve(sub_queries.size());
+  for (const auto& q : sub_queries) {
+    std::vector<SearchResult> results;
+    for (const ScoredDoc& sd : index_.search(q, top_k_each)) {
+      results.push_back(decorate(sd));
+    }
+    per_query.push_back(std::move(results));
+  }
+
+  // ... and merge rank-by-rank so every sub-query contributes near the top,
+  // deduplicating documents on first sight.
+  std::vector<SearchResult> merged;
+  std::unordered_set<DocId> seen;
+  for (std::size_t rank = 0; rank < top_k_each; ++rank) {
+    for (const auto& results : per_query) {
+      if (rank >= results.size()) continue;
+      const SearchResult& r = results[rank];
+      if (seen.insert(r.doc).second) merged.push_back(r);
+    }
+  }
+  return merged;
+}
+
+}  // namespace xsearch::engine

@@ -1,0 +1,32 @@
+#include "net/frame.hpp"
+
+namespace xsearch::net {
+
+Status write_frame(TcpStream& stream, FrameType type, ByteSpan payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return invalid_argument("frame payload too large");
+  }
+  Bytes header(5);
+  store_be32(header.data(), static_cast<std::uint32_t>(payload.size() + 1));
+  header[4] = static_cast<std::uint8_t>(type);
+  XS_RETURN_IF_ERROR(stream.write_all(header));
+  return stream.write_all(payload);
+}
+
+Result<Frame> read_frame(TcpStream& stream) {
+  auto header = stream.read_exact(4);
+  if (!header) return header.status();
+  const std::uint32_t length = load_be32(header.value().data());
+  if (length == 0 || length > kMaxFramePayload + 1) {
+    return data_loss("frame length out of range");
+  }
+  auto body = stream.read_exact(length);
+  if (!body) return body.status();
+
+  Frame frame;
+  frame.type = static_cast<FrameType>(body.value()[0]);
+  frame.payload.assign(body.value().begin() + 1, body.value().end());
+  return frame;
+}
+
+}  // namespace xsearch::net

@@ -1,0 +1,41 @@
+// Length-prefixed message framing over a TcpStream.
+//
+// Every message on the client↔proxy wire is `u32_be length || type byte ||
+// payload`. The framing layer is deliberately dumb: all confidentiality and
+// integrity comes from the SecureChannel records *inside* the frames, so a
+// network attacker tampering with frames only produces authentication
+// failures at the enclave boundary.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "net/socket.hpp"
+
+namespace xsearch::net {
+
+/// Frame types of the proxy protocol.
+enum class FrameType : std::uint8_t {
+  kHello = 0x01,          // client ephemeral public key
+  kHelloReply = 0x81,     // session id + quote + server ephemeral key
+  kQuery = 0x02,          // session id + encrypted query record
+  kQueryReply = 0x82,     // encrypted response record
+  kError = 0x7f,          // human-readable error string
+};
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  Bytes payload;
+};
+
+/// Hard cap keeps a malicious peer from forcing giant allocations.
+inline constexpr std::size_t kMaxFramePayload = 4u * 1024 * 1024;
+
+/// Writes one frame.
+[[nodiscard]] Status write_frame(TcpStream& stream, FrameType type, ByteSpan payload);
+
+/// Reads one frame; DATA_LOSS on malformed/oversized input or mid-frame EOF.
+[[nodiscard]] Result<Frame> read_frame(TcpStream& stream);
+
+}  // namespace xsearch::net

@@ -1,0 +1,111 @@
+#include "net/http_frontend.hpp"
+
+namespace xsearch::net {
+
+Result<std::unique_ptr<HttpFrontend>> HttpFrontend::start(
+    core::XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+    std::uint16_t port) {
+  auto listener = TcpListener::bind(port);
+  if (!listener) return listener.status();
+  auto frontend = std::unique_ptr<HttpFrontend>(
+      new HttpFrontend(proxy, authority, std::move(listener).value()));
+  // Attest the enclave up front so misconfiguration fails fast.
+  {
+    std::lock_guard lock(frontend->broker_mutex_);
+    XS_RETURN_IF_ERROR(frontend->broker_->connect());
+  }
+  return frontend;
+}
+
+HttpFrontend::HttpFrontend(core::XSearchProxy& proxy,
+                           const sgx::AttestationAuthority& authority,
+                           TcpListener listener)
+    : proxy_(&proxy), authority_(&authority), listener_(std::move(listener)) {
+  broker_ = std::make_unique<core::ClientBroker>(*proxy_, *authority_,
+                                                 proxy_->measurement(),
+                                                 /*seed=*/0x477f);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+HttpFrontend::~HttpFrontend() { stop(); }
+
+void HttpFrontend::stop() {
+  stopping_.store(true);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+    // Unblock workers parked in recv on a keep-alive connection.
+    for (const auto& stream : streams_) stream->shutdown_both();
+    streams_.clear();
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void HttpFrontend::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.accept();
+    if (!accepted) break;
+    auto stream = std::make_shared<TcpStream>(std::move(accepted).value());
+    std::lock_guard lock(workers_mutex_);
+    streams_.push_back(stream);
+    workers_.emplace_back([this, stream] { serve_connection(stream); });
+  }
+}
+
+void HttpFrontend::serve_connection(const std::shared_ptr<TcpStream>& stream_ptr) {
+  TcpStream& stream = *stream_ptr;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto request = read_http_request(stream);
+    if (!request) return;  // connection closed or hopeless input
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    const Bytes response = handle_request(request.value());
+    if (!stream.write_all(response).is_ok()) return;
+    // keep-alive: loop for the next request on the same connection.
+  }
+}
+
+Bytes HttpFrontend::handle_request(const HttpRequest& request) {
+  if (request.method != "GET") {
+    return make_http_response(405, "Method Not Allowed", "text/plain",
+                              "only GET is supported\n");
+  }
+  if (request.path == "/healthz") {
+    return make_http_response(200, "OK", "text/plain", "ok\n");
+  }
+  if (request.path != "/search") {
+    return make_http_response(404, "Not Found", "text/plain", "unknown path\n");
+  }
+  const auto query = request.param("q");
+  if (!query || query->empty()) {
+    return make_http_response(400, "Bad Request", "text/plain",
+                              "missing query parameter q\n");
+  }
+
+  Result<std::vector<engine::SearchResult>> results = [&] {
+    std::lock_guard lock(broker_mutex_);
+    return broker_->search(*query);
+  }();
+  if (!results) {
+    return make_http_response(502, "Bad Gateway", "text/plain",
+                              results.status().to_string() + "\n");
+  }
+
+  std::string json = "{\"query\":\"" + json_escape(*query) + "\",\"results\":[";
+  bool first = true;
+  for (const auto& r : results.value()) {
+    if (!first) json += ',';
+    first = false;
+    json += "{\"title\":\"" + json_escape(r.title) + "\",\"url\":\"" +
+            json_escape(r.url) + "\",\"description\":\"" +
+            json_escape(r.description) + "\"}";
+  }
+  json += "]}\n";
+  return make_http_response(200, "OK", "application/json", json);
+}
+
+}  // namespace xsearch::net

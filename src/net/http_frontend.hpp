@@ -1,0 +1,76 @@
+// HTTP compatibility frontend (paper §6.3 footnote 3).
+//
+// Lets unmodified third-party clients (wget, curl, wrk2) use X-Search with
+// regular `GET /search?q=...` requests. The frontend terminates HTTP,
+// forwards the query through an internal attested broker into the enclave,
+// and renders the filtered results as JSON.
+//
+// Privacy note, mirrored from the paper's deployment: a client that speaks
+// plain HTTP forgoes the client→proxy channel encryption (it would use TLS
+// in production); unlinkability from the *search engine* and query
+// obfuscation are unaffected, since both happen at the proxy.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "net/http.hpp"
+#include "net/socket.hpp"
+#include "sgx/attestation.hpp"
+#include "xsearch/broker.hpp"
+#include "xsearch/proxy.hpp"
+
+namespace xsearch::net {
+
+class HttpFrontend {
+ public:
+  /// Binds loopback:`port` (0 = ephemeral) and serves:
+  ///   GET /search?q=<query>   -> JSON result list
+  ///   GET /healthz            -> "ok"
+  [[nodiscard]] static Result<std::unique_ptr<HttpFrontend>> start(
+      core::XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+      std::uint16_t port = 0);
+
+  ~HttpFrontend();
+
+  HttpFrontend(const HttpFrontend&) = delete;
+  HttpFrontend& operator=(const HttpFrontend&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  void stop();
+
+  [[nodiscard]] std::uint64_t requests_served() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  HttpFrontend(core::XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+               TcpListener listener);
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<TcpStream>& stream);
+  [[nodiscard]] Bytes handle_request(const HttpRequest& request);
+
+  core::XSearchProxy* proxy_;
+  const sgx::AttestationAuthority* authority_;
+  TcpListener listener_;
+
+  // One attested broker shared by all frontend threads, serialized: the
+  // SecureChannel record counters require ordered use.
+  std::mutex broker_mutex_;
+  std::unique_ptr<core::ClientBroker> broker_;
+
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> requests_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  // Live connection streams, so stop() can unblock workers parked in recv.
+  std::vector<std::shared_ptr<TcpStream>> streams_;
+};
+
+}  // namespace xsearch::net

@@ -1,0 +1,114 @@
+#include "net/proxy_server.hpp"
+
+#include <cstring>
+
+#include "xsearch/wire.hpp"
+
+namespace xsearch::net {
+
+Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::XSearchProxy& proxy,
+                                                        std::uint16_t port) {
+  auto listener = TcpListener::bind(port);
+  if (!listener) return listener.status();
+  return std::unique_ptr<ProxyServer>(
+      new ProxyServer(proxy, std::move(listener).value()));
+}
+
+ProxyServer::ProxyServer(core::XSearchProxy& proxy, TcpListener listener)
+    : proxy_(&proxy), listener_(std::move(listener)) {
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+ProxyServer::~ProxyServer() { stop(); }
+
+void ProxyServer::stop() {
+  stopping_.store(true);
+  listener_.close();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(workers_mutex_);
+    workers.swap(workers_);
+    // Unblock workers parked in recv on a live client connection.
+    for (const auto& stream : streams_) stream->shutdown_both();
+    streams_.clear();
+  }
+  for (auto& w : workers) {
+    if (w.joinable()) w.join();
+  }
+}
+
+void ProxyServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto accepted = listener_.accept();
+    if (!accepted) break;  // listener closed or fatal error
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    auto stream = std::make_shared<TcpStream>(std::move(accepted).value());
+    std::lock_guard lock(workers_mutex_);
+    streams_.push_back(stream);
+    workers_.emplace_back([this, stream] { serve_connection(stream); });
+  }
+}
+
+void ProxyServer::serve_connection(const std::shared_ptr<TcpStream>& stream_ptr) {
+  TcpStream& stream = *stream_ptr;
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    auto frame = read_frame(stream);
+    if (!frame) return;  // clean close or broken peer
+
+    switch (frame.value().type) {
+      case FrameType::kHello: {
+        if (frame.value().payload.size() != crypto::kX25519KeySize) {
+          (void)write_frame(stream, FrameType::kError, to_bytes("bad hello"));
+          return;
+        }
+        crypto::X25519Key client_pub;
+        std::memcpy(client_pub.data(), frame.value().payload.data(),
+                    client_pub.size());
+        auto response = proxy_->handshake(client_pub);
+        if (!response) {
+          (void)write_frame(stream, FrameType::kError,
+                            to_bytes(response.status().to_string()));
+          return;
+        }
+        Bytes payload;
+        core::wire::put_u64(payload, response.value().session_id);
+        const Bytes quote = response.value().quote.serialize();
+        core::wire::put_u32(payload, static_cast<std::uint32_t>(quote.size()));
+        append(payload, quote);
+        append(payload, response.value().server_ephemeral_pub);
+        if (!write_frame(stream, FrameType::kHelloReply, payload).is_ok()) return;
+        break;
+      }
+
+      case FrameType::kQuery: {
+        std::size_t offset = 0;
+        auto session = core::wire::get_u64(frame.value().payload, offset);
+        if (!session) {
+          (void)write_frame(stream, FrameType::kError, to_bytes("bad query frame"));
+          return;
+        }
+        auto response = proxy_->handle_query_record(
+            session.value(), ByteSpan(frame.value().payload).subspan(offset));
+        if (!response) {
+          if (!write_frame(stream, FrameType::kError,
+                           to_bytes(response.status().to_string()))
+                   .is_ok()) {
+            return;
+          }
+          break;
+        }
+        if (!write_frame(stream, FrameType::kQueryReply, response.value()).is_ok()) {
+          return;
+        }
+        break;
+      }
+
+      default:
+        (void)write_frame(stream, FrameType::kError, to_bytes("unexpected frame"));
+        return;
+    }
+  }
+}
+
+}  // namespace xsearch::net

@@ -1,0 +1,58 @@
+// TCP frontend for the X-Search proxy.
+//
+// Hosts an XSearchProxy behind a loopback TCP listener, speaking the framed
+// protocol of net/frame.hpp: HELLO (attested handshake) then any number of
+// QUERY frames per connection. This is the untrusted host component of the
+// deployment — it moves ciphertext between sockets and the enclave and
+// never sees a plaintext query.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "xsearch/proxy.hpp"
+
+namespace xsearch::net {
+
+class ProxyServer {
+ public:
+  /// Binds loopback:`port` (0 = ephemeral) and starts the accept loop.
+  [[nodiscard]] static Result<std::unique_ptr<ProxyServer>> start(
+      core::XSearchProxy& proxy, std::uint16_t port = 0);
+
+  ~ProxyServer();
+
+  ProxyServer(const ProxyServer&) = delete;
+  ProxyServer& operator=(const ProxyServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+
+  /// Stops accepting, waits for in-flight connections to finish.
+  void stop();
+
+  [[nodiscard]] std::uint64_t connections_served() const {
+    return connections_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  ProxyServer(core::XSearchProxy& proxy, TcpListener listener);
+
+  void accept_loop();
+  void serve_connection(const std::shared_ptr<TcpStream>& stream);
+
+  core::XSearchProxy* proxy_;
+  TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> connections_{0};
+  std::thread accept_thread_;
+  std::mutex workers_mutex_;
+  std::vector<std::thread> workers_;
+  // Live connection streams, so stop() can unblock workers parked in recv.
+  std::vector<std::shared_ptr<TcpStream>> streams_;
+};
+
+}  // namespace xsearch::net

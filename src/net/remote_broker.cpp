@@ -1,0 +1,102 @@
+#include "net/remote_broker.hpp"
+
+#include <cstring>
+
+#include "xsearch/wire.hpp"
+
+namespace xsearch::net {
+
+RemoteBroker::RemoteBroker(std::string host, std::uint16_t port,
+                           const sgx::AttestationAuthority& authority,
+                           const sgx::Measurement& expected_measurement,
+                           std::uint64_t seed)
+    : host_(std::move(host)),
+      port_(port),
+      authority_(&authority),
+      expected_measurement_(expected_measurement),
+      rng_([&] {
+        crypto::ChaChaKey s{};
+        store_le64(s.data(), seed);
+        s[31] = 0xb0;
+        return s;
+      }()) {}
+
+Status RemoteBroker::connect() {
+  if (channel_.has_value()) return Status::ok();
+
+  auto stream = TcpStream::connect(host_, port_);
+  if (!stream) return stream.status();
+  stream_.emplace(std::move(stream).value());
+
+  crypto::X25519Key eph_seed{};
+  rng_.fill(eph_seed);
+  const auto ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+
+  XS_RETURN_IF_ERROR(write_frame(*stream_, FrameType::kHello, ephemeral.public_key));
+  auto reply = read_frame(*stream_);
+  if (!reply) return reply.status();
+  if (reply.value().type == FrameType::kError) {
+    return unavailable("proxy: " + to_string(reply.value().payload));
+  }
+  if (reply.value().type != FrameType::kHelloReply) {
+    return data_loss("unexpected frame type in handshake");
+  }
+
+  const ByteSpan payload(reply.value().payload);
+  std::size_t offset = 0;
+  auto session = core::wire::get_u64(payload, offset);
+  if (!session) return session.status();
+  auto quote_len = core::wire::get_u32(payload, offset);
+  if (!quote_len) return quote_len.status();
+  if (offset + quote_len.value() + crypto::kX25519KeySize != payload.size()) {
+    return data_loss("malformed hello reply");
+  }
+  auto quote = sgx::Quote::deserialize(payload.subspan(offset, quote_len.value()));
+  if (!quote) return quote.status();
+  offset += quote_len.value();
+  crypto::X25519Key server_eph;
+  std::memcpy(server_eph.data(), payload.data() + offset, server_eph.size());
+
+  // Attestation gate: refuse to key the channel unless the quote is genuine
+  // and names the expected enclave code.
+  auto static_pub = sgx::verify_and_extract_channel_key(*authority_, quote.value(),
+                                                        expected_measurement_);
+  if (!static_pub) return static_pub.status();
+
+  channel_.emplace(
+      crypto::SecureChannel::initiator(ephemeral, static_pub.value(), server_eph));
+  session_id_ = session.value();
+  return Status::ok();
+}
+
+Result<std::vector<engine::SearchResult>> RemoteBroker::search(std::string_view query) {
+  XS_RETURN_IF_ERROR(connect());
+
+  Bytes payload;
+  core::wire::put_u64(payload, session_id_);
+  append(payload, channel_->seal(core::wire::frame_query(query)));
+  XS_RETURN_IF_ERROR(write_frame(*stream_, FrameType::kQuery, payload));
+
+  auto reply = read_frame(*stream_);
+  if (!reply) return reply.status();
+  if (reply.value().type == FrameType::kError) {
+    return unavailable("proxy: " + to_string(reply.value().payload));
+  }
+  if (reply.value().type != FrameType::kQueryReply) {
+    return data_loss("unexpected frame type in query reply");
+  }
+
+  auto plaintext = channel_->open(reply.value().payload);
+  if (!plaintext) return plaintext.status();
+  auto message = core::wire::parse_client_message(plaintext.value());
+  if (!message) return message.status();
+  if (message.value().type == core::wire::ClientMessageType::kError) {
+    return unavailable("proxy error: " + message.value().error);
+  }
+  if (message.value().type != core::wire::ClientMessageType::kResults) {
+    return data_loss("unexpected message type from proxy");
+  }
+  return std::move(message).value().results;
+}
+
+}  // namespace xsearch::net

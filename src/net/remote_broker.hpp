@@ -1,0 +1,48 @@
+// Network client broker: the client-side daemon of §4.2 speaking to a
+// ProxyServer over TCP instead of in-process calls.
+//
+// Behaviour is identical to core::ClientBroker — attest the enclave behind
+// the server before trusting it, then exchange encrypted records — with the
+// frames of net/frame.hpp as transport.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "crypto/random.hpp"
+#include "crypto/secure_channel.hpp"
+#include "engine/document.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "sgx/attestation.hpp"
+
+namespace xsearch::net {
+
+class RemoteBroker {
+ public:
+  RemoteBroker(std::string host, std::uint16_t port,
+               const sgx::AttestationAuthority& authority,
+               const sgx::Measurement& expected_measurement, std::uint64_t seed);
+
+  /// Connects, attests, establishes the channel. Idempotent.
+  [[nodiscard]] Status connect();
+
+  /// One private search over the network.
+  [[nodiscard]] Result<std::vector<engine::SearchResult>> search(
+      std::string_view query);
+
+  [[nodiscard]] bool connected() const { return channel_.has_value(); }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  const sgx::AttestationAuthority* authority_;
+  sgx::Measurement expected_measurement_;
+  crypto::SecureRandom rng_;
+
+  std::optional<TcpStream> stream_;
+  std::optional<crypto::SecureChannel> channel_;
+  std::uint64_t session_id_ = 0;
+};
+
+}  // namespace xsearch::net

@@ -1,0 +1,125 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace xsearch::net {
+
+namespace {
+[[nodiscard]] std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+}  // namespace
+
+void FileDescriptor::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Result<TcpStream> TcpStream::connect(const std::string& host, std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return unavailable(errno_message("socket"));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return invalid_argument("not a numeric IPv4 address: " + host);
+  }
+  if (::connect(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return unavailable(errno_message("connect"));
+  }
+  const int one = 1;
+  (void)::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(std::move(fd));
+}
+
+Status TcpStream::write_all(ByteSpan data) {
+  std::size_t sent = 0;
+  while (sent < data.size()) {
+    const ssize_t n =
+        ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return unavailable(errno_message("send"));
+    }
+    sent += static_cast<std::size_t>(n);
+  }
+  return Status::ok();
+}
+
+Result<Bytes> TcpStream::read_exact(std::size_t n) {
+  Bytes out(n);
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_.get(), out.data() + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return unavailable(errno_message("recv"));
+    }
+    if (r == 0) return data_loss("peer closed mid-message");
+    got += static_cast<std::size_t>(r);
+  }
+  return out;
+}
+
+void TcpStream::shutdown_write() {
+  if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_WR);
+}
+
+void TcpStream::shutdown_both() {
+  if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_RDWR);
+}
+
+Result<TcpListener> TcpListener::bind(std::uint16_t port) {
+  FileDescriptor fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) return unavailable(errno_message("socket"));
+
+  const int one = 1;
+  (void)::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    return unavailable(errno_message("bind"));
+  }
+  if (::listen(fd.get(), 64) != 0) {
+    return unavailable(errno_message("listen"));
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&bound), &len) != 0) {
+    return unavailable(errno_message("getsockname"));
+  }
+  return TcpListener(std::move(fd), ntohs(bound.sin_port));
+}
+
+Result<TcpStream> TcpListener::accept() {
+  if (!fd_.valid()) return unavailable("listener closed");
+  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  if (client < 0) {
+    return unavailable(errno_message("accept"));
+  }
+  const int one = 1;
+  (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  return TcpStream(FileDescriptor(client));
+}
+
+void TcpListener::close() {
+  // Shut the socket down first so a concurrent accept() returns, then close.
+  if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_RDWR);
+  fd_.reset();
+}
+
+}  // namespace xsearch::net

@@ -1,0 +1,109 @@
+// RAII TCP sockets (IPv4, blocking I/O).
+//
+// The deployment frontend of the X-Search proxy: the paper's prototype was
+// exercised over the network by third-party HTTP clients and wrk2; this
+// module provides the equivalent transport for this reproduction — a
+// listener plus connected streams with exact-read/exact-write helpers, all
+// file descriptors owned RAII-style.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+
+namespace xsearch::net {
+
+/// Owning wrapper around a file descriptor.
+class FileDescriptor {
+ public:
+  FileDescriptor() = default;
+  explicit FileDescriptor(int fd) : fd_(fd) {}
+  ~FileDescriptor() { reset(); }
+
+  FileDescriptor(FileDescriptor&& other) noexcept : fd_(other.release()) {}
+  FileDescriptor& operator=(FileDescriptor&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.release();
+    }
+    return *this;
+  }
+  FileDescriptor(const FileDescriptor&) = delete;
+  FileDescriptor& operator=(const FileDescriptor&) = delete;
+
+  [[nodiscard]] int get() const { return fd_; }
+  [[nodiscard]] bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the descriptor (idempotent).
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A connected TCP stream.
+class TcpStream {
+ public:
+  TcpStream() = default;
+  explicit TcpStream(FileDescriptor fd) : fd_(std::move(fd)) {}
+
+  /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
+  [[nodiscard]] static Result<TcpStream> connect(const std::string& host,
+                                                 std::uint16_t port);
+
+  /// Writes the whole buffer or fails.
+  [[nodiscard]] Status write_all(ByteSpan data);
+
+  /// Reads exactly `n` bytes or fails (peer close mid-read is DATA_LOSS).
+  [[nodiscard]] Result<Bytes> read_exact(std::size_t n);
+
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+
+  /// Half-closes the write side (signals EOF to the peer).
+  void shutdown_write();
+
+  /// Shuts down both directions: any thread blocked reading this stream
+  /// wakes up with EOF. Used by servers to unblock connection workers on
+  /// shutdown.
+  void shutdown_both();
+
+ private:
+  FileDescriptor fd_;
+};
+
+/// A listening TCP socket bound to 127.0.0.1.
+class TcpListener {
+ public:
+  /// Binds to loopback:`port` (0 = ephemeral) and listens.
+  [[nodiscard]] static Result<TcpListener> bind(std::uint16_t port);
+
+  /// The actual bound port (useful with port 0).
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Blocks until a client connects. Fails with UNAVAILABLE once the
+  /// listener has been closed from another thread.
+  [[nodiscard]] Result<TcpStream> accept();
+
+  /// Unblocks pending accept()s and prevents new ones.
+  void close();
+
+  [[nodiscard]] bool valid() const { return fd_.valid(); }
+
+ private:
+  TcpListener(FileDescriptor fd, std::uint16_t port)
+      : fd_(std::move(fd)), port_(port) {}
+
+  FileDescriptor fd_;
+  std::uint16_t port_ = 0;
+};
+
+}  // namespace xsearch::net

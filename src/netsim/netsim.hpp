@@ -1,0 +1,80 @@
+// Wide-area network latency models.
+//
+// The paper's Figures 5 and 7 include components that were measured on live
+// networks (the Tor overlay in May 2017, Bing's serving latency). Those are
+// not reproducible computationally, so this module provides explicitly
+// *calibrated* stochastic models — log-normal link latencies whose medians
+// match the medians the paper reports — while all computational costs
+// (crypto, obfuscation, filtering, index lookups) are really executed by
+// the benches. EXPERIMENTS.md spells out which part of each figure is
+// model and which part is measurement.
+#pragma once
+
+#include <cstdint>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace xsearch::netsim {
+
+/// Log-normal one-way link latency with an optional congestion mixture
+/// (heavy tail from occasionally overloaded links — pronounced on the
+/// volunteer Tor relays). `sample()` returns nanoseconds.
+struct LinkModel {
+  double median_ms = 1.0;  // exp(mu) of the log-normal
+  double sigma = 0.25;     // log-space standard deviation
+  double min_ms = 0.1;     // physical floor (propagation delay)
+  double congestion_probability = 0.0;  // chance a sample hits congestion
+  double congestion_multiplier = 1.0;   // slowdown factor when it does
+
+  [[nodiscard]] Nanos sample(Rng& rng) const;
+};
+
+/// Calibrated links (medians chosen to land on the paper's §6.3 numbers).
+namespace links {
+
+/// Client -> cloud-hosted proxy (same-continent WAN).
+[[nodiscard]] LinkModel client_to_proxy();
+
+/// Cloud proxy -> search engine frontend (datacenter peering).
+[[nodiscard]] LinkModel proxy_to_engine();
+
+/// Search-engine request processing + result transfer. This dominates the
+/// end-to-end time of every system (Direct's median sits near 0.5 s).
+[[nodiscard]] LinkModel engine_processing();
+
+/// One hop of the volunteer Tor overlay: high median, heavy tail
+/// (bandwidth-limited relays). Three hops each way plus exit->engine gave
+/// the paper a 1.06 s median / ~3 s p99 search RTT.
+[[nodiscard]] LinkModel tor_hop();
+
+/// Client -> engine direct path.
+[[nodiscard]] LinkModel client_to_engine();
+
+}  // namespace links
+
+/// Per-request service cost of a proxy's network/OS stack that the
+/// in-process simulation does not otherwise execute (socket handling,
+/// TLS record framing, scheduling). Used by the Figure 5 bench; values are
+/// calibrated so saturation points land at the paper's orders of magnitude.
+struct ServiceCostModel {
+  Nanos cost_per_request = 0;
+
+  /// Spin-waits the configured cost (busy CPU, like real packet work).
+  void charge() const;
+};
+
+/// Calibrated per-request stack costs (see EXPERIMENTS.md, Figure 5).
+namespace service_costs {
+/// X-Search proxy: single enclave crossing + in-memory processing.
+[[nodiscard]] ServiceCostModel xsearch_proxy();
+/// PEAS: two proxy processes, store-and-forward, group decryption.
+[[nodiscard]] ServiceCostModel peas_chain();
+/// Tor: three bandwidth-limited volunteer relays.
+[[nodiscard]] ServiceCostModel tor_circuit();
+}  // namespace service_costs
+
+/// Busy-waits for `duration` (coarse; intended for service-cost injection).
+void busy_wait(Nanos duration);
+
+}  // namespace xsearch::netsim

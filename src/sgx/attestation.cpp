@@ -1,0 +1,90 @@
+#include "sgx/attestation.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace xsearch::sgx {
+
+namespace {
+Bytes mac_input(const Measurement& measurement, ByteSpan report_data) {
+  Bytes data;
+  data.reserve(measurement.size() + report_data.size());
+  append(data, measurement);
+  append(data, report_data);
+  return data;
+}
+}  // namespace
+
+Bytes Quote::serialize() const {
+  Bytes out;
+  out.reserve(measurement.size() + 4 + report_data.size() + mac.size());
+  append(out, measurement);
+  std::uint8_t len[4];
+  store_be32(len, static_cast<std::uint32_t>(report_data.size()));
+  append(out, ByteSpan(len, 4));
+  append(out, report_data);
+  append(out, mac);
+  return out;
+}
+
+Result<Quote> Quote::deserialize(ByteSpan raw) {
+  constexpr std::size_t kFixed = crypto::kSha256DigestSize + 4 + crypto::kSha256DigestSize;
+  if (raw.size() < kFixed) return invalid_argument("quote too short");
+  Quote q;
+  std::memcpy(q.measurement.data(), raw.data(), q.measurement.size());
+  const std::uint32_t len = load_be32(raw.data() + q.measurement.size());
+  const std::size_t expected = kFixed + len;
+  if (raw.size() != expected) return invalid_argument("quote length mismatch");
+  const auto* data_start = raw.data() + q.measurement.size() + 4;
+  q.report_data.assign(data_start, data_start + len);
+  std::memcpy(q.mac.data(), data_start + len, q.mac.size());
+  return q;
+}
+
+Quote AttestationAuthority::issue(const Measurement& measurement,
+                                  ByteSpan report_data) const {
+  Quote quote;
+  quote.measurement = measurement;
+  quote.report_data.assign(report_data.begin(), report_data.end());
+  quote.mac = crypto::hmac_sha256(root_key_, mac_input(measurement, report_data));
+  return quote;
+}
+
+bool AttestationAuthority::verify(const Quote& quote) const {
+  const auto expected =
+      crypto::hmac_sha256(root_key_, mac_input(quote.measurement, quote.report_data));
+  return constant_time_equal(expected, quote.mac);
+}
+
+Status AttestationAuthority::verify_enclave(const Quote& quote,
+                                            const Measurement& expected) const {
+  if (!verify(quote)) {
+    return permission_denied("attestation: quote MAC invalid (forged or modified)");
+  }
+  if (!constant_time_equal(quote.measurement, expected)) {
+    return permission_denied(
+        "attestation: measurement mismatch (unexpected enclave code)");
+  }
+  return Status::ok();
+}
+
+Quote quote_channel_key(const AttestationAuthority& authority,
+                        const EnclaveRuntime& enclave,
+                        const crypto::X25519Key& channel_public_key) {
+  return authority.issue(enclave.measurement(), channel_public_key);
+}
+
+Result<crypto::X25519Key> verify_and_extract_channel_key(
+    const AttestationAuthority& authority, const Quote& quote,
+    const Measurement& expected_measurement) {
+  XS_RETURN_IF_ERROR(authority.verify_enclave(quote, expected_measurement));
+  if (quote.report_data.size() != crypto::kX25519KeySize) {
+    return invalid_argument("attestation: report data is not a channel key");
+  }
+  crypto::X25519Key key;
+  std::memcpy(key.data(), quote.report_data.data(), key.size());
+  return key;
+}
+
+}  // namespace xsearch::sgx

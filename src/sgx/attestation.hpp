@@ -1,0 +1,62 @@
+// Simulated SGX remote attestation.
+//
+// On hardware, a Quoting Enclave signs a report containing the enclave
+// measurement plus 64 bytes of caller-chosen report data, and Intel's
+// attestation service (IAS) vouches for the signature. The simulation
+// collapses QE + IAS into one AttestationAuthority holding a root MAC key:
+// quotes are HMACs over (measurement || report_data). The client-side
+// verification flow — check the quote, check the expected measurement,
+// extract the enclave's channel public key from report data — is identical
+// to the hardware flow, which is what X-Search's unlinkability argument
+// (§4.2) relies on.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+#include "sgx/enclave.hpp"
+
+namespace xsearch::sgx {
+
+/// An attestation quote binding report data to an enclave measurement.
+struct Quote {
+  Measurement measurement{};
+  Bytes report_data;           // typically the enclave's channel public key
+  crypto::Sha256Digest mac{};  // authority's MAC over the above
+
+  [[nodiscard]] Bytes serialize() const;
+  [[nodiscard]] static Result<Quote> deserialize(ByteSpan raw);
+};
+
+/// Combined quoting-enclave + attestation-service role.
+class AttestationAuthority {
+ public:
+  /// `root_key` stands in for Intel's EPID group keys.
+  explicit AttestationAuthority(Bytes root_key) : root_key_(std::move(root_key)) {}
+
+  /// Issues a quote for an enclave (QE side).
+  [[nodiscard]] Quote issue(const Measurement& measurement, ByteSpan report_data) const;
+
+  /// Verifies a quote's authenticity (IAS side).
+  [[nodiscard]] bool verify(const Quote& quote) const;
+
+  /// Full client-side check: authentic quote *and* expected measurement.
+  [[nodiscard]] Status verify_enclave(const Quote& quote,
+                                      const Measurement& expected) const;
+
+ private:
+  Bytes root_key_;
+};
+
+/// Convenience: quote an enclave binding its X25519 channel public key.
+[[nodiscard]] Quote quote_channel_key(const AttestationAuthority& authority,
+                                      const EnclaveRuntime& enclave,
+                                      const crypto::X25519Key& channel_public_key);
+
+/// Client-side: verify the quote and extract the channel key it vouches for.
+[[nodiscard]] Result<crypto::X25519Key> verify_and_extract_channel_key(
+    const AttestationAuthority& authority, const Quote& quote,
+    const Measurement& expected_measurement);
+
+}  // namespace xsearch::sgx

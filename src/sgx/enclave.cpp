@@ -1,0 +1,92 @@
+#include "sgx/enclave.hpp"
+
+#include <cstring>
+
+#include "crypto/hmac.hpp"
+
+namespace xsearch::sgx {
+
+namespace {
+constexpr char kSealingInfo[] = "sgx-sealing-key-mrenclave-v1";
+constexpr std::uint32_t kSealNoncePrefix = 0x5345414c;  // "SEAL"
+}  // namespace
+
+EnclaveRuntime::EnclaveRuntime(Config config)
+    : measurement_(crypto::Sha256::hash(config.code_identity)),
+      epc_(config.usable_epc_bytes) {
+  // Sealing key: HKDF(measurement) — the simulation analogue of the
+  // MRENCLAVE-policy EGETKEY derivation.
+  const Bytes okm = crypto::hkdf(/*salt=*/{}, measurement_,
+                                 to_bytes(kSealingInfo), crypto::kAeadKeySize);
+  std::memcpy(sealing_key_.data(), okm.data(), sealing_key_.size());
+}
+
+void EnclaveRuntime::register_ecall(std::string name, Handler handler) {
+  std::lock_guard lock(mutex_);
+  ecalls_[std::move(name)] = std::move(handler);
+}
+
+void EnclaveRuntime::register_ocall(std::string name, Handler handler) {
+  std::lock_guard lock(mutex_);
+  ocalls_[std::move(name)] = std::move(handler);
+}
+
+Result<Bytes> EnclaveRuntime::ecall(std::string_view name, ByteSpan input) {
+  Handler handler;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = ecalls_.find(std::string(name));
+    if (it == ecalls_.end()) {
+      return not_found("unknown ecall: " + std::string(name));
+    }
+    handler = it->second;
+  }
+  ecall_count_.fetch_add(1, std::memory_order_relaxed);
+  // Parameters are copied into enclave memory at the boundary; the copy is
+  // implicit in the ByteSpan-to-Bytes conversions done by handlers.
+  return handler(input);
+}
+
+Result<Bytes> EnclaveRuntime::ocall(std::string_view name, ByteSpan input) {
+  Handler handler;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = ocalls_.find(std::string(name));
+    if (it == ocalls_.end()) {
+      return not_found("unknown ocall: " + std::string(name));
+    }
+    handler = it->second;
+  }
+  ocall_count_.fetch_add(1, std::memory_order_relaxed);
+  return handler(input);
+}
+
+TransitionStats EnclaveRuntime::transition_stats() const {
+  return TransitionStats{ecall_count_.load(std::memory_order_relaxed),
+                         ocall_count_.load(std::memory_order_relaxed)};
+}
+
+Bytes EnclaveRuntime::seal(ByteSpan plaintext) {
+  const std::uint64_t counter = seal_counter_.fetch_add(1, std::memory_order_relaxed);
+  const crypto::AeadNonce nonce = crypto::make_nonce(kSealNoncePrefix, counter);
+  Bytes out(nonce.begin(), nonce.end());
+  const Bytes sealed = crypto::aead_seal(sealing_key_, nonce, measurement_, plaintext);
+  append(out, sealed);
+  return out;
+}
+
+Result<Bytes> EnclaveRuntime::unseal(ByteSpan sealed) const {
+  if (sealed.size() < crypto::kAeadNonceSize + crypto::kAeadTagSize) {
+    return invalid_argument("sealed blob too short");
+  }
+  crypto::AeadNonce nonce;
+  std::memcpy(nonce.data(), sealed.data(), nonce.size());
+  auto plain = crypto::aead_open(sealing_key_, nonce, measurement_,
+                                 sealed.subspan(nonce.size()));
+  if (!plain) {
+    return permission_denied("unseal failed: wrong enclave measurement or tampering");
+  }
+  return *std::move(plain);
+}
+
+}  // namespace xsearch::sgx

@@ -1,0 +1,36 @@
+#include "sgx/epc.hpp"
+
+namespace xsearch::sgx {
+
+void EpcAccountant::charge(std::size_t bytes) {
+  const std::size_t before = in_use_.fetch_add(bytes, std::memory_order_relaxed);
+  const std::size_t after = before + bytes;
+
+  // Maintain the high-water mark.
+  std::size_t seen = peak_.load(std::memory_order_relaxed);
+  while (after > seen &&
+         !peak_.compare_exchange_weak(seen, after, std::memory_order_relaxed)) {
+  }
+
+  // Pages newly pushed beyond the usable limit count as faults.
+  if (after > limit_) {
+    const std::size_t over_before = before > limit_ ? before - limit_ : 0;
+    const std::size_t over_after = after - limit_;
+    const std::uint64_t pages_before = over_before / kEpcPageSize;
+    const std::uint64_t pages_after =
+        (over_after + kEpcPageSize - 1) / kEpcPageSize;
+    if (pages_after > pages_before) {
+      page_faults_.fetch_add(pages_after - pages_before, std::memory_order_relaxed);
+    }
+  }
+}
+
+void EpcAccountant::release(std::size_t bytes) {
+  std::size_t current = in_use_.load(std::memory_order_relaxed);
+  std::size_t desired;
+  do {
+    desired = current >= bytes ? current - bytes : 0;
+  } while (!in_use_.compare_exchange_weak(current, desired, std::memory_order_relaxed));
+}
+
+}  // namespace xsearch::sgx

@@ -1,0 +1,60 @@
+// Enclave Page Cache (EPC) accounting.
+//
+// On real SGX hardware all enclaves share ~128 MiB of protected memory of
+// which ~90 MiB is usable by a single enclave (paper §2.3); exceeding it
+// does not fail allocations but triggers costly encrypted paging handled by
+// the untrusted OS. The simulation reproduces exactly those semantics: an
+// EpcAccountant meters every enclave-resident byte, reports the usable
+// limit, and counts page-ins once usage crosses it — the quantity plotted
+// in Figure 6.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace xsearch::sgx {
+
+/// Usable per-enclave EPC assumed by the paper (~90 MB).
+inline constexpr std::size_t kDefaultUsableEpcBytes = 90ull * 1024 * 1024;
+
+/// SGX page granularity.
+inline constexpr std::size_t kEpcPageSize = 4096;
+
+/// Thread-safe byte accounting against the EPC budget.
+class EpcAccountant {
+ public:
+  explicit EpcAccountant(std::size_t usable_bytes = kDefaultUsableEpcBytes)
+      : limit_(usable_bytes) {}
+
+  /// Records an allocation of `bytes` inside the enclave.
+  void charge(std::size_t bytes);
+
+  /// Records a deallocation. Releasing more than charged is a programming
+  /// error and clamps at zero.
+  void release(std::size_t bytes);
+
+  [[nodiscard]] std::size_t in_use() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t peak() const {
+    return peak_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t limit() const { return limit_; }
+  [[nodiscard]] bool over_limit() const { return in_use() > limit_; }
+
+  /// Number of simulated EPC page-ins: every 4 KiB page of usage beyond the
+  /// limit that has been touched by a charge. Non-zero page faults mean the
+  /// enclave would be paging (orders-of-magnitude slowdown on hardware).
+  [[nodiscard]] std::uint64_t page_faults() const {
+    return page_faults_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const std::size_t limit_;
+  std::atomic<std::size_t> in_use_{0};
+  std::atomic<std::size_t> peak_{0};
+  std::atomic<std::uint64_t> page_faults_{0};
+};
+
+}  // namespace xsearch::sgx

@@ -1,0 +1,89 @@
+#include "text/sparse_vector.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/tokenizer.hpp"
+
+namespace xsearch::text {
+
+void SparseVector::finalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const SparseEntry& a, const SparseEntry& b) { return a.term < b.term; });
+  // Merge duplicate terms by summing weights.
+  std::size_t out = 0;
+  for (std::size_t i = 0; i < entries_.size(); ++i) {
+    if (out > 0 && entries_[out - 1].term == entries_[i].term) {
+      entries_[out - 1].weight += entries_[i].weight;
+    } else {
+      entries_[out++] = entries_[i];
+    }
+  }
+  entries_.resize(out);
+  std::erase_if(entries_, [](const SparseEntry& e) { return e.weight == 0.0; });
+
+  double sq = 0.0;
+  for (const auto& e : entries_) sq += e.weight * e.weight;
+  norm_ = std::sqrt(sq);
+}
+
+SparseVector SparseVector::from_pairs(std::vector<SparseEntry> entries) {
+  SparseVector v;
+  v.entries_ = std::move(entries);
+  v.finalize();
+  return v;
+}
+
+SparseVector SparseVector::term_frequency(const std::vector<TermId>& ids) {
+  std::vector<SparseEntry> entries;
+  entries.reserve(ids.size());
+  for (const TermId id : ids) entries.push_back({id, 1.0});
+  return from_pairs(std::move(entries));
+}
+
+double SparseVector::dot(const SparseVector& other) const {
+  double sum = 0.0;
+  std::size_t i = 0, j = 0;
+  while (i < entries_.size() && j < other.entries_.size()) {
+    if (entries_[i].term < other.entries_[j].term) {
+      ++i;
+    } else if (entries_[i].term > other.entries_[j].term) {
+      ++j;
+    } else {
+      sum += entries_[i].weight * other.entries_[j].weight;
+      ++i;
+      ++j;
+    }
+  }
+  return sum;
+}
+
+double SparseVector::cosine(const SparseVector& other) const {
+  if (norm_ == 0.0 || other.norm_ == 0.0) return 0.0;
+  return dot(other) / (norm_ * other.norm_);
+}
+
+void SparseVector::add_scaled(const SparseVector& other, double scale) {
+  for (const auto& e : other.entries_) entries_.push_back({e.term, e.weight * scale});
+  finalize();
+}
+
+SparseVector tf_vector(Vocabulary& vocab, std::string_view textual) {
+  return SparseVector::term_frequency(vocab.intern_all(tokenize_no_stopwords(textual)));
+}
+
+SparseVector tf_vector_const(const Vocabulary& vocab, std::string_view textual) {
+  return SparseVector::term_frequency(vocab.lookup_all(tokenize_no_stopwords(textual)));
+}
+
+double exponential_smoothing(std::vector<double> similarities, double alpha) {
+  if (similarities.empty()) return 0.0;
+  std::sort(similarities.begin(), similarities.end());  // ascending
+  double smoothed = similarities.front();
+  for (std::size_t i = 1; i < similarities.size(); ++i) {
+    smoothed = alpha * similarities[i] + (1.0 - alpha) * smoothed;
+  }
+  return smoothed;
+}
+
+}  // namespace xsearch::text

@@ -1,0 +1,75 @@
+// Sparse term-weight vectors and cosine similarity.
+//
+// SimAttack represents queries and user profiles as term-frequency vectors
+// and compares them by cosine similarity; the same machinery scores results
+// in the accuracy evaluation. Entries are kept sorted by term id so dot
+// products run in linear time.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "text/vocabulary.hpp"
+
+namespace xsearch::text {
+
+/// One (term, weight) pair.
+struct SparseEntry {
+  TermId term;
+  double weight;
+
+  friend bool operator==(const SparseEntry&, const SparseEntry&) = default;
+};
+
+/// Immutable-after-build sparse vector, sorted by term id.
+class SparseVector {
+ public:
+  SparseVector() = default;
+
+  /// Builds from unordered (term, weight) pairs, merging duplicates by sum.
+  static SparseVector from_pairs(std::vector<SparseEntry> entries);
+
+  /// Term-frequency vector of a token id list (weight = occurrence count).
+  static SparseVector term_frequency(const std::vector<TermId>& ids);
+
+  [[nodiscard]] const std::vector<SparseEntry>& entries() const { return entries_; }
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+
+  /// L2 norm (cached at construction).
+  [[nodiscard]] double norm() const { return norm_; }
+
+  /// Dot product with another sorted sparse vector, O(n + m).
+  [[nodiscard]] double dot(const SparseVector& other) const;
+
+  /// Cosine similarity in [0, 1] for non-negative weights; 0 when either
+  /// vector is empty.
+  [[nodiscard]] double cosine(const SparseVector& other) const;
+
+  /// In-place scaled accumulate: this += scale * other (re-sorts/merges).
+  void add_scaled(const SparseVector& other, double scale);
+
+ private:
+  void finalize();
+
+  std::vector<SparseEntry> entries_;
+  double norm_ = 0.0;
+};
+
+/// Tokenizes `textual` (stopwords removed), interns through `vocab`, and
+/// returns its TF vector. Convenience used by profiles and attacks.
+[[nodiscard]] SparseVector tf_vector(Vocabulary& vocab, std::string_view textual);
+
+/// Lookup-only variant: unknown terms are dropped, vocabulary not mutated.
+[[nodiscard]] SparseVector tf_vector_const(const Vocabulary& vocab,
+                                           std::string_view textual);
+
+/// Exponential smoothing of a list of similarity values ranked in ascending
+/// order (SimAttack §5.3.1): smooth = alpha*s_n + alpha*(1-alpha)*s_{n-1} ...
+/// Values are sorted ascending internally; the highest similarity gets the
+/// largest coefficient.
+[[nodiscard]] double exponential_smoothing(std::vector<double> similarities,
+                                           double alpha);
+
+}  // namespace xsearch::text

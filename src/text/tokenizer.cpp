@@ -1,0 +1,66 @@
+#include "text/tokenizer.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+
+namespace xsearch::text {
+
+namespace {
+
+// A compact English stopword list; enough to strip query glue words.
+const std::unordered_set<std::string>& stopword_set() {
+  static const std::unordered_set<std::string> kStopwords = {
+      "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",   "for",
+      "from", "has",  "he",   "how",  "in",   "is",   "it",   "its",  "of",
+      "on",   "or",   "that", "the",  "to",   "was",  "what", "when", "where",
+      "which", "who", "will", "with", "you",  "your", "i",    "my",   "me",
+      "we",   "our",  "they", "them", "this", "these", "do",  "does", "not"};
+  return kStopwords;
+}
+
+}  // namespace
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> tokens;
+  std::string current;
+  for (const char raw : text) {
+    const auto c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      current.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  }
+  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+std::vector<std::string> tokenize_no_stopwords(std::string_view text) {
+  std::vector<std::string> tokens = tokenize(text);
+  std::erase_if(tokens, [](const std::string& t) { return is_stopword(t); });
+  return tokens;
+}
+
+bool is_stopword(std::string_view word) {
+  return stopword_set().contains(std::string(word));
+}
+
+std::size_t common_word_count(std::string_view a, std::string_view b) {
+  const auto a_tokens = tokenize(a);
+  const std::unordered_set<std::string> a_words(a_tokens.begin(), a_tokens.end());
+  return common_word_count(a_words, b);
+}
+
+std::size_t common_word_count(const std::unordered_set<std::string>& a_words,
+                              std::string_view b) {
+  std::size_t count = 0;
+  std::unordered_set<std::string> seen;
+  for (auto& token : tokenize(b)) {
+    if (a_words.contains(token) && seen.insert(token).second) ++count;
+  }
+  return count;
+}
+
+}  // namespace xsearch::text

@@ -1,0 +1,35 @@
+// Query/document tokenization.
+//
+// All text processing in the reproduction (query similarity, BM25 indexing,
+// the common-word filter of Algorithm 2, SimAttack profiles) shares this
+// tokenizer so that every component sees the same word boundaries:
+// lower-cased maximal runs of ASCII alphanumerics.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace xsearch::text {
+
+/// Splits `text` into lower-cased alphanumeric tokens.
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view text);
+
+/// Tokenizes and removes stopwords (a small fixed English list, matching
+/// the preprocessing applied to the AOL log in the PEAS/SimAttack line of
+/// work).
+[[nodiscard]] std::vector<std::string> tokenize_no_stopwords(std::string_view text);
+
+/// True if `word` is on the built-in stopword list.
+[[nodiscard]] bool is_stopword(std::string_view word);
+
+/// Number of distinct tokens the two texts share (the nbCommonWords
+/// function of Algorithm 2 in the paper).
+[[nodiscard]] std::size_t common_word_count(std::string_view a, std::string_view b);
+
+/// Common words between a pre-tokenized set and a text.
+[[nodiscard]] std::size_t common_word_count(
+    const std::unordered_set<std::string>& a_words, std::string_view b);
+
+}  // namespace xsearch::text

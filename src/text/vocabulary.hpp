@@ -1,0 +1,44 @@
+// Interned term dictionary: bidirectional string <-> dense id mapping.
+//
+// Term ids keep the sparse vectors, inverted index and co-occurrence matrix
+// compact; every module that handles tokens resolves them through one
+// Vocabulary instance so ids are consistent across components.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace xsearch::text {
+
+using TermId = std::uint32_t;
+
+class Vocabulary {
+ public:
+  /// Returns the id for `term`, interning it on first sight.
+  TermId intern(std::string_view term);
+
+  /// Returns the id if the term is known.
+  [[nodiscard]] std::optional<TermId> lookup(std::string_view term) const;
+
+  /// The term string for an id. Precondition: `id < size()`.
+  [[nodiscard]] const std::string& term(TermId id) const;
+
+  [[nodiscard]] std::size_t size() const { return terms_.size(); }
+
+  /// Interns every token of a token list.
+  [[nodiscard]] std::vector<TermId> intern_all(const std::vector<std::string>& tokens);
+
+  /// Looks up every token, skipping unknown ones.
+  [[nodiscard]] std::vector<TermId> lookup_all(
+      const std::vector<std::string>& tokens) const;
+
+ private:
+  std::unordered_map<std::string, TermId> index_;
+  std::vector<std::string> terms_;
+};
+
+}  // namespace xsearch::text

@@ -1,0 +1,66 @@
+#include "xsearch/broker.hpp"
+
+#include "xsearch/wire.hpp"
+
+namespace xsearch::core {
+
+ClientBroker::ClientBroker(XSearchProxy& proxy,
+                           const sgx::AttestationAuthority& authority,
+                           const sgx::Measurement& expected_measurement,
+                           std::uint64_t seed)
+    : proxy_(&proxy),
+      authority_(&authority),
+      expected_measurement_(expected_measurement),
+      rng_([&] {
+        crypto::ChaChaKey s{};
+        store_le64(s.data(), seed);
+        s[31] = 0xc1;  // client domain separation
+        return s;
+      }()) {}
+
+Status ClientBroker::connect() {
+  if (channel_.has_value()) return Status::ok();
+
+  crypto::X25519Key eph_seed{};
+  rng_.fill(eph_seed);
+  const auto ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+
+  auto response = proxy_->handshake(ephemeral.public_key);
+  if (!response) return response.status();
+
+  // Attestation: only proceed if the quote is authentic AND the measurement
+  // matches the enclave code we expect — this is the client's root of trust.
+  auto static_pub = sgx::verify_and_extract_channel_key(
+      *authority_, response.value().quote, expected_measurement_);
+  if (!static_pub) return static_pub.status();
+
+  channel_.emplace(crypto::SecureChannel::initiator(
+      ephemeral, static_pub.value(), response.value().server_ephemeral_pub));
+  session_id_ = response.value().session_id;
+  return Status::ok();
+}
+
+Result<std::vector<engine::SearchResult>> ClientBroker::search(std::string_view query) {
+  XS_RETURN_IF_ERROR(connect());
+
+  const Bytes record = channel_->seal(wire::frame_query(query));
+  auto response = proxy_->handle_query_record(session_id_, record);
+  if (!response) return response.status();
+
+  auto plaintext = channel_->open(response.value());
+  if (!plaintext) return plaintext.status();
+
+  auto message = wire::parse_client_message(plaintext.value());
+  if (!message) return message.status();
+  switch (message.value().type) {
+    case wire::ClientMessageType::kResults:
+      return std::move(message).value().results;
+    case wire::ClientMessageType::kError:
+      return unavailable("proxy error: " + message.value().error);
+    case wire::ClientMessageType::kQuery:
+      break;
+  }
+  return data_loss("broker: unexpected message type from proxy");
+}
+
+}  // namespace xsearch::core

@@ -1,0 +1,51 @@
+// Client-side query broker (paper §4.2).
+//
+// "This broker runs within the client's domain, such as a local daemon
+// process executing alongside the client's Web browser. The broker is in
+// charge of the SGX attestation step." On first use it performs the
+// attested handshake — verifying the enclave quote against the expected
+// measurement before trusting the channel key — then encrypts each query
+// to the enclave and decrypts the filtered results coming back.
+#pragma once
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+#include "crypto/random.hpp"
+#include "crypto/secure_channel.hpp"
+#include "engine/document.hpp"
+#include "sgx/attestation.hpp"
+#include "xsearch/proxy.hpp"
+
+namespace xsearch::core {
+
+class ClientBroker {
+ public:
+  /// `expected_measurement` pins the enclave code the client trusts.
+  ClientBroker(XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+               const sgx::Measurement& expected_measurement, std::uint64_t seed);
+
+  /// Attests the proxy and establishes the secure channel. Idempotent;
+  /// `search` calls it lazily.
+  [[nodiscard]] Status connect();
+
+  /// End-to-end private search: encrypt the query, let the enclave
+  /// obfuscate/execute/filter, decrypt the result list.
+  [[nodiscard]] Result<std::vector<engine::SearchResult>> search(
+      std::string_view query);
+
+  [[nodiscard]] bool connected() const { return channel_.has_value(); }
+
+ private:
+  XSearchProxy* proxy_;
+  const sgx::AttestationAuthority* authority_;
+  sgx::Measurement expected_measurement_;
+  crypto::SecureRandom rng_;
+
+  std::optional<crypto::SecureChannel> channel_;
+  std::uint64_t session_id_ = 0;
+};
+
+}  // namespace xsearch::core

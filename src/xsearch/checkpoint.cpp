@@ -1,0 +1,70 @@
+#include "xsearch/checkpoint.hpp"
+
+#include <fstream>
+
+#include "xsearch/wire.hpp"
+
+namespace xsearch::core {
+
+namespace {
+constexpr std::uint32_t kCheckpointMagic = 0x58534850;  // "XSHP"
+constexpr std::uint32_t kCheckpointVersion = 1;
+}  // namespace
+
+Bytes seal_history(sgx::EnclaveRuntime& enclave, const QueryHistory& history) {
+  const auto entries = history.snapshot();
+  Bytes plain;
+  wire::put_u32(plain, kCheckpointMagic);
+  wire::put_u32(plain, kCheckpointVersion);
+  wire::put_u32(plain, static_cast<std::uint32_t>(entries.size()));
+  for (const auto& q : entries) wire::put_string(plain, q);
+  return enclave.seal(plain);
+}
+
+Status restore_history(const sgx::EnclaveRuntime& enclave, ByteSpan sealed,
+                       QueryHistory& history) {
+  auto plain = enclave.unseal(sealed);
+  if (!plain) return plain.status();
+
+  const ByteSpan raw(plain.value());
+  std::size_t offset = 0;
+  auto magic = wire::get_u32(raw, offset);
+  if (!magic || magic.value() != kCheckpointMagic) {
+    return data_loss("checkpoint: bad magic");
+  }
+  auto version = wire::get_u32(raw, offset);
+  if (!version || version.value() != kCheckpointVersion) {
+    return data_loss("checkpoint: unsupported version");
+  }
+  auto count = wire::get_u32(raw, offset);
+  if (!count) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto q = wire::get_string(raw, offset);
+    if (!q) return q.status();
+    history.add(q.value());
+  }
+  if (offset != raw.size()) return data_loss("checkpoint: trailing bytes");
+  return Status::ok();
+}
+
+Status write_checkpoint_file(const std::filesystem::path& path, ByteSpan sealed) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return unavailable("cannot open checkpoint for writing: " + path.string());
+  out.write(reinterpret_cast<const char*>(sealed.data()),
+            static_cast<std::streamsize>(sealed.size()));
+  return out.good() ? Status::ok()
+                    : data_loss("short checkpoint write: " + path.string());
+}
+
+Result<Bytes> read_checkpoint_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return unavailable("cannot open checkpoint: " + path.string());
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes data(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(data.data()), size);
+  if (!in.good()) return data_loss("short checkpoint read: " + path.string());
+  return data;
+}
+
+}  // namespace xsearch::core

@@ -1,0 +1,38 @@
+// Sealed checkpoints of the query history.
+//
+// The obfuscation quality of a freshly started proxy is poor until its
+// history warms up (cold start = no decoys). SGX's sealed storage solves
+// this: the enclave serializes the table, seals it under its measurement
+// key, and the *untrusted* host persists the blob. After a restart, an
+// enclave running the same code — and only such an enclave — can restore
+// it. The queries never touch the host in plaintext.
+//
+// This is an extension beyond the paper's prototype, built from the
+// sealing primitive its §2.3 describes.
+#pragma once
+
+#include <filesystem>
+
+#include "common/status.hpp"
+#include "sgx/enclave.hpp"
+#include "xsearch/history.hpp"
+
+namespace xsearch::core {
+
+/// Serializes the full history contents (oldest first) and seals them to
+/// `enclave`'s measurement. Runs inside the trusted side.
+[[nodiscard]] Bytes seal_history(sgx::EnclaveRuntime& enclave,
+                                 const QueryHistory& history);
+
+/// Unseals a checkpoint and replays it into `history` (appending, in the
+/// checkpointed order). Fails if the blob was sealed by different enclave
+/// code or tampered with.
+[[nodiscard]] Status restore_history(const sgx::EnclaveRuntime& enclave,
+                                     ByteSpan sealed, QueryHistory& history);
+
+/// Host-side helpers: persist / load the opaque blob.
+[[nodiscard]] Status write_checkpoint_file(const std::filesystem::path& path,
+                                           ByteSpan sealed);
+[[nodiscard]] Result<Bytes> read_checkpoint_file(const std::filesystem::path& path);
+
+}  // namespace xsearch::core

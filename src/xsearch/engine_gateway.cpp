@@ -1,0 +1,36 @@
+#include "xsearch/engine_gateway.hpp"
+
+#include "xsearch/wire.hpp"
+
+namespace xsearch::core {
+
+namespace {
+constexpr char kLinkAad[] = "xsearch-engine-link-v1";
+}
+
+SecureEngineGateway::SecureEngineGateway(const engine::SearchEngine* engine,
+                                         std::uint64_t seed)
+    : engine_(engine) {
+  crypto::X25519Key key_seed{};
+  store_le64(key_seed.data(), seed);
+  key_seed[31] = 0x71;  // gateway domain separation
+  keys_ = crypto::x25519_keypair_from_seed(key_seed);
+}
+
+Result<Bytes> SecureEngineGateway::handle(ByteSpan envelope) const {
+  auto opened = crypto::envelope_open(keys_, to_bytes(kLinkAad), envelope);
+  if (!opened) return opened.status();
+
+  auto request = wire::parse_engine_request(opened.value().plaintext);
+  if (!request) return request.status();
+
+  std::vector<engine::SearchResult> results;
+  if (engine_ != nullptr) {
+    results = engine_->search_or(request.value().sub_queries,
+                                 request.value().top_k_each);
+  }
+  return crypto::envelope_reply_seal(opened.value().response_key, to_bytes(kLinkAad),
+                                     wire::serialize_results(results));
+}
+
+}  // namespace xsearch::core

@@ -1,0 +1,39 @@
+// Encrypted enclave→engine link (paper footnote 2).
+//
+// The base design sends the obfuscated OR query to the engine in the clear
+// — acceptable because obfuscation protects it. Footnote 2 notes "Using
+// HTTPS could be also supported by the SGX enclave": this module provides
+// that option. The SecureEngineGateway stands in for the engine's TLS
+// frontend; the enclave seals each request to the gateway's public key
+// (crypto/envelope), so the untrusted host relaying the "socket" traffic
+// sees ciphertext even on the engine leg.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/status.hpp"
+#include "crypto/envelope.hpp"
+#include "engine/search_engine.hpp"
+
+namespace xsearch::core {
+
+class SecureEngineGateway {
+ public:
+  /// `engine` may be null (saturation mode: empty result lists).
+  SecureEngineGateway(const engine::SearchEngine* engine, std::uint64_t seed);
+
+  /// The key the enclave seals requests to (distributed out of band, like a
+  /// TLS certificate).
+  [[nodiscard]] const crypto::X25519Key& public_key() const {
+    return keys_.public_key;
+  }
+
+  /// Decrypts one request envelope, executes the OR query, returns the
+  /// sealed response.
+  [[nodiscard]] Result<Bytes> handle(ByteSpan envelope) const;
+
+ private:
+  const engine::SearchEngine* engine_;
+  crypto::X25519KeyPair keys_;
+};
+
+}  // namespace xsearch::core

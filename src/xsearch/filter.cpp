@@ -1,0 +1,53 @@
+#include "xsearch/filter.hpp"
+
+#include "engine/analytics.hpp"
+#include "text/sparse_vector.hpp"
+#include "text/tokenizer.hpp"
+
+namespace xsearch::core {
+
+double ResultFilter::score(std::string_view query,
+                           const engine::SearchResult& result) const {
+  if (scoring_ == FilterScoring::kCommonWords) {
+    // nbCommonWords(q, title(r)) + nbCommonWords(q, desc(r)) — Algorithm 2.
+    const auto tokens = text::tokenize(query);
+    const std::unordered_set<std::string> words(tokens.begin(), tokens.end());
+    return static_cast<double>(text::common_word_count(words, result.title) +
+                               text::common_word_count(words, result.description));
+  }
+  // Cosine ablation: TF vectors of the query vs title+description.
+  text::Vocabulary vocab;
+  const auto q_vec = text::tf_vector(vocab, query);
+  const auto r_vec = text::tf_vector(vocab, result.title + " " + result.description);
+  return q_vec.cosine(r_vec);
+}
+
+std::vector<engine::SearchResult> ResultFilter::filter(
+    std::string_view original, const std::vector<std::string>& fakes,
+    std::vector<engine::SearchResult> results) const {
+  std::vector<engine::SearchResult> kept;
+  kept.reserve(results.size());
+  for (auto& r : results) {
+    const double original_score = score(original, r);
+    bool is_max = true;
+    for (const auto& fake : fakes) {
+      if (score(fake, r) > original_score) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) kept.push_back(std::move(r));
+  }
+  strip_tracking(kept);
+  return kept;
+}
+
+void ResultFilter::strip_tracking(std::vector<engine::SearchResult>& results) {
+  for (auto& r : results) {
+    if (auto target = engine::extract_target_url(r.url)) {
+      r.url = *std::move(target);
+    }
+  }
+}
+
+}  // namespace xsearch::core

@@ -1,0 +1,45 @@
+// Result filtering — Algorithm 2 of the paper.
+//
+// The engine's answer to the OR query mixes results for all k+1 sub-queries.
+// For each result, a score is computed per sub-query as the number of common
+// words between the sub-query and the result's title plus the number of
+// common words with its description; a result is forwarded to the user only
+// if the *original* query's score is the maximum. The filter also rewrites
+// analytics tracking URLs back to their target (paper §4.1).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "engine/document.hpp"
+
+namespace xsearch::core {
+
+/// Scoring flavour — the paper's common-words metric is the default; the
+/// cosine variant exists for the filter-scoring ablation bench.
+enum class FilterScoring { kCommonWords, kCosine };
+
+class ResultFilter {
+ public:
+  explicit ResultFilter(FilterScoring scoring = FilterScoring::kCommonWords)
+      : scoring_(scoring) {}
+
+  /// Algorithm 2: keep results whose best-matching sub-query is the
+  /// original. Ties in favour of the original (score[original] == max keeps
+  /// the result, as in the paper's pseudocode).
+  [[nodiscard]] std::vector<engine::SearchResult> filter(
+      std::string_view original, const std::vector<std::string>& fakes,
+      std::vector<engine::SearchResult> results) const;
+
+  /// Strips analytics redirection from a result list in place.
+  static void strip_tracking(std::vector<engine::SearchResult>& results);
+
+ private:
+  [[nodiscard]] double score(std::string_view query,
+                             const engine::SearchResult& result) const;
+
+  FilterScoring scoring_;
+};
+
+}  // namespace xsearch::core

@@ -1,0 +1,48 @@
+// Query obfuscation — Algorithm 1 of the paper.
+//
+// The obfuscated query aggregates the user's query with k fake queries in
+// random order using the logical OR operator. Crucially, the fakes are
+// *real past queries of other users* drawn from the in-enclave history
+// table, which is what makes them indistinguishable from real traffic
+// (every sub-query maps to some real user profile, §4.3 / Figure 3).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "xsearch/history.hpp"
+
+namespace xsearch::core {
+
+/// The output of the obfuscation step. The proxy keeps the decomposition
+/// private (inside the enclave) for the later filtering step; the search
+/// engine only ever sees `to_query_string()`.
+struct ObfuscatedQuery {
+  std::string original;                 // the user's query
+  std::vector<std::string> fakes;       // k past queries
+  std::vector<std::string> sub_queries; // original + fakes, shuffled
+
+  /// The single OR query string sent to the engine.
+  [[nodiscard]] std::string to_query_string() const;
+};
+
+class Obfuscator {
+ public:
+  /// `k` is the number of fake queries aggregated with each user query.
+  Obfuscator(QueryHistory& history, std::size_t k) : history_(&history), k_(k) {}
+
+  /// Algorithm 1: draw k random past queries, shuffle the original among
+  /// them, then store the original in the history. When the history holds
+  /// fewer than k entries (cold start), fewer fakes are used.
+  [[nodiscard]] ObfuscatedQuery obfuscate(std::string_view query, Rng& rng) const;
+
+  [[nodiscard]] std::size_t k() const { return k_; }
+
+ private:
+  QueryHistory* history_;
+  std::size_t k_;
+};
+
+}  // namespace xsearch::core

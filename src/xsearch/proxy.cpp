@@ -1,0 +1,345 @@
+#include "xsearch/proxy.hpp"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/envelope.hpp"
+#include "xsearch/wire.hpp"
+
+namespace xsearch::core {
+
+namespace {
+
+// Request-ecall framing: one tag byte selects handshake vs query.
+constexpr std::uint8_t kTagHandshake = 1;
+constexpr std::uint8_t kTagQuery = 2;
+
+constexpr char kCodeIdentity[] =
+    "xsearch-enclave v1.0: history+obfuscation+filtering, "
+    "ecalls{init,request} ocalls{sock_connect,send,recv,close}";
+
+}  // namespace
+
+Bytes XSearchProxy::code_identity() { return to_bytes(kCodeIdentity); }
+
+XSearchProxy::XSearchProxy(const engine::SearchEngine* engine,
+                           const sgx::AttestationAuthority& authority, Options options)
+    : engine_(engine),
+      authority_(&authority),
+      options_(options),
+      filter_(options.filter_scoring),
+      rng_(options.seed),
+      secure_rng_([&] {
+        crypto::ChaChaKey seed{};
+        store_le64(seed.data(), options.seed);
+        seed[31] = 0x42;
+        return seed;
+      }()) {
+  assert((engine_ != nullptr || !options_.contact_engine) &&
+         "engine required unless contact_engine is disabled");
+  assert(!options_.engine_tls_public_key.has_value() &&
+         "encrypted engine link requires the gateway constructor");
+  install_boundary();
+}
+
+XSearchProxy::XSearchProxy(const SecureEngineGateway& gateway,
+                           const sgx::AttestationAuthority& authority, Options options)
+    : engine_(nullptr),
+      gateway_(&gateway),
+      authority_(&authority),
+      options_(options),
+      filter_(options.filter_scoring),
+      rng_(options.seed),
+      secure_rng_([&] {
+        crypto::ChaChaKey seed{};
+        store_le64(seed.data(), options.seed);
+        seed[31] = 0x42;
+        return seed;
+      }()) {
+  if (!options_.engine_tls_public_key.has_value()) {
+    options_.engine_tls_public_key = gateway.public_key();
+  }
+  assert(options_.engine_tls_public_key == gateway.public_key() &&
+         "pinned engine key must match the gateway");
+  install_boundary();
+}
+
+void XSearchProxy::install_boundary() {
+  sgx::EnclaveRuntime::Config config;
+  config.code_identity = code_identity();
+  config.usable_epc_bytes = options_.usable_epc_bytes;
+  enclave_ = std::make_unique<sgx::EnclaveRuntime>(std::move(config));
+
+  // Enclave-private key material and query table.
+  crypto::X25519Key seed{};
+  secure_rng_.fill(seed);
+  static_keys_ = crypto::x25519_keypair_from_seed(seed);
+  history_ = std::make_unique<QueryHistory>(options_.history_capacity, &enclave_->epc());
+  obfuscator_ = std::make_unique<Obfuscator>(*history_, options_.k);
+
+  // The paper's narrowed enclave interface.
+  enclave_->register_ecall("init", [this](ByteSpan p) { return ecall_init(p); });
+  enclave_->register_ecall("request", [this](ByteSpan p) { return ecall_request(p); });
+
+  enclave_->register_ocall("sock_connect", [this](ByteSpan) -> Result<Bytes> {
+    std::lock_guard lock(sockets_mutex_);
+    const std::uint64_t id = next_socket_id_++;
+    socket_buffers_[id] = {};
+    Bytes out;
+    wire::put_u64(out, id);
+    return out;
+  });
+
+  enclave_->register_ocall("send", [this](ByteSpan payload) -> Result<Bytes> {
+    std::size_t offset = 0;
+    auto sock = wire::get_u64(payload, offset);
+    if (!sock) return sock.status();
+    const ByteSpan body = payload.subspan(offset);
+
+    // The untrusted host relays the request and parks the response in the
+    // socket buffer until the enclave recv()s it. With the encrypted engine
+    // link the host only ever sees envelope ciphertext here.
+    Bytes response;
+    if (gateway_ != nullptr) {
+      auto sealed = gateway_->handle(body);
+      if (!sealed) return sealed.status();
+      response = std::move(sealed).value();
+    } else {
+      auto request = wire::parse_engine_request(body);
+      if (!request) return request.status();
+      if (engine_ == nullptr) return unavailable("no engine connected");
+      response = wire::serialize_results(engine_->search_or(
+          request.value().sub_queries, request.value().top_k_each));
+    }
+    std::lock_guard lock(sockets_mutex_);
+    const auto it = socket_buffers_.find(sock.value());
+    if (it == socket_buffers_.end()) return not_found("send: bad socket");
+    it->second = std::move(response);
+    return Bytes{};
+  });
+
+  enclave_->register_ocall("recv", [this](ByteSpan payload) -> Result<Bytes> {
+    std::size_t offset = 0;
+    auto sock = wire::get_u64(payload, offset);
+    if (!sock) return sock.status();
+    std::lock_guard lock(sockets_mutex_);
+    const auto it = socket_buffers_.find(sock.value());
+    if (it == socket_buffers_.end()) return not_found("recv: bad socket");
+    return it->second;
+  });
+
+  enclave_->register_ocall("close", [this](ByteSpan payload) -> Result<Bytes> {
+    std::size_t offset = 0;
+    auto sock = wire::get_u64(payload, offset);
+    if (!sock) return sock.status();
+    std::lock_guard lock(sockets_mutex_);
+    socket_buffers_.erase(sock.value());
+    return Bytes{};
+  });
+
+  // Configure the trusted side through the init ecall, as the SDK would.
+  Bytes init_payload;
+  wire::put_u32(init_payload, static_cast<std::uint32_t>(options_.k));
+  wire::put_u32(init_payload, options_.results_per_subquery);
+  const auto status = enclave_->ecall("init", init_payload);
+  assert(status.is_ok());
+  (void)status;
+}
+
+Result<Bytes> XSearchProxy::ecall_init(ByteSpan payload) {
+  std::size_t offset = 0;
+  auto k = wire::get_u32(payload, offset);
+  if (!k) return k.status();
+  auto per_subquery = wire::get_u32(payload, offset);
+  if (!per_subquery) return per_subquery.status();
+  // k and results_per_subquery already live in options_; the ecall verifies
+  // the host passed a configuration consistent with the measured one.
+  if (k.value() != options_.k || per_subquery.value() != options_.results_per_subquery) {
+    return invalid_argument("init: configuration mismatch");
+  }
+  return Bytes{};
+}
+
+Result<Bytes> XSearchProxy::ecall_request(ByteSpan payload) {
+  if (payload.empty()) return invalid_argument("request: empty payload");
+  const std::uint8_t tag = payload[0];
+  const ByteSpan body = payload.subspan(1);
+  switch (tag) {
+    case kTagHandshake:
+      return trusted_handshake(body);
+    case kTagQuery:
+      return trusted_query(body);
+    default:
+      return invalid_argument("request: unknown tag");
+  }
+}
+
+Result<Bytes> XSearchProxy::trusted_handshake(ByteSpan payload) {
+  if (payload.size() != crypto::kX25519KeySize) {
+    return invalid_argument("handshake: bad client key size");
+  }
+  crypto::X25519Key client_pub;
+  std::memcpy(client_pub.data(), payload.data(), client_pub.size());
+
+  crypto::X25519Key eph_seed{};
+  std::uint64_t session_id = 0;
+  crypto::X25519KeyPair ephemeral;
+  {
+    std::lock_guard lock(rng_mutex_);
+    secure_rng_.fill(eph_seed);
+  }
+  ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+
+  auto channel = std::make_unique<crypto::SecureChannel>(
+      crypto::SecureChannel::responder(static_keys_, ephemeral, client_pub));
+  {
+    std::lock_guard lock(sessions_mutex_);
+    session_id = next_session_id_++;
+    sessions_.emplace(session_id, std::move(channel));
+  }
+
+  const sgx::Quote quote =
+      quote_channel_key(*authority_, *enclave_, static_keys_.public_key);
+
+  Bytes out;
+  wire::put_u64(out, session_id);
+  const Bytes quote_bytes = quote.serialize();
+  wire::put_u32(out, static_cast<std::uint32_t>(quote_bytes.size()));
+  append(out, quote_bytes);
+  append(out, ephemeral.public_key);
+  return out;
+}
+
+Result<Bytes> XSearchProxy::trusted_query(ByteSpan payload) {
+  std::size_t offset = 0;
+  auto session_id = wire::get_u64(payload, offset);
+  if (!session_id) return session_id.status();
+
+  crypto::SecureChannel* channel = nullptr;
+  {
+    std::lock_guard lock(sessions_mutex_);
+    const auto it = sessions_.find(session_id.value());
+    if (it == sessions_.end()) return not_found("query: unknown session");
+    channel = it->second.get();
+  }
+
+  auto plaintext = channel->open(payload.subspan(offset));
+  if (!plaintext) return plaintext.status();
+  auto message = wire::parse_client_message(plaintext.value());
+  if (!message) return message.status();
+  if (message.value().type != wire::ClientMessageType::kQuery) {
+    return invalid_argument("query: expected a query message");
+  }
+
+  // Algorithm 1 inside the enclave.
+  ObfuscatedQuery obfuscated;
+  {
+    std::lock_guard lock(rng_mutex_);
+    obfuscated = obfuscator_->obfuscate(message.value().query, rng_);
+  }
+
+  std::vector<engine::SearchResult> filtered;
+  if (options_.contact_engine) {
+    auto results = query_engine(obfuscated);
+    if (!results) {
+      return Bytes(channel->seal(wire::frame_error(results.status().to_string())));
+    }
+    // Algorithm 2 inside the enclave, plus analytics scrubbing.
+    filtered = filter_.filter(obfuscated.original, obfuscated.fakes,
+                              std::move(results).value());
+  }
+
+  return Bytes(channel->seal(wire::frame_results(filtered)));
+}
+
+Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(
+    const ObfuscatedQuery& obfuscated) {
+  // sock_connect
+  auto sock_raw = enclave_->ocall("sock_connect", to_bytes("search.example:443"));
+  if (!sock_raw) return sock_raw.status();
+  std::size_t offset = 0;
+  auto sock = wire::get_u64(sock_raw.value(), offset);
+  if (!sock) return sock.status();
+
+  // send: the OR query leaves the enclave; only the obfuscated form is
+  // visible to the host and the engine — and with the encrypted engine link
+  // (footnote 2) the host sees only envelope ciphertext.
+  wire::EngineRequest request;
+  request.sub_queries = obfuscated.sub_queries;
+  request.top_k_each = options_.results_per_subquery;
+  const Bytes request_bytes = wire::serialize_engine_request(request);
+
+  crypto::AeadKey response_key{};
+  Bytes send_payload;
+  wire::put_u64(send_payload, sock.value());
+  if (options_.engine_tls_public_key.has_value()) {
+    std::lock_guard lock(rng_mutex_);
+    append(send_payload,
+           crypto::envelope_seal(*options_.engine_tls_public_key, secure_rng_,
+                                 to_bytes("xsearch-engine-link-v1"), request_bytes,
+                                 &response_key));
+  } else {
+    append(send_payload, request_bytes);
+  }
+  if (auto sent = enclave_->ocall("send", send_payload); !sent) {
+    return sent.status();
+  }
+
+  // recv
+  Bytes recv_payload;
+  wire::put_u64(recv_payload, sock.value());
+  auto response = enclave_->ocall("recv", recv_payload);
+  if (!response) return response.status();
+
+  // close
+  Bytes close_payload;
+  wire::put_u64(close_payload, sock.value());
+  (void)enclave_->ocall("close", close_payload);
+
+  if (options_.engine_tls_public_key.has_value()) {
+    auto plain = crypto::envelope_reply_open(
+        response_key, to_bytes("xsearch-engine-link-v1"), response.value());
+    if (!plain) return plain.status();
+    return wire::parse_results(plain.value());
+  }
+  return wire::parse_results(response.value());
+}
+
+Result<XSearchProxy::HandshakeResponse> XSearchProxy::handshake(
+    const crypto::X25519Key& client_ephemeral_pub) {
+  Bytes payload;
+  payload.push_back(kTagHandshake);
+  append(payload, client_ephemeral_pub);
+  auto raw = enclave_->ecall("request", payload);
+  if (!raw) return raw.status();
+
+  std::size_t offset = 0;
+  HandshakeResponse out;
+  auto session_id = wire::get_u64(raw.value(), offset);
+  if (!session_id) return session_id.status();
+  out.session_id = session_id.value();
+  auto quote_len = wire::get_u32(raw.value(), offset);
+  if (!quote_len) return quote_len.status();
+  if (offset + quote_len.value() + crypto::kX25519KeySize != raw.value().size()) {
+    return data_loss("handshake: malformed enclave response");
+  }
+  auto quote = sgx::Quote::deserialize(
+      ByteSpan(raw.value().data() + offset, quote_len.value()));
+  if (!quote) return quote.status();
+  out.quote = std::move(quote).value();
+  offset += quote_len.value();
+  std::memcpy(out.server_ephemeral_pub.data(), raw.value().data() + offset,
+              out.server_ephemeral_pub.size());
+  return out;
+}
+
+Result<Bytes> XSearchProxy::handle_query_record(std::uint64_t session_id,
+                                                ByteSpan record) {
+  Bytes payload;
+  payload.push_back(kTagQuery);
+  wire::put_u64(payload, session_id);
+  append(payload, record);
+  return enclave_->ecall("request", payload);
+}
+
+}  // namespace xsearch::core

@@ -1,0 +1,155 @@
+// The X-Search proxy node.
+//
+// Runs the paper's trusted logic inside a (simulated) SGX enclave on an
+// untrusted cloud host. The enclave interface is exactly the narrowed one
+// of §5.3.3 — ecalls `init` and `request`; ocalls `sock_connect`, `send`,
+// `recv`, `close` — so every piece of sensitive data crosses the boundary
+// encrypted, and transition counts are observable for the ablation bench.
+//
+// Data flow per query (paper Figure 2):
+//   1. client broker sends an encrypted record into the enclave (ecall);
+//   2. the enclave decrypts the query, draws k fakes from the in-enclave
+//      history, builds the OR query (Algorithm 1) and stores the original;
+//   3. the enclave reaches the search engine through the host's socket
+//      ocalls — the engine sees only the proxy's identity and the OR query;
+//   4. results come back through `recv`, are filtered (Algorithm 2) and
+//      scrubbed of analytics redirects inside the enclave;
+//   5. the enclave seals the surviving results back to the client.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "crypto/random.hpp"
+#include "crypto/secure_channel.hpp"
+#include "engine/search_engine.hpp"
+#include "sgx/attestation.hpp"
+#include "sgx/enclave.hpp"
+#include "xsearch/engine_gateway.hpp"
+#include "xsearch/filter.hpp"
+#include "xsearch/history.hpp"
+#include "xsearch/obfuscator.hpp"
+
+namespace xsearch::core {
+
+class XSearchProxy {
+ public:
+  struct Options {
+    /// Number of fake queries per user query (the paper's k).
+    std::size_t k = 3;
+    /// Sliding-window size x of the past-query table.
+    std::size_t history_capacity = 1'000'000;
+    /// Results fetched per sub-query from the engine.
+    std::uint32_t results_per_subquery = 20;
+    /// Deterministic seed for enclave-private randomness.
+    std::uint64_t seed = 0x5eed;
+    /// Usable EPC budget of the enclave.
+    std::size_t usable_epc_bytes = sgx::kDefaultUsableEpcBytes;
+    /// When false the proxy replies immediately after obfuscation without
+    /// contacting the engine — the configuration used for the saturation
+    /// measurements of Figure 5 (§6.3).
+    bool contact_engine = true;
+    /// Filter scoring variant (ablation).
+    FilterScoring filter_scoring = FilterScoring::kCommonWords;
+    /// When set, the enclave encrypts engine requests end-to-end to this
+    /// key (the engine frontend's TLS stand-in; paper footnote 2). Requires
+    /// constructing the proxy with a SecureEngineGateway.
+    std::optional<crypto::X25519Key> engine_tls_public_key;
+  };
+
+  /// `engine` may be null only when `options.contact_engine` is false.
+  XSearchProxy(const engine::SearchEngine* engine,
+               const sgx::AttestationAuthority& authority, Options options);
+
+  /// Encrypted engine link variant (footnote 2): requests leave the enclave
+  /// sealed to `gateway`'s public key; `options.engine_tls_public_key` must
+  /// equal `gateway.public_key()`.
+  XSearchProxy(const SecureEngineGateway& gateway,
+               const sgx::AttestationAuthority& authority, Options options);
+
+  XSearchProxy(const XSearchProxy&) = delete;
+  XSearchProxy& operator=(const XSearchProxy&) = delete;
+
+  // --- untrusted host API -------------------------------------------------
+
+  /// What the host returns to a connecting client: a fresh session, the
+  /// enclave's attestation quote over its static channel key, and the
+  /// session's server ephemeral key.
+  struct HandshakeResponse {
+    std::uint64_t session_id = 0;
+    sgx::Quote quote;
+    crypto::X25519Key server_ephemeral_pub{};
+  };
+
+  /// Establishes a client session (routed through the `request` ecall).
+  [[nodiscard]] Result<HandshakeResponse> handshake(
+      const crypto::X25519Key& client_ephemeral_pub);
+
+  /// Processes one encrypted query record; returns the encrypted response
+  /// record (routed through the `request` ecall).
+  [[nodiscard]] Result<Bytes> handle_query_record(std::uint64_t session_id,
+                                                  ByteSpan record);
+
+  // --- introspection -------------------------------------------------------
+
+  [[nodiscard]] const sgx::Measurement& measurement() const {
+    return enclave_->measurement();
+  }
+  [[nodiscard]] const sgx::EnclaveRuntime& enclave() const { return *enclave_; }
+  [[nodiscard]] std::size_t history_size() const { return history_->size(); }
+  [[nodiscard]] std::size_t history_memory_bytes() const {
+    return history_->memory_bytes();
+  }
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// The byte string measured as this proxy's enclave code identity. All
+  /// X-Search proxies built from this library share it, so clients pin one
+  /// expected measurement.
+  [[nodiscard]] static Bytes code_identity();
+
+ private:
+  // Trusted-side implementations of the two ecalls.
+  [[nodiscard]] Result<Bytes> ecall_init(ByteSpan payload);
+  [[nodiscard]] Result<Bytes> ecall_request(ByteSpan payload);
+
+  [[nodiscard]] Result<Bytes> trusted_handshake(ByteSpan payload);
+  [[nodiscard]] Result<Bytes> trusted_query(ByteSpan payload);
+
+  /// Performs the engine round trip through the four socket ocalls.
+  [[nodiscard]] Result<std::vector<engine::SearchResult>> query_engine(
+      const ObfuscatedQuery& obfuscated);
+
+  void install_boundary();
+
+  const engine::SearchEngine* engine_;
+  const SecureEngineGateway* gateway_ = nullptr;
+  const sgx::AttestationAuthority* authority_;
+  Options options_;
+
+  std::unique_ptr<sgx::EnclaveRuntime> enclave_;
+
+  // ---- enclave-private state (conceptually inside the TEE) ----
+  crypto::X25519KeyPair static_keys_{};
+  std::unique_ptr<QueryHistory> history_;
+  std::unique_ptr<Obfuscator> obfuscator_;
+  ResultFilter filter_;
+  std::mutex rng_mutex_;
+  Rng rng_;
+  crypto::SecureRandom secure_rng_;
+
+  std::mutex sessions_mutex_;
+  std::unordered_map<std::uint64_t, std::unique_ptr<crypto::SecureChannel>> sessions_;
+  std::uint64_t next_session_id_ = 1;
+
+  // ---- untrusted host state: the "sockets" behind the ocalls ----
+  std::mutex sockets_mutex_;
+  std::unordered_map<std::uint64_t, Bytes> socket_buffers_;
+  std::uint64_t next_socket_id_ = 1;
+};
+
+}  // namespace xsearch::core

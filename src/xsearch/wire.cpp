@@ -1,0 +1,183 @@
+#include "xsearch/wire.hpp"
+
+#include <cstring>
+
+namespace xsearch::core::wire {
+
+void put_u32(Bytes& out, std::uint32_t v) {
+  std::uint8_t buf[4];
+  store_be32(buf, v);
+  append(out, ByteSpan(buf, 4));
+}
+
+Result<std::uint32_t> get_u32(ByteSpan in, std::size_t& offset) {
+  if (offset + 4 > in.size()) return data_loss("wire: truncated u32");
+  const std::uint32_t v = load_be32(in.data() + offset);
+  offset += 4;
+  return v;
+}
+
+void put_u64(Bytes& out, std::uint64_t v) {
+  std::uint8_t buf[8];
+  store_be64(buf, v);
+  append(out, ByteSpan(buf, 8));
+}
+
+Result<std::uint64_t> get_u64(ByteSpan in, std::size_t& offset) {
+  if (offset + 8 > in.size()) return data_loss("wire: truncated u64");
+  std::uint64_t hi = load_be32(in.data() + offset);
+  std::uint64_t lo = load_be32(in.data() + offset + 4);
+  offset += 8;
+  return (hi << 32) | lo;
+}
+
+void put_double(Bytes& out, double v) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof bits);
+  put_u64(out, bits);
+}
+
+Result<double> get_double(ByteSpan in, std::size_t& offset) {
+  auto bits = get_u64(in, offset);
+  if (!bits) return bits.status();
+  double v = 0;
+  const std::uint64_t b = bits.value();
+  std::memcpy(&v, &b, sizeof v);
+  return v;
+}
+
+void put_string(Bytes& out, std::string_view s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  append(out, to_bytes(s));
+}
+
+Result<std::string> get_string(ByteSpan in, std::size_t& offset) {
+  auto len = get_u32(in, offset);
+  if (!len) return len.status();
+  if (offset + len.value() > in.size()) return data_loss("wire: truncated string");
+  std::string s(reinterpret_cast<const char*>(in.data() + offset), len.value());
+  offset += len.value();
+  return s;
+}
+
+Bytes serialize_results(const std::vector<engine::SearchResult>& results) {
+  Bytes out;
+  put_u32(out, static_cast<std::uint32_t>(results.size()));
+  for (const auto& r : results) {
+    put_u32(out, r.doc);
+    put_string(out, r.title);
+    put_string(out, r.description);
+    put_string(out, r.url);
+    put_double(out, r.score);
+  }
+  return out;
+}
+
+Result<std::vector<engine::SearchResult>> parse_results(ByteSpan raw) {
+  std::size_t offset = 0;
+  auto count = get_u32(raw, offset);
+  if (!count) return count.status();
+  std::vector<engine::SearchResult> results;
+  results.reserve(std::min<std::uint32_t>(count.value(), 1 << 16));
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    engine::SearchResult r;
+    auto doc = get_u32(raw, offset);
+    if (!doc) return doc.status();
+    r.doc = doc.value();
+    auto title = get_string(raw, offset);
+    if (!title) return title.status();
+    r.title = std::move(title).value();
+    auto desc = get_string(raw, offset);
+    if (!desc) return desc.status();
+    r.description = std::move(desc).value();
+    auto url = get_string(raw, offset);
+    if (!url) return url.status();
+    r.url = std::move(url).value();
+    auto score = get_double(raw, offset);
+    if (!score) return score.status();
+    r.score = score.value();
+    results.push_back(std::move(r));
+  }
+  if (offset != raw.size()) return data_loss("wire: trailing bytes after results");
+  return results;
+}
+
+Bytes serialize_engine_request(const EngineRequest& request) {
+  Bytes out;
+  put_u32(out, request.top_k_each);
+  put_u32(out, static_cast<std::uint32_t>(request.sub_queries.size()));
+  for (const auto& q : request.sub_queries) put_string(out, q);
+  return out;
+}
+
+Result<EngineRequest> parse_engine_request(ByteSpan raw) {
+  std::size_t offset = 0;
+  EngineRequest req;
+  auto top_k = get_u32(raw, offset);
+  if (!top_k) return top_k.status();
+  req.top_k_each = top_k.value();
+  auto count = get_u32(raw, offset);
+  if (!count) return count.status();
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto q = get_string(raw, offset);
+    if (!q) return q.status();
+    req.sub_queries.push_back(std::move(q).value());
+  }
+  if (offset != raw.size()) return data_loss("wire: trailing bytes after request");
+  return req;
+}
+
+Bytes frame_query(std::string_view query) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(ClientMessageType::kQuery));
+  put_string(out, query);
+  return out;
+}
+
+Bytes frame_results(const std::vector<engine::SearchResult>& results) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(ClientMessageType::kResults));
+  append(out, serialize_results(results));
+  return out;
+}
+
+Bytes frame_error(std::string_view message) {
+  Bytes out;
+  out.push_back(static_cast<std::uint8_t>(ClientMessageType::kError));
+  put_string(out, message);
+  return out;
+}
+
+Result<ClientMessage> parse_client_message(ByteSpan raw) {
+  if (raw.empty()) return data_loss("wire: empty client message");
+  ClientMessage msg;
+  const auto type = static_cast<ClientMessageType>(raw[0]);
+  const ByteSpan payload = raw.subspan(1);
+  std::size_t offset = 0;
+  switch (type) {
+    case ClientMessageType::kQuery: {
+      auto q = get_string(payload, offset);
+      if (!q) return q.status();
+      msg.type = ClientMessageType::kQuery;
+      msg.query = std::move(q).value();
+      return msg;
+    }
+    case ClientMessageType::kResults: {
+      auto results = parse_results(payload);
+      if (!results) return results.status();
+      msg.type = ClientMessageType::kResults;
+      msg.results = std::move(results).value();
+      return msg;
+    }
+    case ClientMessageType::kError: {
+      auto e = get_string(payload, offset);
+      if (!e) return e.status();
+      msg.type = ClientMessageType::kError;
+      msg.error = std::move(e).value();
+      return msg;
+    }
+  }
+  return data_loss("wire: unknown client message type");
+}
+
+}  // namespace xsearch::core::wire

@@ -1,0 +1,141 @@
+#include "attack/simattack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "dataset/synthetic.hpp"
+
+namespace xsearch::attack {
+namespace {
+
+dataset::QueryLog tiny_training() {
+  // Three users with crisply separated interests.
+  return dataset::QueryLog({
+      {1, 0, "chronic back pain"},
+      {1, 1, "back pain treatment"},
+      {1, 2, "pain relief exercises"},
+      {2, 0, "pasta carbonara recipe"},
+      {2, 1, "italian pasta sauce"},
+      {2, 2, "fresh pasta dough"},
+      {3, 0, "javascript async await"},
+      {3, 1, "javascript promises tutorial"},
+      {3, 2, "nodejs event loop"},
+  });
+}
+
+TEST(SimAttack, SimilarityHigherForOwnProfile) {
+  SimAttack attack(tiny_training());
+  EXPECT_GT(attack.similarity("back pain remedies", 1),
+            attack.similarity("back pain remedies", 2));
+  EXPECT_GT(attack.similarity("pasta recipe ideas", 2),
+            attack.similarity("pasta recipe ideas", 3));
+}
+
+TEST(SimAttack, SimilarityZeroForUnknownUser) {
+  SimAttack attack(tiny_training());
+  EXPECT_DOUBLE_EQ(attack.similarity("anything", 42), 0.0);
+}
+
+TEST(SimAttack, SimilarityZeroForAlienQuery) {
+  SimAttack attack(tiny_training());
+  EXPECT_DOUBLE_EQ(attack.similarity("zzz unknown words", 1), 0.0);
+}
+
+TEST(SimAttack, ExactRepeatIsMaximallySimilar) {
+  SimAttack attack(tiny_training());
+  const double repeat = attack.similarity("chronic back pain", 1);
+  const double related = attack.similarity("back pain doctor", 1);
+  EXPECT_GT(repeat, related);
+}
+
+TEST(SimAttack, AttackIdentifiesUserFromPlainQuery) {
+  SimAttack attack(tiny_training());
+  const auto id = attack.attack({"back pain treatment options"});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->user, 1u);
+}
+
+TEST(SimAttack, AttackPicksOriginalAmongFakes) {
+  SimAttack attack(tiny_training());
+  // User 1's real query hidden among queries alien to every profile.
+  const auto id = attack.attack(
+      {"xqz unknowable", "back pain treatment", "vvv nonsense words"});
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(id->user, 1u);
+  EXPECT_EQ(id->query, "back pain treatment");
+}
+
+TEST(SimAttack, RealFakesConfuseTheAttack) {
+  SimAttack attack(tiny_training());
+  // X-Search-style obfuscation: the fakes are other users' real queries.
+  // The attack returns *some* pair — and may well pick a decoy.
+  const auto id = attack.attack(
+      {"back pain treatment", "pasta carbonara recipe", "javascript promises tutorial"});
+  if (id.has_value()) {
+    // Whichever pair wins, the adversary cannot distinguish a decoy hit
+    // from a true hit; the bench measures the error rate. Here we only
+    // require a well-formed answer.
+    EXPECT_TRUE(id->user == 1u || id->user == 2u || id->user == 3u);
+  }
+}
+
+TEST(SimAttack, AttackFailsOnAllAlienQueries) {
+  SimAttack attack(tiny_training());
+  EXPECT_FALSE(attack.attack({"qqq www", "eee rrr"}).has_value());
+}
+
+TEST(SimAttack, AttackFailsOnEmptyInput) {
+  SimAttack attack(tiny_training());
+  EXPECT_FALSE(attack.attack({}).has_value());
+}
+
+TEST(SimAttack, MaxSimilarityDetectsRealQueries) {
+  SimAttack attack(tiny_training());
+  EXPECT_NEAR(attack.max_similarity_to_any_past_query("chronic back pain"), 1.0, 1e-9);
+  EXPECT_LT(attack.max_similarity_to_any_past_query("xyzzy plugh"), 0.01);
+}
+
+TEST(SimAttack, MaxSimilarityPartialOverlap) {
+  SimAttack attack(tiny_training());
+  const double partial = attack.max_similarity_to_any_past_query("back pain");
+  EXPECT_GT(partial, 0.5);
+  EXPECT_LT(partial, 1.0);
+}
+
+TEST(SimAttack, SmoothingFactorMatters) {
+  const auto log = tiny_training();
+  SimAttack heavy(log, {.smoothing = 0.9});
+  SimAttack light(log, {.smoothing = 0.1});
+  // With heavier smoothing the best-matching profile query dominates.
+  EXPECT_GT(heavy.similarity("chronic back pain", 1),
+            light.similarity("chronic back pain", 1));
+}
+
+TEST(SimAttack, SyntheticLogReidentificationAboveChance) {
+  // On the synthetic AOL-like log, unlinkability alone (k = 0) must leave a
+  // substantial fraction of test queries re-identifiable — the premise of
+  // Figure 3's ~40% baseline.
+  dataset::SyntheticLogConfig config;
+  config.num_users = 60;
+  config.total_queries = 8000;
+  config.vocab_size = 3000;
+  config.num_topics = 30;
+  config.words_per_topic = 100;
+  const auto log = dataset::generate_synthetic_log(config);
+  const auto top = log.most_active_users(20);
+  const auto split = dataset::split_per_user(log.filter_users(top), 2.0 / 3.0);
+
+  SimAttack attack(split.train);
+  std::size_t attempts = 0, correct = 0;
+  for (const auto& record : split.test.records()) {
+    if (attempts >= 200) break;
+    ++attempts;
+    const auto id = attack.attack({record.text});
+    if (id && id->user == record.user) ++correct;
+  }
+  const double rate = static_cast<double>(correct) / static_cast<double>(attempts);
+  EXPECT_GT(rate, 0.15);  // way above 1/20 chance
+  EXPECT_LT(rate, 0.95);  // but not trivially perfect
+}
+
+}  // namespace
+}  // namespace xsearch::attack

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "baselines/direct/direct.hpp"
+#include "baselines/peas/peas.hpp"
+#include "baselines/tmn/trackmenot.hpp"
+#include "baselines/tor/tor.hpp"
+#include "dataset/synthetic.hpp"
+#include "engine/corpus.hpp"
+#include "engine/search_engine.hpp"
+#include "text/tokenizer.hpp"
+
+namespace xsearch::baselines {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  static dataset::QueryLog make_log() {
+    dataset::SyntheticLogConfig config;
+    config.num_users = 30;
+    config.total_queries = 2000;
+    config.vocab_size = 1200;
+    config.num_topics = 12;
+    config.words_per_topic = 80;
+    return dataset::generate_synthetic_log(config);
+  }
+
+  BaselinesTest()
+      : log_(make_log()),
+        corpus_(log_, engine::CorpusConfig{.seed = 3, .num_documents = 1500}),
+        engine_(corpus_) {}
+
+  dataset::QueryLog log_;
+  engine::Corpus corpus_;
+  engine::SearchEngine engine_;
+};
+
+// ---- PEAS --------------------------------------------------------------------
+
+TEST_F(BaselinesTest, PeasFakeGeneratorMatchesReferenceLength) {
+  peas::FakeQueryGenerator fakes(log_);
+  Rng rng(1);
+  const std::string fake = fakes.generate("alpha beta gamma", rng);
+  EXPECT_EQ(text::tokenize(fake).size(), 3u);
+}
+
+TEST_F(BaselinesTest, PeasFakesUseLogVocabulary) {
+  peas::FakeQueryGenerator fakes(log_);
+  std::unordered_set<std::string> log_words;
+  for (const auto& r : log_.records()) {
+    for (auto& t : text::tokenize(r.text)) log_words.insert(std::move(t));
+  }
+  Rng rng(2);
+  for (int i = 0; i < 20; ++i) {
+    for (const auto& tok : text::tokenize(fakes.generate("two words", rng))) {
+      EXPECT_TRUE(log_words.contains(tok)) << tok;
+    }
+  }
+}
+
+TEST_F(BaselinesTest, PeasProtectContainsOriginalPlusK) {
+  peas::FakeQueryGenerator fakes(log_);
+  peas::PeasIssuer issuer(&engine_, 7);
+  peas::PeasReceiver receiver(issuer);
+  peas::PeasClient client(1, receiver, issuer.public_key(), fakes, 3, 42);
+
+  const auto sub_queries = client.protect("my real query");
+  EXPECT_EQ(sub_queries.size(), 4u);
+  EXPECT_NE(std::find(sub_queries.begin(), sub_queries.end(), "my real query"),
+            sub_queries.end());
+}
+
+TEST_F(BaselinesTest, PeasEndToEndSearch) {
+  peas::FakeQueryGenerator fakes(log_);
+  peas::PeasIssuer issuer(&engine_, 7);
+  peas::PeasReceiver receiver(issuer);
+  peas::PeasClient client(1, receiver, issuer.public_key(), fakes, 2, 42);
+
+  const auto& query = log_.records()[5].text;
+  const auto results = client.search(query);
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+  EXPECT_FALSE(results.value().empty());
+  EXPECT_EQ(receiver.forwarded_count(), 1u);
+}
+
+TEST_F(BaselinesTest, PeasIssuerRejectsGarbageEnvelope) {
+  peas::PeasIssuer issuer(&engine_, 7);
+  EXPECT_FALSE(issuer.handle(Bytes(100, 0x11)).is_ok());
+  EXPECT_FALSE(issuer.handle(Bytes{1, 2, 3}).is_ok());
+}
+
+TEST_F(BaselinesTest, PeasEnvelopeUnreadableByReceiver) {
+  // The receiver sees only the envelope; without the issuer's private key
+  // another issuer cannot decrypt it.
+  peas::FakeQueryGenerator fakes(log_);
+  peas::PeasIssuer issuer(&engine_, 7);
+  peas::PeasIssuer eavesdropper(&engine_, 8);  // different key
+  peas::PeasReceiver receiver(eavesdropper);   // maliciously rerouted
+  peas::PeasClient client(1, receiver, issuer.public_key(), fakes, 2, 42);
+  const auto results = client.search("secret");
+  EXPECT_FALSE(results.is_ok());
+}
+
+TEST_F(BaselinesTest, PeasSaturationModeWorksWithoutEngine) {
+  peas::FakeQueryGenerator fakes(log_);
+  peas::PeasIssuer issuer(nullptr, 7);
+  peas::PeasReceiver receiver(issuer);
+  peas::PeasClient client(1, receiver, issuer.public_key(), fakes, 2, 42);
+  const auto results = client.search("query");
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_TRUE(results.value().empty());
+}
+
+// ---- Tor ---------------------------------------------------------------------
+
+class TorTest : public BaselinesTest {
+ protected:
+  TorTest() : entry_(1), middle_(2), exit_(3) {}
+  tor::TorRelay entry_, middle_, exit_;
+
+  std::vector<tor::TorRelay*> path() { return {&entry_, &middle_, &exit_}; }
+};
+
+TEST_F(TorTest, EndToEndSearch) {
+  tor::TorClient client(path(), &engine_, 11);
+  const auto& query = log_.records()[5].text;
+  const auto results = client.search(query);
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+  EXPECT_FALSE(results.value().empty());
+}
+
+TEST_F(TorTest, ResultsMatchDirect) {
+  // Tor adds no obfuscation: the exit issues the plain query, so results
+  // equal a direct search.
+  tor::TorClient client(path(), &engine_, 11);
+  direct::DirectClient plain(engine_);
+  const auto& query = log_.records()[7].text;
+  const auto via_tor = client.search(query);
+  ASSERT_TRUE(via_tor.is_ok());
+  EXPECT_EQ(via_tor.value(), plain.search(query));
+}
+
+TEST_F(TorTest, SequentialQueriesOnOneCircuit) {
+  tor::TorClient client(path(), &engine_, 11);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(client.search(log_.records()[static_cast<std::size_t>(i)].text).is_ok())
+        << "query " << i;
+  }
+}
+
+TEST_F(TorTest, OnionLayersAreRealEncryption) {
+  tor::TorCircuit circuit(99, path(), 5);
+  const Bytes payload = to_bytes("the plaintext query");
+  Bytes onion = circuit.build_onion(payload);
+  // Three AEAD layers: 3 * 16 bytes of tags on top of the payload.
+  EXPECT_EQ(onion.size(), payload.size() + 3 * crypto::kAeadTagSize);
+  // No relay key, no peel: flipping any bit breaks the outermost layer.
+  onion[0] ^= 1;
+  EXPECT_FALSE(entry_.peel(99, onion).is_ok());
+}
+
+TEST_F(TorTest, RelayPeelsExactlyOneLayer) {
+  tor::TorCircuit circuit(99, path(), 5);
+  const Bytes payload = to_bytes("query");
+  const Bytes onion = circuit.build_onion(payload);
+  auto after_entry = entry_.peel(99, onion);
+  ASSERT_TRUE(after_entry.is_ok());
+  EXPECT_EQ(after_entry.value().size(), payload.size() + 2 * crypto::kAeadTagSize);
+  // The middle relay cannot skip ahead: the exit's peel of the entry-peeled
+  // cell fails because one layer (middle) is still in place.
+  EXPECT_FALSE(exit_.peel(99, after_entry.value()).is_ok());
+}
+
+TEST_F(TorTest, ResponseLayersUnwindCorrectly) {
+  tor::TorCircuit circuit(42, path(), 6);
+  const Bytes payload = to_bytes("response data");
+  Bytes cell(payload);
+  for (std::size_t i = 3; i-- > 0;) {
+    auto wrapped = path()[i]->wrap(42, cell);
+    ASSERT_TRUE(wrapped.is_ok());
+    cell = std::move(wrapped).value();
+  }
+  const auto plain = circuit.unwrap_response(cell);
+  ASSERT_TRUE(plain.is_ok());
+  EXPECT_EQ(plain.value(), payload);
+}
+
+TEST_F(TorTest, UnknownCircuitRejected) {
+  EXPECT_FALSE(entry_.peel(12345, Bytes(32, 0)).is_ok());
+  EXPECT_FALSE(entry_.wrap(12345, Bytes(32, 0)).is_ok());
+}
+
+TEST_F(TorTest, SaturationModeWithoutEngine) {
+  tor::TorClient client(path(), nullptr, 11);
+  const auto results = client.search("query");
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_TRUE(results.value().empty());
+}
+
+// ---- TrackMeNot -----------------------------------------------------------------
+
+TEST(TrackMeNot, GeneratesNonEmptyFakes) {
+  tmn::TmnGenerator gen;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) EXPECT_FALSE(gen.fake_query(rng).empty());
+}
+
+TEST(TrackMeNot, FakesAreShortPhrases) {
+  tmn::TmnGenerator gen;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    const auto words = text::tokenize(gen.fake_query(rng)).size();
+    EXPECT_GE(words, 1u);
+    EXPECT_LE(words, 4u);
+  }
+}
+
+TEST(TrackMeNot, FakesComeFromHeadlines) {
+  tmn::TmnGenerator gen;
+  std::unordered_set<std::string> feed_words;
+  for (const auto& h : gen.headlines()) {
+    for (auto& t : text::tokenize(h)) feed_words.insert(std::move(t));
+  }
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& tok : text::tokenize(gen.fake_query(rng))) {
+      EXPECT_TRUE(feed_words.contains(tok)) << tok;
+    }
+  }
+}
+
+TEST(TrackMeNot, RssVocabularyDisjointFromQueryLog) {
+  // The structural gap Figure 1 relies on: RSS words are not query words.
+  dataset::SyntheticLogConfig config;
+  config.num_users = 10;
+  config.total_queries = 500;
+  config.vocab_size = 500;
+  config.num_topics = 5;
+  config.words_per_topic = 50;
+  const auto log = dataset::generate_synthetic_log(config);
+  std::unordered_set<std::string> log_words;
+  for (const auto& r : log.records()) {
+    for (auto& t : text::tokenize(r.text)) log_words.insert(std::move(t));
+  }
+  tmn::TmnGenerator gen;
+  Rng rng(4);
+  std::size_t overlapping = 0, total = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& tok : text::tokenize(gen.fake_query(rng))) {
+      ++total;
+      overlapping += log_words.contains(tok);
+    }
+  }
+  EXPECT_LT(overlapping, total / 10);
+}
+
+TEST(TrackMeNot, DeterministicInSeed) {
+  tmn::TmnGenerator a({.seed = 5});
+  tmn::TmnGenerator b({.seed = 5});
+  EXPECT_EQ(a.headlines(), b.headlines());
+}
+
+// ---- Direct ----------------------------------------------------------------------
+
+TEST_F(BaselinesTest, DirectSearchHitsEngine) {
+  direct::DirectClient client(engine_);
+  const auto& query = log_.records()[3].text;
+  EXPECT_EQ(client.search(query, 10).size(), engine_.search(query, 10).size());
+}
+
+}  // namespace
+}  // namespace xsearch::baselines

@@ -1,0 +1,68 @@
+#include "common/bytes.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsearch {
+namespace {
+
+TEST(Bytes, HexEncodeEmpty) { EXPECT_EQ(hex_encode({}), ""); }
+
+TEST(Bytes, HexEncodeKnown) {
+  const Bytes data = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(hex_encode(data), "0001abff");
+}
+
+TEST(Bytes, HexDecodeKnown) {
+  EXPECT_EQ(hex_decode("0001abff"), (Bytes{0x00, 0x01, 0xab, 0xff}));
+  EXPECT_EQ(hex_decode("0001ABFF"), (Bytes{0x00, 0x01, 0xab, 0xff}));
+}
+
+TEST(Bytes, HexDecodeRejectsOddLength) { EXPECT_TRUE(hex_decode("abc").empty()); }
+
+TEST(Bytes, HexDecodeRejectsNonHex) { EXPECT_TRUE(hex_decode("zz").empty()); }
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  EXPECT_EQ(hex_decode(hex_encode(data)), data);
+}
+
+TEST(Bytes, StringConversionRoundTrip) {
+  const std::string s = "the quick brown fox";
+  EXPECT_EQ(to_string(to_bytes(s)), s);
+}
+
+TEST(Bytes, EndianHelpers) {
+  std::uint8_t buf[8];
+  store_be32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x01);
+  EXPECT_EQ(buf[3], 0x04);
+  EXPECT_EQ(load_be32(buf), 0x01020304u);
+
+  store_le32(buf, 0x01020304u);
+  EXPECT_EQ(buf[0], 0x04);
+  EXPECT_EQ(load_le32(buf), 0x01020304u);
+
+  store_le64(buf, 0x0102030405060708ull);
+  EXPECT_EQ(load_le64(buf), 0x0102030405060708ull);
+}
+
+TEST(Bytes, ConstantTimeEqual) {
+  const Bytes a = {1, 2, 3};
+  const Bytes b = {1, 2, 3};
+  const Bytes c = {1, 2, 4};
+  const Bytes d = {1, 2};
+  EXPECT_TRUE(constant_time_equal(a, b));
+  EXPECT_FALSE(constant_time_equal(a, c));
+  EXPECT_FALSE(constant_time_equal(a, d));
+  EXPECT_TRUE(constant_time_equal({}, {}));
+}
+
+TEST(Bytes, Append) {
+  Bytes dst = {1};
+  append(dst, Bytes{2, 3});
+  EXPECT_EQ(dst, (Bytes{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace xsearch

@@ -1,0 +1,80 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+
+namespace xsearch {
+namespace {
+
+class LogLevelGuard {
+ public:
+  LogLevelGuard() : saved_(log_level()) {}
+  ~LogLevelGuard() { set_log_level(saved_); }
+
+ private:
+  LogLevel saved_;
+};
+
+TEST(Log, LevelRoundTrip) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(log_level(), LogLevel::kDebug);
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+}
+
+TEST(Log, MacrosCompileAndRespectLevel) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  // None of these may crash or emit with logging off.
+  XS_LOG_DEBUG("debug %d", 1);
+  XS_LOG_INFO("info %s", "text");
+  XS_LOG_WARN("warn");
+  XS_LOG_ERROR("error %f", 3.14);
+}
+
+TEST(Log, FormattingBelowLevelIsCheap) {
+  LogLevelGuard guard;
+  set_log_level(LogLevel::kOff);
+  const Stopwatch timer;
+  for (int i = 0; i < 100000; ++i) {
+    XS_LOG_DEBUG("suppressed %d %s %f", i, "payload", 1.0);
+  }
+  // Suppressed logging must not format: far under a microsecond each.
+  EXPECT_LT(timer.elapsed(), 50 * kMilli);
+}
+
+TEST(VirtualClock, AdvancesMonotonically) {
+  VirtualClock clock;
+  EXPECT_EQ(clock.now(), 0);
+  clock.advance(100);
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance(-50);  // negative deltas ignored
+  EXPECT_EQ(clock.now(), 100);
+  clock.advance_to(500);
+  EXPECT_EQ(clock.now(), 500);
+  clock.advance_to(400);  // never moves backwards
+  EXPECT_EQ(clock.now(), 500);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch timer;
+  const Nanos t1 = timer.elapsed();
+  EXPECT_GE(t1, 0);
+  // Busy loop a little.
+  volatile int sink = 0;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
+  EXPECT_GE(timer.elapsed(), t1);
+  timer.restart();
+  EXPECT_LT(timer.elapsed(), kSecond);
+}
+
+TEST(WallClock, Monotonic) {
+  const Nanos a = wall_now();
+  const Nanos b = wall_now();
+  EXPECT_GE(b, a);
+}
+
+}  // namespace
+}  // namespace xsearch

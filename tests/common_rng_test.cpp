@@ -1,0 +1,132 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+
+namespace xsearch {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) same += (a.next() == b.next());
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.uniform(17), 17u);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng rng(11);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.uniform(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, kDraws / kBuckets * 0.1);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(3);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    saw_lo |= (v == -2);
+    saw_hi |= (v == 2);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, UniformDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.uniform_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  constexpr int kDraws = 200000;
+  double sum = 0, sumsq = 0;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.normal(3.0, 2.0);
+    sum += x;
+    sumsq += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sumsq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 3.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(17);
+  constexpr int kDraws = 200000;
+  double sum = 0;
+  for (int i = 0; i < kDraws; ++i) sum += rng.exponential(4.0);
+  EXPECT_NEAR(sum / kDraws, 0.25, 0.01);
+}
+
+TEST(Rng, ForkIsIndependentButDeterministic) {
+  Rng a(99);
+  Rng child1 = a.fork();
+  Rng b(99);
+  Rng child2 = b.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child1.next(), child2.next());
+}
+
+TEST(Zipf, PmfSumsToOne) {
+  const ZipfSampler zipf(100, 1.0);
+  double total = 0;
+  for (std::size_t r = 0; r < zipf.size(); ++r) total += zipf.pmf(r);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Zipf, RankZeroIsMostProbable) {
+  const ZipfSampler zipf(1000, 1.1);
+  EXPECT_GT(zipf.pmf(0), zipf.pmf(1));
+  EXPECT_GT(zipf.pmf(1), zipf.pmf(10));
+  EXPECT_GT(zipf.pmf(10), zipf.pmf(999));
+}
+
+TEST(Zipf, EmpiricalMatchesPmf) {
+  const ZipfSampler zipf(50, 1.0);
+  Rng rng(23);
+  constexpr int kDraws = 200000;
+  std::map<std::size_t, int> counts;
+  for (int i = 0; i < kDraws; ++i) ++counts[zipf.sample(rng)];
+  for (std::size_t r : {std::size_t{0}, std::size_t{1}, std::size_t{5}}) {
+    const double expected = zipf.pmf(r) * kDraws;
+    EXPECT_NEAR(counts[r], expected, expected * 0.1 + 30);
+  }
+}
+
+TEST(Zipf, SingleElement) {
+  const ZipfSampler zipf(1, 1.0);
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(zipf.sample(rng), 0u);
+}
+
+TEST(Zipf, HighExponentConcentratesMass) {
+  const ZipfSampler flat(100, 0.1);
+  const ZipfSampler steep(100, 2.5);
+  EXPECT_GT(steep.pmf(0), flat.pmf(0));
+}
+
+}  // namespace
+}  // namespace xsearch

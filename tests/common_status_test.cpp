@@ -1,0 +1,71 @@
+#include "common/status.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsearch {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s = invalid_argument("bad k");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad k");
+  EXPECT_EQ(s.to_string(), "INVALID_ARGUMENT: bad k");
+}
+
+TEST(Status, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(not_found("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(failed_precondition("x").code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(resource_exhausted("x").code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(permission_denied("x").code(), StatusCode::kPermissionDenied);
+  EXPECT_EQ(unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(deadline_exceeded("x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(data_loss("x").code(), StatusCode::kDataLoss);
+  EXPECT_EQ(internal_error("x").code(), StatusCode::kInternal);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.is_ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().is_ok());
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r = not_found("gone");
+  EXPECT_FALSE(r.is_ok());
+  EXPECT_FALSE(r);
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(Result, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("hello");
+  EXPECT_EQ(r.value_or("fallback"), "hello");
+}
+
+TEST(Result, MoveOutValue) {
+  Result<std::string> r = std::string(1000, 'x');
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s.size(), 1000u);
+}
+
+Status helper_propagates(bool fail) {
+  XS_RETURN_IF_ERROR(fail ? data_loss("inner") : Status::ok());
+  return Status::ok();
+}
+
+TEST(Status, ReturnIfErrorMacro) {
+  EXPECT_TRUE(helper_propagates(false).is_ok());
+  EXPECT_EQ(helper_propagates(true).code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace xsearch

@@ -1,0 +1,129 @@
+#include "xsearch/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "common/rng.hpp"
+
+namespace xsearch::core {
+namespace {
+
+sgx::EnclaveRuntime make_enclave(std::string code = "xsearch-proxy-v1") {
+  return sgx::EnclaveRuntime({.code_identity = to_bytes(code)});
+}
+
+TEST(Checkpoint, SealRestoreRoundTrip) {
+  auto enclave = make_enclave();
+  QueryHistory original(100);
+  for (int i = 0; i < 50; ++i) original.add("query " + std::to_string(i));
+
+  const Bytes sealed = seal_history(enclave, original);
+  QueryHistory restored(100);
+  ASSERT_TRUE(restore_history(enclave, sealed, restored).is_ok());
+  EXPECT_EQ(restored.size(), 50u);
+  EXPECT_EQ(restored.snapshot(), original.snapshot());
+}
+
+TEST(Checkpoint, PreservesSlidingWindowOrder) {
+  auto enclave = make_enclave();
+  QueryHistory original(5);
+  for (int i = 0; i < 12; ++i) original.add("q" + std::to_string(i));
+  // Window holds q7..q11, oldest first.
+  EXPECT_EQ(original.snapshot(),
+            (std::vector<std::string>{"q7", "q8", "q9", "q10", "q11"}));
+
+  const Bytes sealed = seal_history(enclave, original);
+  QueryHistory restored(5);
+  ASSERT_TRUE(restore_history(enclave, sealed, restored).is_ok());
+  EXPECT_EQ(restored.snapshot(), original.snapshot());
+}
+
+TEST(Checkpoint, EmptyHistory) {
+  auto enclave = make_enclave();
+  QueryHistory original(10);
+  const Bytes sealed = seal_history(enclave, original);
+  QueryHistory restored(10);
+  ASSERT_TRUE(restore_history(enclave, sealed, restored).is_ok());
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(Checkpoint, RestoreAcrossEnclaveInstances) {
+  // Same code identity = same sealing key: a restarted proxy can restore.
+  auto first = make_enclave();
+  QueryHistory original(10);
+  original.add("persisted across restart");
+  const Bytes sealed = seal_history(first, original);
+
+  auto restarted = make_enclave();
+  QueryHistory restored(10);
+  ASSERT_TRUE(restore_history(restarted, sealed, restored).is_ok());
+  EXPECT_EQ(restored.snapshot().front(), "persisted across restart");
+}
+
+TEST(Checkpoint, DifferentCodeCannotRestore) {
+  auto genuine = make_enclave();
+  QueryHistory original(10);
+  original.add("secret query");
+  const Bytes sealed = seal_history(genuine, original);
+
+  auto other = make_enclave("different-code");
+  QueryHistory restored(10);
+  EXPECT_FALSE(restore_history(other, sealed, restored).is_ok());
+  EXPECT_EQ(restored.size(), 0u);
+}
+
+TEST(Checkpoint, TamperedBlobRejected) {
+  auto enclave = make_enclave();
+  QueryHistory original(10);
+  original.add("query");
+  Bytes sealed = seal_history(enclave, original);
+  sealed[sealed.size() / 2] ^= 1;
+  QueryHistory restored(10);
+  EXPECT_FALSE(restore_history(enclave, sealed, restored).is_ok());
+}
+
+TEST(Checkpoint, HostNeverSeesPlaintext) {
+  auto enclave = make_enclave();
+  QueryHistory original(10);
+  const std::string secret = "very-identifiable-medical-query";
+  original.add(secret);
+  const Bytes sealed = seal_history(enclave, original);
+  const std::string blob = to_string(sealed);
+  EXPECT_EQ(blob.find(secret), std::string::npos);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  const auto path = std::filesystem::temp_directory_path() / "xs_checkpoint.bin";
+  auto enclave = make_enclave();
+  QueryHistory original(20);
+  for (int i = 0; i < 20; ++i) original.add("fq " + std::to_string(i));
+
+  ASSERT_TRUE(write_checkpoint_file(path, seal_history(enclave, original)).is_ok());
+  const auto loaded = read_checkpoint_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  QueryHistory restored(20);
+  ASSERT_TRUE(restore_history(enclave, loaded.value(), restored).is_ok());
+  EXPECT_EQ(restored.snapshot(), original.snapshot());
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, MissingFileFails) {
+  EXPECT_FALSE(read_checkpoint_file("/nonexistent/checkpoint.bin").is_ok());
+}
+
+TEST(Checkpoint, RestoredHistoryFeedsObfuscation) {
+  auto enclave = make_enclave();
+  QueryHistory original(100);
+  for (int i = 0; i < 40; ++i) original.add("warm " + std::to_string(i));
+  const Bytes sealed = seal_history(enclave, original);
+
+  QueryHistory restored(100);
+  ASSERT_TRUE(restore_history(enclave, sealed, restored).is_ok());
+  Rng rng(5);
+  const auto fakes = restored.sample(3, rng);
+  EXPECT_EQ(fakes.size(), 3u);  // no cold start after restore
+}
+
+}  // namespace
+}  // namespace xsearch::core

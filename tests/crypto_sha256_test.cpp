@@ -1,0 +1,82 @@
+#include "crypto/sha256.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/bytes.hpp"
+
+namespace xsearch::crypto {
+namespace {
+
+std::string digest_hex(ByteSpan data) {
+  const Sha256Digest d = Sha256::hash(data);
+  return hex_encode(d);
+}
+
+// FIPS 180-4 / NIST example vectors.
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(digest_hex({}),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(digest_hex(to_bytes("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(digest_hex(to_bytes("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  const std::string a(1'000'000, 'a');
+  EXPECT_EQ(digest_hex(to_bytes(a)),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  const std::string msg = "the quick brown fox jumps over the lazy dog, repeatedly";
+  Sha256 ctx;
+  // Feed in awkward chunk sizes to exercise buffering.
+  const Bytes bytes = to_bytes(msg);
+  std::size_t off = 0;
+  const std::size_t chunks[] = {1, 3, 7, 13, 64, 100};
+  std::size_t ci = 0;
+  while (off < bytes.size()) {
+    const std::size_t n = std::min(chunks[ci % 6], bytes.size() - off);
+    ctx.update(ByteSpan(bytes.data() + off, n));
+    off += n;
+    ++ci;
+  }
+  EXPECT_EQ(ctx.finalize(), Sha256::hash(bytes));
+}
+
+TEST(Sha256, BoundaryLengths) {
+  // Exercise padding at every length around the 64-byte block boundary.
+  for (std::size_t len : {55u, 56u, 57u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    const std::string msg(len, 'x');
+    Sha256 ctx;
+    ctx.update(to_bytes(msg));
+    EXPECT_EQ(ctx.finalize(), Sha256::hash(to_bytes(msg))) << "len=" << len;
+  }
+}
+
+TEST(Sha256, ResetReusesContext) {
+  Sha256 ctx;
+  ctx.update(to_bytes("garbage"));
+  (void)ctx.finalize();
+  ctx.reset();
+  ctx.update(to_bytes("abc"));
+  EXPECT_EQ(hex_encode(ctx.finalize()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Sha256::hash(to_bytes("a")), Sha256::hash(to_bytes("b")));
+  EXPECT_NE(Sha256::hash({}), Sha256::hash(Bytes{0}));
+}
+
+}  // namespace
+}  // namespace xsearch::crypto

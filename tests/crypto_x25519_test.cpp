@@ -1,0 +1,123 @@
+#include "crypto/x25519.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/bytes.hpp"
+
+namespace xsearch::crypto {
+namespace {
+
+X25519Key key_from_hex(std::string_view hex) {
+  const Bytes b = hex_decode(hex);
+  X25519Key k{};
+  std::memcpy(k.data(), b.data(), k.size());
+  return k;
+}
+
+// RFC 7748 §5.2 test vector 1.
+TEST(X25519, Rfc7748Vector1) {
+  const auto scalar = key_from_hex(
+      "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
+  const auto point = key_from_hex(
+      "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
+  EXPECT_EQ(hex_encode(x25519(scalar, point)),
+            "c3da55379de9c6908e94ea4df28d084f32eccf03491c71f754b4075577a28552");
+}
+
+// RFC 7748 §5.2 test vector 2.
+TEST(X25519, Rfc7748Vector2) {
+  const auto scalar = key_from_hex(
+      "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
+  const auto point = key_from_hex(
+      "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
+  EXPECT_EQ(hex_encode(x25519(scalar, point)),
+            "95cbde9476e8907d7aade45cb4b873f88b595a68799fa152e6f8f7647aac7957");
+}
+
+// RFC 7748 §5.2 iterated test (1 iteration).
+TEST(X25519, IteratedOnce) {
+  const auto k = key_from_hex(
+      "0900000000000000000000000000000000000000000000000000000000000000");
+  EXPECT_EQ(hex_encode(x25519(k, k)),
+            "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
+}
+
+// RFC 7748 §5.2 iterated test (1000 iterations).
+TEST(X25519, IteratedThousandTimes) {
+  auto k = key_from_hex(
+      "0900000000000000000000000000000000000000000000000000000000000000");
+  auto u = k;
+  for (int i = 0; i < 1000; ++i) {
+    const auto next = x25519(k, u);
+    u = k;
+    k = next;
+  }
+  EXPECT_EQ(hex_encode(k),
+            "684cf59ba83309552800ef566f2f4d3c1c3887c49360e3875f2eb94d99532c51");
+}
+
+// RFC 7748 §6.1 Diffie–Hellman vectors.
+TEST(X25519, Rfc7748DiffieHellman) {
+  const auto alice_priv = key_from_hex(
+      "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
+  const auto bob_priv = key_from_hex(
+      "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
+
+  const auto alice_pub = x25519_public_key(alice_priv);
+  const auto bob_pub = x25519_public_key(bob_priv);
+  EXPECT_EQ(hex_encode(alice_pub),
+            "8520f0098930a754748b7ddcb43ef75a0dbf3a0d26381af4eba4a98eaa9b4e6a");
+  EXPECT_EQ(hex_encode(bob_pub),
+            "de9edb7d7b7dc1b4d35b61c2ece435373f8343c85b78674dadfc7e146f882b4f");
+
+  const auto shared_alice = x25519(alice_priv, bob_pub);
+  const auto shared_bob = x25519(bob_priv, alice_pub);
+  EXPECT_EQ(shared_alice, shared_bob);
+  EXPECT_EQ(hex_encode(shared_alice),
+            "4a5d9d5ba4ce2de1728e3bf480350f25e07e21c947d19e3376f09b3c1e161742");
+}
+
+TEST(X25519, SharedSecretAgreementRandomKeys) {
+  // Property: DH(a, B) == DH(b, A) for many deterministic "random" seeds.
+  for (std::uint8_t i = 1; i <= 10; ++i) {
+    X25519Key seed_a{};
+    X25519Key seed_b{};
+    seed_a.fill(i);
+    seed_b.fill(static_cast<std::uint8_t>(i + 100));
+    const auto a = x25519_keypair_from_seed(seed_a);
+    const auto b = x25519_keypair_from_seed(seed_b);
+    EXPECT_EQ(x25519(a.private_key, b.public_key), x25519(b.private_key, a.public_key));
+  }
+}
+
+TEST(X25519, ClampingMakesSeedsEquivalent) {
+  // Seeds that differ only in clamped bits produce identical key pairs.
+  X25519Key seed{};
+  seed.fill(0x42);
+  auto kp1 = x25519_keypair_from_seed(seed);
+  X25519Key seed2 = seed;
+  seed2[0] |= 7;     // low bits cleared by clamping
+  seed2[31] |= 128;  // top bit cleared by clamping
+  auto kp2 = x25519_keypair_from_seed(seed2);
+  EXPECT_EQ(kp1.public_key, kp2.public_key);
+}
+
+TEST(X25519, PublicKeyDeterministic) {
+  X25519Key seed{};
+  seed.fill(9);
+  EXPECT_EQ(x25519_keypair_from_seed(seed).public_key,
+            x25519_keypair_from_seed(seed).public_key);
+}
+
+TEST(X25519, DifferentSeedsDifferentPublicKeys) {
+  X25519Key s1{}, s2{};
+  s1.fill(1);
+  s2.fill(2);
+  EXPECT_NE(x25519_keypair_from_seed(s1).public_key,
+            x25519_keypair_from_seed(s2).public_key);
+}
+
+}  // namespace
+}  // namespace xsearch::crypto

@@ -1,0 +1,144 @@
+#include "dataset/aol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace xsearch::dataset {
+namespace {
+
+class AolTest : public ::testing::Test {
+ protected:
+  void write_file(std::string_view content) {
+    path_ = std::filesystem::temp_directory_path() / "xs_aol_test.txt";
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  void TearDown() override {
+    if (!path_.empty()) std::filesystem::remove(path_);
+  }
+
+  std::filesystem::path path_;
+};
+
+TEST(AolTimestamp, ParsesEpoch) {
+  const auto ts = parse_aol_timestamp("1970-01-01 00:00:00");
+  ASSERT_TRUE(ts.is_ok());
+  EXPECT_EQ(ts.value(), 0);
+}
+
+TEST(AolTimestamp, ParsesKnownDate) {
+  // 2006-03-01 00:00:00 UTC == 1141171200 (known value).
+  const auto ts = parse_aol_timestamp("2006-03-01 00:00:00");
+  ASSERT_TRUE(ts.is_ok());
+  EXPECT_EQ(ts.value(), 1141171200);
+}
+
+TEST(AolTimestamp, TimeOfDayAdds) {
+  const auto midnight = parse_aol_timestamp("2006-03-01 00:00:00");
+  const auto later = parse_aol_timestamp("2006-03-01 01:02:03");
+  ASSERT_TRUE(midnight.is_ok());
+  ASSERT_TRUE(later.is_ok());
+  EXPECT_EQ(later.value() - midnight.value(), 3723);
+}
+
+TEST(AolTimestamp, LeapYearHandled) {
+  const auto feb28 = parse_aol_timestamp("2004-02-28 00:00:00");
+  const auto mar01 = parse_aol_timestamp("2004-03-01 00:00:00");
+  ASSERT_TRUE(feb28.is_ok());
+  ASSERT_TRUE(mar01.is_ok());
+  EXPECT_EQ(mar01.value() - feb28.value(), 2 * 86400);  // Feb 29 exists
+}
+
+TEST(AolTimestamp, RejectsMalformed) {
+  EXPECT_FALSE(parse_aol_timestamp("2006/03/01 00:00:00").is_ok());
+  EXPECT_FALSE(parse_aol_timestamp("2006-03-01").is_ok());
+  EXPECT_FALSE(parse_aol_timestamp("2006-13-01 00:00:00").is_ok());
+  EXPECT_FALSE(parse_aol_timestamp("2006-03-01 25:00:00").is_ok());
+  EXPECT_FALSE(parse_aol_timestamp("garbage").is_ok());
+}
+
+TEST_F(AolTest, LoadsBasicFile) {
+  write_file(
+      "AnonID\tQuery\tQueryTime\tItemRank\tClickURL\n"
+      "217\tlottery numbers\t2006-03-01 11:58:51\t1\thttp://lotto.example\n"
+      "217\tweather forecast\t2006-03-02 08:15:00\n"
+      "1326\tcar insurance quotes\t2006-03-01 14:02:10\t3\thttp://cars.example\n");
+  const auto log = load_aol_file(path_);
+  ASSERT_TRUE(log.is_ok()) << log.status().to_string();
+  EXPECT_EQ(log.value().size(), 3u);
+  EXPECT_EQ(log.value().users(), (std::vector<UserId>{217, 1326}));
+  EXPECT_EQ(log.value().queries_of(217),
+            (std::vector<std::string>{"lottery numbers", "weather forecast"}));
+}
+
+TEST_F(AolTest, CollapsesClickthroughs) {
+  write_file(
+      "217\tlottery numbers\t2006-03-01 11:58:51\n"
+      "217\tlottery numbers\t2006-03-01 11:59:02\t1\thttp://a.example\n"
+      "217\tlottery numbers\t2006-03-01 11:59:30\t2\thttp://b.example\n"
+      "217\tnew topic\t2006-03-01 12:10:00\n");
+  const auto log = load_aol_file(path_);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_EQ(log.value().size(), 2u);  // three click rows collapse to one
+}
+
+TEST_F(AolTest, KeepsRepeatsWhenCollapseDisabled) {
+  write_file(
+      "217\tlottery numbers\t2006-03-01 11:58:51\n"
+      "217\tlottery numbers\t2006-03-01 11:59:02\n");
+  AolLoadOptions options;
+  options.collapse_clickthroughs = false;
+  const auto log = load_aol_file(path_, options);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_EQ(log.value().size(), 2u);
+}
+
+TEST_F(AolTest, FiltersShortQueries) {
+  write_file(
+      "1\t-\t2006-03-01 00:00:00\n"
+      "1\tok query\t2006-03-01 00:00:01\n");
+  const auto log = load_aol_file(path_);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_EQ(log.value().size(), 1u);
+  EXPECT_EQ(log.value().records()[0].text, "ok query");
+}
+
+TEST_F(AolTest, MaxRecordsCap) {
+  write_file(
+      "1\tquery one\t2006-03-01 00:00:00\n"
+      "2\tquery two\t2006-03-01 00:00:01\n"
+      "3\tquery three\t2006-03-01 00:00:02\n");
+  AolLoadOptions options;
+  options.max_records = 2;
+  const auto log = load_aol_file(path_, options);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_EQ(log.value().size(), 2u);
+}
+
+TEST_F(AolTest, RejectsMalformedRows) {
+  write_file("justonefield\n");
+  EXPECT_FALSE(load_aol_file(path_).is_ok());
+  write_file("notanumber\tquery\t2006-03-01 00:00:00\n");
+  EXPECT_FALSE(load_aol_file(path_).is_ok());
+  write_file("1\tquery\tbad timestamp here\n");
+  EXPECT_FALSE(load_aol_file(path_).is_ok());
+}
+
+TEST_F(AolTest, MissingFileFails) {
+  EXPECT_FALSE(load_aol_file("/nonexistent/aol.txt").is_ok());
+}
+
+TEST_F(AolTest, RecordsSortedByTime) {
+  write_file(
+      "2\tlater query\t2006-03-02 00:00:00\n"
+      "1\tearlier query\t2006-03-01 00:00:00\n");
+  const auto log = load_aol_file(path_);
+  ASSERT_TRUE(log.is_ok());
+  EXPECT_EQ(log.value().records()[0].text, "earlier query");
+}
+
+}  // namespace
+}  // namespace xsearch::dataset

@@ -1,0 +1,113 @@
+#include "loadgen/loadgen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "netsim/netsim.hpp"
+
+namespace xsearch::loadgen {
+namespace {
+
+TEST(LoadGen, CompletesAllRequestsUnderLowLoad) {
+  std::atomic<int> handled{0};
+  LoadConfig config;
+  config.target_rps = 500;
+  config.duration = 200 * kMilli;
+  config.workers = 2;
+  const auto report = run_open_loop([&handled] { ++handled; }, config);
+  EXPECT_EQ(report.completed, report.issued);
+  EXPECT_EQ(report.dropped, 0u);
+  EXPECT_EQ(handled.load(), static_cast<int>(report.completed));
+  EXPECT_NEAR(report.achieved_rps, 500, 100);
+}
+
+TEST(LoadGen, LatencyLowWhenUnderCapacity) {
+  LoadConfig config;
+  config.target_rps = 200;
+  config.duration = 200 * kMilli;
+  config.workers = 2;
+  const auto report =
+      run_open_loop([] { netsim::busy_wait(100 * kMicro); }, config);
+  // Service time 0.1 ms at 200 rps on 2 workers: far from saturation.
+  EXPECT_LT(report.p50_ms(), 5.0);
+}
+
+TEST(LoadGen, LatencyExplodesBeyondCapacity) {
+  LoadConfig config;
+  config.duration = 250 * kMilli;
+  config.workers = 2;
+  // Capacity = 2 workers / 1 ms = 2000 rps.
+  config.target_rps = 1000;
+  const auto under = run_open_loop([] { netsim::busy_wait(1 * kMilli); }, config);
+  config.target_rps = 6000;
+  const auto over = run_open_loop([] { netsim::busy_wait(1 * kMilli); }, config);
+  EXPECT_GT(over.p50_ms(), 4 * under.p50_ms());
+}
+
+TEST(LoadGen, ThroughputCapsAtCapacity) {
+  LoadConfig config;
+  config.duration = 250 * kMilli;
+  config.workers = 2;
+  config.target_rps = 8000;  // far beyond 2 workers / 1ms = 2000 rps
+  const auto report = run_open_loop([] { netsim::busy_wait(1 * kMilli); }, config);
+  EXPECT_LT(report.achieved_rps, 3000);
+  EXPECT_GT(report.achieved_rps, 1200);
+}
+
+TEST(LoadGen, ZeroRateProducesNothing) {
+  LoadConfig config;
+  config.target_rps = 0;
+  const auto report = run_open_loop([] {}, config);
+  EXPECT_EQ(report.issued, 0u);
+}
+
+TEST(LoadGen, ReportPercentilesOrdered) {
+  LoadConfig config;
+  config.target_rps = 1000;
+  config.duration = 200 * kMilli;
+  const auto report = run_open_loop([] { netsim::busy_wait(50 * kMicro); }, config);
+  EXPECT_LE(report.p50_ms(), report.p99_ms());
+}
+
+TEST(NetSim, LinkModelSamplesAroundMedian) {
+  netsim::LinkModel link{.median_ms = 100.0, .sigma = 0.2, .min_ms = 1.0};
+  Rng rng(1);
+  std::vector<Nanos> samples;
+  for (int i = 0; i < 5000; ++i) samples.push_back(link.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  const double median_ms =
+      static_cast<double>(samples[samples.size() / 2]) / static_cast<double>(kMilli);
+  EXPECT_NEAR(median_ms, 100.0, 5.0);
+}
+
+TEST(NetSim, LinkModelRespectsFloor) {
+  netsim::LinkModel link{.median_ms = 1.0, .sigma = 2.0, .min_ms = 0.5};
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_GE(link.sample(rng), static_cast<Nanos>(0.5 * static_cast<double>(kMilli)));
+  }
+}
+
+TEST(NetSim, BusyWaitWaits) {
+  const Nanos start = wall_now();
+  netsim::busy_wait(2 * kMilli);
+  EXPECT_GE(wall_now() - start, 2 * kMilli);
+}
+
+TEST(NetSim, BusyWaitZeroReturnsImmediately) {
+  const Nanos start = wall_now();
+  netsim::busy_wait(0);
+  netsim::busy_wait(-5);
+  EXPECT_LT(wall_now() - start, 1 * kMilli);
+}
+
+TEST(NetSim, CalibratedCostsOrdered) {
+  EXPECT_LT(netsim::service_costs::xsearch_proxy().cost_per_request,
+            netsim::service_costs::peas_chain().cost_per_request);
+  EXPECT_LT(netsim::service_costs::peas_chain().cost_per_request,
+            netsim::service_costs::tor_circuit().cost_per_request);
+}
+
+}  // namespace
+}  // namespace xsearch::loadgen

@@ -1,0 +1,143 @@
+// Parameterized property tests for the baselines: Tor circuits of varying
+// length and PEAS across the k grid.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "baselines/peas/peas.hpp"
+#include "baselines/tor/tor.hpp"
+#include "dataset/synthetic.hpp"
+#include "text/tokenizer.hpp"
+
+namespace xsearch::baselines {
+namespace {
+
+// ---- Tor with 1..5 hops ------------------------------------------------------
+
+class TorHops : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TorHops, OnionLayerCountMatchesPathLength) {
+  const std::size_t hops = GetParam();
+  std::vector<std::unique_ptr<tor::TorRelay>> relays;
+  std::vector<tor::TorRelay*> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    relays.push_back(std::make_unique<tor::TorRelay>(i + 1));
+    path.push_back(relays.back().get());
+  }
+  tor::TorCircuit circuit(7, path, 42);
+  const Bytes payload = to_bytes("payload");
+  Bytes cell = circuit.build_onion(payload);
+  EXPECT_EQ(cell.size(), payload.size() + hops * crypto::kAeadTagSize);
+
+  // Peeling in path order recovers the payload exactly at the exit.
+  for (std::size_t i = 0; i < hops; ++i) {
+    auto peeled = path[i]->peel(7, cell);
+    ASSERT_TRUE(peeled.is_ok()) << "hop " << i;
+    cell = std::move(peeled).value();
+  }
+  EXPECT_EQ(cell, payload);
+}
+
+TEST_P(TorHops, ResponsePathInverts) {
+  const std::size_t hops = GetParam();
+  std::vector<std::unique_ptr<tor::TorRelay>> relays;
+  std::vector<tor::TorRelay*> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    relays.push_back(std::make_unique<tor::TorRelay>(100 + i));
+    path.push_back(relays.back().get());
+  }
+  tor::TorCircuit circuit(9, path, 43);
+  const Bytes payload = to_bytes("response payload");
+  Bytes cell(payload);
+  for (std::size_t i = hops; i-- > 0;) {
+    auto wrapped = path[i]->wrap(9, cell);
+    ASSERT_TRUE(wrapped.is_ok());
+    cell = std::move(wrapped).value();
+  }
+  const auto plain = circuit.unwrap_response(cell);
+  ASSERT_TRUE(plain.is_ok());
+  EXPECT_EQ(plain.value(), payload);
+}
+
+TEST_P(TorHops, MiddleRelayLearnsNothingAboutPayload) {
+  const std::size_t hops = GetParam();
+  if (hops < 2) GTEST_SKIP() << "needs at least 2 hops";
+  std::vector<std::unique_ptr<tor::TorRelay>> relays;
+  std::vector<tor::TorRelay*> path;
+  for (std::size_t i = 0; i < hops; ++i) {
+    relays.push_back(std::make_unique<tor::TorRelay>(200 + i));
+    path.push_back(relays.back().get());
+  }
+  tor::TorCircuit circuit(11, path, 44);
+  const std::string secret = "very secret query text";
+  Bytes cell = circuit.build_onion(to_bytes(secret));
+  // After peeling only the entry layer, the secret must not be visible.
+  auto peeled = path[0]->peel(11, cell);
+  ASSERT_TRUE(peeled.is_ok());
+  const std::string visible = to_string(peeled.value());
+  EXPECT_EQ(visible.find(secret), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(PathLengths, TorHops, ::testing::Values<std::size_t>(1, 2, 3, 5));
+
+// ---- PEAS across k -------------------------------------------------------------
+
+class PeasK : public ::testing::TestWithParam<std::size_t> {
+ protected:
+  static const dataset::QueryLog& log() {
+    static const dataset::QueryLog kLog = [] {
+      dataset::SyntheticLogConfig config;
+      config.num_users = 20;
+      config.total_queries = 1'500;
+      config.vocab_size = 800;
+      config.num_topics = 10;
+      config.words_per_topic = 60;
+      return dataset::generate_synthetic_log(config);
+    }();
+    return kLog;
+  }
+};
+
+TEST_P(PeasK, ProtectProducesExactlyKPlusOne) {
+  const std::size_t k = GetParam();
+  peas::FakeQueryGenerator fakes(log());
+  peas::PeasIssuer issuer(nullptr, 7);
+  peas::PeasReceiver receiver(issuer);
+  peas::PeasClient client(1, receiver, issuer.public_key(), fakes, k, 42);
+
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto subs = client.protect("real query " + std::to_string(trial));
+    EXPECT_EQ(subs.size(), k + 1);
+    EXPECT_EQ(std::count(subs.begin(), subs.end(),
+                         "real query " + std::to_string(trial)),
+              1);
+  }
+}
+
+TEST_P(PeasK, FakesAreNotTheOriginal) {
+  const std::size_t k = GetParam();
+  peas::FakeQueryGenerator fakes(log());
+  peas::PeasIssuer issuer(nullptr, 7);
+  peas::PeasReceiver receiver(issuer);
+  peas::PeasClient client(1, receiver, issuer.public_key(), fakes, k, 43);
+  const std::string original = "zzqq unique original zzqq";
+  const auto subs = client.protect(original);
+  std::size_t original_count = 0;
+  for (const auto& s : subs) original_count += (s == original);
+  EXPECT_EQ(original_count, 1u);
+}
+
+TEST_P(PeasK, EndToEndAtEveryK) {
+  const std::size_t k = GetParam();
+  peas::FakeQueryGenerator fakes(log());
+  peas::PeasIssuer issuer(nullptr, 7);
+  peas::PeasReceiver receiver(issuer);
+  peas::PeasClient client(1, receiver, issuer.public_key(), fakes, k, 44);
+  const auto results = client.search(log().records()[3].text);
+  ASSERT_TRUE(results.is_ok()) << results.status().to_string();
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PeasK, ::testing::Values<std::size_t>(0, 1, 3, 7));
+
+}  // namespace
+}  // namespace xsearch::baselines

@@ -1,0 +1,213 @@
+// Property tests of the X-Search core invariants, swept over the (k,
+// history size) parameter grid with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <unordered_set>
+
+#include "common/rng.hpp"
+#include "engine/document.hpp"
+#include "xsearch/filter.hpp"
+#include "xsearch/history.hpp"
+#include "xsearch/obfuscator.hpp"
+#include "xsearch/wire.hpp"
+
+namespace xsearch::core {
+namespace {
+
+// ---- Obfuscator invariants over (k, warm size) -------------------------------
+
+class ObfuscatorGrid
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {
+ protected:
+  std::size_t k() const { return std::get<0>(GetParam()); }
+  std::size_t warm() const { return std::get<1>(GetParam()); }
+};
+
+TEST_P(ObfuscatorGrid, StructuralInvariants) {
+  QueryHistory history(10'000);
+  for (std::size_t i = 0; i < warm(); ++i) history.add("past " + std::to_string(i));
+  Obfuscator obfuscator(history, k());
+  Rng rng(k() * 31 + warm());
+
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::string query = "real query " + std::to_string(trial);
+    const auto obf = obfuscator.obfuscate(query, rng);
+
+    // (1) The original survives verbatim.
+    EXPECT_EQ(obf.original, query);
+    // (2) Exactly min(k, available) fakes.
+    EXPECT_EQ(obf.fakes.size(), std::min(k(), warm() + static_cast<std::size_t>(trial)));
+    // (3) sub_queries = fakes + original, nothing more.
+    EXPECT_EQ(obf.sub_queries.size(), obf.fakes.size() + 1);
+    EXPECT_EQ(std::count(obf.sub_queries.begin(), obf.sub_queries.end(), query), 1);
+    for (const auto& fake : obf.fakes) {
+      EXPECT_NE(std::find(obf.sub_queries.begin(), obf.sub_queries.end(), fake),
+                obf.sub_queries.end());
+    }
+    // (4) The OR string contains every sub-query.
+    const std::string or_string = obf.to_query_string();
+    for (const auto& sub : obf.sub_queries) {
+      EXPECT_NE(or_string.find(sub), std::string::npos);
+    }
+    // (5) A query is never its own decoy.
+    for (const auto& fake : obf.fakes) EXPECT_NE(fake, query);
+  }
+}
+
+TEST_P(ObfuscatorGrid, HistoryNeverExceedsCapacity) {
+  constexpr std::size_t kCapacity = 64;
+  QueryHistory history(kCapacity);
+  Obfuscator obfuscator(history, k());
+  Rng rng(99);
+  for (std::size_t i = 0; i < warm() + 200; ++i) {
+    (void)obfuscator.obfuscate("q" + std::to_string(i), rng);
+    EXPECT_LE(history.size(), kCapacity);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    KAndWarmth, ObfuscatorGrid,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 3, 7),
+                       ::testing::Values<std::size_t>(0, 1, 5, 100)));
+
+// ---- Filter invariants over k ----------------------------------------------------
+
+class FilterGrid : public ::testing::TestWithParam<std::size_t> {};
+
+engine::SearchResult result_about(const std::string& topic, unsigned index) {
+  engine::SearchResult r;
+  r.doc = index;
+  r.title = topic + " article " + std::to_string(index);
+  r.description = "all about " + topic + " and more " + topic;
+  r.url = "https://site.example/" + std::to_string(index);
+  return r;
+}
+
+TEST_P(FilterGrid, KeptSetIsSubsetAndOriginalBiased) {
+  const std::size_t k = GetParam();
+  std::vector<std::string> fakes;
+  std::vector<engine::SearchResult> mixed;
+  unsigned id = 0;
+  for (std::size_t f = 0; f < k; ++f) {
+    const std::string topic = "decoy" + std::to_string(f);
+    fakes.push_back(topic + " words");
+    mixed.push_back(result_about(topic, id++));
+  }
+  mixed.push_back(result_about("target", id++));
+  mixed.push_back(result_about("target", id++));
+
+  ResultFilter filter;
+  const auto kept = filter.filter("target words", fakes, mixed);
+
+  // Subset property: every kept result was in the input.
+  std::unordered_set<unsigned> input_ids;
+  for (const auto& r : mixed) input_ids.insert(r.doc);
+  for (const auto& r : kept) EXPECT_TRUE(input_ids.contains(r.doc));
+
+  // Both target results survive; every decoy-topic result is dropped.
+  EXPECT_EQ(kept.size(), 2u);
+  for (const auto& r : kept) {
+    EXPECT_NE(r.title.find("target"), std::string::npos);
+  }
+}
+
+TEST_P(FilterGrid, FilterIsIdempotent) {
+  const std::size_t k = GetParam();
+  std::vector<std::string> fakes;
+  for (std::size_t f = 0; f < k; ++f) fakes.push_back("decoy" + std::to_string(f));
+  std::vector<engine::SearchResult> results;
+  for (unsigned i = 0; i < 10; ++i) results.push_back(result_about("mixed", i));
+
+  ResultFilter filter;
+  const auto once = filter.filter("mixed subject", fakes, results);
+  const auto twice = filter.filter("mixed subject", fakes, once);
+  EXPECT_EQ(once, twice);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, FilterGrid, ::testing::Values<std::size_t>(0, 1, 2, 5, 8));
+
+// ---- History sampling distribution over window sizes ------------------------------
+
+class HistoryGrid : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HistoryGrid, SamplingIsApproximatelyUniform) {
+  const std::size_t n = GetParam();
+  QueryHistory history(n);
+  for (std::size_t i = 0; i < n; ++i) history.add("q" + std::to_string(i));
+  Rng rng(n);
+  std::unordered_map<std::string, int> counts;
+  const int trials = static_cast<int>(n) * 60;
+  for (int t = 0; t < trials; ++t) {
+    for (auto& q : history.sample(1, rng)) ++counts[q];
+  }
+  // Every entry sampled at least once; no entry dominates.
+  EXPECT_EQ(counts.size(), n);
+  for (const auto& [q, c] : counts) {
+    EXPECT_GT(c, 0) << q;
+    EXPECT_LT(c, trials / static_cast<int>(n) * 4) << q;
+  }
+}
+
+TEST_P(HistoryGrid, SnapshotMatchesSizeAndOrder) {
+  const std::size_t n = GetParam();
+  QueryHistory history(n);
+  for (std::size_t i = 0; i < n * 2; ++i) history.add("q" + std::to_string(i));
+  const auto snap = history.snapshot();
+  ASSERT_EQ(snap.size(), n);
+  // Oldest surviving entry is q[n], newest is q[2n-1].
+  EXPECT_EQ(snap.front(), "q" + std::to_string(n));
+  EXPECT_EQ(snap.back(), "q" + std::to_string(2 * n - 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, HistoryGrid,
+                         ::testing::Values<std::size_t>(1, 2, 7, 32, 100));
+
+// ---- wire format round-trips over structured random inputs -------------------------
+
+class WireGrid : public ::testing::TestWithParam<int> {};
+
+TEST_P(WireGrid, ResultListRoundTripsForRandomContent) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  std::vector<engine::SearchResult> results;
+  const std::size_t n = rng.uniform(20);
+  for (std::size_t i = 0; i < n; ++i) {
+    engine::SearchResult r;
+    r.doc = static_cast<engine::DocId>(rng.next());
+    const auto rand_string = [&rng](std::size_t max_len) {
+      std::string s;
+      const std::size_t len = rng.uniform(max_len + 1);
+      for (std::size_t j = 0; j < len; ++j) {
+        s.push_back(static_cast<char>(rng.uniform_int(32, 126)));
+      }
+      return s;
+    };
+    r.title = rand_string(60);
+    r.description = rand_string(200);
+    r.url = rand_string(80);
+    r.score = rng.normal(0, 100);
+    results.push_back(std::move(r));
+  }
+  const auto parsed = wire::parse_results(wire::serialize_results(results));
+  ASSERT_TRUE(parsed.is_ok());
+  EXPECT_EQ(parsed.value(), results);
+}
+
+TEST_P(WireGrid, TruncationNeverCrashesParser) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) ^ 0x771);
+  std::vector<engine::SearchResult> results(3);
+  results[0].title = "alpha";
+  results[1].description = "beta";
+  results[2].url = "gamma";
+  const Bytes raw = wire::serialize_results(results);
+  for (std::size_t cut = 0; cut < raw.size(); ++cut) {
+    // Every strict prefix must be cleanly rejected (totality).
+    EXPECT_FALSE(wire::parse_results(ByteSpan(raw.data(), cut)).is_ok()) << cut;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireGrid, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace xsearch::core

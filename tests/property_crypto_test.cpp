@@ -1,0 +1,202 @@
+// Property-based crypto tests: invariants swept over message sizes and
+// seeds with parameterized gtest.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/random.hpp"
+#include "crypto/secure_channel.hpp"
+#include "crypto/sha256.hpp"
+#include "crypto/x25519.hpp"
+
+namespace xsearch::crypto {
+namespace {
+
+Bytes random_bytes(Rng& rng, std::size_t n) {
+  Bytes out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.next());
+  return out;
+}
+
+// ---- AEAD properties over (size, seed) ---------------------------------------
+
+class AeadProperty : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {
+ protected:
+  std::size_t size() const { return std::get<0>(GetParam()); }
+  std::uint64_t seed() const { return static_cast<std::uint64_t>(std::get<1>(GetParam())); }
+};
+
+TEST_P(AeadProperty, SealOpenIsIdentity) {
+  Rng rng(seed());
+  AeadKey key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  const Bytes plaintext = random_bytes(rng, size());
+  const Bytes aad = random_bytes(rng, rng.uniform(64));
+  const AeadNonce nonce = make_nonce(static_cast<std::uint32_t>(rng.next()), rng.next());
+
+  const Bytes sealed = aead_seal(key, nonce, aad, plaintext);
+  EXPECT_EQ(sealed.size(), plaintext.size() + kAeadTagSize);
+  const auto opened = aead_open(key, nonce, aad, sealed);
+  ASSERT_TRUE(opened.has_value());
+  EXPECT_EQ(*opened, plaintext);
+}
+
+TEST_P(AeadProperty, AnySingleBitFlipIsRejected) {
+  Rng rng(seed() ^ 0xf11b);
+  AeadKey key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  const Bytes plaintext = random_bytes(rng, size());
+  const AeadNonce nonce = make_nonce(1, 1);
+  const Bytes sealed = aead_seal(key, nonce, {}, plaintext);
+
+  // Flip a handful of random bit positions; every one must break auth.
+  for (int trial = 0; trial < 16; ++trial) {
+    Bytes corrupted = sealed;
+    const std::size_t byte = rng.uniform(corrupted.size());
+    const int bit = static_cast<int>(rng.uniform(8));
+    corrupted[byte] ^= static_cast<std::uint8_t>(1 << bit);
+    EXPECT_FALSE(aead_open(key, nonce, {}, corrupted).has_value())
+        << "byte " << byte << " bit " << bit;
+  }
+}
+
+TEST_P(AeadProperty, CiphertextLooksUncorrelated) {
+  // Weak PRF sanity: byte-histogram of the ciphertext is near-uniform.
+  Rng rng(seed() ^ 0xc0de);
+  if (size() < 1024) GTEST_SKIP() << "needs enough material";
+  AeadKey key{};
+  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  const Bytes plaintext(size(), 0x00);  // worst case: all zeros
+  const Bytes sealed = aead_seal(key, make_nonce(2, 2), {}, plaintext);
+  int histogram[256] = {};
+  for (const std::uint8_t b : sealed) ++histogram[b];
+  const double expected = static_cast<double>(sealed.size()) / 256.0;
+  for (int v = 0; v < 256; ++v) {
+    EXPECT_LT(std::abs(histogram[v] - expected), expected * 6 + 16) << "byte " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndSeeds, AeadProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(0, 1, 15, 16, 17, 63, 64, 255,
+                                                      1024, 65536),
+                       ::testing::Values(1, 2, 3)));
+
+// ---- SHA-256 incremental == one-shot over chunkings ------------------------------
+
+class Sha256Chunking : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Sha256Chunking, IncrementalMatchesOneShot) {
+  Rng rng(GetParam());
+  const Bytes data = random_bytes(rng, 4096 + GetParam() * 17);
+  Sha256 ctx;
+  std::size_t offset = 0;
+  while (offset < data.size()) {
+    const std::size_t chunk = std::min<std::size_t>(1 + rng.uniform(200),
+                                                    data.size() - offset);
+    ctx.update(ByteSpan(data.data() + offset, chunk));
+    offset += chunk;
+  }
+  EXPECT_EQ(ctx.finalize(), Sha256::hash(data));
+}
+
+INSTANTIATE_TEST_SUITE_P(Chunkings, Sha256Chunking, ::testing::Range<std::size_t>(1, 9));
+
+// ---- X25519 algebra over seeds ------------------------------------------------------
+
+class X25519Property : public ::testing::TestWithParam<int> {};
+
+TEST_P(X25519Property, DiffieHellmanCommutes) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  X25519Key sa{}, sb{};
+  for (auto& b : sa) b = static_cast<std::uint8_t>(rng.next());
+  for (auto& b : sb) b = static_cast<std::uint8_t>(rng.next());
+  const auto a = x25519_keypair_from_seed(sa);
+  const auto b = x25519_keypair_from_seed(sb);
+  EXPECT_EQ(x25519(a.private_key, b.public_key), x25519(b.private_key, a.public_key));
+}
+
+TEST_P(X25519Property, SharedSecretNotTrivial) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) ^ 0x5ec);
+  X25519Key sa{}, sb{};
+  for (auto& b : sa) b = static_cast<std::uint8_t>(rng.next());
+  for (auto& b : sb) b = static_cast<std::uint8_t>(rng.next());
+  const auto a = x25519_keypair_from_seed(sa);
+  const auto b = x25519_keypair_from_seed(sb);
+  const auto shared = x25519(a.private_key, b.public_key);
+  const X25519Key zero{};
+  EXPECT_NE(shared, zero);
+  EXPECT_NE(shared, a.public_key);
+  EXPECT_NE(shared, b.public_key);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, X25519Property, ::testing::Range(1, 11));
+
+// ---- secure channel under message sequences ---------------------------------------
+
+class ChannelSequence : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelSequence, InterleavedBidirectionalTraffic) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  ChaChaKey seed{};
+  for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next());
+  SecureRandom srng(seed);
+  X25519Key s{}, ec{}, es{};
+  srng.fill(s);
+  srng.fill(ec);
+  srng.fill(es);
+  const auto server_static = x25519_keypair_from_seed(s);
+  const auto client_eph = x25519_keypair_from_seed(ec);
+  const auto server_eph = x25519_keypair_from_seed(es);
+  auto client = SecureChannel::initiator(client_eph, server_static.public_key,
+                                         server_eph.public_key);
+  auto server =
+      SecureChannel::responder(server_static, server_eph, client_eph.public_key);
+
+  for (int i = 0; i < 60; ++i) {
+    const Bytes msg = random_bytes(rng, rng.uniform(300));
+    if (rng.bernoulli(0.5)) {
+      const auto opened = server.open(client.seal(msg));
+      ASSERT_TRUE(opened.is_ok());
+      EXPECT_EQ(opened.value(), msg);
+    } else {
+      const auto opened = client.open(server.seal(msg));
+      ASSERT_TRUE(opened.is_ok());
+      EXPECT_EQ(opened.value(), msg);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ChannelSequence, ::testing::Range(1, 7));
+
+// ---- HKDF output independence -----------------------------------------------------
+
+class HkdfProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HkdfProperty, DistinctInfoDistinctOutput) {
+  const Bytes ikm(32, static_cast<std::uint8_t>(GetParam()));
+  const Bytes a = hkdf({}, ikm, to_bytes("context-a"), GetParam() + 1);
+  const Bytes b = hkdf({}, ikm, to_bytes("context-b"), GetParam() + 1);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(a.size(), GetParam() + 1);
+}
+
+TEST_P(HkdfProperty, PrefixConsistency) {
+  // hkdf(n) is a prefix of hkdf(n + 32) for the same inputs.
+  const Bytes ikm(32, static_cast<std::uint8_t>(GetParam() * 3 + 1));
+  const std::size_t n = GetParam() + 1;
+  const Bytes small = hkdf({}, ikm, to_bytes("ctx"), n);
+  const Bytes large = hkdf({}, ikm, to_bytes("ctx"), n + 32);
+  EXPECT_TRUE(std::equal(small.begin(), small.end(), large.begin()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, HkdfProperty,
+                         ::testing::Values<std::size_t>(0, 15, 31, 32, 33, 63, 100));
+
+}  // namespace
+}  // namespace xsearch::crypto

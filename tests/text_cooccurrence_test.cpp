@@ -1,0 +1,130 @@
+#include "text/cooccurrence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "text/tokenizer.hpp"
+
+namespace xsearch::text {
+namespace {
+
+class CooccurrenceTest : public ::testing::Test {
+ protected:
+  CooccurrenceTest() : cooc_(vocab_) {}
+  Vocabulary vocab_;
+  CooccurrenceMatrix cooc_;
+};
+
+TEST_F(CooccurrenceTest, EmptyMatrix) {
+  EXPECT_EQ(cooc_.term_count(), 0u);
+  Rng rng(1);
+  EXPECT_TRUE(cooc_.sample_term(rng).empty());
+  EXPECT_TRUE(cooc_.generate_fake_query(3, rng).empty());
+}
+
+TEST_F(CooccurrenceTest, PairCountsSymmetric) {
+  cooc_.add_query("apple banana");
+  EXPECT_EQ(cooc_.pair_count("apple", "banana"), 1u);
+  EXPECT_EQ(cooc_.pair_count("banana", "apple"), 1u);
+}
+
+TEST_F(CooccurrenceTest, PairCountsAccumulate) {
+  cooc_.add_query("apple banana");
+  cooc_.add_query("apple banana cherry");
+  EXPECT_EQ(cooc_.pair_count("apple", "banana"), 2u);
+  EXPECT_EQ(cooc_.pair_count("apple", "cherry"), 1u);
+}
+
+TEST_F(CooccurrenceTest, DuplicateWordsInQueryCountOnce) {
+  cooc_.add_query("apple apple banana");
+  EXPECT_EQ(cooc_.pair_count("apple", "banana"), 1u);
+  EXPECT_EQ(cooc_.term_frequency("apple"), 1u);
+}
+
+TEST_F(CooccurrenceTest, UnknownTermsHaveZeroCounts) {
+  cooc_.add_query("apple banana");
+  EXPECT_EQ(cooc_.pair_count("apple", "zebra"), 0u);
+  EXPECT_EQ(cooc_.term_frequency("zebra"), 0u);
+}
+
+TEST_F(CooccurrenceTest, StopwordsExcluded) {
+  cooc_.add_query("the apple and banana");
+  EXPECT_EQ(cooc_.term_frequency("the"), 0u);
+  EXPECT_EQ(cooc_.pair_count("apple", "banana"), 1u);
+}
+
+TEST_F(CooccurrenceTest, SampleTermRespectsFrequency) {
+  for (int i = 0; i < 90; ++i) cooc_.add_query("common");
+  for (int i = 0; i < 10; ++i) cooc_.add_query("rare");
+  Rng rng(42);
+  int common_hits = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (cooc_.sample_term(rng) == "common") ++common_hits;
+  }
+  EXPECT_NEAR(common_hits, 1800, 120);
+}
+
+TEST_F(CooccurrenceTest, SampleNeighbourPrefersCooccurring) {
+  for (int i = 0; i < 50; ++i) cooc_.add_query("seed partner");
+  cooc_.add_query("seed stranger");
+  Rng rng(7);
+  int partner_hits = 0;
+  for (int i = 0; i < 500; ++i) {
+    if (cooc_.sample_neighbour("seed", rng) == "partner") ++partner_hits;
+  }
+  EXPECT_GT(partner_hits, 400);
+}
+
+TEST_F(CooccurrenceTest, SampleNeighbourFallsBackForUnknown) {
+  cooc_.add_query("apple banana");
+  Rng rng(9);
+  const std::string n = cooc_.sample_neighbour("zebra", rng);
+  EXPECT_TRUE(n == "apple" || n == "banana");
+}
+
+TEST_F(CooccurrenceTest, FakeQueryHasRequestedLength) {
+  cooc_.add_query("alpha beta gamma");
+  cooc_.add_query("beta gamma delta");
+  cooc_.add_query("gamma delta epsilon");
+  Rng rng(3);
+  for (int i = 0; i < 20; ++i) {
+    const std::string fake = cooc_.generate_fake_query(3, rng);
+    EXPECT_EQ(tokenize(fake).size(), 3u);
+  }
+}
+
+TEST_F(CooccurrenceTest, FakeQueryUsesRealTerms) {
+  cooc_.add_query("alpha beta");
+  cooc_.add_query("gamma delta");
+  Rng rng(5);
+  const std::unordered_set<std::string> known = {"alpha", "beta", "gamma", "delta"};
+  for (int i = 0; i < 50; ++i) {
+    for (const auto& tok : tokenize(cooc_.generate_fake_query(2, rng))) {
+      EXPECT_TRUE(known.contains(tok)) << tok;
+    }
+  }
+}
+
+TEST_F(CooccurrenceTest, FakeQueryWalkFollowsEdges) {
+  // Graph: a-b, b-c (no a-c edge). Walks of length 2 starting anywhere can
+  // only produce adjacent pairs.
+  cooc_.add_query("aa bb");
+  cooc_.add_query("bb cc");
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    const auto toks = tokenize(cooc_.generate_fake_query(2, rng));
+    ASSERT_EQ(toks.size(), 2u);
+    EXPECT_GT(cooc_.pair_count(toks[0], toks[1]), 0u)
+        << toks[0] << " " << toks[1];
+  }
+}
+
+TEST_F(CooccurrenceTest, ZeroLengthFake) {
+  cooc_.add_query("apple banana");
+  Rng rng(1);
+  EXPECT_TRUE(cooc_.generate_fake_query(0, rng).empty());
+}
+
+}  // namespace
+}  // namespace xsearch::text

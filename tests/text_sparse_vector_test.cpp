@@ -1,0 +1,160 @@
+#include "text/sparse_vector.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "text/vocabulary.hpp"
+
+namespace xsearch::text {
+namespace {
+
+TEST(Vocabulary, InternIsIdempotent) {
+  Vocabulary v;
+  const TermId a = v.intern("apple");
+  EXPECT_EQ(v.intern("apple"), a);
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(Vocabulary, DistinctTermsGetDistinctIds) {
+  Vocabulary v;
+  EXPECT_NE(v.intern("apple"), v.intern("banana"));
+  EXPECT_EQ(v.size(), 2u);
+}
+
+TEST(Vocabulary, LookupUnknownFails) {
+  Vocabulary v;
+  EXPECT_FALSE(v.lookup("ghost").has_value());
+}
+
+TEST(Vocabulary, TermRoundTrip) {
+  Vocabulary v;
+  const TermId id = v.intern("query");
+  EXPECT_EQ(v.term(id), "query");
+}
+
+TEST(Vocabulary, LookupAllSkipsUnknown) {
+  Vocabulary v;
+  (void)v.intern("known");
+  const auto ids = v.lookup_all({"known", "unknown"});
+  EXPECT_EQ(ids.size(), 1u);
+}
+
+TEST(SparseVector, EmptyHasZeroNorm) {
+  SparseVector v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_DOUBLE_EQ(v.norm(), 0.0);
+}
+
+TEST(SparseVector, TermFrequencyMergesDuplicates) {
+  const auto v = SparseVector::term_frequency({3, 1, 3, 3});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_EQ(v.entries()[0].term, 1u);
+  EXPECT_DOUBLE_EQ(v.entries()[0].weight, 1.0);
+  EXPECT_EQ(v.entries()[1].term, 3u);
+  EXPECT_DOUBLE_EQ(v.entries()[1].weight, 3.0);
+}
+
+TEST(SparseVector, NormComputed) {
+  const auto v = SparseVector::from_pairs({{0, 3.0}, {1, 4.0}});
+  EXPECT_DOUBLE_EQ(v.norm(), 5.0);
+}
+
+TEST(SparseVector, DotDisjointIsZero) {
+  const auto a = SparseVector::from_pairs({{0, 1.0}, {2, 1.0}});
+  const auto b = SparseVector::from_pairs({{1, 1.0}, {3, 1.0}});
+  EXPECT_DOUBLE_EQ(a.dot(b), 0.0);
+}
+
+TEST(SparseVector, DotOverlap) {
+  const auto a = SparseVector::from_pairs({{0, 2.0}, {1, 1.0}});
+  const auto b = SparseVector::from_pairs({{1, 3.0}, {2, 5.0}});
+  EXPECT_DOUBLE_EQ(a.dot(b), 3.0);
+}
+
+TEST(SparseVector, CosineIdenticalIsOne) {
+  const auto a = SparseVector::from_pairs({{0, 1.0}, {5, 2.0}});
+  EXPECT_NEAR(a.cosine(a), 1.0, 1e-12);
+}
+
+TEST(SparseVector, CosineOrthogonalIsZero) {
+  const auto a = SparseVector::from_pairs({{0, 1.0}});
+  const auto b = SparseVector::from_pairs({{1, 1.0}});
+  EXPECT_DOUBLE_EQ(a.cosine(b), 0.0);
+}
+
+TEST(SparseVector, CosineScaleInvariant) {
+  const auto a = SparseVector::from_pairs({{0, 1.0}, {1, 2.0}});
+  const auto b = SparseVector::from_pairs({{0, 10.0}, {1, 20.0}});
+  EXPECT_NEAR(a.cosine(b), 1.0, 1e-12);
+}
+
+TEST(SparseVector, CosineWithEmptyIsZero) {
+  const auto a = SparseVector::from_pairs({{0, 1.0}});
+  SparseVector empty;
+  EXPECT_DOUBLE_EQ(a.cosine(empty), 0.0);
+}
+
+TEST(SparseVector, CosineSymmetric) {
+  const auto a = SparseVector::from_pairs({{0, 1.0}, {1, 2.0}, {7, 0.5}});
+  const auto b = SparseVector::from_pairs({{1, 3.0}, {7, 2.0}, {9, 1.0}});
+  EXPECT_DOUBLE_EQ(a.cosine(b), b.cosine(a));
+}
+
+TEST(SparseVector, ZeroWeightEntriesDropped) {
+  const auto v = SparseVector::from_pairs({{0, 0.0}, {1, 2.0}});
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(SparseVector, AddScaledAccumulates) {
+  auto a = SparseVector::from_pairs({{0, 1.0}});
+  const auto b = SparseVector::from_pairs({{0, 1.0}, {1, 2.0}});
+  a.add_scaled(b, 2.0);
+  ASSERT_EQ(a.size(), 2u);
+  EXPECT_DOUBLE_EQ(a.entries()[0].weight, 3.0);
+  EXPECT_DOUBLE_EQ(a.entries()[1].weight, 4.0);
+}
+
+TEST(TfVector, BuildsFromText) {
+  Vocabulary vocab;
+  const auto v = tf_vector(vocab, "private web search web");
+  EXPECT_EQ(v.size(), 3u);  // private, web(x2), search
+  EXPECT_EQ(vocab.size(), 3u);
+}
+
+TEST(TfVector, ConstVariantDropsUnknown) {
+  Vocabulary vocab;
+  (void)tf_vector(vocab, "known words");
+  const auto v = tf_vector_const(vocab, "known unknown");
+  EXPECT_EQ(v.size(), 1u);
+}
+
+TEST(ExponentialSmoothing, EmptyIsZero) {
+  EXPECT_DOUBLE_EQ(exponential_smoothing({}, 0.5), 0.0);
+}
+
+TEST(ExponentialSmoothing, SingleValue) {
+  EXPECT_DOUBLE_EQ(exponential_smoothing({0.7}, 0.5), 0.7);
+}
+
+TEST(ExponentialSmoothing, WeightsLargestMost) {
+  // With alpha = 0.5, {0, 1} ascending -> 0.5*1 + 0.5*0 = 0.5.
+  EXPECT_DOUBLE_EQ(exponential_smoothing({0.0, 1.0}, 0.5), 0.5);
+  // Order of the input must not matter (sorted internally).
+  EXPECT_DOUBLE_EQ(exponential_smoothing({1.0, 0.0}, 0.5), 0.5);
+}
+
+TEST(ExponentialSmoothing, MonotoneInValues) {
+  const double low = exponential_smoothing({0.1, 0.1, 0.1}, 0.5);
+  const double high = exponential_smoothing({0.1, 0.1, 0.9}, 0.5);
+  EXPECT_GT(high, low);
+}
+
+TEST(ExponentialSmoothing, BoundedByMax) {
+  const double s = exponential_smoothing({0.2, 0.5, 0.9}, 0.5);
+  EXPECT_LE(s, 0.9);
+  EXPECT_GE(s, 0.2);
+}
+
+}  // namespace
+}  // namespace xsearch::text

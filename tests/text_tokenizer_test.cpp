@@ -1,0 +1,65 @@
+#include "text/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace xsearch::text {
+namespace {
+
+TEST(Tokenizer, BasicSplit) {
+  EXPECT_EQ(tokenize("hello world"), (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(Tokenizer, Lowercases) {
+  EXPECT_EQ(tokenize("Hello WORLD"), (std::vector<std::string>{"hello", "world"}));
+}
+
+TEST(Tokenizer, SplitsOnPunctuation) {
+  EXPECT_EQ(tokenize("back-pain, treatment?"),
+            (std::vector<std::string>{"back", "pain", "treatment"}));
+}
+
+TEST(Tokenizer, KeepsDigits) {
+  EXPECT_EQ(tokenize("windows 98 drivers"),
+            (std::vector<std::string>{"windows", "98", "drivers"}));
+}
+
+TEST(Tokenizer, EmptyInput) {
+  EXPECT_TRUE(tokenize("").empty());
+  EXPECT_TRUE(tokenize("   ...   ").empty());
+}
+
+TEST(Tokenizer, StopwordsFiltered) {
+  EXPECT_EQ(tokenize_no_stopwords("the best of the best"),
+            (std::vector<std::string>{"best", "best"}));
+}
+
+TEST(Tokenizer, IsStopword) {
+  EXPECT_TRUE(is_stopword("the"));
+  EXPECT_TRUE(is_stopword("and"));
+  EXPECT_FALSE(is_stopword("privacy"));
+}
+
+TEST(Tokenizer, CommonWordCountBasic) {
+  EXPECT_EQ(common_word_count("private web search", "web search engine"), 2u);
+}
+
+TEST(Tokenizer, CommonWordCountCaseInsensitive) {
+  EXPECT_EQ(common_word_count("Private WEB", "web private"), 2u);
+}
+
+TEST(Tokenizer, CommonWordCountNoOverlap) {
+  EXPECT_EQ(common_word_count("alpha beta", "gamma delta"), 0u);
+}
+
+TEST(Tokenizer, CommonWordCountDistinctWordsOnly) {
+  // Repeated matches count once (set semantics, as in Algorithm 2).
+  EXPECT_EQ(common_word_count("cat", "cat cat cat"), 1u);
+}
+
+TEST(Tokenizer, CommonWordCountEmpty) {
+  EXPECT_EQ(common_word_count("", "anything"), 0u);
+  EXPECT_EQ(common_word_count("anything", ""), 0u);
+}
+
+}  // namespace
+}  // namespace xsearch::text
