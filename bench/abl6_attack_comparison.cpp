@@ -5,15 +5,21 @@
 // checks that claim against our substrate: both adversaries attack the same
 // protected traffic; a stronger attack means a *higher* re-identification
 // rate (worse for the user).
+//
+// The protected traffic is produced end to end through the unified client
+// API: an X-Search client (k >= 1; k = 0 is the "direct" mechanism) serves
+// each test query, and the adversaries observe exactly what the engine
+// observes — the OR query string — which they split back into sub-queries,
+// as the honest-but-curious engine of §3 would.
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "api/client.hpp"
+#include "api/registry.hpp"
 #include "attack/ml_attack.hpp"
 #include "attack/simattack.hpp"
 #include "bench_common.hpp"
-#include "common/rng.hpp"
-#include "xsearch/history.hpp"
-#include "xsearch/obfuscator.hpp"
 
 namespace {
 using namespace xsearch;  // NOLINT
@@ -27,23 +33,45 @@ int main() {
   attack::SimAttack simattack(bed->split.train);
   attack::NaiveBayesAttack bayes(bed->split.train);
 
+  std::vector<std::string> warm;
+  warm.reserve(bed->split.train.size());
+  for (const auto& r : bed->split.train.records()) warm.push_back(r.text);
+
+  // The adversary's vantage point: every query string the engine receives.
+  std::vector<std::string> observed;
+  bed->engine->set_observer(
+      [&observed](std::string_view q) { observed.emplace_back(q); });
+
   std::printf("%-4s %12s %12s\n", "k", "SimAttack", "NaiveBayes");
   for (const std::size_t k : {0u, 1u, 3u, 5u}) {
-    core::QueryHistory history(200'000);
-    for (const auto& r : bed->split.train.records()) history.add(r.text);
-    core::Obfuscator obfuscator(history, k);
-    Rng rng(6000 + k);
+    api::ClientConfig config;
+    config.k = k;
+    config.top_k = 20;
+    config.history_capacity = 200'000;
+    config.seed = 6000 + k;
+
+    api::Backend backend;
+    backend.engine = bed->engine.get();
+    backend.fake_source = &bed->split.train;
+
+    auto client = api::make_client(k == 0 ? "direct" : "xsearch", backend, config);
+    if (!client.is_ok() || !client.value()->prime(warm).is_ok()) {
+      std::fprintf(stderr, "k=%zu: client setup failed\n", k);
+      continue;
+    }
 
     std::size_t sim_correct = 0, nb_correct = 0;
     for (std::size_t i = 0; i < kTestQueries; ++i) {
       const auto& rec = bed->split.test.records()[i * 37 % bed->split.test.size()];
-      const auto obf = obfuscator.obfuscate(rec.text, rng);
+      observed.clear();
+      if (!client.value()->search(rec.text).is_ok() || observed.empty()) continue;
+      const auto sub_queries = attack::split_or_query(observed.front());
 
-      if (const auto id = simattack.attack(obf.sub_queries);
+      if (const auto id = simattack.attack(sub_queries);
           id && id->user == rec.user && id->query == rec.text) {
         ++sim_correct;
       }
-      if (const auto id = bayes.attack(obf.sub_queries);
+      if (const auto id = bayes.attack(sub_queries);
           id && id->user == rec.user && id->query == rec.text) {
         ++nb_correct;
       }
@@ -52,6 +80,8 @@ int main() {
                 static_cast<double>(sim_correct) / kTestQueries,
                 static_cast<double>(nb_correct) / kTestQueries);
   }
+  bed->engine->set_observer(nullptr);
+
   std::printf("\n# paper §5.3.1 (on AOL): SimAttack >= the ML attack. On the synthetic\n");
   std::printf("# log the NB baseline is comparable and can edge ahead — synthetic users\n");
   std::printf("# repeat exact queries more than AOL users, which frequency-based NB\n");

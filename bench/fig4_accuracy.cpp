@@ -2,18 +2,24 @@
 //
 // Paper claims: both precision and recall decrease slightly with k and stay
 // above ~0.8 at k = 2. Methodology (§5.3.2): for each test query compare
-// (a) the engine's results for the query alone against (b) the results of
-// the obfuscated OR query after Algorithm 2 filtering; first 20 results;
-// 100 random test queries per k.
+// (a) the engine's results for the query alone against (b) what the user
+// receives from an X-Search client — the obfuscated OR query's merged
+// results after Algorithm 2 filtering; first 20 results; 100 random test
+// queries per k.
+//
+// The X-Search path runs end to end through the unified client API: one
+// client per k, history primed with the training stream (§5.1), each test
+// query searched through the attested broker/enclave/engine pipeline.
+// k = 0 — no obfuscation — is by definition the "direct" mechanism (a
+// validated X-Search configuration requires k >= 1).
 #include <cstdio>
+#include <string>
 #include <unordered_set>
 #include <vector>
 
+#include "api/client.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
-#include "common/rng.hpp"
-#include "xsearch/filter.hpp"
-#include "xsearch/history.hpp"
-#include "xsearch/obfuscator.hpp"
 
 namespace {
 
@@ -26,11 +32,23 @@ struct PrecisionRecall {
 
 PrecisionRecall accuracy_for_k(const bench::Testbed& bed, std::size_t k,
                                std::size_t n_queries, std::uint64_t seed) {
-  Rng rng(seed);
-  core::QueryHistory history(200'000);
-  for (const auto& r : bed.split.train.records()) history.add(r.text);
-  core::Obfuscator obfuscator(history, k);
-  core::ResultFilter filter;
+  api::ClientConfig config;
+  config.k = k;
+  config.top_k = 20;
+  config.history_capacity = 200'000;
+  config.seed = seed;
+
+  api::Backend backend;
+  backend.engine = bed.engine.get();
+  backend.fake_source = &bed.split.train;
+
+  auto client = api::make_client(k == 0 ? "direct" : "xsearch", backend, config);
+  if (!client.is_ok()) return {};
+
+  std::vector<std::string> warm;
+  warm.reserve(bed.split.train.size());
+  for (const auto& r : bed.split.train.records()) warm.push_back(r.text);
+  if (!client.value()->prime(warm).is_ok()) return {};
 
   double precision_sum = 0.0;
   double recall_sum = 0.0;
@@ -46,10 +64,10 @@ PrecisionRecall accuracy_for_k(const bench::Testbed& bed, std::size_t k,
     std::unordered_set<engine::DocId> reference_docs;
     for (const auto& r : reference) reference_docs.insert(r.doc);
 
-    // X-Search path: obfuscate, merged OR results, filter.
-    const auto obf = obfuscator.obfuscate(query, rng);
-    auto merged = bed.engine->search_or(obf.sub_queries, 20);
-    const auto filtered = filter.filter(obf.original, obf.fakes, std::move(merged));
+    // X-Search path: obfuscate, merged OR results, filter — end to end.
+    const auto response = client.value()->search(query);
+    if (!response.is_ok()) continue;
+    const auto& filtered = response.value();
     if (filtered.empty()) {
       // No results returned to the user: recall 0 for this query; precision
       // undefined, skipped (matches the paper's averaging over returned sets).

@@ -6,27 +6,33 @@
 // wrk2-style open-loop generator and the proxies configured to reply
 // immediately (no live engine), isolating proxy capacity.
 //
+// Every mechanism is driven through the unified PrivateSearchClient API:
+// the client is built by name from the MechanismRegistry, and the load is
+// offered through the asynchronous batch path (submit/poll on the client's
+// own worker lanes), so any registered mechanism — including a sixth one —
+// is benchable by passing its name on the command line.
+//
 // What is real here: every request executes the full proxy compute path
 // (X-Search: channel AEAD open/seal + Algorithm 1 + history update inside
 // the enclave boundary; PEAS: hybrid envelope decryption + co-occurrence
 // fake generation; Tor: three onion layers each way). What is calibrated:
-// a per-request stack/network service cost per system (netsim::service_costs)
-// sized so the saturation knees land at the paper's magnitudes — documented
-// in EXPERIMENTS.md.
-#include <atomic>
+// a per-request stack/network service cost per system
+// (netsim::service_costs::for_mechanism) sized so the saturation knees land
+// at the paper's magnitudes — documented in EXPERIMENTS.md.
+//
+// Run: ./build/bench/fig5_throughput_latency [mechanism...]
+//      (default: xsearch peas tor; any registered name works)
 #include <cstdio>
-#include <memory>
-#include <mutex>
+#include <map>
+#include <string>
 #include <vector>
 
-#include "baselines/peas/peas.hpp"
-#include "baselines/tor/tor.hpp"
+#include "api/client.hpp"
+#include "api/load_driver.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "loadgen/loadgen.hpp"
 #include "netsim/netsim.hpp"
-#include "sgx/attestation.hpp"
-#include "xsearch/broker.hpp"
-#include "xsearch/proxy.hpp"
 
 namespace {
 
@@ -34,32 +40,10 @@ using namespace xsearch;  // NOLINT
 
 constexpr std::size_t kWorkers = 4;
 
-/// Hands each load-generator worker thread its own client (brokers and
-/// baseline clients keep per-session state and are not thread-safe).
-template <typename Client>
-class ClientPool {
- public:
-  explicit ClientPool(std::vector<std::unique_ptr<Client>> clients)
-      : clients_(std::move(clients)) {}
-
-  Client& acquire() {
-    thread_local Client* mine = nullptr;
-    if (mine == nullptr) {
-      const std::size_t idx = next_.fetch_add(1) % clients_.size();
-      mine = clients_[idx].get();
-    }
-    return *mine;
-  }
-
- private:
-  std::vector<std::unique_ptr<Client>> clients_;
-  std::atomic<std::size_t> next_{0};
-};
-
-void print_row(const char* system, const loadgen::LoadReport& report) {
-  std::printf("%-10s %10.0f %12.1f %10.3f %10.3f %10.3f %8llu\n", system,
-              report.offered_rps, report.achieved_rps, report.mean_ms(),
-              report.p50_ms(), report.p99_ms(),
+void print_row(const std::string& system, const loadgen::LoadReport& report) {
+  std::printf("%-10s %10.0f %12.1f %10.3f %10.3f %10.3f %8llu\n",
+              system.c_str(), report.offered_rps, report.achieved_rps,
+              report.mean_ms(), report.p50_ms(), report.p99_ms(),
               static_cast<unsigned long long>(report.dropped));
 }
 
@@ -67,99 +51,70 @@ loadgen::LoadConfig config_for(double rps) {
   loadgen::LoadConfig config;
   config.target_rps = rps;
   config.duration = 400 * kMilli;
-  config.workers = kWorkers;
   return config;
+}
+
+/// Offered-rate grids bracketing each system's saturation knee.
+const std::vector<double>& rate_grid(const std::string& mechanism) {
+  static const std::map<std::string, std::vector<double>> grids = {
+      {"xsearch", {1000.0, 5000.0, 10000.0, 15000.0, 20000.0, 24000.0,
+                   27000.0, 30000.0}},
+      {"peas", {100.0, 300.0, 600.0, 800.0, 1000.0, 1200.0, 1500.0}},
+      {"tor", {10.0, 25.0, 50.0, 75.0, 100.0, 120.0, 150.0}},
+  };
+  static const std::vector<double> generic = {1000.0, 5000.0, 10000.0,
+                                              20000.0, 40000.0};
+  const auto it = grids.find(mechanism);
+  return it != grids.end() ? it->second : generic;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("# Figure 5: latency vs offered throughput (proxy saturation)\n");
-  std::printf("%-10s %10s %12s %10s %10s %10s %8s\n", "system", "offered",
-              "achieved", "mean_ms", "p50_ms", "p99_ms", "dropped");
+
+  std::vector<std::string> mechanisms = {"xsearch", "peas", "tor"};
+  if (argc > 1) mechanisms.assign(argv + 1, argv + argc);
 
   const auto bed = bench::make_testbed(
       {.num_users = 100, .total_queries = 10'000, .num_documents = 100});
-
   const std::string sample_query = bed->split.test.records()[0].text;
 
-  // ---- X-Search proxy in reply-immediately mode -------------------------------
-  {
-    sgx::AttestationAuthority authority(to_bytes("bench-root"));
-    core::XSearchProxy::Options options;
-    options.contact_engine = false;
-    options.k = 3;
-    options.history_capacity = 100'000;
-    core::XSearchProxy proxy(nullptr, authority, options);
+  std::printf("%-10s %10s %12s %10s %10s %10s %8s\n", "system", "offered",
+              "achieved", "mean_ms", "p50_ms", "p99_ms", "dropped");
 
-    std::vector<std::unique_ptr<core::ClientBroker>> brokers;
-    for (std::size_t i = 0; i < kWorkers; ++i) {
-      brokers.push_back(std::make_unique<core::ClientBroker>(
-          proxy, authority, proxy.measurement(), 100 + i));
-      (void)brokers.back()->connect();
+  std::uint64_t seed = 100;
+  for (const auto& name : mechanisms) {
+    api::ClientConfig config;
+    config.contact_engine = false;  // reply-immediately saturation mode
+    config.k = 3;
+    config.top_k = 20;
+    config.history_capacity = 100'000;
+    config.batch_workers = kWorkers;
+    config.seed = seed += 100;
+    config.stack_cost_per_request =
+        netsim::service_costs::for_mechanism(name).cost_per_request;
+
+    api::Backend backend;  // no engine: proxies answer without retrieval
+    backend.fake_source = &bed->split.train;
+
+    auto client = api::make_client(name, backend, config);
+    if (!client.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   client.status().to_string().c_str());
+      continue;
     }
-    ClientPool<core::ClientBroker> pool(std::move(brokers));
-    const auto cost = netsim::service_costs::xsearch_proxy();
-
-    for (const double rps : {1000.0, 5000.0, 10000.0, 15000.0, 20000.0, 24000.0,
-                             27000.0, 30000.0}) {
-      const auto report = loadgen::run_open_loop(
-          [&] {
-            cost.charge();
-            (void)pool.acquire().search(sample_query);
-          },
-          config_for(rps));
-      print_row("X-Search", report);
+    if (const auto status = client.value()->connect(); !status.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(), status.to_string().c_str());
+      continue;
     }
-  }
 
-  // ---- PEAS two-proxy chain -----------------------------------------------------
-  {
-    baselines::peas::FakeQueryGenerator fakes(bed->split.train);
-    baselines::peas::PeasIssuer issuer(nullptr, 7);
-    baselines::peas::PeasReceiver receiver(issuer);
-
-    std::vector<std::unique_ptr<baselines::peas::PeasClient>> clients;
-    for (std::size_t i = 0; i < kWorkers; ++i) {
-      clients.push_back(std::make_unique<baselines::peas::PeasClient>(
-          static_cast<std::uint32_t>(i), receiver, issuer.public_key(), fakes, 3,
-          200 + i));
+    for (const double rps : rate_grid(name)) {
+      const auto report = api::run_open_loop_batch(
+          *client.value(), [&] { return sample_query; }, config_for(rps));
+      print_row(name, report);
     }
-    ClientPool<baselines::peas::PeasClient> pool(std::move(clients));
-    const auto cost = netsim::service_costs::peas_chain();
-
-    for (const double rps : {100.0, 300.0, 600.0, 800.0, 1000.0, 1200.0, 1500.0}) {
-      const auto report = loadgen::run_open_loop(
-          [&] {
-            cost.charge();
-            (void)pool.acquire().search(sample_query);
-          },
-          config_for(rps));
-      print_row("PEAS", report);
-    }
-  }
-
-  // ---- Tor circuit ------------------------------------------------------------------
-  {
-    baselines::tor::TorRelay entry(1), middle(2), exit(3);
-    std::vector<std::unique_ptr<baselines::tor::TorClient>> clients;
-    for (std::size_t i = 0; i < kWorkers; ++i) {
-      clients.push_back(std::make_unique<baselines::tor::TorClient>(
-          std::vector<baselines::tor::TorRelay*>{&entry, &middle, &exit}, nullptr,
-          300 + i));
-    }
-    ClientPool<baselines::tor::TorClient> pool(std::move(clients));
-    const auto cost = netsim::service_costs::tor_circuit();
-
-    for (const double rps : {10.0, 25.0, 50.0, 75.0, 100.0, 120.0, 150.0}) {
-      const auto report = loadgen::run_open_loop(
-          [&] {
-            cost.charge();
-            (void)pool.acquire().search(sample_query);
-          },
-          config_for(rps));
-      print_row("Tor", report);
-    }
+    client.value()->close();
   }
 
   std::printf("\n# paper: X-Search ~25k req/s sub-second; PEAS ~1k; Tor ~100\n");

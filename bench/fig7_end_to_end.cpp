@@ -1,125 +1,107 @@
 // Figure 7 — CDF of user-perceived web-search round-trip time for 100
-// queries: Direct, X-Search (k=3) and Tor.
+// queries per mechanism.
 //
 // Paper numbers (§6.3, measured May 2017): X-Search median 0.577 s /
-// p99 0.873 s; Tor median 1.06 s / p99 up to ~3 s; Direct fastest.
+// p99 0.873 s; Tor median 1.06 s / p99 up to ~3 s; Direct fastest. The
+// paper plots Direct, X-Search and Tor; through the unified API the same
+// harness also covers TrackMeNot and PEAS (pass names on the command line
+// to choose).
 //
-// Composition per request = (calibrated WAN link samples, netsim/) +
-// (measured wall-clock of the system's real compute path: channel crypto,
-// obfuscation, engine retrieval, filtering, onion layers). The WAN part is
-// a model; the compute part is executed and timed.
+// Composition per request = (calibrated WAN link samples,
+// netsim::wan::sample_search_rtt) + (measured wall-clock of the system's
+// real compute path: channel crypto, obfuscation, engine retrieval,
+// filtering, onion layers). The WAN part is a model; the compute part is
+// executed and timed.
+//
+// Run: ./build/bench/fig7_end_to_end [mechanism...]
 #include <algorithm>
 #include <cstdio>
+#include <string>
 #include <vector>
 
-#include "baselines/direct/direct.hpp"
-#include "baselines/tor/tor.hpp"
+#include "api/client.hpp"
+#include "api/registry.hpp"
 #include "bench_common.hpp"
 #include "common/clock.hpp"
 #include "netsim/netsim.hpp"
-#include "sgx/attestation.hpp"
-#include "xsearch/broker.hpp"
-#include "xsearch/proxy.hpp"
 
 namespace {
 
 using namespace xsearch;  // NOLINT
 
-void print_cdf(const char* name, std::vector<double>& seconds) {
+void print_cdf(const std::string& name, std::vector<double>& seconds) {
   std::sort(seconds.begin(), seconds.end());
   auto at = [&](double q) {
     const auto idx = static_cast<std::size_t>(
         q * static_cast<double>(seconds.size() - 1) + 0.5);
     return seconds[std::min(idx, seconds.size() - 1)];
   };
-  std::printf("%-10s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n", name, at(0.10),
-              at(0.25), at(0.50), at(0.75), at(0.90), at(0.99), seconds.back());
+  std::printf("%-10s %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f %8.3f\n",
+              name.c_str(), at(0.10), at(0.25), at(0.50), at(0.75), at(0.90),
+              at(0.99), seconds.back());
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   std::printf("# Figure 7: end-to-end search RTT CDF, 100 queries per system\n");
   const auto bed = bench::make_testbed();
   constexpr std::size_t kQueries = 100;  // paper: 100 (Bing rate limits)
   Rng net_rng(0xf17);
 
+  std::vector<std::string> mechanisms = {"direct", "xsearch", "tor"};
+  if (argc > 1) mechanisms.assign(argv + 1, argv + argc);
+
   std::vector<std::string> queries;
   for (std::size_t i = 0; i < kQueries; ++i) {
     queries.push_back(bed->split.test.records()[i * 29 % bed->split.test.size()].text);
   }
-
-  const auto engine_link = netsim::links::engine_processing();
-  const auto c2e = netsim::links::client_to_engine();
-  const auto c2p = netsim::links::client_to_proxy();
-  const auto p2e = netsim::links::proxy_to_engine();
-  const auto tor_hop = netsim::links::tor_hop();
-
-  // ---- Direct -------------------------------------------------------------------
-  std::vector<double> direct_rtt;
-  {
-    baselines::direct::DirectClient client(*bed->engine);
-    for (const auto& q : queries) {
-      const Nanos t0 = wall_now();
-      (void)client.search(q, 20);
-      const Nanos compute = wall_now() - t0;
-      const Nanos total = c2e.sample(net_rng) * 2 + engine_link.sample(net_rng) + compute;
-      direct_rtt.push_back(static_cast<double>(total) / static_cast<double>(kSecond));
-    }
+  // Warm-up stream: other users' traffic, so obfuscating mechanisms draw
+  // real decoys (§5.1 methodology).
+  std::vector<std::string> warm;
+  for (std::size_t i = 0; i < 200; ++i) {
+    warm.push_back(bed->split.train.records()[i * 13 % bed->split.train.size()].text);
   }
 
-  // ---- X-Search (k=3) --------------------------------------------------------------
-  std::vector<double> xsearch_rtt;
-  {
-    sgx::AttestationAuthority authority(to_bytes("bench-root"));
-    core::XSearchProxy::Options options;
-    options.k = 3;
-    options.history_capacity = 200'000;
-    core::XSearchProxy proxy(bed->engine.get(), authority, options);
-    core::ClientBroker broker(proxy, authority, proxy.measurement(), 77);
-    // Warm the history so obfuscation uses real decoys.
-    for (std::size_t i = 0; i < 200; ++i) {
-      (void)broker.search(bed->split.train.records()[i * 13 %
-                                                     bed->split.train.size()].text);
+  std::printf("%-10s %8s %8s %8s %8s %8s %8s %8s\n", "system", "p10", "p25",
+              "p50", "p75", "p90", "p99", "max");
+
+  std::uint64_t seed = 7;
+  for (const auto& name : mechanisms) {
+    api::ClientConfig config;
+    config.k = 3;
+    config.top_k = 20;
+    config.history_capacity = 200'000;
+    config.seed = seed += 70;
+
+    api::Backend backend;
+    backend.engine = bed->engine.get();
+    backend.fake_source = &bed->split.train;
+
+    auto client = api::make_client(name, backend, config);
+    if (!client.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   client.status().to_string().c_str());
+      continue;
+    }
+    if (const auto status = client.value()->prime(warm); !status.is_ok()) {
+      std::fprintf(stderr, "%s: prime: %s\n", name.c_str(),
+                   status.to_string().c_str());
+      continue;
     }
 
-    // The engine evaluates the k+1 sub-queries of the OR query (§5.3.2
-    // methodology), so its processing share grows mildly with k.
-    const double or_query_factor = 1.0 + 0.04 * static_cast<double>(options.k + 1);
+    std::vector<double> rtt;
+    rtt.reserve(kQueries);
     for (const auto& q : queries) {
       const Nanos t0 = wall_now();
-      (void)broker.search(q);
+      (void)client.value()->search(q);
       const Nanos compute = wall_now() - t0;
-      // client->proxy->engine->proxy->client; the OR query is one request.
       const Nanos total =
-          c2p.sample(net_rng) * 2 + p2e.sample(net_rng) * 2 +
-          static_cast<Nanos>(or_query_factor *
-                             static_cast<double>(engine_link.sample(net_rng))) +
-          compute;
-      xsearch_rtt.push_back(static_cast<double>(total) / static_cast<double>(kSecond));
+          compute + netsim::wan::sample_search_rtt(name, config.k, net_rng);
+      rtt.push_back(static_cast<double>(total) / static_cast<double>(kSecond));
     }
+    print_cdf(name, rtt);
   }
-
-  // ---- Tor ---------------------------------------------------------------------------
-  std::vector<double> tor_rtt;
-  {
-    baselines::tor::TorRelay entry(1), middle(2), exit(3);
-    baselines::tor::TorClient client({&entry, &middle, &exit}, bed->engine.get(), 11);
-    for (const auto& q : queries) {
-      const Nanos t0 = wall_now();
-      (void)client.search(q, 20);
-      const Nanos compute = wall_now() - t0;
-      Nanos total = compute + engine_link.sample(net_rng);
-      for (int hop = 0; hop < 6; ++hop) total += tor_hop.sample(net_rng);  // 3 each way
-      tor_rtt.push_back(static_cast<double>(total) / static_cast<double>(kSecond));
-    }
-  }
-
-  std::printf("%-10s %8s %8s %8s %8s %8s %8s %8s\n", "system", "p10", "p25", "p50",
-              "p75", "p90", "p99", "max");
-  print_cdf("Direct", direct_rtt);
-  print_cdf("X-Search", xsearch_rtt);
-  print_cdf("Tor", tor_rtt);
 
   std::printf("\n# paper: X-Search median 0.577s p99 0.873s; Tor median 1.06s p99 ~3s\n");
   return 0;

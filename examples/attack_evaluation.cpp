@@ -2,18 +2,26 @@
 //
 // Reproduces the paper's privacy experiment (§6.1) end to end at small
 // scale: train SimAttack profiles on the historical queries of the most
-// active users, then attack live X-Search traffic and report how often the
-// honest-but-curious engine re-identifies (user, query) pairs — compared
-// with attacking unprotected traffic.
+// active users, then attack live traffic and report how often the
+// honest-but-curious engine re-identifies (user, query) pairs — comparing
+// X-Search traffic against unprotected traffic.
+//
+// Both traffic streams are produced through the unified client API
+// ("direct" vs "xsearch"), and the adversary observes exactly what the
+// engine observes — its query observation hook — rather than being handed
+// the obfuscator's internals.
 //
 // Run: ./build/examples/attack_evaluation
 #include <cstdio>
+#include <string>
+#include <vector>
 
+#include "api/client.hpp"
+#include "api/registry.hpp"
 #include "attack/simattack.hpp"
-#include "common/rng.hpp"
 #include "dataset/synthetic.hpp"
-#include "xsearch/history.hpp"
-#include "xsearch/obfuscator.hpp"
+#include "engine/corpus.hpp"
+#include "engine/search_engine.hpp"
 
 using namespace xsearch;  // NOLINT
 
@@ -30,11 +38,35 @@ int main() {
 
   attack::SimAttack adversary(split.train);
 
-  // X-Search proxy state: history warmed with the training stream.
-  core::QueryHistory history(100'000);
-  for (const auto& r : split.train.records()) history.add(r.text);
-  core::Obfuscator obfuscator(history, /*k=*/3);
-  Rng rng(7);
+  // The engine the two clients talk to, with the adversary listening.
+  engine::Corpus corpus(log, engine::CorpusConfig{.num_documents = 3'000});
+  engine::SearchEngine search_engine(corpus);
+  std::vector<std::string> observed;
+  search_engine.set_observer(
+      [&observed](std::string_view q) { observed.emplace_back(q); });
+
+  api::Backend backend;
+  backend.engine = &search_engine;
+  backend.fake_source = &split.train;
+
+  api::ClientConfig client_config;
+  client_config.k = 3;
+  client_config.top_k = 20;
+  client_config.history_capacity = 100'000;
+  client_config.seed = 7;
+
+  auto unprotected = api::make_client("direct", backend, client_config);
+  auto xsearch_client = api::make_client("xsearch", backend, client_config);
+  if (!unprotected.is_ok() || !xsearch_client.is_ok()) {
+    std::fprintf(stderr, "client setup failed\n");
+    return 1;
+  }
+
+  // X-Search proxy state: history warmed with the training stream (§5.1).
+  std::vector<std::string> warm;
+  warm.reserve(split.train.size());
+  for (const auto& r : split.train.records()) warm.push_back(r.text);
+  (void)xsearch_client.value()->prime(warm);
 
   constexpr std::size_t kQueries = 300;
   std::size_t reid_plain = 0, reid_xsearch = 0, decoy_hits = 0;
@@ -42,18 +74,24 @@ int main() {
     const auto& record = split.test.records()[i * 31 % split.test.size()];
 
     // Unprotected traffic: the engine sees the raw query.
-    if (const auto id = adversary.attack({record.text});
-        id && id->user == record.user) {
-      ++reid_plain;
+    observed.clear();
+    if (unprotected.value()->search(record.text).is_ok() && !observed.empty()) {
+      if (const auto id = adversary.attack({observed.front()});
+          id && id->user == record.user) {
+        ++reid_plain;
+      }
     }
 
-    // X-Search traffic: the engine sees k+1 sub-queries.
-    const auto obf = obfuscator.obfuscate(record.text, rng);
-    if (const auto id = adversary.attack(obf.sub_queries)) {
-      if (id->user == record.user && id->query == record.text) {
-        ++reid_xsearch;
-      } else {
-        ++decoy_hits;  // the adversary confidently picked a decoy
+    // X-Search traffic: the engine sees one OR query of k+1 sub-queries.
+    observed.clear();
+    if (xsearch_client.value()->search(record.text).is_ok() && !observed.empty()) {
+      if (const auto id =
+              adversary.attack(attack::split_or_query(observed.front()))) {
+        if (id->user == record.user && id->query == record.text) {
+          ++reid_xsearch;
+        } else {
+          ++decoy_hits;  // the adversary confidently picked a decoy
+        }
       }
     }
   }

@@ -1,34 +1,40 @@
 // Baseline comparison: the same query through every system.
 //
-// Runs one query through Direct, Tor, PEAS and X-Search against the same
-// simulated engine, and prints (a) what the search engine observes in each
-// case and (b) what the user gets back — a compact demonstration of the
+// Runs one query through every mechanism registered in the
+// MechanismRegistry — Direct, TrackMeNot, Tor, PEAS and X-Search — against
+// the same simulated engine, and prints (a) what the search engine observes
+// in each case, (b) what the user gets back, and (c) the mechanism's
+// self-reported privacy properties — a compact demonstration of the
 // privacy/functionality trade-off the paper's §2 taxonomy describes.
+//
+// No mechanism-specific code: each client is built by name through the
+// unified API, so a sixth registered mechanism would appear here
+// automatically.
 //
 // Run: ./build/examples/baseline_comparison
 #include <cstdio>
 #include <string>
 #include <vector>
 
-#include "baselines/direct/direct.hpp"
-#include "baselines/peas/peas.hpp"
-#include "baselines/tor/tor.hpp"
+#include "api/client.hpp"
+#include "api/registry.hpp"
 #include "dataset/synthetic.hpp"
 #include "engine/corpus.hpp"
 #include "engine/search_engine.hpp"
-#include "sgx/attestation.hpp"
-#include "xsearch/broker.hpp"
-#include "xsearch/proxy.hpp"
 
 using namespace xsearch;  // NOLINT
 
 namespace {
 
-void show(const char* system, const std::vector<std::string>& engine_saw,
-          std::size_t result_count) {
-  std::printf("%-9s -> engine observed:\n", system);
+void show(const std::string& system, const api::PrivacyProperties& props,
+          const std::vector<std::string>& engine_saw, std::size_t result_count) {
+  std::printf("%-9s -> engine observed:\n", system.c_str());
   for (const auto& q : engine_saw) std::printf("             \"%s\"\n", q.c_str());
-  std::printf("             user received %zu results\n\n", result_count);
+  std::printf("             user received %zu results\n", result_count);
+  std::printf("             identity %s, query %s, k=%zu — trust: %s\n\n",
+              props.identity_exposed ? "EXPOSED" : "hidden",
+              props.query_exposed ? "EXPOSED" : "hidden", props.k,
+              props.trust_assumption.c_str());
 }
 
 }  // namespace
@@ -49,53 +55,44 @@ int main() {
   const std::string query = log.records()[4'242].text;
   std::printf("the user's query: \"%s\"\n\n", query.c_str());
 
-  // --- Direct ---------------------------------------------------------------
-  {
-    observed.clear();
-    baselines::direct::DirectClient client(search_engine);
-    const auto results = client.search(query);
-    show("Direct", observed, results.size());
+  // Warm-up stream: other users' traffic, so obfuscating mechanisms have
+  // real decoys to draw from.
+  std::vector<std::string> warm;
+  for (std::size_t i = 0; i < 50; ++i) {
+    warm.push_back(log.records()[i * 101 % log.size()].text);
   }
 
-  // --- Tor -------------------------------------------------------------------
-  {
-    observed.clear();
-    baselines::tor::TorRelay entry(1), middle(2), exit(3);
-    baselines::tor::TorClient client({&entry, &middle, &exit}, &search_engine, 5);
-    const auto results = client.search(query);
-    show("Tor", observed, results.is_ok() ? results.value().size() : 0);
-  }
+  api::Backend backend;
+  backend.engine = &search_engine;
+  backend.fake_source = &log;
 
-  // --- PEAS ------------------------------------------------------------------
-  {
-    observed.clear();
-    baselines::peas::FakeQueryGenerator fakes(log);
-    baselines::peas::PeasIssuer issuer(&search_engine, 7);
-    baselines::peas::PeasReceiver receiver(issuer);
-    baselines::peas::PeasClient client(1, receiver, issuer.public_key(), fakes,
-                                       /*k=*/3, /*seed=*/11);
-    const auto results = client.search(query);
-    show("PEAS", observed, results.is_ok() ? results.value().size() : 0);
-  }
+  std::uint64_t seed = 1;
+  for (const auto& name : api::MechanismRegistry::instance().mechanism_names()) {
+    api::ClientConfig config;
+    config.k = 3;
+    config.top_k = 20;
+    config.seed = seed += 2;
 
-  // --- X-Search -----------------------------------------------------------------
-  {
-    sgx::AttestationAuthority intel(to_bytes("simulated-intel-epid-root"));
-    core::XSearchProxy::Options options;
-    options.k = 3;
-    core::XSearchProxy proxy(&search_engine, intel, options);
-    core::ClientBroker broker(proxy, intel, proxy.measurement(), 13);
-    // Warm the proxy with other users' traffic, then ask.
-    for (std::size_t i = 0; i < 50; ++i) {
-      (void)broker.search(log.records()[i * 101 % log.size()].text);
+    auto client = api::make_client(name, backend, config);
+    if (!client.is_ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   client.status().to_string().c_str());
+      continue;
     }
+    (void)client.value()->prime(warm);
+    // X-Search additionally records searched queries into its history; give
+    // every mechanism the same preceding traffic for a fair comparison.
+    for (const auto& w : warm) (void)client.value()->search(w);
+
     observed.clear();
-    const auto results = broker.search(query);
-    show("X-Search", observed, results.is_ok() ? results.value().size() : 0);
+    const auto results = client.value()->search(query);
+    show(name, client.value()->privacy_properties(), observed,
+         results.is_ok() ? results.value().size() : 0);
   }
 
-  std::printf("Direct/Tor expose the full query (Tor hides only the IP).\n");
-  std::printf("PEAS hides it among synthetic fakes; X-Search hides it among\n");
-  std::printf("real past queries and additionally resists colluding proxies.\n");
+  std::printf("Direct/TrackMeNot/Tor expose the full query (Tor hides only the\n");
+  std::printf("IP; TrackMeNot's RSS decoys are separable). PEAS hides it among\n");
+  std::printf("synthetic fakes; X-Search hides it among real past queries and\n");
+  std::printf("additionally resists colluding proxies.\n");
   return 0;
 }

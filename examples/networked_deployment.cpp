@@ -1,20 +1,23 @@
 // Networked deployment: the proxy as a real TCP server.
 //
 // Starts an X-Search ProxyServer on a loopback port (the untrusted host
-// process of a cloud deployment) and drives it with RemoteBrokers — the
-// per-user local daemons of §4.2 — over actual sockets. Also demonstrates
-// the sealed-history checkpoint: the proxy "restarts" and restores its
-// decoy table without the host ever seeing a plaintext query.
+// process of a cloud deployment) and drives it through the unified client
+// API: api::make_remote_client wraps the per-user local daemon of §4.2,
+// speaking the framed protocol over actual sockets — the same
+// PrivateSearchClient surface as every in-process mechanism. Also
+// demonstrates the sealed-history checkpoint: the proxy "restarts" and
+// restores its decoy table without the host ever seeing a plaintext query.
 //
 // Run: ./build/examples/networked_deployment
 #include <cstdio>
 #include <filesystem>
 
+#include "api/client.hpp"
+#include "api/remote.hpp"
 #include "dataset/synthetic.hpp"
 #include "engine/corpus.hpp"
 #include "engine/search_engine.hpp"
 #include "net/proxy_server.hpp"
-#include "net/remote_broker.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/checkpoint.hpp"
 #include "xsearch/proxy.hpp"
@@ -32,9 +35,14 @@ int main() {
   sgx::AttestationAuthority intel(to_bytes("simulated-intel-epid-root"));
   core::XSearchProxy::Options options;
   options.k = 3;
-  core::XSearchProxy proxy(&search_engine, intel, options);
+  auto proxy = core::XSearchProxy::create(&search_engine, intel, options);
+  if (!proxy.is_ok()) {
+    std::fprintf(stderr, "proxy config rejected: %s\n",
+                 proxy.status().to_string().c_str());
+    return 1;
+  }
 
-  auto server = net::ProxyServer::start(proxy);
+  auto server = net::ProxyServer::start(*proxy.value());
   if (!server) {
     std::fprintf(stderr, "server start failed: %s\n",
                  server.status().to_string().c_str());
@@ -42,22 +50,29 @@ int main() {
   }
   std::printf("proxy server listening on 127.0.0.1:%u\n", server.value()->port());
 
-  // Two independent users, each with their own attested broker.
-  net::RemoteBroker alice("127.0.0.1", server.value()->port(), intel,
-                          proxy.measurement(), 1);
-  net::RemoteBroker bob("127.0.0.1", server.value()->port(), intel,
-                        proxy.measurement(), 2);
+  // Two independent users, each an attested PrivateSearchClient over TCP.
+  api::ClientConfig alice_config;
+  alice_config.k = options.k;
+  alice_config.seed = 1;
+  api::ClientConfig bob_config = alice_config;
+  bob_config.seed = 2;
+  const auto alice = api::make_remote_client("127.0.0.1", server.value()->port(),
+                                             intel, proxy.value()->measurement(),
+                                             alice_config);
+  const auto bob = api::make_remote_client("127.0.0.1", server.value()->port(),
+                                           intel, proxy.value()->measurement(),
+                                           bob_config);
 
   for (std::size_t i = 0; i < 15; ++i) {
-    (void)alice.search(log.records()[i * 11].text);
-    (void)bob.search(log.records()[i * 13].text);
+    (void)alice->search(log.records()[i * 11].text);
+    (void)bob->search(log.records()[i * 13].text);
   }
-  const auto results = alice.search(log.records()[999].text);
+  const auto results = alice->search(log.records()[999].text);
   std::printf("alice's query over TCP: %s, %zu results\n",
               results.is_ok() ? "ok" : results.status().to_string().c_str(),
               results.is_ok() ? results.value().size() : 0);
   std::printf("history table now holds %zu queries (%zu bytes of EPC)\n",
-              proxy.history_size(), proxy.history_memory_bytes());
+              proxy.value()->history_size(), proxy.value()->history_memory_bytes());
 
   // --- Sealed checkpoint across a "restart". ---------------------------------
   // The seal/restore path runs inside the enclave; the host only ever

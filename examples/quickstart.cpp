@@ -2,21 +2,26 @@
 // private web search.
 //
 //   1. build a synthetic query log and a search engine over a matching corpus;
-//   2. launch an X-Search proxy inside a (simulated) SGX enclave;
-//   3. attest the enclave from a client broker and open a secure channel;
+//   2. ask the MechanismRegistry for an "xsearch" client — behind the one
+//      call, a proxy boots inside a (simulated) SGX enclave;
+//   3. connect — the client broker attests the enclave and opens the secure
+//      channel;
 //   4. search — the engine only ever sees an obfuscated OR query, and the
-//      broker receives filtered, analytics-scrubbed results.
+//      user receives filtered, analytics-scrubbed results.
+//
+// Swapping "xsearch" for "direct", "tmn", "tor" or "peas" runs the same
+// program over any other mechanism — the API is the same.
 //
 // Run: ./build/examples/quickstart [query words...]
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "api/client.hpp"
+#include "api/registry.hpp"
 #include "dataset/synthetic.hpp"
 #include "engine/corpus.hpp"
 #include "engine/search_engine.hpp"
-#include "sgx/attestation.hpp"
-#include "xsearch/broker.hpp"
-#include "xsearch/proxy.hpp"
 
 using namespace xsearch;  // NOLINT
 
@@ -33,17 +38,25 @@ int main(int argc, char** argv) {
     std::printf("  [engine sees]  %.*s\n", static_cast<int>(q.size()), q.data());
   });
 
-  // --- 2. The X-Search proxy on an "untrusted cloud host". ------------------
-  sgx::AttestationAuthority intel(to_bytes("simulated-intel-epid-root"));
-  core::XSearchProxy::Options options;
-  options.k = 3;  // three fake queries per real one
-  core::XSearchProxy proxy(&search_engine, intel, options);
-  std::printf("proxy enclave measurement: %s...\n",
-              hex_encode(ByteSpan(proxy.measurement().data(), 8)).c_str());
+  // --- 2. An X-Search client, by name. ---------------------------------------
+  api::Backend backend;
+  backend.engine = &search_engine;
+  backend.fake_source = &log;
 
-  // --- 3. Client broker: attest, then connect. -------------------------------
-  core::ClientBroker broker(proxy, intel, proxy.measurement(), /*seed=*/1);
-  if (const auto status = broker.connect(); !status.is_ok()) {
+  api::ClientConfig config;
+  config.k = 3;  // three fake queries per real one
+  config.top_k = 20;
+  config.seed = 1;
+
+  auto client = api::make_client("xsearch", backend, config);
+  if (!client.is_ok()) {
+    std::fprintf(stderr, "client setup failed: %s\n",
+                 client.status().to_string().c_str());
+    return 1;
+  }
+
+  // --- 3. Connect: attestation + secure channel. -----------------------------
+  if (const auto status = client.value()->connect(); !status.is_ok()) {
     std::fprintf(stderr, "attestation failed: %s\n", status.to_string().c_str());
     return 1;
   }
@@ -51,9 +64,11 @@ int main(int argc, char** argv) {
 
   // Warm the proxy history so the obfuscator has decoys (in production the
   // proxy is warm from other users' traffic).
+  std::vector<std::string> warm;
   for (std::size_t i = 0; i < 50; ++i) {
-    (void)broker.search(log.records()[i * 97 % log.size()].text);
+    warm.push_back(log.records()[i * 97 % log.size()].text);
   }
+  (void)client.value()->prime(warm);
 
   // --- 4. A private search. ---------------------------------------------------
   std::string query;
@@ -64,7 +79,7 @@ int main(int argc, char** argv) {
   if (query.empty()) query = log.records()[12'345].text;
 
   std::printf("[user asks]    %s\n", query.c_str());
-  const auto results = broker.search(query);
+  const auto results = client.value()->search(query);
   if (!results.is_ok()) {
     std::fprintf(stderr, "search failed: %s\n", results.status().to_string().c_str());
     return 1;
@@ -76,8 +91,16 @@ int main(int argc, char** argv) {
     std::printf("  %2zu. %s\n      %s\n", rank++, r.title.c_str(), r.url.c_str());
     if (rank > 10) break;
   }
+
+  const auto props = client.value()->privacy_properties();
+  std::printf("\nprivacy properties of \"%s\": identity %s, query %s, k=%zu\n"
+              "trust: %s\n",
+              props.mechanism.c_str(),
+              props.identity_exposed ? "exposed" : "hidden",
+              props.query_exposed ? "exposed" : "hidden", props.k,
+              props.trust_assumption.c_str());
   std::printf("\nnote: the engine line above shows the OR query — the real query\n"
               "is hidden among %zu decoys drawn from other users' past queries.\n",
-              proxy.options().k);
+              props.k);
   return 0;
 }

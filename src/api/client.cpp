@@ -1,0 +1,256 @@
+#include "api/client.hpp"
+
+#include <condition_variable>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "common/thread_pool.hpp"
+#include "netsim/netsim.hpp"
+
+namespace xsearch::api {
+
+// Batch machinery: a thread pool whose lanes are sibling clients sharing
+// the primary's backend, plus the ticket ledger. Workers and lanes are
+// matched 1:1 in count, so round-robin lane selection keeps collisions
+// (two tasks serializing on one sibling) transient.
+struct PrivateSearchClient::AsyncEngine {
+  std::vector<ClientPtr> siblings;
+  std::vector<PrivateSearchClient*> lanes;  // sibling or the primary itself
+  std::unique_ptr<ThreadPool> pool;
+  std::atomic<std::size_t> next_lane{0};
+
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  std::unordered_map<Ticket, SearchOutcome> done;
+  std::unordered_set<Ticket> inflight;
+  Ticket next_ticket = 1;
+};
+
+PrivateSearchClient::PrivateSearchClient(ClientConfig config)
+    : config_(config) {}
+
+PrivateSearchClient::~PrivateSearchClient() { shutdown_async(); }
+
+Status PrivateSearchClient::connect() {
+  std::lock_guard lock(sync_mutex_);
+  const Status status = do_connect();
+  if (status.is_ok()) connects_.fetch_add(1, std::memory_order_relaxed);
+  return status;
+}
+
+void PrivateSearchClient::close() {
+  shutdown_async();
+  std::lock_guard lock(sync_mutex_);
+  do_close();
+}
+
+Result<SearchResults> PrivateSearchClient::search(std::string_view query) {
+  return search(query, 0);
+}
+
+Result<SearchResults> PrivateSearchClient::search(std::string_view query,
+                                                  std::size_t top_k) {
+  std::lock_guard lock(sync_mutex_);
+  if (!connected()) {
+    XS_RETURN_IF_ERROR(do_connect());
+    connects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  if (config_.stack_cost_per_request > 0) {
+    netsim::busy_wait(config_.stack_cost_per_request);
+  }
+  auto result = do_search(query, resolve_top_k(top_k));
+  searches_.fetch_add(1, std::memory_order_relaxed);
+  if (!result.is_ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Status PrivateSearchClient::prime(const std::vector<std::string>&) {
+  return Status::ok();
+}
+
+std::unique_ptr<PrivateSearchClient> PrivateSearchClient::spawn_sibling(
+    std::uint64_t) {
+  return nullptr;
+}
+
+Stats PrivateSearchClient::stats() const {
+  Stats out;
+  out.connects = connects_.load(std::memory_order_relaxed);
+  out.searches = searches_.load(std::memory_order_relaxed);
+  out.failures = failures_.load(std::memory_order_relaxed);
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.completed = completed_.load(std::memory_order_relaxed);
+  return out;
+}
+
+PrivateSearchClient::AsyncEngine& PrivateSearchClient::async() {
+  std::lock_guard lock(async_init_mutex_);
+  if (!async_) {
+    auto engine = std::make_unique<AsyncEngine>();
+    const std::size_t workers = config_.batch_workers == 0 ? 1 : config_.batch_workers;
+    for (std::size_t i = 0; i < workers; ++i) {
+      auto sibling = spawn_sibling(config_.seed + 1000 + i);
+      if (sibling) {
+        // Connect eagerly, while lane setup is still serial: some mechanisms
+        // mutate shared backend state on session establishment (Tor circuit
+        // extension), which must not race with other lanes' searches.
+        (void)sibling->connect();
+        engine->lanes.push_back(sibling.get());
+        engine->siblings.push_back(std::move(sibling));
+      } else {
+        engine->lanes.push_back(this);
+      }
+    }
+    engine->pool =
+        std::make_unique<ThreadPool>(workers, config_.batch_queue_capacity);
+    async_ = std::move(engine);
+  }
+  return *async_;
+}
+
+PrivateSearchClient::AsyncEngine* PrivateSearchClient::async_if_built() {
+  std::lock_guard lock(async_init_mutex_);
+  return async_.get();
+}
+
+void PrivateSearchClient::shutdown_async() {
+  std::unique_ptr<AsyncEngine> engine;
+  {
+    std::lock_guard lock(async_init_mutex_);
+    engine = std::move(async_);
+  }
+  // Shutdown drains queued tasks before joining, so every accepted ticket
+  // still completes; only then are the lane siblings destroyed.
+  if (engine) engine->pool->shutdown();
+}
+
+Ticket PrivateSearchClient::submit(std::string query, std::size_t top_k) {
+  return submit_impl(std::move(query), top_k, nullptr, /*blocking=*/true);
+}
+
+Ticket PrivateSearchClient::try_submit(std::string query, std::size_t top_k) {
+  return submit_impl(std::move(query), top_k, nullptr, /*blocking=*/false);
+}
+
+void PrivateSearchClient::submit(std::string query, std::size_t top_k,
+                                 std::function<void(SearchOutcome)> on_done) {
+  (void)submit_impl(std::move(query), top_k, std::move(on_done),
+                    /*blocking=*/true);
+}
+
+Ticket PrivateSearchClient::submit_impl(
+    std::string query, std::size_t top_k,
+    std::function<void(SearchOutcome)> on_done, bool blocking) {
+  AsyncEngine& engine = async();
+
+  Ticket ticket = kInvalidTicket;
+  {
+    std::lock_guard lock(engine.mutex);
+    ticket = engine.next_ticket++;
+    engine.inflight.insert(ticket);
+  }
+
+  const Nanos submitted_at = wall_now();
+  const bool ticketed = on_done == nullptr;
+  auto task = [this, &engine, ticket, ticketed, submitted_at,
+               top_k = resolve_top_k(top_k), query = std::move(query),
+               on_done = std::move(on_done)]() mutable {
+    PrivateSearchClient* lane = engine.lanes[engine.next_lane.fetch_add(
+                                                 1, std::memory_order_relaxed) %
+                                             engine.lanes.size()];
+    auto result = lane->search(query, top_k);
+
+    SearchOutcome outcome;
+    outcome.ticket = ticket;
+    outcome.status = result.status();
+    if (result.is_ok()) outcome.results = std::move(result).value();
+    outcome.latency = wall_now() - submitted_at;
+
+    // Siblings keep their own search counters; mirror theirs into the
+    // primary's. A fallback lane (lane == this) already counted itself.
+    if (lane != this) {
+      searches_.fetch_add(1, std::memory_order_relaxed);
+      if (!outcome.status.is_ok()) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    completed_.fetch_add(1, std::memory_order_relaxed);
+
+    // The callback must finish before the ticket leaves the in-flight set,
+    // so drain() returning guarantees every callback has run.
+    if (!ticketed) on_done(std::move(outcome));
+    {
+      std::lock_guard lock(engine.mutex);
+      engine.inflight.erase(ticket);
+      if (ticketed) engine.done.emplace(ticket, std::move(outcome));
+    }
+    engine.done_cv.notify_all();
+  };
+
+  const bool accepted = blocking ? engine.pool->submit(std::move(task))
+                                 : engine.pool->try_submit(std::move(task));
+  if (!accepted) {
+    std::lock_guard lock(engine.mutex);
+    engine.inflight.erase(ticket);
+    return kInvalidTicket;
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+std::optional<SearchOutcome> PrivateSearchClient::poll(Ticket ticket) {
+  AsyncEngine* built = async_if_built();
+  if (built == nullptr) {
+    // Nothing was ever submitted; don't spin up lanes just to say so.
+    SearchOutcome unknown;
+    unknown.ticket = ticket;
+    unknown.status = not_found("poll: unknown or already collected ticket");
+    return unknown;
+  }
+  AsyncEngine& engine = *built;
+  std::lock_guard lock(engine.mutex);
+  if (const auto it = engine.done.find(ticket); it != engine.done.end()) {
+    SearchOutcome outcome = std::move(it->second);
+    engine.done.erase(it);
+    return outcome;
+  }
+  if (engine.inflight.contains(ticket)) return std::nullopt;
+  SearchOutcome unknown;
+  unknown.ticket = ticket;
+  unknown.status = not_found("poll: unknown or already collected ticket");
+  return unknown;
+}
+
+SearchOutcome PrivateSearchClient::wait(Ticket ticket) {
+  AsyncEngine* built = async_if_built();
+  if (built == nullptr) {
+    SearchOutcome unknown;
+    unknown.ticket = ticket;
+    unknown.status = not_found("wait: unknown or already collected ticket");
+    return unknown;
+  }
+  AsyncEngine& engine = *built;
+  std::unique_lock lock(engine.mutex);
+  engine.done_cv.wait(lock, [&] {
+    return engine.done.contains(ticket) || !engine.inflight.contains(ticket);
+  });
+  if (const auto it = engine.done.find(ticket); it != engine.done.end()) {
+    SearchOutcome outcome = std::move(it->second);
+    engine.done.erase(it);
+    return outcome;
+  }
+  SearchOutcome unknown;
+  unknown.ticket = ticket;
+  unknown.status = not_found("wait: unknown or already collected ticket");
+  return unknown;
+}
+
+void PrivateSearchClient::drain() {
+  AsyncEngine* built = async_if_built();
+  if (built == nullptr) return;
+  std::unique_lock lock(built->mutex);
+  built->done_cv.wait(lock, [&] { return built->inflight.empty(); });
+}
+
+}  // namespace xsearch::api

@@ -1,0 +1,73 @@
+#include "api/load_driver.hpp"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "common/queue.hpp"
+
+namespace xsearch::api {
+
+loadgen::LoadReport run_open_loop_batch(
+    PrivateSearchClient& client, const std::function<std::string()>& next_query,
+    const loadgen::LoadConfig& config) {
+  loadgen::LoadReport report;
+  report.offered_rps = config.target_rps;
+  if (config.target_rps <= 0 || config.duration <= 0) return report;
+
+  // Accepted tickets, in submission order, for the collector to reap.
+  BoundedQueue<Ticket> tickets(config.queue_capacity);
+  std::atomic<std::uint64_t> completed{0};
+  Histogram latency;
+
+  std::thread collector([&] {
+    while (auto ticket = tickets.pop()) {
+      const SearchOutcome outcome = client.wait(*ticket);
+      // submit() stamps latency from its own entry, which the dispatcher
+      // aligns with the scheduled instant — queueing in the batch lanes is
+      // fully visible, as in the synchronous driver.
+      latency.record(outcome.latency);
+      completed.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+
+  const double interval_ns =
+      static_cast<double>(kSecond) / config.target_rps;
+  const Nanos start = wall_now();
+  const Nanos end = start + config.duration;
+  std::uint64_t issued = 0;
+  std::uint64_t dropped = 0;
+  while (true) {
+    const Nanos scheduled =
+        start + static_cast<Nanos>(static_cast<double>(issued) * interval_ns);
+    if (scheduled >= end) break;
+    std::string query = next_query();
+    while (wall_now() < scheduled) {
+    }
+    const Ticket ticket = client.try_submit(std::move(query));
+    if (ticket == kInvalidTicket) {
+      // Batch queue full: the request was offered but the client lost it —
+      // dropped, not delayed (delaying would hide the overload).
+      ++dropped;
+    } else {
+      (void)tickets.push(ticket);
+    }
+    ++issued;
+  }
+
+  tickets.close();
+  collector.join();
+
+  const Nanos elapsed = wall_now() - start;
+  report.issued = issued;
+  report.completed = completed.load();
+  report.dropped = dropped;
+  report.latency = std::move(latency);
+  report.achieved_rps = elapsed > 0 ? static_cast<double>(report.completed) *
+                                          static_cast<double>(kSecond) /
+                                          static_cast<double>(elapsed)
+                                    : 0.0;
+  return report;
+}
+
+}  // namespace xsearch::api

@@ -1,0 +1,29 @@
+// Open-loop load driver for the asynchronous batch path.
+//
+// The sync counterpart (loadgen::run_open_loop) drives an opaque handler
+// from its own worker pool; this driver instead drives one
+// PrivateSearchClient through submit/poll, exercising the client's batch
+// lanes at a fixed offered rate. Same discipline (latency is measured from
+// each request's scheduled send time, overflowing requests are dropped, not
+// delayed — no coordinated omission) and the same LoadReport fields, so the
+// two paths are directly comparable in the Figure 5 bench.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "api/client.hpp"
+#include "loadgen/loadgen.hpp"
+
+namespace xsearch::api {
+
+/// Offers `config.target_rps` requests/s to `client` via `try_submit`,
+/// collects completions via `poll`/`wait`, and reports the same percentile
+/// fields as the synchronous path. `next_query` supplies one query text per
+/// request (called from the dispatcher thread only). `config.workers` is
+/// ignored — parallelism comes from the client's own batch lanes.
+[[nodiscard]] loadgen::LoadReport run_open_loop_batch(
+    PrivateSearchClient& client, const std::function<std::string()>& next_query,
+    const loadgen::LoadConfig& config);
+
+}  // namespace xsearch::api

@@ -1,0 +1,65 @@
+#include "api/registry.hpp"
+
+#include <utility>
+
+namespace xsearch::api {
+
+// Defined in adapters.cpp. Called exactly once, from instance(): explicit
+// registration instead of static-initializer registrars, which a static
+// archive link would silently drop.
+void register_builtin_mechanisms(MechanismRegistry& registry);
+
+MechanismRegistry& MechanismRegistry::instance() {
+  static MechanismRegistry* registry = [] {
+    auto* r = new MechanismRegistry();
+    register_builtin_mechanisms(*r);
+    return r;
+  }();
+  return *registry;
+}
+
+Status MechanismRegistry::register_mechanism(std::string name, Factory factory) {
+  if (name.empty()) return invalid_argument("mechanism name must be non-empty");
+  if (factory == nullptr) {
+    return invalid_argument("mechanism factory must be callable");
+  }
+  std::lock_guard lock(mutex_);
+  if (!factories_.emplace(std::move(name), std::move(factory)).second) {
+    return failed_precondition("mechanism already registered");
+  }
+  return Status::ok();
+}
+
+Result<ClientPtr> MechanismRegistry::make_client(std::string_view name,
+                                                 const Backend& backend,
+                                                 const ClientConfig& config) const {
+  Factory factory;
+  {
+    std::lock_guard lock(mutex_);
+    const auto it = factories_.find(name);
+    if (it == factories_.end()) {
+      return not_found("unknown mechanism: " + std::string(name));
+    }
+    factory = it->second;
+  }
+  if (backend.engine == nullptr && config.contact_engine) {
+    return failed_precondition(
+        "backend.engine required unless contact_engine is disabled");
+  }
+  return factory(backend, config);
+}
+
+std::vector<std::string> MechanismRegistry::mechanism_names() const {
+  std::lock_guard lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;
+}
+
+Result<ClientPtr> make_client(std::string_view mechanism, const Backend& backend,
+                              const ClientConfig& config) {
+  return MechanismRegistry::instance().make_client(mechanism, backend, config);
+}
+
+}  // namespace xsearch::api

@@ -1,0 +1,66 @@
+// Mechanism factory: private search clients selectable by name at runtime.
+//
+// `make_client("xsearch", backend, config)` turns a mechanism name plus a
+// mechanism-agnostic config into a ready `PrivateSearchClient`, so a bench
+// or example covers every mechanism × workload combination with a one-line
+// config change and zero concrete mechanism headers. The five paper
+// mechanisms self-register; out-of-tree mechanisms join through
+// `MechanismRegistry::register_mechanism` (see ARCHITECTURE.md for the
+// "sixth mechanism" recipe).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "api/client.hpp"
+#include "dataset/query_log.hpp"
+#include "engine/search_engine.hpp"
+
+namespace xsearch::api {
+
+/// The shared world a client is built against. Everything mechanism-side
+/// (proxies, relays, enclaves, key material) is owned by the client itself.
+struct Backend {
+  /// The search engine to query. May be null only when
+  /// `ClientConfig::contact_engine` is false (saturation benches).
+  const engine::SearchEngine* engine = nullptr;
+  /// Past-query log used by mechanisms that synthesize fake queries from
+  /// user history (PEAS co-occurrence walks). Required by "peas".
+  const dataset::QueryLog* fake_source = nullptr;
+};
+
+class MechanismRegistry {
+ public:
+  using Factory =
+      std::function<Result<ClientPtr>(const Backend&, const ClientConfig&)>;
+
+  /// The process-wide registry, with the five built-in mechanisms
+  /// ("direct", "tmn", "tor", "peas", "xsearch") already registered.
+  [[nodiscard]] static MechanismRegistry& instance();
+
+  /// Registers a mechanism; duplicate names are rejected.
+  [[nodiscard]] Status register_mechanism(std::string name, Factory factory);
+
+  /// Builds a client for a registered mechanism name.
+  [[nodiscard]] Result<ClientPtr> make_client(std::string_view name,
+                                              const Backend& backend,
+                                              const ClientConfig& config) const;
+
+  /// Registered names, sorted.
+  [[nodiscard]] std::vector<std::string> mechanism_names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_;
+};
+
+/// Convenience: `MechanismRegistry::instance().make_client(...)`.
+[[nodiscard]] Result<ClientPtr> make_client(std::string_view mechanism,
+                                            const Backend& backend,
+                                            const ClientConfig& config = {});
+
+}  // namespace xsearch::api

@@ -1,0 +1,84 @@
+#include "api/remote.hpp"
+
+#include <memory>
+#include <optional>
+#include <utility>
+
+#include "net/remote_broker.hpp"
+
+namespace xsearch::api {
+namespace {
+
+class RemoteAdapter final : public PrivateSearchClient {
+ public:
+  RemoteAdapter(std::string host, std::uint16_t port,
+                const sgx::AttestationAuthority& authority,
+                const sgx::Measurement& expected_measurement,
+                const ClientConfig& config)
+      : PrivateSearchClient(config),
+        host_(std::move(host)),
+        port_(port),
+        authority_(&authority),
+        expected_measurement_(expected_measurement) {}
+  ~RemoteAdapter() override { shutdown_async(); }
+
+  [[nodiscard]] bool connected() const override {
+    return broker_.has_value() && broker_->connected();
+  }
+
+  [[nodiscard]] PrivacyProperties privacy_properties() const override {
+    PrivacyProperties props;
+    props.mechanism = "xsearch-remote";
+    props.identity_exposed = false;
+    props.query_exposed = false;
+    props.k = config().k;
+    props.trust_assumption =
+        "SGX attestation only; no proxy operator trust (over TCP)";
+    return props;
+  }
+
+ protected:
+  [[nodiscard]] Status do_connect() override {
+    if (!broker_.has_value()) {
+      broker_.emplace(host_, port_, *authority_, expected_measurement_,
+                      config().seed);
+    }
+    return broker_->connect();
+  }
+  void do_close() override { broker_.reset(); }
+
+  [[nodiscard]] Result<SearchResults> do_search(std::string_view query,
+                                                std::size_t top_k) override {
+    auto results = broker_->search(query);
+    if (!results.is_ok()) return results.status();
+    auto list = std::move(results).value();
+    if (list.size() > top_k) list.resize(top_k);
+    return list;
+  }
+
+  [[nodiscard]] ClientPtr spawn_sibling(std::uint64_t seed) override {
+    ClientConfig sibling_config = config();
+    sibling_config.seed = seed;
+    return std::make_unique<RemoteAdapter>(host_, port_, *authority_,
+                                           expected_measurement_, sibling_config);
+  }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  const sgx::AttestationAuthority* authority_;
+  sgx::Measurement expected_measurement_;
+  std::optional<net::RemoteBroker> broker_;
+};
+
+}  // namespace
+
+ClientPtr make_remote_client(std::string host, std::uint16_t port,
+                             const sgx::AttestationAuthority& authority,
+                             const sgx::Measurement& expected_measurement,
+                             const ClientConfig& config) {
+  return std::make_unique<RemoteAdapter>(std::move(host), port, authority,
+                                         expected_measurement, config);
+}
+
+}  // namespace xsearch::api

@@ -7,6 +7,19 @@
 
 namespace xsearch::attack {
 
+std::vector<std::string> split_or_query(std::string_view observed) {
+  std::vector<std::string> sub_queries;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = observed.find(" OR ", start);
+    if (pos == std::string_view::npos) break;
+    sub_queries.emplace_back(observed.substr(start, pos - start));
+    start = pos + 4;
+  }
+  sub_queries.emplace_back(observed.substr(start));
+  return sub_queries;
+}
+
 SimAttack::SimAttack(const dataset::QueryLog& training_log, SimAttackConfig config)
     : config_(config) {
   users_ = training_log.users();

@@ -26,6 +26,11 @@
 
 namespace xsearch::attack {
 
+/// Decomposes the engine-side view of an OR query (`"a OR b OR c"`) back
+/// into sub-queries, the way the honest-but-curious engine would before
+/// attacking it. The inverse of ObfuscatedQuery::to_query_string().
+[[nodiscard]] std::vector<std::string> split_or_query(std::string_view observed);
+
 struct SimAttackConfig {
   /// Exponential smoothing factor; the paper empirically sets 0.5.
   double smoothing = 0.5;

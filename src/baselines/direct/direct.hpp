@@ -14,8 +14,10 @@ class DirectClient {
  public:
   explicit DirectClient(const engine::SearchEngine& engine) : engine_(&engine) {}
 
+  /// `top_k` is always explicit: the result budget is routed uniformly
+  /// through api::ClientConfig instead of a per-mechanism hard-coded 20.
   [[nodiscard]] std::vector<engine::SearchResult> search(std::string_view query,
-                                                         std::size_t top_k = 20) const {
+                                                         std::size_t top_k) const {
     return engine_->search(query, top_k);
   }
 

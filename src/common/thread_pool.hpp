@@ -34,6 +34,11 @@ class ThreadPool {
   /// shutdown() has been called.
   bool submit(std::function<void()> task) { return tasks_.push(std::move(task)); }
 
+  /// Non-blocking enqueue; returns false when the queue is full or closed.
+  bool try_submit(std::function<void()> task) {
+    return tasks_.try_push(std::move(task));
+  }
+
   /// Drains outstanding tasks and joins all workers. Idempotent.
   void shutdown() {
     tasks_.close();

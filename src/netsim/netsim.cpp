@@ -52,7 +52,59 @@ ServiceCostModel xsearch_proxy() { return {.cost_per_request = 150 * kMicro}; }
 ServiceCostModel peas_chain() { return {.cost_per_request = 3'800 * kMicro}; }
 ServiceCostModel tor_circuit() { return {.cost_per_request = 38 * kMilli}; }
 
+ServiceCostModel for_mechanism(std::string_view mechanism) {
+  if (mechanism == "xsearch" || mechanism == "xsearch-remote") {
+    return xsearch_proxy();
+  }
+  if (mechanism == "peas") return peas_chain();
+  if (mechanism == "tor") return tor_circuit();
+  // "direct" and "tmn" talk to the engine without an intermediary stack.
+  return {.cost_per_request = 0};
+}
+
 }  // namespace service_costs
+
+namespace wan {
+
+Nanos sample_search_rtt(std::string_view mechanism, std::size_t k, Rng& rng) {
+  const auto engine = links::engine_processing();
+  // The engine evaluates the k+1 sub-queries of an OR query independently
+  // (§5.3.2), so its processing share grows mildly with k.
+  const auto engine_share = [&](std::size_t sub_queries) {
+    const double factor = 1.0 + 0.04 * static_cast<double>(sub_queries);
+    return static_cast<Nanos>(factor *
+                              static_cast<double>(engine.sample(rng)));
+  };
+
+  if (mechanism == "tor") {
+    // Three volunteer-relay hops each way; the exit submits the plain query.
+    const auto hop = links::tor_hop();
+    Nanos total = engine_share(1);
+    for (int h = 0; h < 6; ++h) total += hop.sample(rng);
+    return total;
+  }
+  if (mechanism == "peas") {
+    // client -> receiver -> issuer -> engine and back: two proxy processes
+    // in series before the engine.
+    const auto c2p = links::client_to_proxy();
+    const auto p2e = links::proxy_to_engine();
+    return c2p.sample(rng) * 2 + p2e.sample(rng) * 2 + p2e.sample(rng) * 2 +
+           engine_share(k + 1);
+  }
+  if (mechanism == "xsearch" || mechanism == "xsearch-remote") {
+    // client -> cloud proxy -> engine and back; the OR query is one request.
+    const auto c2p = links::client_to_proxy();
+    const auto p2e = links::proxy_to_engine();
+    return c2p.sample(rng) * 2 + p2e.sample(rng) * 2 + engine_share(k + 1);
+  }
+  // "direct", "tmn" (the user's own query) and unknown mechanisms: straight
+  // to the engine. TrackMeNot's cover queries ride separate requests and do
+  // not lengthen the user-perceived path.
+  const auto c2e = links::client_to_engine();
+  return c2e.sample(rng) * 2 + engine_share(1);
+}
+
+}  // namespace wan
 
 void busy_wait(Nanos duration) {
   if (duration <= 0) return;

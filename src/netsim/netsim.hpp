@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "common/clock.hpp"
 #include "common/rng.hpp"
@@ -72,7 +73,24 @@ namespace service_costs {
 [[nodiscard]] ServiceCostModel peas_chain();
 /// Tor: three bandwidth-limited volunteer relays.
 [[nodiscard]] ServiceCostModel tor_circuit();
+/// Stack cost by registered mechanism name ("xsearch", "peas", "tor");
+/// mechanisms without an intermediary stack ("direct", "tmn") and unknown
+/// names cost nothing.
+[[nodiscard]] ServiceCostModel for_mechanism(std::string_view mechanism);
 }  // namespace service_costs
+
+/// WAN path composition by mechanism name, for user-perceived end-to-end
+/// figures (Figure 7). The compute share of each request is *measured* by
+/// the benches; only the wide-area hops and the engine's serving time are
+/// modelled here.
+namespace wan {
+/// One query's WAN round trip for `mechanism` ("direct", "tmn", "tor",
+/// "peas", "xsearch"), excluding client/proxy compute: every hop of the
+/// mechanism's path plus the engine's processing share, which grows mildly
+/// with the k+1 sub-queries of an OR query (§5.3.2 methodology).
+[[nodiscard]] Nanos sample_search_rtt(std::string_view mechanism, std::size_t k,
+                                      Rng& rng);
+}  // namespace wan
 
 /// Busy-waits for `duration` (coarse; intended for service-cost injection).
 void busy_wait(Nanos duration);

@@ -22,6 +22,55 @@ constexpr char kCodeIdentity[] =
 
 Bytes XSearchProxy::code_identity() { return to_bytes(kCodeIdentity); }
 
+Status XSearchProxy::Options::validate() const {
+  if (k == 0) {
+    return invalid_argument("options.k must be >= 1: k = 0 sends the user's "
+                            "query without any obfuscation");
+  }
+  if (history_capacity == 0) {
+    return invalid_argument("options.history_capacity must be >= 1: the "
+                            "obfuscator draws fakes from the history window");
+  }
+  if (results_per_subquery == 0) {
+    return invalid_argument("options.results_per_subquery must be >= 1: the "
+                            "engine would return nothing to filter");
+  }
+  return Status::ok();
+}
+
+Result<std::unique_ptr<XSearchProxy>> XSearchProxy::create(
+    const engine::SearchEngine* engine, const sgx::AttestationAuthority& authority,
+    Options options) {
+  XS_RETURN_IF_ERROR(options.validate());
+  if (options.engine_tls_public_key.has_value()) {
+    return invalid_argument(
+        "engine_tls_public_key requires the SecureEngineGateway overload");
+  }
+  if (engine == nullptr && options.contact_engine) {
+    return failed_precondition(
+        "an engine is required unless contact_engine is disabled");
+  }
+  return std::unique_ptr<XSearchProxy>(
+      new XSearchProxy(engine, authority, options));
+}
+
+Result<std::unique_ptr<XSearchProxy>> XSearchProxy::create(
+    const SecureEngineGateway& gateway, const sgx::AttestationAuthority& authority,
+    Options options) {
+  XS_RETURN_IF_ERROR(options.validate());
+  if (options.engine_tls_public_key.has_value() &&
+      !(options.engine_tls_public_key == gateway.public_key())) {
+    return invalid_argument(
+        "engine_tls_public_key must match the gateway's public key");
+  }
+  return std::unique_ptr<XSearchProxy>(
+      new XSearchProxy(gateway, authority, options));
+}
+
+void XSearchProxy::warm_history(const std::vector<std::string>& queries) {
+  for (const auto& query : queries) history_->add(query);
+}
+
 XSearchProxy::XSearchProxy(const engine::SearchEngine* engine,
                            const sgx::AttestationAuthority& authority, Options options)
     : engine_(engine),

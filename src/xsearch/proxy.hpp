@@ -60,15 +60,37 @@ class XSearchProxy {
     /// key (the engine frontend's TLS stand-in; paper footnote 2). Requires
     /// constructing the proxy with a SecureEngineGateway.
     std::optional<crypto::X25519Key> engine_tls_public_key;
+
+    /// Rejects configurations the proxy would otherwise silently mishandle:
+    /// `k == 0` (no obfuscation), an empty history window, a zero per-sub-
+    /// query fetch size. Gateway consistency is checked by `create`.
+    [[nodiscard]] Status validate() const;
   };
 
-  /// `engine` may be null only when `options.contact_engine` is false.
+  /// Validating factory: surfaces a bad configuration as a Status instead of
+  /// constructing a proxy that silently misbehaves. Also rejects
+  /// `engine_tls_public_key` without a gateway, and a null engine while
+  /// `contact_engine` is set. Prefer this over the raw constructors.
+  [[nodiscard]] static Result<std::unique_ptr<XSearchProxy>> create(
+      const engine::SearchEngine* engine,
+      const sgx::AttestationAuthority& authority, Options options);
+
+  /// Encrypted-engine-link variant of the factory (footnote 2): requests
+  /// leave the enclave sealed to `gateway`'s public key;
+  /// `options.engine_tls_public_key`, when set, must match it.
+  [[nodiscard]] static Result<std::unique_ptr<XSearchProxy>> create(
+      const SecureEngineGateway& gateway,
+      const sgx::AttestationAuthority& authority, Options options);
+
+  /// Unvalidated construction; `engine` may be null only when
+  /// `options.contact_engine` is false. Tests use this to build
+  /// deliberately degenerate proxies — production callers use `create`.
   XSearchProxy(const engine::SearchEngine* engine,
                const sgx::AttestationAuthority& authority, Options options);
 
-  /// Encrypted engine link variant (footnote 2): requests leave the enclave
-  /// sealed to `gateway`'s public key; `options.engine_tls_public_key` must
-  /// equal `gateway.public_key()`.
+  /// Unvalidated encrypted engine link variant (footnote 2): requests leave
+  /// the enclave sealed to `gateway`'s public key;
+  /// `options.engine_tls_public_key` must equal `gateway.public_key()`.
   XSearchProxy(const SecureEngineGateway& gateway,
                const sgx::AttestationAuthority& authority, Options options);
 
@@ -106,6 +128,11 @@ class XSearchProxy {
     return history_->memory_bytes();
   }
   [[nodiscard]] const Options& options() const { return options_; }
+
+  /// Simulation warm-up: preloads the in-enclave history as if `queries`
+  /// had arrived as earlier users' traffic (the §5.1 bench methodology).
+  /// Not part of the deployed protocol surface.
+  void warm_history(const std::vector<std::string>& queries);
 
   /// The byte string measured as this proxy's enclave code identity. All
   /// X-Search proxies built from this library share it, so clients pin one

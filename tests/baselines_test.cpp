@@ -138,7 +138,7 @@ TEST_F(TorTest, ResultsMatchDirect) {
   const auto& query = log_.records()[7].text;
   const auto via_tor = client.search(query);
   ASSERT_TRUE(via_tor.is_ok());
-  EXPECT_EQ(via_tor.value(), plain.search(query));
+  EXPECT_EQ(via_tor.value(), plain.search(query, 20));
 }
 
 TEST_F(TorTest, SequentialQueriesOnOneCircuit) {

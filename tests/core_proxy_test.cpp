@@ -48,6 +48,49 @@ class ProxyTest : public ::testing::Test {
   sgx::AttestationAuthority authority_;
 };
 
+TEST_F(ProxyTest, CreateValidatesOptions) {
+  auto bad_k = options();
+  bad_k.k = 0;
+  EXPECT_EQ(XSearchProxy::create(&engine_, authority_, bad_k).status().code(),
+            StatusCode::kInvalidArgument);
+
+  auto bad_history = options();
+  bad_history.history_capacity = 0;
+  EXPECT_EQ(
+      XSearchProxy::create(&engine_, authority_, bad_history).status().code(),
+      StatusCode::kInvalidArgument);
+
+  auto bad_fetch = options();
+  bad_fetch.results_per_subquery = 0;
+  EXPECT_EQ(
+      XSearchProxy::create(&engine_, authority_, bad_fetch).status().code(),
+      StatusCode::kInvalidArgument);
+
+  // engine_tls_public_key without a SecureEngineGateway is a config error.
+  auto orphan_key = options();
+  orphan_key.engine_tls_public_key = crypto::X25519Key{};
+  EXPECT_EQ(
+      XSearchProxy::create(&engine_, authority_, orphan_key).status().code(),
+      StatusCode::kInvalidArgument);
+
+  // A null engine requires saturation mode.
+  EXPECT_EQ(XSearchProxy::create(nullptr, authority_, options()).status().code(),
+            StatusCode::kFailedPrecondition);
+
+  auto proxy = XSearchProxy::create(&engine_, authority_, options());
+  ASSERT_TRUE(proxy.is_ok()) << proxy.status().to_string();
+  ClientBroker broker(*proxy.value(), authority_, proxy.value()->measurement(), 7);
+  EXPECT_TRUE(broker.connect().is_ok());
+}
+
+TEST_F(ProxyTest, WarmHistoryPreloadsDecoys) {
+  auto proxy = XSearchProxy::create(&engine_, authority_, options());
+  ASSERT_TRUE(proxy.is_ok());
+  EXPECT_EQ(proxy.value()->history_size(), 0u);
+  proxy.value()->warm_history({log_.records()[0].text, log_.records()[1].text});
+  EXPECT_EQ(proxy.value()->history_size(), 2u);
+}
+
 TEST_F(ProxyTest, BrokerSearchReturnsResults) {
   XSearchProxy proxy(&engine_, authority_, options());
   // Warm the history so obfuscation has decoys.
