@@ -20,19 +20,32 @@
 // (netsim::service_costs::for_mechanism) sized so the saturation knees land
 // at the paper's magnitudes — documented in EXPERIMENTS.md.
 //
+// The special name "xsearch-remote" drives the same saturation load over
+// real TCP: an in-process ProxyServer fronts the proxy, the unified client
+// is api::make_remote_client, and each batch lane holds its own attested
+// session — so the bench exercises the bounded SessionTable and the
+// pool-served connection path concurrently, end to end, and reports the
+// session-lifecycle counters afterwards.
+//
 // Run: ./build/bench/fig5_throughput_latency [mechanism...]
-//      (default: xsearch peas tor; any registered name works)
+//      (default: xsearch peas tor; any registered name or xsearch-remote)
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "api/client.hpp"
 #include "api/load_driver.hpp"
 #include "api/registry.hpp"
+#include "api/remote.hpp"
+#include "api/xsearch_options.hpp"
 #include "bench_common.hpp"
 #include "loadgen/loadgen.hpp"
+#include "net/proxy_server.hpp"
 #include "netsim/netsim.hpp"
+#include "sgx/attestation.hpp"
+#include "xsearch/proxy.hpp"
 
 namespace {
 
@@ -61,11 +74,48 @@ const std::vector<double>& rate_grid(const std::string& mechanism) {
                    27000.0, 30000.0}},
       {"peas", {100.0, 300.0, 600.0, 800.0, 1000.0, 1200.0, 1500.0}},
       {"tor", {10.0, 25.0, 50.0, 75.0, 100.0, 120.0, 150.0}},
+      // Real TCP round trips: the knee sits well below the in-process one.
+      {"xsearch-remote", {500.0, 1000.0, 2000.0, 4000.0, 8000.0}},
   };
   static const std::vector<double> generic = {1000.0, 5000.0, 10000.0,
                                               20000.0, 40000.0};
   const auto it = grids.find(mechanism);
   return it != grids.end() ? it->second : generic;
+}
+
+/// Networked X-Search deployment for "xsearch-remote": a saturation-mode
+/// proxy behind a pool-served ProxyServer on an ephemeral loopback port.
+struct RemoteDeployment {
+  RemoteDeployment() : authority(xsearch::to_bytes("fig5-remote-root")) {}
+
+  xsearch::sgx::AttestationAuthority authority;
+  std::unique_ptr<xsearch::core::XSearchProxy> proxy;
+  std::unique_ptr<xsearch::net::ProxyServer> server;
+};
+
+std::unique_ptr<RemoteDeployment> start_remote_deployment(
+    const api::ClientConfig& config) {
+  auto deployment = std::make_unique<RemoteDeployment>();
+  // Same translation as the in-process "xsearch" mechanism — the two must
+  // not drift, or remote and in-process measurements stop being comparable.
+  core::XSearchProxy::Options options = api::xsearch_proxy_options(config);
+  options.contact_engine = false;  // saturation mode, no engine deployed
+  auto proxy =
+      core::XSearchProxy::create(nullptr, deployment->authority, options);
+  if (!proxy.is_ok()) {
+    std::fprintf(stderr, "xsearch-remote proxy: %s\n",
+                 proxy.status().to_string().c_str());
+    return nullptr;
+  }
+  deployment->proxy = std::move(proxy).value();
+  auto server = net::ProxyServer::start(*deployment->proxy);
+  if (!server.is_ok()) {
+    std::fprintf(stderr, "xsearch-remote server: %s\n",
+                 server.status().to_string().c_str());
+    return nullptr;
+  }
+  deployment->server = std::move(server).value();
+  return deployment;
 }
 
 }  // namespace
@@ -92,29 +142,58 @@ int main(int argc, char** argv) {
     config.history_capacity = 100'000;
     config.batch_workers = kWorkers;
     config.seed = seed += 100;
-    config.stack_cost_per_request =
-        netsim::service_costs::for_mechanism(name).cost_per_request;
 
-    api::Backend backend;  // no engine: proxies answer without retrieval
-    backend.fake_source = &bed->split.train;
-
-    auto client = api::make_client(name, backend, config);
-    if (!client.is_ok()) {
-      std::fprintf(stderr, "%s: %s\n", name.c_str(),
-                   client.status().to_string().c_str());
-      continue;
+    const bool remote = name == "xsearch-remote";
+    std::unique_ptr<RemoteDeployment> deployment;
+    api::ClientPtr client_ptr;
+    if (remote) {
+      // Real sockets supply the stack cost the in-process run calibrates.
+      deployment = start_remote_deployment(config);
+      if (deployment == nullptr) continue;
+      client_ptr = api::make_remote_client(
+          "127.0.0.1", deployment->server->port(), deployment->authority,
+          deployment->proxy->measurement(), config);
+    } else {
+      config.stack_cost_per_request =
+          netsim::service_costs::for_mechanism(name).cost_per_request;
+      api::Backend backend;  // no engine: proxies answer without retrieval
+      backend.fake_source = &bed->split.train;
+      auto client = api::make_client(name, backend, config);
+      if (!client.is_ok()) {
+        std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                     client.status().to_string().c_str());
+        continue;
+      }
+      client_ptr = std::move(client).value();
     }
-    if (const auto status = client.value()->connect(); !status.is_ok()) {
+    if (const auto status = client_ptr->connect(); !status.is_ok()) {
       std::fprintf(stderr, "%s: %s\n", name.c_str(), status.to_string().c_str());
       continue;
     }
 
     for (const double rps : rate_grid(name)) {
       const auto report = api::run_open_loop_batch(
-          *client.value(), [&] { return sample_query; }, config_for(rps));
+          *client_ptr, [&] { return sample_query; }, config_for(rps));
       print_row(name, report);
     }
-    client.value()->close();
+    client_ptr->close();
+
+    if (remote) {
+      // One attested session per batch lane, all concurrently live: the
+      // multi-threaded shared-table claim of §4.1, measured.
+      const auto stats = deployment->proxy->session_stats();
+      std::printf("# %s sessions: peak=%zu created=%llu evicted=%llu "
+                  "connections=%llu reaped=%llu\n",
+                  name.c_str(), stats.peak_active,
+                  static_cast<unsigned long long>(stats.created),
+                  static_cast<unsigned long long>(stats.evicted_lru +
+                                                  stats.expired_ttl),
+                  static_cast<unsigned long long>(
+                      deployment->server->connections_served()),
+                  static_cast<unsigned long long>(
+                      deployment->server->connections_reaped()));
+      deployment->server->stop();
+    }
   }
 
   std::printf("\n# paper: X-Search ~25k req/s sub-second; PEAS ~1k; Tor ~100\n");

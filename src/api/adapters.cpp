@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/broker.hpp"
+#include "api/xsearch_options.hpp"
 #include "xsearch/proxy.hpp"
 
 namespace xsearch::api {
@@ -384,12 +385,7 @@ Result<ClientPtr> make_peas(const Backend& backend, const ClientConfig& config) 
 }
 
 Result<ClientPtr> make_xsearch(const Backend& backend, const ClientConfig& config) {
-  core::XSearchProxy::Options options;
-  options.k = config.k;
-  options.history_capacity = config.history_capacity;
-  options.results_per_subquery = static_cast<std::uint32_t>(config.top_k);
-  options.seed = config.seed ^ 0x5eed;
-  options.contact_engine = config.contact_engine;
+  const core::XSearchProxy::Options options = xsearch_proxy_options(config);
   auto deployment = std::make_shared<XSearchAdapter::Deployment>(
       to_bytes("api-attestation-root"));
   auto proxy =
@@ -401,6 +397,19 @@ Result<ClientPtr> make_xsearch(const Backend& backend, const ClientConfig& confi
 }
 
 }  // namespace
+
+core::XSearchProxy::Options xsearch_proxy_options(const ClientConfig& config) {
+  core::XSearchProxy::Options options;
+  options.k = config.k;
+  options.history_capacity = config.history_capacity;
+  options.results_per_subquery = static_cast<std::uint32_t>(config.top_k);
+  options.seed = config.seed ^ 0x5eed;
+  options.contact_engine = config.contact_engine;
+  options.session_capacity = config.session_capacity;
+  options.session_idle_ttl = config.session_idle_ttl;
+  options.session_shards = config.session_shards;
+  return options;
+}
 
 void register_builtin_mechanisms(MechanismRegistry& registry) {
   const auto must = [](Status status) {

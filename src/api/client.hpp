@@ -46,6 +46,16 @@ struct ClientConfig {
   bool contact_engine = true;
   /// Sliding-window size of the X-Search in-enclave history table.
   std::size_t history_capacity = 100'000;
+  /// Bound on live X-Search client sessions held in enclave memory; the
+  /// least recently used session beyond it is evicted and its client must
+  /// re-handshake (both the in-process and remote brokers do so
+  /// transparently).
+  std::size_t session_capacity = 4096;
+  /// Idle time after which an X-Search session expires (0 = never).
+  Nanos session_idle_ttl = 0;
+  /// Lock shards of the X-Search session table (more shards = less
+  /// contention between concurrent sessions).
+  std::size_t session_shards = 8;
   /// Calibrated per-request service cost charged (as busy CPU) before each
   /// search — the proxy network/OS-stack work the in-process simulation
   /// does not otherwise execute (Figure 5 saturation bench; 0 = off).

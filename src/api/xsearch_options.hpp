@@ -1,0 +1,20 @@
+// Shared ClientConfig → core::XSearchProxy::Options translation.
+//
+// The built-in "xsearch" mechanism and out-of-process deployments (the
+// fig5 `xsearch-remote` bench's ProxyServer) must configure their proxies
+// identically — one hand-maintained copy of this mapping per call site
+// would silently drift as Options grows. This is the single source.
+#pragma once
+
+#include "api/client.hpp"
+#include "xsearch/proxy.hpp"
+
+namespace xsearch::api {
+
+/// The exact translation the built-in "xsearch" adapter applies (including
+/// seed domain separation). `contact_engine` follows the config; callers
+/// deploying without an engine must also clear it there.
+[[nodiscard]] core::XSearchProxy::Options xsearch_proxy_options(
+    const ClientConfig& config);
+
+}  // namespace xsearch::api

@@ -33,6 +33,8 @@ void HttpFrontend::stop() {
   stopping_.store(true);
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
+  // No thread can be inside accept() anymore: free the port for rebinding.
+  listener_.release();
   std::vector<std::thread> workers;
   {
     std::lock_guard lock(workers_mutex_);

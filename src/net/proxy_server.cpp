@@ -1,21 +1,41 @@
 #include "net/proxy_server.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 #include "xsearch/wire.hpp"
 
 namespace xsearch::net {
 
+namespace {
+
+std::size_t resolve_workers(std::size_t requested) {
+  if (requested > 0) return requested;
+  return std::max<std::size_t>(8, std::thread::hardware_concurrency());
+}
+
+}  // namespace
+
 Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::XSearchProxy& proxy,
                                                         std::uint16_t port) {
+  return start(proxy, port, Options{});
+}
+
+Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::XSearchProxy& proxy,
+                                                        std::uint16_t port,
+                                                        Options options) {
   auto listener = TcpListener::bind(port);
   if (!listener) return listener.status();
   return std::unique_ptr<ProxyServer>(
-      new ProxyServer(proxy, std::move(listener).value()));
+      new ProxyServer(proxy, std::move(listener).value(), options));
 }
 
-ProxyServer::ProxyServer(core::XSearchProxy& proxy, TcpListener listener)
-    : proxy_(&proxy), listener_(std::move(listener)) {
+ProxyServer::ProxyServer(core::XSearchProxy& proxy, TcpListener listener,
+                         Options options)
+    : proxy_(&proxy),
+      listener_(std::move(listener)),
+      pool_(resolve_workers(options.workers),
+            std::max<std::size_t>(1, options.max_pending_connections)) {
   accept_thread_ = std::thread([this] { accept_loop(); });
 }
 
@@ -25,17 +45,26 @@ void ProxyServer::stop() {
   stopping_.store(true);
   listener_.close();
   if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::thread> workers;
+  // No thread can be inside accept() anymore: free the port for rebinding.
+  listener_.release();
   {
-    std::lock_guard lock(workers_mutex_);
-    workers.swap(workers_);
-    // Unblock workers parked in recv on a live client connection.
-    for (const auto& stream : streams_) stream->shutdown_both();
-    streams_.clear();
+    // Unblock workers parked in recv on live client connections.
+    std::lock_guard lock(connections_mutex_);
+    for (const auto& [id, stream] : live_) stream->shutdown_both();
   }
-  for (auto& w : workers) {
-    if (w.joinable()) w.join();
+  // Drains queued connection tasks (each sees stopping_, reaps, returns)
+  // and joins the workers. Idempotent.
+  pool_.shutdown();
+  std::lock_guard lock(connections_mutex_);
+  live_.clear();
+}
+
+void ProxyServer::reap(std::uint64_t connection_id) {
+  {
+    std::lock_guard lock(connections_mutex_);
+    if (live_.erase(connection_id) == 0) return;  // already cleared by stop()
   }
+  reaped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void ProxyServer::accept_loop() {
@@ -44,14 +73,28 @@ void ProxyServer::accept_loop() {
     if (!accepted) break;  // listener closed or fatal error
     connections_.fetch_add(1, std::memory_order_relaxed);
     auto stream = std::make_shared<TcpStream>(std::move(accepted).value());
-    std::lock_guard lock(workers_mutex_);
-    streams_.push_back(stream);
-    workers_.emplace_back([this, stream] { serve_connection(stream); });
+    std::uint64_t id = 0;
+    {
+      std::lock_guard lock(connections_mutex_);
+      id = next_connection_id_++;
+      live_.emplace(id, stream);
+    }
+    const bool queued = pool_.try_submit([this, id, stream] {
+      serve_connection(*stream);
+      reap(id);
+    });
+    if (!queued) {
+      // Every worker is busy and the pending queue is full: shed the
+      // connection instead of accumulating it (the bounded analogue of a
+      // saturated server resetting connections).
+      (void)write_frame(*stream, FrameType::kError, to_bytes("server busy"));
+      reap(id);
+      shed_.fetch_add(1, std::memory_order_relaxed);
+    }
   }
 }
 
-void ProxyServer::serve_connection(const std::shared_ptr<TcpStream>& stream_ptr) {
-  TcpStream& stream = *stream_ptr;
+void ProxyServer::serve_connection(TcpStream& stream) {
   while (!stopping_.load(std::memory_order_relaxed)) {
     auto frame = read_frame(stream);
     if (!frame) return;  // clean close or broken peer

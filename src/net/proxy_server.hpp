@@ -5,13 +5,24 @@
 // QUERY frames per connection. This is the untrusted host component of the
 // deployment — it moves ciphertext between sockets and the enclave and
 // never sees a plaintext query.
+//
+// Connections are served by a fixed `common` ThreadPool (the paper's
+// "multiple threads" proxy host, §4.1) instead of one thread per
+// connection, and every accepted stream is tracked in a registry that is
+// reaped as soon as the connection finishes — server memory is O(live
+// connections), not O(connections ever served). When all workers are busy
+// and the pending queue is full, new connections are shed with a "server
+// busy" error rather than queued without bound.
 #pragma once
 
 #include <atomic>
+#include <cstdint>
 #include <memory>
+#include <mutex>
 #include <thread>
-#include <vector>
+#include <unordered_map>
 
+#include "common/thread_pool.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "xsearch/proxy.hpp"
@@ -20,9 +31,23 @@ namespace xsearch::net {
 
 class ProxyServer {
  public:
+  struct Options {
+    /// Connection-serving threads (0 = max(8, hardware_concurrency)).
+    /// A worker is occupied for the lifetime of the connection it serves.
+    std::size_t workers = 0;
+    /// Accepted connections that may wait for a free worker; beyond this
+    /// the server sheds new connections with a "server busy" error.
+    /// Queued connections wait without a timeout (blocking I/O, no event
+    /// loop), so size `workers` for the expected number of concurrently
+    /// *live* sessions and keep this queue small if clients must fail fast.
+    std::size_t max_pending_connections = 128;
+  };
+
   /// Binds loopback:`port` (0 = ephemeral) and starts the accept loop.
   [[nodiscard]] static Result<std::unique_ptr<ProxyServer>> start(
       core::XSearchProxy& proxy, std::uint16_t port = 0);
+  [[nodiscard]] static Result<std::unique_ptr<ProxyServer>> start(
+      core::XSearchProxy& proxy, std::uint16_t port, Options options);
 
   ~ProxyServer();
 
@@ -31,28 +56,51 @@ class ProxyServer {
 
   [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
 
-  /// Stops accepting, waits for in-flight connections to finish.
+  /// Stops accepting, unblocks and reaps all live connections, joins the
+  /// worker pool. Idempotent.
   void stop();
 
+  /// Connections accepted over the server's lifetime.
   [[nodiscard]] std::uint64_t connections_served() const {
     return connections_.load(std::memory_order_relaxed);
   }
+  /// Connections removed from the registry (finished or shed).
+  [[nodiscard]] std::uint64_t connections_reaped() const {
+    return reaped_.load(std::memory_order_relaxed);
+  }
+  /// Connections refused with "server busy" because the pool was saturated.
+  [[nodiscard]] std::uint64_t connections_shed() const {
+    return shed_.load(std::memory_order_relaxed);
+  }
+  /// Connections currently registered (live or awaiting a worker).
+  [[nodiscard]] std::size_t active_connections() const {
+    std::lock_guard lock(connections_mutex_);
+    return live_.size();
+  }
 
  private:
-  ProxyServer(core::XSearchProxy& proxy, TcpListener listener);
+  ProxyServer(core::XSearchProxy& proxy, TcpListener listener, Options options);
 
   void accept_loop();
-  void serve_connection(const std::shared_ptr<TcpStream>& stream);
+  void serve_connection(TcpStream& stream);
+  void reap(std::uint64_t connection_id);
 
   core::XSearchProxy* proxy_;
   TcpListener listener_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> reaped_{0};
+  std::atomic<std::uint64_t> shed_{0};
+
+  // Live connection registry: lets stop() unblock workers parked in recv,
+  // and is the quantity `active_connections` reports. Entries are reaped by
+  // the worker when its connection closes.
+  mutable std::mutex connections_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TcpStream>> live_;
+  std::uint64_t next_connection_id_ = 1;
+
+  ThreadPool pool_;
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
-  // Live connection streams, so stop() can unblock workers parked in recv.
-  std::vector<std::shared_ptr<TcpStream>> streams_;
 };
 
 }  // namespace xsearch::net

@@ -69,25 +69,60 @@ Status RemoteBroker::connect() {
   return Status::ok();
 }
 
+void RemoteBroker::reset_session() {
+  stream_.reset();
+  channel_.reset();
+  session_id_ = 0;
+}
+
 Result<std::vector<engine::SearchResult>> RemoteBroker::search(std::string_view query) {
+  bool retryable = false;
+  auto first = search_once(query, retryable);
+  if (first.is_ok() || !retryable) return first;
+  // The session died under us (bounded-table eviction, idle expiry, broken
+  // or shed connection) or the channel desynced: one fresh attested
+  // handshake, one retry.
+  reset_session();
+  ++reconnects_;
+  retryable = false;
+  return search_once(query, retryable);
+}
+
+Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
+    std::string_view query, bool& retryable) {
   XS_RETURN_IF_ERROR(connect());
 
   Bytes payload;
   core::wire::put_u64(payload, session_id_);
   append(payload, channel_->seal(core::wire::frame_query(query)));
-  XS_RETURN_IF_ERROR(write_frame(*stream_, FrameType::kQuery, payload));
+  if (auto written = write_frame(*stream_, FrameType::kQuery, payload);
+      !written.is_ok()) {
+    retryable = true;
+    return written;
+  }
 
   auto reply = read_frame(*stream_);
-  if (!reply) return reply.status();
+  if (!reply) {
+    retryable = true;
+    return reply.status();
+  }
   if (reply.value().type == FrameType::kError) {
+    // A frame-level error means the proxy never opened our record (unknown
+    // session, auth failure, busy server): our send counter advanced but
+    // the proxy's receive counter did not, so the channel is unusable.
+    retryable = true;
     return unavailable("proxy: " + to_string(reply.value().payload));
   }
   if (reply.value().type != FrameType::kQueryReply) {
+    retryable = true;
     return data_loss("unexpected frame type in query reply");
   }
 
   auto plaintext = channel_->open(reply.value().payload);
-  if (!plaintext) return plaintext.status();
+  if (!plaintext) {
+    retryable = true;
+    return plaintext.status();
+  }
   auto message = core::wire::parse_client_message(plaintext.value());
   if (!message) return message.status();
   if (message.value().type == core::wire::ClientMessageType::kError) {

@@ -4,6 +4,14 @@
 // Behaviour is identical to core::ClientBroker — attest the enclave behind
 // the server before trusting it, then exchange encrypted records — with the
 // frames of net/frame.hpp as transport.
+//
+// The proxy's session table is bounded (LRU + idle TTL), so an established
+// session can legitimately disappear between two queries; the connection
+// can also die (server restart, shed connection). `search` recovers from
+// both by discarding the channel, re-attesting through a fresh handshake,
+// and retrying the query exactly once. Failures during the initial
+// attestation itself (wrong measurement, rogue authority, refused
+// connection) are never retried.
 #pragma once
 
 #include <optional>
@@ -27,13 +35,25 @@ class RemoteBroker {
   /// Connects, attests, establishes the channel. Idempotent.
   [[nodiscard]] Status connect();
 
-  /// One private search over the network.
+  /// One private search over the network. Transparently re-handshakes and
+  /// retries once when the proxy evicted/expired the session or the
+  /// connection broke mid-query.
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search(
       std::string_view query);
 
   [[nodiscard]] bool connected() const { return channel_.has_value(); }
 
+  /// Times `search` had to tear down and re-establish the session.
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
  private:
+  /// One attempt; sets `retryable` when the failure left the session
+  /// unusable (channel nonce desync or dead transport) and a fresh
+  /// handshake may succeed.
+  [[nodiscard]] Result<std::vector<engine::SearchResult>> search_once(
+      std::string_view query, bool& retryable);
+  void reset_session();
+
   std::string host_;
   std::uint16_t port_;
   const sgx::AttestationAuthority* authority_;
@@ -43,6 +63,7 @@ class RemoteBroker {
   std::optional<TcpStream> stream_;
   std::optional<crypto::SecureChannel> channel_;
   std::uint64_t session_id_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace xsearch::net

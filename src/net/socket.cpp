@@ -106,10 +106,20 @@ Result<TcpListener> TcpListener::bind(std::uint16_t port) {
 }
 
 Result<TcpStream> TcpListener::accept() {
-  if (!fd_.valid()) return unavailable("listener closed");
-  const int client = ::accept(fd_.get(), nullptr, nullptr);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+    return unavailable("listener closed");
+  }
+  // The fd stays open until destruction, so this call can never land on a
+  // kernel-reused descriptor even if close() runs concurrently; a shutdown
+  // socket makes ::accept return with an error instead.
+  const int client = ::accept(fd, nullptr, nullptr);
   if (client < 0) {
     return unavailable(errno_message("accept"));
+  }
+  if (closed_.load(std::memory_order_acquire)) {
+    ::close(client);
+    return unavailable("listener closed");
   }
   const int one = 1;
   (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
@@ -117,9 +127,16 @@ Result<TcpStream> TcpListener::accept() {
 }
 
 void TcpListener::close() {
-  // Shut the socket down first so a concurrent accept() returns, then close.
-  if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_RDWR);
-  fd_.reset();
+  closed_.store(true, std::memory_order_release);
+  const int fd = fd_.load(std::memory_order_acquire);
+  // Shutdown wakes any accept() parked on the socket and makes the kernel
+  // refuse new connections; the descriptor is released at destruction.
+  if (fd >= 0) (void)::shutdown(fd, SHUT_RDWR);
+}
+
+void TcpListener::release() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 }  // namespace xsearch::net

@@ -7,6 +7,7 @@
 // file descriptors owned RAII-style.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -81,8 +82,38 @@ class TcpStream {
 };
 
 /// A listening TCP socket bound to 127.0.0.1.
+///
+/// `close()` is callable from a different thread than the one blocked in
+/// `accept()` — the idiom every server shutdown path uses — so it only
+/// marks the listener closed and shuts the socket down (which both wakes a
+/// parked accept and makes the kernel refuse new connections). The
+/// descriptor itself is released by `release()` or destruction, once no
+/// thread can be inside accept() anymore; closing it eagerly in close()
+/// would let the kernel reuse the fd number for an unrelated socket while
+/// accept() still holds it.
 class TcpListener {
  public:
+  TcpListener() = default;
+  ~TcpListener() { release(); }
+
+  TcpListener(TcpListener&& other) noexcept
+      : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+        port_(other.port_),
+        closed_(other.closed_.load(std::memory_order_acquire)) {}
+  TcpListener& operator=(TcpListener&& other) noexcept {
+    if (this != &other) {
+      release();
+      fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+                std::memory_order_release);
+      port_ = other.port_;
+      closed_.store(other.closed_.load(std::memory_order_acquire),
+                    std::memory_order_release);
+    }
+    return *this;
+  }
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
   /// Binds to loopback:`port` (0 = ephemeral) and listens.
   [[nodiscard]] static Result<TcpListener> bind(std::uint16_t port);
 
@@ -93,17 +124,29 @@ class TcpListener {
   /// listener has been closed from another thread.
   [[nodiscard]] Result<TcpStream> accept();
 
-  /// Unblocks pending accept()s and prevents new ones.
+  /// Unblocks pending accept()s, refuses new connections, and prevents new
+  /// accepts. Idempotent and safe to call concurrently with accept(). The
+  /// descriptor (and with it the bound port) is released by `release()` or
+  /// destruction, not here — see the class comment.
   void close();
 
-  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  /// Fully closes the descriptor, freeing the port for rebinding. Only
+  /// callable once no thread can be inside accept() anymore (e.g. after a
+  /// server joined its accept thread). Idempotent; implied by destruction.
+  void release();
+
+  [[nodiscard]] bool valid() const {
+    return !closed_.load(std::memory_order_acquire) &&
+           fd_.load(std::memory_order_acquire) >= 0;
+  }
 
  private:
   TcpListener(FileDescriptor fd, std::uint16_t port)
-      : fd_(std::move(fd)), port_(port) {}
+      : fd_(fd.release()), port_(port) {}
 
-  FileDescriptor fd_;
+  std::atomic<int> fd_{-1};
   std::uint16_t port_ = 0;
+  std::atomic<bool> closed_{false};
 };
 
 }  // namespace xsearch::net

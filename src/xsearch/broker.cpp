@@ -41,6 +41,21 @@ Status ClientBroker::connect() {
 }
 
 Result<std::vector<engine::SearchResult>> ClientBroker::search(std::string_view query) {
+  auto first = search_once(query);
+  if (first.is_ok() || first.status().code() != StatusCode::kNotFound) {
+    return first;
+  }
+  // NOT_FOUND is uniquely the proxy's "unknown session": the bounded table
+  // evicted or idle-expired us, and the dead channel is desynced anyway.
+  // Re-attest through a fresh handshake and retry exactly once.
+  channel_.reset();
+  session_id_ = 0;
+  ++reconnects_;
+  return search_once(query);
+}
+
+Result<std::vector<engine::SearchResult>> ClientBroker::search_once(
+    std::string_view query) {
   XS_RETURN_IF_ERROR(connect());
 
   const Bytes record = channel_->seal(wire::frame_query(query));

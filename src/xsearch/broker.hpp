@@ -32,13 +32,21 @@ class ClientBroker {
   [[nodiscard]] Status connect();
 
   /// End-to-end private search: encrypt the query, let the enclave
-  /// obfuscate/execute/filter, decrypt the result list.
+  /// obfuscate/execute/filter, decrypt the result list. When the proxy's
+  /// bounded session table evicted or expired our session (NOT_FOUND),
+  /// transparently re-attests and retries the query exactly once.
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search(
       std::string_view query);
 
   [[nodiscard]] bool connected() const { return channel_.has_value(); }
 
+  /// Times `search` had to re-establish an evicted/expired session.
+  [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
  private:
+  [[nodiscard]] Result<std::vector<engine::SearchResult>> search_once(
+      std::string_view query);
+
   XSearchProxy* proxy_;
   const sgx::AttestationAuthority* authority_;
   sgx::Measurement expected_measurement_;
@@ -46,6 +54,7 @@ class ClientBroker {
 
   std::optional<crypto::SecureChannel> channel_;
   std::uint64_t session_id_ = 0;
+  std::uint64_t reconnects_ = 0;
 };
 
 }  // namespace xsearch::core

@@ -1,7 +1,8 @@
 #include "xsearch/history.hpp"
 
-#include <algorithm>
 #include <cassert>
+#include <unordered_map>
+#include <utility>
 
 namespace xsearch::core {
 
@@ -60,16 +61,20 @@ std::vector<std::string> QueryHistory::sample(std::size_t k, Rng& rng) const {
     return out;
   }
 
-  // Sample k distinct positions (rejection; k << count in practice).
-  std::vector<std::size_t> picked;
-  picked.reserve(k);
-  while (picked.size() < k) {
-    const std::size_t idx = rng.uniform(count_);
-    if (std::find(picked.begin(), picked.end(), idx) == picked.end()) {
-      picked.push_back(idx);
-    }
+  // Sample k distinct positions with a partial Fisher–Yates shuffle over a
+  // sparse displacement map: O(k) draws regardless of how close k is to
+  // count (rejection sampling degraded toward O(k·count) there).
+  std::unordered_map<std::size_t, std::size_t> displaced;
+  displaced.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform(count_ - i));
+    const auto at_j = displaced.find(j);
+    const std::size_t pick = at_j == displaced.end() ? j : at_j->second;
+    const auto at_i = displaced.find(i);
+    displaced[j] = at_i == displaced.end() ? i : at_i->second;
+    out.push_back(ring_[pick]);
   }
-  for (const std::size_t idx : picked) out.push_back(ring_[idx]);
   return out;
 }
 

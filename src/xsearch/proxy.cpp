@@ -35,6 +35,10 @@ Status XSearchProxy::Options::validate() const {
     return invalid_argument("options.results_per_subquery must be >= 1: the "
                             "engine would return nothing to filter");
   }
+  if (session_capacity == 0) {
+    return invalid_argument("options.session_capacity must be >= 1: the "
+                            "proxy could never hold a client session");
+  }
   return Status::ok();
 }
 
@@ -50,8 +54,10 @@ Result<std::unique_ptr<XSearchProxy>> XSearchProxy::create(
     return failed_precondition(
         "an engine is required unless contact_engine is disabled");
   }
-  return std::unique_ptr<XSearchProxy>(
+  auto proxy = std::unique_ptr<XSearchProxy>(
       new XSearchProxy(engine, authority, options));
+  XS_RETURN_IF_ERROR(proxy->init_status_);
+  return proxy;
 }
 
 Result<std::unique_ptr<XSearchProxy>> XSearchProxy::create(
@@ -63,8 +69,10 @@ Result<std::unique_ptr<XSearchProxy>> XSearchProxy::create(
     return invalid_argument(
         "engine_tls_public_key must match the gateway's public key");
   }
-  return std::unique_ptr<XSearchProxy>(
+  auto proxy = std::unique_ptr<XSearchProxy>(
       new XSearchProxy(gateway, authority, options));
+  XS_RETURN_IF_ERROR(proxy->init_status_);
+  return proxy;
 }
 
 void XSearchProxy::warm_history(const std::vector<std::string>& queries) {
@@ -88,7 +96,7 @@ XSearchProxy::XSearchProxy(const engine::SearchEngine* engine,
          "engine required unless contact_engine is disabled");
   assert(!options_.engine_tls_public_key.has_value() &&
          "encrypted engine link requires the gateway constructor");
-  install_boundary();
+  init_status_ = install_boundary();
 }
 
 XSearchProxy::XSearchProxy(const SecureEngineGateway& gateway,
@@ -110,10 +118,10 @@ XSearchProxy::XSearchProxy(const SecureEngineGateway& gateway,
   }
   assert(options_.engine_tls_public_key == gateway.public_key() &&
          "pinned engine key must match the gateway");
-  install_boundary();
+  init_status_ = install_boundary();
 }
 
-void XSearchProxy::install_boundary() {
+Status XSearchProxy::install_boundary() {
   sgx::EnclaveRuntime::Config config;
   config.code_identity = code_identity();
   config.usable_epc_bytes = options_.usable_epc_bytes;
@@ -125,6 +133,11 @@ void XSearchProxy::install_boundary() {
   static_keys_ = crypto::x25519_keypair_from_seed(seed);
   history_ = std::make_unique<QueryHistory>(options_.history_capacity, &enclave_->epc());
   obfuscator_ = std::make_unique<Obfuscator>(*history_, options_.k);
+  sessions_ = std::make_unique<SessionTable>(
+      SessionTable::Options{.capacity = options_.session_capacity,
+                            .idle_ttl = options_.session_idle_ttl,
+                            .shards = options_.session_shards},
+      &enclave_->epc());
 
   // The paper's narrowed enclave interface.
   enclave_->register_ecall("init", [this](ByteSpan p) { return ecall_init(p); });
@@ -187,12 +200,12 @@ void XSearchProxy::install_boundary() {
   });
 
   // Configure the trusted side through the init ecall, as the SDK would.
+  // A failure here (the enclave refusing the host's configuration) is
+  // recorded and surfaced by `create`, not swallowed.
   Bytes init_payload;
   wire::put_u32(init_payload, static_cast<std::uint32_t>(options_.k));
   wire::put_u32(init_payload, options_.results_per_subquery);
-  const auto status = enclave_->ecall("init", init_payload);
-  assert(status.is_ok());
-  (void)status;
+  return enclave_->ecall("init", init_payload).status();
 }
 
 Result<Bytes> XSearchProxy::ecall_init(ByteSpan payload) {
@@ -231,7 +244,6 @@ Result<Bytes> XSearchProxy::trusted_handshake(ByteSpan payload) {
   std::memcpy(client_pub.data(), payload.data(), client_pub.size());
 
   crypto::X25519Key eph_seed{};
-  std::uint64_t session_id = 0;
   crypto::X25519KeyPair ephemeral;
   {
     std::lock_guard lock(rng_mutex_);
@@ -239,13 +251,10 @@ Result<Bytes> XSearchProxy::trusted_handshake(ByteSpan payload) {
   }
   ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
 
-  auto channel = std::make_unique<crypto::SecureChannel>(
+  // The table is bounded: this may evict the least-recently-used session
+  // (whose client will be told "unknown session" and must re-handshake).
+  const std::uint64_t session_id = sessions_->insert(
       crypto::SecureChannel::responder(static_keys_, ephemeral, client_pub));
-  {
-    std::lock_guard lock(sessions_mutex_);
-    session_id = next_session_id_++;
-    sessions_.emplace(session_id, std::move(channel));
-  }
 
   const sgx::Quote quote =
       quote_channel_key(*authority_, *enclave_, static_keys_.public_key);
@@ -264,15 +273,19 @@ Result<Bytes> XSearchProxy::trusted_query(ByteSpan payload) {
   auto session_id = wire::get_u64(payload, offset);
   if (!session_id) return session_id.status();
 
-  crypto::SecureChannel* channel = nullptr;
-  {
-    std::lock_guard lock(sessions_mutex_);
-    const auto it = sessions_.find(session_id.value());
-    if (it == sessions_.end()) return not_found("query: unknown session");
-    channel = it->second.get();
+  // The locked handle serializes this session's channel (its nonce counters
+  // require records to be processed in seal order) and keeps the session
+  // alive even if the table evicts it mid-request. It is held through the
+  // engine round trip so the sealed response order matches too; queries on
+  // other sessions are untouched by this lock.
+  auto session = sessions_->acquire(session_id.value());
+  if (!session) {
+    return not_found("query: unknown session (never opened, idle-expired, "
+                     "or evicted by the bounded session table)");
   }
+  crypto::SecureChannel& channel = session.channel();
 
-  auto plaintext = channel->open(payload.subspan(offset));
+  auto plaintext = channel.open(payload.subspan(offset));
   if (!plaintext) return plaintext.status();
   auto message = wire::parse_client_message(plaintext.value());
   if (!message) return message.status();
@@ -291,14 +304,14 @@ Result<Bytes> XSearchProxy::trusted_query(ByteSpan payload) {
   if (options_.contact_engine) {
     auto results = query_engine(obfuscated);
     if (!results) {
-      return Bytes(channel->seal(wire::frame_error(results.status().to_string())));
+      return Bytes(channel.seal(wire::frame_error(results.status().to_string())));
     }
     // Algorithm 2 inside the enclave, plus analytics scrubbing.
     filtered = filter_.filter(obfuscated.original, obfuscated.fakes,
                               std::move(results).value());
   }
 
-  return Bytes(channel->seal(wire::frame_results(filtered)));
+  return Bytes(channel.seal(wire::frame_results(filtered)));
 }
 
 Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(

@@ -20,7 +20,6 @@
 #include <memory>
 #include <mutex>
 #include <optional>
-#include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
@@ -34,6 +33,7 @@
 #include "xsearch/filter.hpp"
 #include "xsearch/history.hpp"
 #include "xsearch/obfuscator.hpp"
+#include "xsearch/session_table.hpp"
 
 namespace xsearch::core {
 
@@ -60,10 +60,19 @@ class XSearchProxy {
     /// key (the engine frontend's TLS stand-in; paper footnote 2). Requires
     /// constructing the proxy with a SecureEngineGateway.
     std::optional<crypto::X25519Key> engine_tls_public_key;
+    /// Maximum live client sessions the enclave keeps; the least recently
+    /// used session is evicted beyond it (its client must re-handshake).
+    /// Bounds the EPC held by per-session channel state.
+    std::size_t session_capacity = 4096;
+    /// Sessions idle longer than this expire (0 = never).
+    Nanos session_idle_ttl = 0;
+    /// Lock shards of the session table.
+    std::size_t session_shards = 8;
 
     /// Rejects configurations the proxy would otherwise silently mishandle:
     /// `k == 0` (no obfuscation), an empty history window, a zero per-sub-
-    /// query fetch size. Gateway consistency is checked by `create`.
+    /// query fetch size, a zero session capacity. Gateway consistency is
+    /// checked by `create`.
     [[nodiscard]] Status validate() const;
   };
 
@@ -129,6 +138,17 @@ class XSearchProxy {
   }
   [[nodiscard]] const Options& options() const { return options_; }
 
+  /// Lifecycle counters of the bounded session table (active/peak/evicted/
+  /// expired and the EPC bytes its live sessions hold).
+  [[nodiscard]] SessionTable::Stats session_stats() const {
+    return sessions_->stats();
+  }
+
+  /// Outcome of the `init` ecall performed at construction. The raw
+  /// constructors record a failure here instead of aborting; `create`
+  /// surfaces it as its returned Status.
+  [[nodiscard]] const Status& init_status() const { return init_status_; }
+
   /// Simulation warm-up: preloads the in-enclave history as if `queries`
   /// had arrived as earlier users' traffic (the §5.1 bench methodology).
   /// Not part of the deployed protocol surface.
@@ -151,7 +171,7 @@ class XSearchProxy {
   [[nodiscard]] Result<std::vector<engine::SearchResult>> query_engine(
       const ObfuscatedQuery& obfuscated);
 
-  void install_boundary();
+  [[nodiscard]] Status install_boundary();
 
   const engine::SearchEngine* engine_;
   const SecureEngineGateway* gateway_ = nullptr;
@@ -169,9 +189,10 @@ class XSearchProxy {
   Rng rng_;
   crypto::SecureRandom secure_rng_;
 
-  std::mutex sessions_mutex_;
-  std::unordered_map<std::uint64_t, std::unique_ptr<crypto::SecureChannel>> sessions_;
-  std::uint64_t next_session_id_ = 1;
+  // Bounded session subsystem: per-session channel locking, LRU + idle-TTL
+  // eviction, EPC accounting (see session_table.hpp for the locking order).
+  std::unique_ptr<SessionTable> sessions_;
+  Status init_status_;
 
   // ---- untrusted host state: the "sockets" behind the ocalls ----
   std::mutex sockets_mutex_;

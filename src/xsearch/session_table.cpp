@@ -1,0 +1,174 @@
+#include "xsearch/session_table.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xsearch::core {
+
+// One live client session. `mutex` serializes channel use; `last_used` and
+// `lru_it` are guarded by the owning shard's mutex, never by `mutex`.
+struct SessionTable::Session {
+  explicit Session(crypto::SecureChannel ch) : channel(std::move(ch)) {}
+
+  std::mutex mutex;
+  crypto::SecureChannel channel;
+  Nanos last_used = 0;
+  std::list<std::uint64_t>::iterator lru_it;
+};
+
+SessionTable::LockedSession::LockedSession(std::shared_ptr<Session> session)
+    : session_(std::move(session)), lock_(session_->mutex) {}
+
+crypto::SecureChannel& SessionTable::LockedSession::channel() {
+  return session_->channel;
+}
+
+std::size_t SessionTable::session_epc_bytes() {
+  // The session object (channel keys/counters/transcript hash + lock + LRU
+  // bookkeeping) plus its shared_ptr control block, hash-map node, and LRU
+  // list node. An estimate, like all accounting in the simulation — what
+  // matters is that charge and release are exactly symmetric.
+  return sizeof(Session) + 64 + 8 * sizeof(void*);
+}
+
+SessionTable::SessionTable(Options options, sgx::EpcAccountant* epc, Clock clock)
+    : options_([&] {
+        Options o = options;
+        o.capacity = std::max<std::size_t>(1, o.capacity);
+        o.shards = std::max<std::size_t>(1, std::min(o.shards, o.capacity));
+        return o;
+      }()),
+      epc_(epc),
+      now_(clock ? std::move(clock) : Clock([] { return wall_now(); })) {
+  shards_.reserve(options_.shards);
+  // Quotas sum to exactly Options::capacity: the division remainder goes
+  // one-each to the first shards.
+  const std::size_t base = options_.capacity / options_.shards;
+  const std::size_t remainder = options_.capacity % options_.shards;
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+    shards_.back()->capacity = base + (i < remainder ? 1 : 0);
+  }
+}
+
+SessionTable::~SessionTable() {
+  // Release everything still charged; eviction paths released the rest.
+  if (epc_) epc_->release(epc_bytes_.load(std::memory_order_relaxed));
+}
+
+void SessionTable::remove_locked(
+    Shard& shard,
+    std::unordered_map<std::uint64_t, std::shared_ptr<Session>>::iterator it) {
+  shard.lru.erase(it->second->lru_it);
+  shard.sessions.erase(it);
+  active_.fetch_sub(1, std::memory_order_relaxed);
+  epc_bytes_.fetch_sub(session_epc_bytes(), std::memory_order_relaxed);
+  if (epc_) epc_->release(session_epc_bytes());
+}
+
+std::size_t SessionTable::evict_expired_locked(Shard& shard, Nanos now) {
+  if (options_.idle_ttl <= 0) return 0;
+  std::size_t evicted = 0;
+  // The LRU tail holds the longest-idle sessions, so expired ones form a
+  // suffix and the sweep stops at the first live entry.
+  while (!shard.lru.empty()) {
+    const auto it = shard.sessions.find(shard.lru.back());
+    if (now - it->second->last_used < options_.idle_ttl) break;
+    remove_locked(shard, it);
+    ++evicted;
+  }
+  expired_ttl_.fetch_add(evicted, std::memory_order_relaxed);
+  return evicted;
+}
+
+std::uint64_t SessionTable::insert(crypto::SecureChannel channel) {
+  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_shared<Session>(std::move(channel));
+  const Nanos now = now_();
+
+  Shard& shard = shard_for(id);
+  {
+    std::lock_guard lock(shard.mutex);
+    evict_expired_locked(shard, now);
+    session->last_used = now;
+    shard.lru.push_front(id);
+    session->lru_it = shard.lru.begin();
+    shard.sessions.emplace(id, std::move(session));
+    active_.fetch_add(1, std::memory_order_relaxed);
+    epc_bytes_.fetch_add(session_epc_bytes(), std::memory_order_relaxed);
+    if (epc_) epc_->charge(session_epc_bytes());
+    while (shard.sessions.size() > shard.capacity) {
+      remove_locked(shard, shard.sessions.find(shard.lru.back()));
+      evicted_lru_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  created_.fetch_add(1, std::memory_order_relaxed);
+  const std::size_t active = active_.load(std::memory_order_relaxed);
+  std::size_t peak = peak_active_.load(std::memory_order_relaxed);
+  while (active > peak &&
+         !peak_active_.compare_exchange_weak(peak, active,
+                                             std::memory_order_relaxed)) {
+  }
+  return id;
+}
+
+SessionTable::LockedSession SessionTable::acquire(std::uint64_t session_id) {
+  const Nanos now = now_();
+  Shard& shard = shard_for(session_id);
+  std::shared_ptr<Session> session;
+  {
+    std::lock_guard lock(shard.mutex);
+    evict_expired_locked(shard, now);
+    const auto it = shard.sessions.find(session_id);
+    if (it == shard.sessions.end()) {
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      return LockedSession{};
+    }
+    session = it->second;
+    session->last_used = now;
+    shard.lru.splice(shard.lru.begin(), shard.lru, session->lru_it);
+  }
+  // The shard lock is released before blocking on the (possibly busy)
+  // session lock — see the locking-order contract in the header.
+  return LockedSession(std::move(session));
+}
+
+bool SessionTable::erase(std::uint64_t session_id) {
+  Shard& shard = shard_for(session_id);
+  std::lock_guard lock(shard.mutex);
+  const auto it = shard.sessions.find(session_id);
+  if (it == shard.sessions.end()) return false;
+  remove_locked(shard, it);
+  erased_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SessionTable::sweep_expired() {
+  const Nanos now = now_();
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    total += evict_expired_locked(*shard, now);
+  }
+  return total;
+}
+
+std::size_t SessionTable::size() const {
+  return active_.load(std::memory_order_relaxed);
+}
+
+SessionTable::Stats SessionTable::stats() const {
+  Stats out;
+  out.active = active_.load(std::memory_order_relaxed);
+  out.peak_active = peak_active_.load(std::memory_order_relaxed);
+  out.created = created_.load(std::memory_order_relaxed);
+  out.evicted_lru = evicted_lru_.load(std::memory_order_relaxed);
+  out.expired_ttl = expired_ttl_.load(std::memory_order_relaxed);
+  out.erased = erased_.load(std::memory_order_relaxed);
+  out.misses = misses_.load(std::memory_order_relaxed);
+  out.epc_bytes = epc_bytes_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace xsearch::core

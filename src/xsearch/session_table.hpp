@@ -1,0 +1,168 @@
+// Bounded, sharded table of client sessions.
+//
+// The paper's proxy is multi-threaded with shared in-enclave state (§4.1);
+// this table is the session half of that claim. Each established client
+// channel lives here behind two levels of locking:
+//
+//  * a *shard* mutex guards the id → session map and the shard's LRU list —
+//    held only for O(1) bookkeeping, never across crypto or the engine trip;
+//  * a *per-session* mutex serializes SecureChannel open/seal — the channel
+//    carries per-direction nonce counters, so concurrent records on one
+//    session must be processed in the order the client sealed them, while
+//    queries on *different* sessions proceed in parallel.
+//
+// Locking order: a shard mutex and a session mutex are never held at the
+// same time. `acquire` takes the shard lock, refreshes the LRU position,
+// extracts a shared_ptr, releases the shard lock, and only then blocks on
+// the session lock. Eviction concurrent with use is safe: the map drops its
+// reference but the in-flight `LockedSession` keeps the session alive until
+// the request finishes.
+//
+// The table is bounded two ways, so sessions cannot exhaust the ~90 MiB EPC
+// no matter how many clients connect (the unbounded map this replaces grew
+// forever): a capacity cap with LRU eviction, and an optional idle TTL.
+// Every live session is charged against the enclave's EpcAccountant, which
+// is how the Figure 6 methodology meters enclave occupancy.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "crypto/secure_channel.hpp"
+#include "sgx/epc.hpp"
+
+namespace xsearch::core {
+
+class SessionTable {
+ public:
+  struct Options {
+    /// Maximum live sessions across all shards. Enforced per shard with
+    /// quotas summing exactly to `capacity` (the remainder of
+    /// capacity/shards is spread over the first shards); session ids are
+    /// assigned round-robin, so the shards fill evenly.
+    std::size_t capacity = 4096;
+    /// Sessions idle longer than this are expired (0 = never expire).
+    Nanos idle_ttl = 0;
+    /// Lock shards; more shards = less contention between sessions.
+    std::size_t shards = 8;
+  };
+
+  struct Stats {
+    std::size_t active = 0;
+    std::size_t peak_active = 0;
+    std::uint64_t created = 0;
+    std::uint64_t evicted_lru = 0;
+    std::uint64_t expired_ttl = 0;
+    std::uint64_t erased = 0;
+    std::uint64_t misses = 0;  // acquires of unknown/evicted/expired ids
+    /// Bytes currently charged to the EPC for live sessions.
+    std::size_t epc_bytes = 0;
+  };
+
+  /// Injectable time source (tests pass a fake; default is wall_now).
+  using Clock = std::function<Nanos()>;
+
+  explicit SessionTable(Options options, sgx::EpcAccountant* epc = nullptr,
+                        Clock clock = {});
+  ~SessionTable();
+
+  SessionTable(const SessionTable&) = delete;
+  SessionTable& operator=(const SessionTable&) = delete;
+
+ private:
+  struct Session;
+
+ public:
+  /// RAII view of one live session: holds the session alive and its lock,
+  /// so the caller may use the channel without racing other threads on the
+  /// same session. Falsy when the session is unknown, expired, or evicted.
+  class LockedSession {
+   public:
+    LockedSession() = default;
+    LockedSession(LockedSession&&) = default;
+    // Member-wise move *assignment* would destroy the old session before
+    // releasing its lock (declaration order), so it is not offered.
+    LockedSession& operator=(LockedSession&&) = delete;
+
+    [[nodiscard]] explicit operator bool() const { return session_ != nullptr; }
+    [[nodiscard]] crypto::SecureChannel& channel();
+
+   private:
+    friend class SessionTable;
+    explicit LockedSession(std::shared_ptr<Session> session);
+
+    std::shared_ptr<Session> session_;
+    std::unique_lock<std::mutex> lock_;
+  };
+
+  /// Registers an established channel and returns its session id. May evict
+  /// the least-recently-used session of the target shard to stay bounded.
+  [[nodiscard]] std::uint64_t insert(crypto::SecureChannel channel);
+
+  /// Looks up a session, refreshes its LRU/idle position, and returns it
+  /// locked. Expired sessions encountered on the way are evicted.
+  [[nodiscard]] LockedSession acquire(std::uint64_t session_id);
+
+  /// Removes a session explicitly (client teardown). False when unknown.
+  bool erase(std::uint64_t session_id);
+
+  /// Evicts every idle-expired session; returns how many were removed.
+  std::size_t sweep_expired();
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] Stats stats() const;
+  [[nodiscard]] const Options& options() const { return options_; }
+
+  /// EPC bytes accounted per live session (channel state + table node
+  /// bookkeeping) — what `insert` charges and eviction releases.
+  [[nodiscard]] static std::size_t session_epc_bytes();
+
+ private:
+  struct Shard {
+    std::size_t capacity = 0;  // this shard's share of Options::capacity
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions;
+    std::list<std::uint64_t> lru;  // front = most recently used
+  };
+
+  [[nodiscard]] Shard& shard_for(std::uint64_t session_id) {
+    return *shards_[session_id % shards_.size()];
+  }
+  [[nodiscard]] const Shard& shard_for(std::uint64_t session_id) const {
+    return *shards_[session_id % shards_.size()];
+  }
+
+  /// Removes the session `it` points at. Caller holds the shard mutex.
+  void remove_locked(Shard& shard,
+                     std::unordered_map<std::uint64_t,
+                                        std::shared_ptr<Session>>::iterator it);
+  /// Evicts idle-expired sessions from the shard's cold end. Caller holds
+  /// the shard mutex. Returns the number evicted.
+  std::size_t evict_expired_locked(Shard& shard, Nanos now);
+
+  const Options options_;
+  sgx::EpcAccountant* epc_;
+  Clock now_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  std::atomic<std::uint64_t> next_id_{1};
+  std::atomic<std::size_t> active_{0};
+  std::atomic<std::size_t> peak_active_{0};
+  std::atomic<std::uint64_t> created_{0};
+  std::atomic<std::uint64_t> evicted_lru_{0};
+  std::atomic<std::uint64_t> expired_ttl_{0};
+  std::atomic<std::uint64_t> erased_{0};
+  std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::size_t> epc_bytes_{0};
+};
+
+}  // namespace xsearch::core

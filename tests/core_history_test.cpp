@@ -63,6 +63,21 @@ TEST(QueryHistory, SampleDistinctPositions) {
   }
 }
 
+TEST(QueryHistory, SampleNearWindowSizeStaysDistinctAndFast) {
+  // k close to count was the rejection sampler's pathological regime
+  // (O(k·count)); the partial Fisher–Yates must stay O(k) and distinct.
+  constexpr std::size_t kCount = 2000;
+  QueryHistory h(kCount);
+  for (std::size_t i = 0; i < kCount; ++i) h.add("q" + std::to_string(i));
+  Rng rng(11);
+  for (const std::size_t k : {kCount - 1, kCount / 2 + 1, kCount - 100}) {
+    const auto s = h.sample(k, rng);
+    ASSERT_EQ(s.size(), k);
+    const std::unordered_set<std::string> set(s.begin(), s.end());
+    EXPECT_EQ(set.size(), k);  // inputs distinct, so positions were distinct
+  }
+}
+
 TEST(QueryHistory, SampleCoversWholeWindow) {
   QueryHistory h(20);
   for (int i = 0; i < 20; ++i) h.add("q" + std::to_string(i));

@@ -270,7 +270,11 @@ TEST_F(ProxyTest, EpcUsageVisible) {
     ASSERT_TRUE(broker.search(log_.records()[i].text).is_ok());
   }
   EXPECT_GT(proxy.enclave().epc().in_use(), before);
-  EXPECT_EQ(proxy.history_memory_bytes(), proxy.enclave().epc().in_use());
+  // Enclave occupancy decomposes exactly into the history table plus the
+  // per-session channel state held by the bounded session table.
+  EXPECT_EQ(proxy.history_memory_bytes() + proxy.session_stats().epc_bytes,
+            proxy.enclave().epc().in_use());
+  EXPECT_EQ(proxy.session_stats().active, 1u);
 }
 
 }  // namespace

@@ -1,0 +1,202 @@
+// ProxyServer pool/registry tests: connection reaping, saturation shedding,
+// and the acceptance stress test of the session subsystem — ≥1k queries
+// across ≥8 concurrent TCP sessions against a capped SessionTable, with
+// evictions observed and the proxy's EPC accounting stable. Run under
+// ThreadSanitizer in CI.
+#include "net/proxy_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.hpp"
+#include "net/remote_broker.hpp"
+#include "net/socket.hpp"
+#include "sgx/attestation.hpp"
+#include "xsearch/proxy.hpp"
+
+namespace xsearch::net {
+namespace {
+
+core::XSearchProxy::Options saturation_options() {
+  core::XSearchProxy::Options options;
+  options.k = 2;
+  options.history_capacity = 4096;
+  options.contact_engine = false;  // isolate the proxy/session path
+  return options;
+}
+
+/// Polls `condition` for up to five seconds (reaping is asynchronous with
+/// the client's close: the worker notices EOF, then erases the registry
+/// entry).
+bool eventually(const std::function<bool()>& condition) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return condition();
+}
+
+TEST(ProxyServerPool, ReapsFinishedConnections) {
+  sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
+  core::XSearchProxy proxy(nullptr, authority, saturation_options());
+  auto server = ProxyServer::start(proxy);
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  constexpr int kConnections = 10;
+  for (int i = 0; i < kConnections; ++i) {
+    RemoteBroker broker("127.0.0.1", server.value()->port(), authority,
+                        proxy.measurement(), static_cast<std::uint64_t>(i));
+    ASSERT_TRUE(broker.search("q" + std::to_string(i)).is_ok());
+  }  // broker teardown closes each connection
+
+  // The registry shrinks back to zero instead of accumulating one entry
+  // (and one thread) per connection ever served.
+  EXPECT_TRUE(eventually([&] { return server.value()->active_connections() == 0; }));
+  EXPECT_TRUE(eventually([&] {
+    return server.value()->connections_reaped() == kConnections;
+  }));
+  EXPECT_EQ(server.value()->connections_served(), kConnections);
+  EXPECT_EQ(server.value()->connections_shed(), 0u);
+  server.value()->stop();
+}
+
+TEST(ProxyServerPool, ShedsConnectionsBeyondWorkersPlusQueue) {
+  sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
+  core::XSearchProxy proxy(nullptr, authority, saturation_options());
+  ProxyServer::Options options;
+  options.workers = 1;
+  options.max_pending_connections = 1;
+  auto server = ProxyServer::start(proxy, 0, options);
+  ASSERT_TRUE(server.is_ok());
+
+  // Occupy the single worker: a completed round trip proves its connection
+  // task is running (not queued).
+  RemoteBroker occupant("127.0.0.1", server.value()->port(), authority,
+                        proxy.measurement(), 1);
+  ASSERT_TRUE(occupant.search("hold the worker").is_ok());
+
+  // Second connection parks in the pending queue (capacity 1).
+  auto queued = TcpStream::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(queued.is_ok());
+  ASSERT_TRUE(eventually([&] { return server.value()->connections_served() == 2; }));
+
+  // Third connection finds workers busy and the queue full: shed with an
+  // explicit error instead of waiting forever.
+  auto shed = TcpStream::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(shed.is_ok());
+  ASSERT_TRUE(eventually([&] { return server.value()->connections_shed() == 1; }));
+  auto reply = read_frame(shed.value());
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(reply.value().type, FrameType::kError);
+  EXPECT_EQ(to_string(reply.value().payload), "server busy");
+
+  server.value()->stop();
+}
+
+// Acceptance stress test (ISSUE 2): ≥1k queries across ≥8 concurrent
+// sessions through ProxyServer over real TCP, with the SessionTable capped
+// low enough that evictions occur, and the enclave's memory accounting
+// exactly balanced at the end. Client threads churn through fresh sessions
+// (re-handshaking every few queries) so the table sees far more sessions
+// than it may hold; the RemoteBroker's transparent re-handshake absorbs any
+// eviction of a momentarily idle live session.
+TEST(ProxyServerPool, StressManySessionsBoundedTableStableEpc) {
+  sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
+  auto options = saturation_options();
+  options.session_capacity = 32;
+  options.session_shards = 4;
+  core::XSearchProxy proxy(nullptr, authority, options);
+
+  ProxyServer::Options server_options;
+  server_options.workers = 8;
+  auto server = ProxyServer::start(proxy, 0, server_options);
+  ASSERT_TRUE(server.is_ok());
+
+  constexpr int kClientThreads = 8;   // concurrent sessions at any moment
+  constexpr int kRounds = 17;         // sessions per thread (churn)
+  constexpr int kQueriesPerRound = 8; // 8 * 17 * 8 = 1088 >= 1k queries
+  std::atomic<int> failures{0};
+  std::atomic<int> completed{0};
+  std::atomic<std::uint64_t> reconnects{0};
+
+  std::vector<std::thread> clients;
+  clients.reserve(kClientThreads);
+  for (int c = 0; c < kClientThreads; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        RemoteBroker broker(
+            "127.0.0.1", server.value()->port(), authority, proxy.measurement(),
+            static_cast<std::uint64_t>(c * 1000 + round));
+        for (int q = 0; q < kQueriesPerRound; ++q) {
+          const std::string query = "client " + std::to_string(c) + " round " +
+                                    std::to_string(round) + " query " +
+                                    std::to_string(q);
+          if (broker.search(query).is_ok()) {
+            ++completed;
+          } else {
+            ++failures;
+          }
+        }
+        reconnects += broker.reconnects();
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(completed.load(), kClientThreads * kRounds * kQueriesPerRound);
+  EXPECT_GE(completed.load(), 1000);
+
+  const auto stats = proxy.session_stats();
+  // Far more sessions were created than the cap; the table stayed bounded
+  // and evicted the excess.
+  EXPECT_GE(stats.created,
+            static_cast<std::uint64_t>(kClientThreads) * kRounds);
+  EXPECT_LE(stats.active, 32u);
+  EXPECT_GT(stats.evicted_lru + stats.expired_ttl, 0u);
+
+  // EPC accounting is stable: occupancy decomposes exactly into the (full,
+  // bounded) history window plus the live sessions' charge — nothing leaked
+  // by the eviction/reap churn.
+  EXPECT_EQ(stats.epc_bytes,
+            stats.active * core::SessionTable::session_epc_bytes());
+  EXPECT_EQ(proxy.enclave().epc().in_use(),
+            proxy.history_memory_bytes() + stats.epc_bytes);
+
+  // All client connections were reaped once the brokers went away.
+  EXPECT_TRUE(eventually([&] { return server.value()->active_connections() == 0; }));
+  EXPECT_EQ(server.value()->connections_served(),
+            server.value()->connections_reaped());
+
+  server.value()->stop();
+}
+
+TEST(ProxyServerPool, StopWithLiveConnectionsIsCleanAndIdempotent) {
+  sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
+  core::XSearchProxy proxy(nullptr, authority, saturation_options());
+  auto server = ProxyServer::start(proxy);
+  ASSERT_TRUE(server.is_ok());
+
+  RemoteBroker broker("127.0.0.1", server.value()->port(), authority,
+                      proxy.measurement(), 1);
+  ASSERT_TRUE(broker.search("live during stop").is_ok());
+
+  server.value()->stop();  // must unblock the worker parked in recv
+  server.value()->stop();  // idempotent
+  EXPECT_EQ(server.value()->active_connections(), 0u);
+
+  // stop() released the listener descriptor: the port is immediately free
+  // for a replacement server, even while the stopped one is still in scope.
+  auto rebound = TcpListener::bind(server.value()->port());
+  EXPECT_TRUE(rebound.is_ok()) << rebound.status().to_string();
+}
+
+}  // namespace
+}  // namespace xsearch::net
