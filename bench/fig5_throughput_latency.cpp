@@ -27,12 +27,28 @@
 // pool-served connection path concurrently, end to end, and reports the
 // session-lifecycle counters afterwards.
 //
-// Run: ./build/bench/fig5_throughput_latency [mechanism...]
-//      (default: xsearch peas tor; any registered name or xsearch-remote)
+// The special name "xsearch-sessions" is the concurrent-scaling mode: one
+// shared saturation proxy, S closed-loop client sessions on S threads for
+// S in {1,2,4,8}. With per-session RNG streams and reader/writer history
+// there is no global lock on the query path, so aggregate throughput should
+// track the hardware parallelism available instead of flattening against a
+// serialization point (on a 1-core container it stays level; the thing to
+// check is that it does not *collapse* as sessions are added).
+//
+// Besides the stdout table, every run writes machine-readable JSON (default
+// BENCH_fig5.json, or pass --json=PATH) with one object per measured row,
+// uploaded by the CI release-bench job so perf numbers accumulate per PR.
+//
+// Run: ./build/bench/fig5_throughput_latency [--json=PATH] [mechanism...]
+//      (default: xsearch peas tor; any registered name, xsearch-remote or
+//      xsearch-sessions)
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/client.hpp"
@@ -45,6 +61,7 @@
 #include "net/proxy_server.hpp"
 #include "netsim/netsim.hpp"
 #include "sgx/attestation.hpp"
+#include "xsearch/broker.hpp"
 #include "xsearch/proxy.hpp"
 
 namespace {
@@ -53,11 +70,117 @@ using namespace xsearch;  // NOLINT
 
 constexpr std::size_t kWorkers = 4;
 
+/// One measured row, kept for the JSON dump. `sessions` is only meaningful
+/// for the xsearch-sessions sweep (0 elsewhere).
+struct JsonRow {
+  std::string system;
+  double offered_rps = 0.0;
+  double achieved_rps = 0.0;
+  double mean_ms = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  std::uint64_t dropped = 0;
+  std::size_t sessions = 0;
+};
+
+std::vector<JsonRow> g_rows;
+
 void print_row(const std::string& system, const loadgen::LoadReport& report) {
-  std::printf("%-10s %10.0f %12.1f %10.3f %10.3f %10.3f %8llu\n",
+  std::printf("%-16s %10.0f %12.1f %10.3f %10.3f %10.3f %8llu\n",
               system.c_str(), report.offered_rps, report.achieved_rps,
               report.mean_ms(), report.p50_ms(), report.p99_ms(),
               static_cast<unsigned long long>(report.dropped));
+  g_rows.push_back({system, report.offered_rps, report.achieved_rps,
+                    report.mean_ms(), report.p50_ms(), report.p99_ms(),
+                    report.dropped, 0});
+}
+
+/// Minimal JSON string escaping (mechanism names come from argv).
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // drop control chars
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool write_json(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "{\n  \"figure\": \"fig5_throughput_latency\",\n  \"rows\": [\n");
+  for (std::size_t i = 0; i < g_rows.size(); ++i) {
+    const JsonRow& r = g_rows[i];
+    std::fprintf(f,
+                 "    {\"system\": \"%s\", \"offered_rps\": %.1f, "
+                 "\"achieved_rps\": %.1f, \"mean_ms\": %.3f, \"p50_ms\": %.3f, "
+                 "\"p99_ms\": %.3f, \"dropped\": %llu, \"sessions\": %zu}%s\n",
+                 json_escape(r.system).c_str(), r.offered_rps, r.achieved_rps, r.mean_ms,
+                 r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.dropped),
+                 r.sessions, i + 1 < g_rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  return true;
+}
+
+/// Concurrent-session closed-loop sweep over one shared saturation proxy.
+void run_session_sweep(const api::ClientConfig& config) {
+  xsearch::sgx::AttestationAuthority authority(
+      xsearch::to_bytes("fig5-sessions-root"));
+  core::XSearchProxy::Options options = api::xsearch_proxy_options(config);
+  options.contact_engine = false;
+  auto proxy = core::XSearchProxy::create(nullptr, authority, options);
+  if (!proxy.is_ok()) {
+    std::fprintf(stderr, "xsearch-sessions proxy: %s\n",
+                 proxy.status().to_string().c_str());
+    return;
+  }
+
+  constexpr auto kDuration = std::chrono::milliseconds(400);
+  for (const std::size_t sessions : {1u, 2u, 4u, 8u}) {
+    std::atomic<bool> go{false};
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> ready{0};
+    std::atomic<std::uint64_t> completed{0};
+    std::vector<std::thread> threads;
+    threads.reserve(sessions);
+    for (std::size_t s = 0; s < sessions; ++s) {
+      threads.emplace_back([&, s] {
+        core::ClientBroker broker(*proxy.value(), authority,
+                                  proxy.value()->measurement(), 9000 + s);
+        // Handshake before the clock starts: attestation serializes on
+        // handshake_mutex_ and would bias S=1 vs S=8 if timed.
+        const bool connected = broker.connect().is_ok();
+        ready.fetch_add(1, std::memory_order_release);
+        if (!connected) return;
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        std::uint64_t done = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+          if (broker.search("concurrent scaling probe").is_ok()) ++done;
+        }
+        completed.fetch_add(done, std::memory_order_relaxed);
+      });
+    }
+    while (ready.load(std::memory_order_acquire) < sessions)
+      std::this_thread::yield();
+    const auto t0 = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    std::this_thread::sleep_for(kDuration);
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    const double rps = static_cast<double>(completed.load()) / secs;
+    std::printf("%-16s %9zu* %12.1f %10s %10s %10s %8s\n", "xsearch-sessions",
+                sessions, rps, "-", "-", "-", "-");
+    g_rows.push_back({"xsearch-sessions", 0.0, rps, 0.0, 0.0, 0.0, 0,
+                      sessions});
+  }
+  std::printf("# *closed-loop: column is concurrent sessions, not offered rps\n");
 }
 
 loadgen::LoadConfig config_for(double rps) {
@@ -123,14 +246,23 @@ std::unique_ptr<RemoteDeployment> start_remote_deployment(
 int main(int argc, char** argv) {
   std::printf("# Figure 5: latency vs offered throughput (proxy saturation)\n");
 
-  std::vector<std::string> mechanisms = {"xsearch", "peas", "tor"};
-  if (argc > 1) mechanisms.assign(argv + 1, argv + argc);
+  std::string json_path = "BENCH_fig5.json";
+  std::vector<std::string> mechanisms;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else {
+      mechanisms.push_back(arg);
+    }
+  }
+  if (mechanisms.empty()) mechanisms = {"xsearch", "peas", "tor"};
 
   const auto bed = bench::make_testbed(
       {.num_users = 100, .total_queries = 10'000, .num_documents = 100});
   const std::string sample_query = bed->split.test.records()[0].text;
 
-  std::printf("%-10s %10s %12s %10s %10s %10s %8s\n", "system", "offered",
+  std::printf("%-16s %10s %12s %10s %10s %10s %8s\n", "system", "offered",
               "achieved", "mean_ms", "p50_ms", "p99_ms", "dropped");
 
   std::uint64_t seed = 100;
@@ -142,6 +274,11 @@ int main(int argc, char** argv) {
     config.history_capacity = 100'000;
     config.batch_workers = kWorkers;
     config.seed = seed += 100;
+
+    if (name == "xsearch-sessions") {
+      run_session_sweep(config);
+      continue;
+    }
 
     const bool remote = name == "xsearch-remote";
     std::unique_ptr<RemoteDeployment> deployment;
@@ -196,6 +333,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (write_json(json_path)) {
+    std::printf("# wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+  }
   std::printf("\n# paper: X-Search ~25k req/s sub-second; PEAS ~1k; Tor ~100\n");
   return 0;
 }

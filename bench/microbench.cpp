@@ -1,0 +1,341 @@
+// Query hot-path microbenchmarks — the per-PR perf trajectory tracker.
+//
+// Times the four stages a query pays inside the proxy, in isolation:
+//
+//   obfuscate    Algorithm 1: history sample + shuffle + history add
+//   obfuscate_mt same, from N threads over one shared history (the
+//                lock-free-obfuscation claim, measured)
+//   filter       Algorithm 2 at k=7, results_per_subquery=10 (R=80), both
+//                scorings, against an embedded *reference* implementation —
+//                a verbatim copy of the pre-optimization per-pair scorer —
+//                so the tokenize-once speedup is re-measurable forever
+//   search_or    the engine's k+1-sub-query OR evaluation + merge
+//   seal_open    one channel AEAD round trip at a typical record size
+//
+// Output: a human-readable table on stdout and machine-readable JSON
+// (default BENCH_micro.json, first CLI arg overrides), uploaded by the CI
+// release-bench job so numbers accumulate per PR.
+//
+// Run: ./build/bench/microbench [out.json]
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "common/rng.hpp"
+#include "crypto/secure_channel.hpp"
+#include "crypto/x25519.hpp"
+#include "text/sparse_vector.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+#include "xsearch/filter.hpp"
+#include "xsearch/history.hpp"
+#include "xsearch/obfuscator.hpp"
+
+namespace {
+
+using namespace xsearch;  // NOLINT
+using Clock = std::chrono::steady_clock;
+
+constexpr std::size_t kFilterK = 7;
+constexpr std::size_t kResultsPerSubquery = 10;
+
+double us_per_op(Clock::time_point t0, Clock::time_point t1, std::size_t ops) {
+  return std::chrono::duration<double, std::micro>(t1 - t0).count() /
+         static_cast<double>(ops);
+}
+
+// ---- reference filter: the pre-PR per-pair implementation -----------------
+//
+// Kept verbatim (modulo the removed helper overloads) as the fixed point the
+// optimized ResultFilter is measured against. Scores every (sub-query,
+// result) pair from scratch: one tokenization + hash-set build per pair.
+class ReferenceFilter {
+ public:
+  explicit ReferenceFilter(core::FilterScoring scoring) : scoring_(scoring) {}
+
+  [[nodiscard]] std::vector<engine::SearchResult> filter(
+      std::string_view original, const std::vector<std::string>& fakes,
+      std::vector<engine::SearchResult> results) const {
+    std::vector<engine::SearchResult> kept;
+    kept.reserve(results.size());
+    for (auto& r : results) {
+      const double original_score = score(original, r);
+      bool is_max = true;
+      for (const auto& fake : fakes) {
+        if (score(fake, r) > original_score) {
+          is_max = false;
+          break;
+        }
+      }
+      if (is_max) kept.push_back(std::move(r));
+    }
+    core::ResultFilter::strip_tracking(kept);
+    return kept;
+  }
+
+ private:
+  [[nodiscard]] static std::size_t common_words(
+      const std::unordered_set<std::string>& a_words, std::string_view b) {
+    std::size_t count = 0;
+    std::unordered_set<std::string> seen;
+    for (auto& token : text::tokenize(b)) {
+      if (a_words.contains(token) && seen.insert(token).second) ++count;
+    }
+    return count;
+  }
+
+  [[nodiscard]] double score(std::string_view query,
+                             const engine::SearchResult& result) const {
+    if (scoring_ == core::FilterScoring::kCommonWords) {
+      const auto tokens = text::tokenize(query);
+      const std::unordered_set<std::string> words(tokens.begin(), tokens.end());
+      return static_cast<double>(common_words(words, result.title) +
+                                 common_words(words, result.description));
+    }
+    text::Vocabulary vocab;
+    const auto q_vec = text::tf_vector(vocab, query);
+    const auto r_vec =
+        text::tf_vector(vocab, result.title + " " + result.description);
+    return q_vec.cosine(r_vec);
+  }
+
+  core::FilterScoring scoring_;
+};
+
+// ---- synthetic filter workload --------------------------------------------
+
+struct FilterWorkload {
+  std::string original;
+  std::vector<std::string> fakes;
+  std::vector<engine::SearchResult> results;
+};
+
+FilterWorkload make_filter_workload(Rng& rng) {
+  const std::vector<std::string> pool = {
+      "private", "web",     "search",  "engine",   "enclave", "proxy",
+      "query",   "results", "pasta",   "recipe",   "quantum", "physics",
+      "tennis",  "scores",  "weather", "forecast", "music",   "festival",
+      "travel",  "booking", "linux",   "kernel",   "privacy", "tracking"};
+  const auto words = [&](std::size_t n) {
+    std::string s;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!s.empty()) s += ' ';
+      s += pool[rng.uniform(pool.size())];
+    }
+    return s;
+  };
+
+  FilterWorkload w;
+  w.original = words(3);
+  for (std::size_t i = 0; i < kFilterK; ++i) w.fakes.push_back(words(3));
+  const std::size_t R = (kFilterK + 1) * kResultsPerSubquery;
+  for (std::size_t i = 0; i < R; ++i) {
+    engine::SearchResult r;
+    r.doc = static_cast<engine::DocId>(i);
+    r.title = words(6);
+    r.description = words(25);
+    r.url = "https://results.example/" + std::to_string(i);
+    w.results.push_back(std::move(r));
+  }
+  return w;
+}
+
+struct StageResult {
+  std::string name;
+  double us = 0.0;
+  double ops_per_sec = 0.0;
+};
+
+std::vector<StageResult> g_stages;
+
+void report(const std::string& name, double us) {
+  std::printf("%-24s %12.2f us/op %14.0f ops/s\n", name.c_str(), us,
+              1e6 / us);
+  g_stages.push_back({name, us, 1e6 / us});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = argc > 1 ? argv[1] : "BENCH_micro.json";
+  std::printf("# microbench: query hot-path stages (k=%zu, results/subq=%zu)\n",
+              kFilterK, kResultsPerSubquery);
+  Rng rng(42);
+
+  // ---- obfuscate ----------------------------------------------------------
+  {
+    core::QueryHistory history(100'000);
+    for (std::size_t i = 0; i < 20'000; ++i) {
+      history.add("warm query " + std::to_string(i));
+    }
+    core::Obfuscator obfuscator(history, kFilterK);
+    const std::size_t iters = 20'000;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      (void)obfuscator.obfuscate("the user query", rng);
+    }
+    report("obfuscate", us_per_op(t0, Clock::now(), iters));
+  }
+
+  // ---- obfuscate_mt: shared history, one RNG stream per thread ------------
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    core::QueryHistory history(100'000);
+    for (std::size_t i = 0; i < 20'000; ++i) {
+      history.add("warm query " + std::to_string(i));
+    }
+    core::Obfuscator obfuscator(history, kFilterK);
+    const std::size_t iters_each = 8'000;
+    std::vector<std::thread> pool;
+    const auto t0 = Clock::now();
+    for (std::size_t t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        Rng thread_rng(1000 + t);  // the per-session stream, modeled
+        for (std::size_t i = 0; i < iters_each; ++i) {
+          (void)obfuscator.obfuscate("the user query", thread_rng);
+        }
+      });
+    }
+    for (auto& th : pool) th.join();
+    const double us =
+        us_per_op(t0, Clock::now(), iters_each * threads);
+    report("obfuscate_mt/" + std::to_string(threads), us);
+  }
+
+  // ---- filter: optimized vs reference, both scorings ----------------------
+  double filter_speedup = 0.0;
+  {
+    FilterWorkload w = make_filter_workload(rng);
+    struct Variant {
+      const char* name;
+      core::FilterScoring scoring;
+      std::size_t iters_opt;
+      std::size_t iters_ref;
+    };
+    for (const Variant v :
+         {Variant{"common_words", core::FilterScoring::kCommonWords, 2000, 200},
+          Variant{"cosine", core::FilterScoring::kCosine, 1000, 100}}) {
+      const core::ResultFilter optimized(v.scoring);
+      const ReferenceFilter reference(v.scoring);
+
+      // The two implementations must agree before their timings mean
+      // anything (the randomized equivalence test covers this exhaustively;
+      // this is the smoke version).
+      const auto kept_opt = optimized.filter(w.original, w.fakes, w.results);
+      const auto kept_ref = reference.filter(w.original, w.fakes, w.results);
+      if (kept_opt.size() != kept_ref.size()) {
+        std::fprintf(stderr, "filter mismatch (%s): opt=%zu ref=%zu\n", v.name,
+                     kept_opt.size(), kept_ref.size());
+        return 1;
+      }
+
+      auto t0 = Clock::now();
+      for (std::size_t i = 0; i < v.iters_opt; ++i) {
+        (void)optimized.filter(w.original, w.fakes, w.results);
+      }
+      const double opt_us = us_per_op(t0, Clock::now(), v.iters_opt);
+
+      t0 = Clock::now();
+      for (std::size_t i = 0; i < v.iters_ref; ++i) {
+        (void)reference.filter(w.original, w.fakes, w.results);
+      }
+      const double ref_us = us_per_op(t0, Clock::now(), v.iters_ref);
+
+      report(std::string("filter/") + v.name, opt_us);
+      report(std::string("filter_ref/") + v.name, ref_us);
+      std::printf("%-24s %12.1fx\n", (std::string("speedup/") + v.name).c_str(),
+                  ref_us / opt_us);
+      if (v.scoring == core::FilterScoring::kCommonWords) {
+        filter_speedup = ref_us / opt_us;
+      }
+    }
+  }
+
+  // ---- search_or ----------------------------------------------------------
+  {
+    const auto bed = bench::make_testbed(
+        {.num_users = 50, .total_queries = 4'000, .num_documents = 2'000});
+    core::QueryHistory history(50'000);
+    for (const auto& rec : bed->split.train.records()) history.add(rec.text);
+    core::Obfuscator obfuscator(history, kFilterK);
+    const auto& test = bed->split.test.records();
+    const std::size_t iters = 400;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      const auto obf = obfuscator.obfuscate(test[i % test.size()].text, rng);
+      (void)bed->engine->search_or(obf.sub_queries, kResultsPerSubquery);
+    }
+    report("search_or", us_per_op(t0, Clock::now(), iters));
+  }
+
+  // ---- seal_open ----------------------------------------------------------
+  {
+    crypto::X25519Key seed{};
+    seed[0] = 1;
+    const auto server_static = crypto::x25519_keypair_from_seed(seed);
+    seed[0] = 2;
+    const auto server_eph = crypto::x25519_keypair_from_seed(seed);
+    seed[0] = 3;
+    const auto client_eph = crypto::x25519_keypair_from_seed(seed);
+    crypto::SecureChannel client = crypto::SecureChannel::initiator(
+        client_eph, server_static.public_key, server_eph.public_key);
+    crypto::SecureChannel server = crypto::SecureChannel::responder(
+        server_static, server_eph, client_eph.public_key);
+
+    const Bytes payload(4096, 0x5a);  // a typical filtered-results frame
+    const std::size_t iters = 20'000;
+    const auto t0 = Clock::now();
+    for (std::size_t i = 0; i < iters; ++i) {
+      auto opened = server.open(client.seal(payload));
+      if (!opened) {
+        std::fprintf(stderr, "seal/open failed\n");
+        return 1;
+      }
+    }
+    report("seal_open/4KiB", us_per_op(t0, Clock::now(), iters));
+  }
+
+  // ---- JSON ---------------------------------------------------------------
+  if (std::FILE* f = std::fopen(json_path.c_str(), "w")) {
+    std::fprintf(f, "{\n  \"config\": {\"k\": %zu, \"results_per_subquery\": %zu},\n",
+                 kFilterK, kResultsPerSubquery);
+    std::fprintf(f, "  \"filter_speedup_common_words\": %.2f,\n", filter_speedup);
+    std::fprintf(f, "  \"stages\": [\n");
+    for (std::size_t i = 0; i < g_stages.size(); ++i) {
+      std::fprintf(f,
+                   "    {\"name\": \"%s\", \"us_per_op\": %.3f, "
+                   "\"ops_per_sec\": %.1f}%s\n",
+                   g_stages[i].name.c_str(), g_stages[i].us,
+                   g_stages[i].ops_per_sec,
+                   i + 1 < g_stages.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("# wrote %s\n", json_path.c_str());
+  } else {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+
+  // Regression alarm: the tokenize-once filter measures ~5x even on noisy
+  // shared runners. Below 4x print a loud warning (could be CI jitter);
+  // below 2x something is actually broken — fail the job.
+  if (filter_speedup < 2.0) {
+    std::fprintf(stderr,
+                 "filter speedup %.2fx below the 2x regression bar — the "
+                 "tokenize-once filter has regressed\n",
+                 filter_speedup);
+    return 1;
+  }
+  if (filter_speedup < 4.0) {
+    std::fprintf(stderr,
+                 "warning: filter speedup %.2fx below the expected 4x "
+                 "(noisy runner, or a creeping regression — check the "
+                 "BENCH_micro.json trend)\n",
+                 filter_speedup);
+  }
+  return 0;
+}

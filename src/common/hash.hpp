@@ -1,0 +1,34 @@
+// Heterogeneous (transparent) string hashing.
+//
+// Unordered containers keyed by std::string reject std::string_view lookups
+// unless their hash and equality functors are transparent; without that,
+// every probe materializes a temporary std::string. Hot paths that look up
+// tokens, handler names or terms use this functor pair so lookups take any
+// string-like argument without allocating:
+//
+//   std::unordered_map<std::string, T, StringHash, std::equal_to<>> map;
+//   map.find(std::string_view{...});  // no temporary
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+
+namespace xsearch {
+
+struct StringHash {
+  using is_transparent = void;
+
+  [[nodiscard]] std::size_t operator()(std::string_view s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const std::string& s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+  [[nodiscard]] std::size_t operator()(const char* s) const noexcept {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+
+}  // namespace xsearch

@@ -34,7 +34,12 @@ namespace {
 
 Bytes aead_seal(const AeadKey& key, const AeadNonce& nonce, ByteSpan aad,
                 ByteSpan plaintext) {
-  Bytes out = chacha20_xor(key, nonce, 1, plaintext);
+  // One allocation for the whole record: ciphertext is encrypted in place
+  // in a buffer reserved with room for the tag.
+  Bytes out;
+  out.reserve(plaintext.size() + kAeadTagSize);
+  out.assign(plaintext.begin(), plaintext.end());
+  chacha20_xor_inplace(key, nonce, 1, out);
   const Poly1305Tag tag = compute_tag(derive_mac_key(key, nonce), aad, out);
   append(out, tag);
   return out;

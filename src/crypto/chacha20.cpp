@@ -55,19 +55,24 @@ std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key, const ChaChaNo
   return out;
 }
 
-Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter,
-                   ByteSpan data) {
-  Bytes out(data.begin(), data.end());
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t counter, std::span<std::uint8_t> data) {
   State state = make_state(key, nonce, counter);
   std::array<std::uint8_t, 64> keystream;
   std::size_t offset = 0;
-  while (offset < out.size()) {
+  while (offset < data.size()) {
     core(state, keystream);
     ++state[12];
-    const std::size_t n = std::min<std::size_t>(64, out.size() - offset);
-    for (std::size_t i = 0; i < n; ++i) out[offset + i] ^= keystream[i];
+    const std::size_t n = std::min<std::size_t>(64, data.size() - offset);
+    for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
     offset += n;
   }
+}
+
+Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter,
+                   ByteSpan data) {
+  Bytes out(data.begin(), data.end());
+  chacha20_xor_inplace(key, nonce, counter, out);
   return out;
 }
 

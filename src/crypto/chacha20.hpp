@@ -22,6 +22,12 @@ using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
 [[nodiscard]] Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce,
                                  std::uint32_t counter, ByteSpan data);
 
+/// In-place variant: XORs `data` with the keystream where it sits. Lets the
+/// AEAD seal path build ciphertext in a buffer reserved with room for the
+/// tag, so sealing a record costs exactly one allocation.
+void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
+                          std::uint32_t counter, std::span<std::uint8_t> data);
+
 /// Produces one raw 64-byte keystream block (used to derive Poly1305 keys).
 [[nodiscard]] std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
                                                           const ChaChaNonce& nonce,

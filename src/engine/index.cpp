@@ -31,23 +31,51 @@ void InvertedIndex::add_document(const Document& doc) {
 
 std::vector<ScoredDoc> InvertedIndex::search(std::string_view query,
                                              std::size_t top_k) const {
+  Scratch scratch;
+  std::vector<ScoredDoc> out;
+  search_with(query, top_k, scratch, out);
+  return out;
+}
+
+void InvertedIndex::search_with(std::string_view query, std::size_t top_k,
+                                Scratch& scratch, std::vector<ScoredDoc>& out) const {
+  out.clear();
   const std::size_t n_docs = doc_lengths_.size();
-  if (n_docs == 0 || top_k == 0) return {};
+  if (n_docs == 0 || top_k == 0) return;
   const double avg_len = total_length_ / static_cast<double>(n_docs);
 
   // Deduplicate query terms; BM25 treats repeated query terms linearly but
   // short web queries rarely repeat words, and dedup keeps scores stable.
-  std::vector<text::TermId> terms;
-  for (const auto& token : text::tokenize(query)) {
+  scratch.tokens.clear();
+  text::tokenize_views_into(query, scratch.token_buffer, scratch.tokens);
+  auto& terms = scratch.terms;
+  terms.clear();
+  for (const std::string_view token : scratch.tokens) {
     if (const auto id = vocab_.lookup(token)) {
       if (std::find(terms.begin(), terms.end(), *id) == terms.end()) {
         terms.push_back(*id);
       }
     }
   }
-  if (terms.empty()) return {};
+  if (terms.empty()) return;
 
-  std::unordered_map<DocId, double> scores;
+  // Dense accumulator, reset lazily: a doc's score is live only when its
+  // epoch stamp matches the current search, so the O(n_docs) clear happens
+  // once per Scratch (plus once per epoch-counter wrap).
+  auto& scores = scratch.scores;
+  auto& stamps = scratch.stamps;
+  if (scores.size() < n_docs) {
+    scores.resize(n_docs, 0.0);
+    stamps.resize(n_docs, 0);
+  }
+  if (++scratch.epoch == 0) {  // wrapped: stamp 0 must mean "never touched"
+    std::fill(stamps.begin(), stamps.end(), 0);
+    scratch.epoch = 1;
+  }
+  const std::uint32_t epoch = scratch.epoch;
+  auto& touched = scratch.touched;
+  touched.clear();
+
   for (const text::TermId term : terms) {
     const auto it = postings_.find(term);
     if (it == postings_.end()) continue;
@@ -60,21 +88,24 @@ std::vector<ScoredDoc> InvertedIndex::search(std::string_view query,
       const double norm =
           params_.k1 * (1.0 - params_.b +
                         params_.b * doc_lengths_[p.doc] / avg_len);
+      if (stamps[p.doc] != epoch) {
+        stamps[p.doc] = epoch;
+        scores[p.doc] = 0.0;
+        touched.push_back(p.doc);
+      }
       scores[p.doc] += idf * (tf * (params_.k1 + 1.0)) / (tf + norm);
     }
   }
 
-  std::vector<ScoredDoc> ranked;
-  ranked.reserve(scores.size());
-  for (const auto& [doc, score] : scores) ranked.push_back({doc, score});
-  const std::size_t keep = std::min(top_k, ranked.size());
-  std::partial_sort(ranked.begin(), ranked.begin() + static_cast<std::ptrdiff_t>(keep),
-                    ranked.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
+  out.reserve(touched.size());
+  for (const DocId doc : touched) out.push_back({doc, scores[doc]});
+  const std::size_t keep = std::min(top_k, out.size());
+  std::partial_sort(out.begin(), out.begin() + static_cast<std::ptrdiff_t>(keep),
+                    out.end(), [](const ScoredDoc& a, const ScoredDoc& b) {
                       if (a.score != b.score) return a.score > b.score;
                       return a.doc < b.doc;
                     });
-  ranked.resize(keep);
-  return ranked;
+  out.resize(keep);
 }
 
 }  // namespace xsearch::engine

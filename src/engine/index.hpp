@@ -3,9 +3,16 @@
 // The retrieval core of the simulated search engine: documents are indexed
 // by their title and body terms (title terms carry a configurable field
 // boost) and queries are scored with Okapi BM25.
+//
+// Scoring accumulates into a dense per-document array owned by a reusable
+// `Scratch`, not a per-call hash map: an OR query evaluates its k+1
+// sub-queries through one Scratch, so the score state, the touched-doc
+// list and the ranking buffer are allocated once per OR query instead of
+// once per sub-query.
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
@@ -31,6 +38,20 @@ class InvertedIndex {
  public:
   explicit InvertedIndex(Bm25Params params = {}) : params_(params) {}
 
+  /// Reusable per-search state; see the header comment. A default-
+  /// constructed Scratch works with any index and grows on first use.
+  /// First touch of a doc is detected by epoch stamp, not by a zero score
+  /// (a zero-weight posting, e.g. title_boost = 0, must not re-touch).
+  struct Scratch {
+    std::vector<double> scores;            // dense per-doc accumulator
+    std::vector<std::uint32_t> stamps;     // epoch of each doc's last touch
+    std::uint32_t epoch = 0;               // current search's stamp value
+    std::vector<DocId> touched;            // docs scored by the current query
+    std::vector<text::TermId> terms;       // deduplicated query terms
+    std::string token_buffer;              // tokenize_views backing store
+    std::vector<std::string_view> tokens;  // token views into token_buffer
+  };
+
   /// Indexes one document (id must be unique).
   void add_document(const Document& doc);
 
@@ -38,6 +59,12 @@ class InvertedIndex {
   /// tie-break by doc id. Unknown terms are ignored.
   [[nodiscard]] std::vector<ScoredDoc> search(std::string_view query,
                                               std::size_t top_k) const;
+
+  /// Same, accumulating through caller-owned scratch so consecutive
+  /// searches (the k+1 sub-queries of an OR query) share one allocation.
+  /// `out` is cleared and filled with the ranked top-k.
+  void search_with(std::string_view query, std::size_t top_k, Scratch& scratch,
+                   std::vector<ScoredDoc>& out) const;
 
   [[nodiscard]] std::size_t document_count() const { return doc_lengths_.size(); }
   [[nodiscard]] std::size_t term_count() const { return vocab_.size(); }

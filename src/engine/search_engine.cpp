@@ -60,6 +60,9 @@ std::vector<SearchResult> SearchEngine::search_or(
   if (observer_) {
     // The engine sees one OR query, exactly as the proxy sends it.
     std::string combined;
+    std::size_t total = 0;
+    for (const auto& q : sub_queries) total += q.size() + 4;
+    combined.reserve(total);
     for (const auto& q : sub_queries) {
       if (!combined.empty()) combined += " OR ";
       combined += q;
@@ -67,29 +70,31 @@ std::vector<SearchResult> SearchEngine::search_or(
     observer_(combined);
   }
 
-  // Evaluate each sub-query independently (paper §5.3.2) ...
-  std::vector<std::vector<SearchResult>> per_query;
-  per_query.reserve(sub_queries.size());
-  for (const auto& q : sub_queries) {
-    std::vector<SearchResult> results;
-    for (const ScoredDoc& sd : index_.search(q, top_k_each)) {
-      results.push_back(decorate(sd));
-    }
-    per_query.push_back(std::move(results));
+  // Evaluate each sub-query independently (paper §5.3.2), all k+1 of them
+  // through one scratch so the per-doc score state is allocated once ...
+  InvertedIndex::Scratch scratch;
+  std::vector<std::vector<ScoredDoc>> per_query(sub_queries.size());
+  for (std::size_t i = 0; i < sub_queries.size(); ++i) {
+    index_.search_with(sub_queries[i], top_k_each, scratch, per_query[i]);
   }
 
-  // ... and merge rank-by-rank so every sub-query contributes near the top,
-  // deduplicating documents on first sight.
-  std::vector<SearchResult> merged;
+  // ... merge rank-by-rank so every sub-query contributes near the top,
+  // deduplicating documents on first sight ...
+  std::vector<ScoredDoc> merged;
   std::unordered_set<DocId> seen;
   for (std::size_t rank = 0; rank < top_k_each; ++rank) {
-    for (const auto& results : per_query) {
-      if (rank >= results.size()) continue;
-      const SearchResult& r = results[rank];
-      if (seen.insert(r.doc).second) merged.push_back(r);
+    for (const auto& ranked : per_query) {
+      if (rank >= ranked.size()) continue;
+      if (seen.insert(ranked[rank].doc).second) merged.push_back(ranked[rank]);
     }
   }
-  return merged;
+
+  // ... and decorate only the survivors: duplicate and merged-away hits
+  // never pay title/snippet/tracking-URL construction.
+  std::vector<SearchResult> out;
+  out.reserve(merged.size());
+  for (const ScoredDoc& sd : merged) out.push_back(decorate(sd));
+  return out;
 }
 
 }  // namespace xsearch::engine

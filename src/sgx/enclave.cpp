@@ -1,6 +1,7 @@
 #include "sgx/enclave.hpp"
 
 #include <cstring>
+#include <mutex>
 
 #include "crypto/hmac.hpp"
 
@@ -22,20 +23,20 @@ EnclaveRuntime::EnclaveRuntime(Config config)
 }
 
 void EnclaveRuntime::register_ecall(std::string name, Handler handler) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   ecalls_[std::move(name)] = std::move(handler);
 }
 
 void EnclaveRuntime::register_ocall(std::string name, Handler handler) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   ocalls_[std::move(name)] = std::move(handler);
 }
 
 Result<Bytes> EnclaveRuntime::ecall(std::string_view name, ByteSpan input) {
   Handler handler;
   {
-    std::lock_guard lock(mutex_);
-    const auto it = ecalls_.find(std::string(name));
+    std::shared_lock lock(mutex_);
+    const auto it = ecalls_.find(name);  // transparent: no temporary string
     if (it == ecalls_.end()) {
       return not_found("unknown ecall: " + std::string(name));
     }
@@ -50,8 +51,8 @@ Result<Bytes> EnclaveRuntime::ecall(std::string_view name, ByteSpan input) {
 Result<Bytes> EnclaveRuntime::ocall(std::string_view name, ByteSpan input) {
   Handler handler;
   {
-    std::lock_guard lock(mutex_);
-    const auto it = ocalls_.find(std::string(name));
+    std::shared_lock lock(mutex_);
+    const auto it = ocalls_.find(name);  // transparent: no temporary string
     if (it == ocalls_.end()) {
       return not_found("unknown ocall: " + std::string(name));
     }

@@ -20,12 +20,13 @@
 
 #include <functional>
 #include <memory>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
+#include "common/hash.hpp"
 #include "common/status.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/sha256.hpp"
@@ -69,6 +70,9 @@ class EnclaveRuntime {
 
   /// Invokes an ecall; input/output are copied across the boundary and the
   /// transition counter advances. Unknown names yield NOT_FOUND.
+  /// Dispatch takes a shared lock only (handler tables are written solely
+  /// by register_*), so concurrent transitions never serialize on lookup —
+  /// the boundary itself is not a contention point.
   [[nodiscard]] Result<Bytes> ecall(std::string_view name, ByteSpan input);
 
   /// Invoked by trusted code to reach host services; counted separately.
@@ -95,9 +99,12 @@ class EnclaveRuntime {
   crypto::AeadKey sealing_key_;
   EpcAccountant epc_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<std::string, Handler> ecalls_;
-  std::unordered_map<std::string, Handler> ocalls_;
+  using HandlerMap =
+      std::unordered_map<std::string, Handler, StringHash, std::equal_to<>>;
+
+  mutable std::shared_mutex mutex_;
+  HandlerMap ecalls_;
+  HandlerMap ocalls_;
   std::atomic<std::uint64_t> ecall_count_{0};
   std::atomic<std::uint64_t> ocall_count_{0};
   std::atomic<std::uint64_t> seal_counter_{0};

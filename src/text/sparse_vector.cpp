@@ -68,12 +68,27 @@ void SparseVector::add_scaled(const SparseVector& other, double scale) {
   finalize();
 }
 
+namespace {
+
+// Tokenize once into view tokens (one reusable buffer), drop stopwords —
+// no per-token std::string is ever constructed.
+std::vector<std::string_view> content_tokens(std::string_view textual,
+                                             std::string& buffer) {
+  std::vector<std::string_view> tokens = tokenize_views(textual, buffer);
+  std::erase_if(tokens, [](std::string_view t) { return is_stopword(t); });
+  return tokens;
+}
+
+}  // namespace
+
 SparseVector tf_vector(Vocabulary& vocab, std::string_view textual) {
-  return SparseVector::term_frequency(vocab.intern_all(tokenize_no_stopwords(textual)));
+  std::string buffer;
+  return SparseVector::term_frequency(vocab.intern_all(content_tokens(textual, buffer)));
 }
 
 SparseVector tf_vector_const(const Vocabulary& vocab, std::string_view textual) {
-  return SparseVector::term_frequency(vocab.lookup_all(tokenize_no_stopwords(textual)));
+  std::string buffer;
+  return SparseVector::term_frequency(vocab.lookup_all(content_tokens(textual, buffer)));
 }
 
 double exponential_smoothing(std::vector<double> similarities, double alpha) {

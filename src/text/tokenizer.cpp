@@ -1,16 +1,17 @@
 #include "text/tokenizer.hpp"
 
 #include <algorithm>
-#include <array>
-#include <cctype>
+#include <unordered_set>
 
 namespace xsearch::text {
 
 namespace {
 
-// A compact English stopword list; enough to strip query glue words.
-const std::unordered_set<std::string>& stopword_set() {
-  static const std::unordered_set<std::string> kStopwords = {
+// A compact English stopword list; enough to strip query glue words. The
+// keys are string literals (static storage), so the set stores views and
+// `is_stopword` probes it without constructing a std::string.
+const std::unordered_set<std::string_view>& stopword_set() {
+  static const std::unordered_set<std::string_view> kStopwords = {
       "a",    "an",   "and",  "are",  "as",   "at",   "be",   "by",   "for",
       "from", "has",  "he",   "how",  "in",   "is",   "it",   "its",  "of",
       "on",   "or",   "that", "the",  "to",   "was",  "what", "when", "where",
@@ -23,17 +24,42 @@ const std::unordered_set<std::string>& stopword_set() {
 
 std::vector<std::string> tokenize(std::string_view text) {
   std::vector<std::string> tokens;
-  std::string current;
-  for (const char raw : text) {
-    const auto c = static_cast<unsigned char>(raw);
-    if (std::isalnum(c)) {
-      current.push_back(static_cast<char>(std::tolower(c)));
-    } else if (!current.empty()) {
-      tokens.push_back(std::move(current));
-      current.clear();
-    }
+  std::string buffer;
+  for (const std::string_view view : tokenize_views(text, buffer)) {
+    tokens.emplace_back(view);
   }
-  if (!current.empty()) tokens.push_back(std::move(current));
+  return tokens;
+}
+
+void tokenize_views_into(std::string_view text, std::string& buffer,
+                         std::vector<std::string_view>& tokens) {
+  // Lower-case the whole input once into the reusable buffer; token views
+  // are slices of it, so no per-token string is ever constructed.
+  buffer.resize(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    buffer[i] = to_lower_ascii(static_cast<unsigned char>(text[i]));
+  }
+  const std::string_view lowered(buffer);
+  std::size_t i = 0;
+  while (i < lowered.size()) {
+    if (!is_token_char(static_cast<unsigned char>(lowered[i]))) {
+      ++i;
+      continue;
+    }
+    std::size_t end = i + 1;
+    while (end < lowered.size() &&
+           is_token_char(static_cast<unsigned char>(lowered[end]))) {
+      ++end;
+    }
+    tokens.push_back(lowered.substr(i, end - i));
+    i = end;
+  }
+}
+
+std::vector<std::string_view> tokenize_views(std::string_view text,
+                                             std::string& buffer) {
+  std::vector<std::string_view> tokens;
+  tokenize_views_into(text, buffer, tokens);
   return tokens;
 }
 
@@ -44,20 +70,19 @@ std::vector<std::string> tokenize_no_stopwords(std::string_view text) {
 }
 
 bool is_stopword(std::string_view word) {
-  return stopword_set().contains(std::string(word));
+  return stopword_set().contains(word);
 }
 
 std::size_t common_word_count(std::string_view a, std::string_view b) {
-  const auto a_tokens = tokenize(a);
-  const std::unordered_set<std::string> a_words(a_tokens.begin(), a_tokens.end());
-  return common_word_count(a_words, b);
-}
-
-std::size_t common_word_count(const std::unordered_set<std::string>& a_words,
-                              std::string_view b) {
+  std::string a_buffer;
+  std::string b_buffer;
+  std::unordered_set<std::string_view> a_words;
+  for (const std::string_view token : tokenize_views(a, a_buffer)) {
+    a_words.insert(token);
+  }
   std::size_t count = 0;
-  std::unordered_set<std::string> seen;
-  for (auto& token : tokenize(b)) {
+  std::unordered_set<std::string_view> seen;
+  for (const std::string_view token : tokenize_views(b, b_buffer)) {
     if (a_words.contains(token) && seen.insert(token).second) ++count;
   }
   return count;

@@ -5,7 +5,7 @@
 namespace xsearch::text {
 
 TermId Vocabulary::intern(std::string_view term) {
-  if (const auto it = index_.find(std::string(term)); it != index_.end()) {
+  if (const auto it = index_.find(term); it != index_.end()) {
     return it->second;
   }
   const auto id = static_cast<TermId>(terms_.size());
@@ -15,7 +15,7 @@ TermId Vocabulary::intern(std::string_view term) {
 }
 
 std::optional<TermId> Vocabulary::lookup(std::string_view term) const {
-  const auto it = index_.find(std::string(term));
+  const auto it = index_.find(term);
   if (it == index_.end()) return std::nullopt;
   return it->second;
 }
@@ -32,10 +32,28 @@ std::vector<TermId> Vocabulary::intern_all(const std::vector<std::string>& token
   return ids;
 }
 
+std::vector<TermId> Vocabulary::intern_all(
+    const std::vector<std::string_view>& tokens) {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const auto t : tokens) ids.push_back(intern(t));
+  return ids;
+}
+
 std::vector<TermId> Vocabulary::lookup_all(const std::vector<std::string>& tokens) const {
   std::vector<TermId> ids;
   ids.reserve(tokens.size());
   for (const auto& t : tokens) {
+    if (const auto id = lookup(t)) ids.push_back(*id);
+  }
+  return ids;
+}
+
+std::vector<TermId> Vocabulary::lookup_all(
+    const std::vector<std::string_view>& tokens) const {
+  std::vector<TermId> ids;
+  ids.reserve(tokens.size());
+  for (const auto t : tokens) {
     if (const auto id = lookup(t)) ids.push_back(*id);
   }
   return ids;

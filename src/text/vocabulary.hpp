@@ -2,7 +2,9 @@
 //
 // Term ids keep the sparse vectors, inverted index and co-occurrence matrix
 // compact; every module that handles tokens resolves them through one
-// Vocabulary instance so ids are consistent across components.
+// Vocabulary instance so ids are consistent across components. The index is
+// keyed with a transparent hash, so lookups by string_view (the form hot
+// paths produce via tokenize_views) never materialize a temporary string.
 #pragma once
 
 #include <cstdint>
@@ -11,6 +13,8 @@
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/hash.hpp"
 
 namespace xsearch::text {
 
@@ -31,13 +35,17 @@ class Vocabulary {
 
   /// Interns every token of a token list.
   [[nodiscard]] std::vector<TermId> intern_all(const std::vector<std::string>& tokens);
+  [[nodiscard]] std::vector<TermId> intern_all(
+      const std::vector<std::string_view>& tokens);
 
   /// Looks up every token, skipping unknown ones.
   [[nodiscard]] std::vector<TermId> lookup_all(
       const std::vector<std::string>& tokens) const;
+  [[nodiscard]] std::vector<TermId> lookup_all(
+      const std::vector<std::string_view>& tokens) const;
 
  private:
-  std::unordered_map<std::string, TermId> index_;
+  std::unordered_map<std::string, TermId, StringHash, std::equal_to<>> index_;
   std::vector<std::string> terms_;
 };
 

@@ -1,44 +1,164 @@
 #include "xsearch/filter.hpp"
 
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "common/hash.hpp"
 #include "engine/analytics.hpp"
 #include "text/sparse_vector.hpp"
 #include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
 
 namespace xsearch::core {
 
-double ResultFilter::score(std::string_view query,
-                           const engine::SearchResult& result) const {
-  if (scoring_ == FilterScoring::kCommonWords) {
-    // nbCommonWords(q, title(r)) + nbCommonWords(q, desc(r)) — Algorithm 2.
-    const auto tokens = text::tokenize(query);
-    const std::unordered_set<std::string> words(tokens.begin(), tokens.end());
-    return static_cast<double>(text::common_word_count(words, result.title) +
-                               text::common_word_count(words, result.description));
+namespace {
+
+// Token → sub-query postings for one filter batch. Sub-query 0 is the
+// original; 1..k are the fakes. Each sub-query's lower-cased text is kept
+// alive for the batch so the map can key on views into it — result tokens
+// are only ever *looked up* (a token that appears in no sub-query cannot
+// contribute to any common-words score), so the reused per-result buffer
+// never needs to back a stored key.
+class QueryTokenPostings {
+ public:
+  QueryTokenPostings(std::string_view original, const std::vector<std::string>& fakes) {
+    buffers_.reserve(fakes.size() + 1);
+    add_query(original);
+    for (const auto& fake : fakes) add_query(fake);
+    query_count_ = fakes.size() + 1;
   }
-  // Cosine ablation: TF vectors of the query vs title+description.
-  text::Vocabulary vocab;
-  const auto q_vec = text::tf_vector(vocab, query);
-  const auto r_vec = text::tf_vector(vocab, result.title + " " + result.description);
-  return q_vec.cosine(r_vec);
-}
+
+  [[nodiscard]] std::size_t query_count() const { return query_count_; }
+
+  /// The distinct sub-queries containing token id `token`.
+  [[nodiscard]] const std::vector<std::uint32_t>& queries_of(std::uint32_t token) const {
+    return postings_[token];
+  }
+
+  /// Id of a result token, if any sub-query contains it.
+  [[nodiscard]] std::optional<std::uint32_t> lookup(std::string_view token) const {
+    const auto it = ids_.find(token);
+    if (it == ids_.end()) return std::nullopt;
+    return it->second;
+  }
+
+ private:
+  void add_query(std::string_view query) {
+    const auto q = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.emplace_back();
+    tokens_.clear();
+    text::tokenize_views_into(query, buffers_.back(), tokens_);
+    for (const std::string_view token : tokens_) {
+      const auto [it, inserted] =
+          ids_.try_emplace(token, static_cast<std::uint32_t>(postings_.size()));
+      if (inserted) postings_.emplace_back();
+      auto& queries = postings_[it->second];
+      // One query is processed at a time, so a duplicate token inside this
+      // query shows up as a trailing `q` (scores count distinct words).
+      if (queries.empty() || queries.back() != q) queries.push_back(q);
+    }
+  }
+
+  std::vector<std::string> buffers_;  // lower-cased sub-queries; keys view these
+  std::vector<std::string_view> tokens_;
+  std::unordered_map<std::string_view, std::uint32_t, StringHash, std::equal_to<>>
+      ids_;
+  std::vector<std::vector<std::uint32_t>> postings_;  // token id → sub-queries
+  std::size_t query_count_ = 0;
+};
+
+}  // namespace
 
 std::vector<engine::SearchResult> ResultFilter::filter(
     std::string_view original, const std::vector<std::string>& fakes,
     std::vector<engine::SearchResult> results) const {
+  std::vector<engine::SearchResult> kept =
+      scoring_ == FilterScoring::kCommonWords
+          ? filter_common_words(original, fakes, std::move(results))
+          : filter_cosine(original, fakes, std::move(results));
+  strip_tracking(kept);
+  return kept;
+}
+
+std::vector<engine::SearchResult> ResultFilter::filter_common_words(
+    std::string_view original, const std::vector<std::string>& fakes,
+    std::vector<engine::SearchResult> results) const {
+  const QueryTokenPostings postings(original, fakes);
+
   std::vector<engine::SearchResult> kept;
   kept.reserve(results.size());
+
+  // Per-result scratch, reused across the batch (allocations amortize out).
+  std::string buffer;
+  std::vector<std::string_view> tokens;
+  std::vector<std::uint32_t> matched;
+  std::vector<std::size_t> scores(postings.query_count());
+
+  // score[q] = distinct title tokens shared with q + distinct description
+  // tokens shared with q — nbCommonWords(q, title) + nbCommonWords(q, desc).
+  const auto accumulate_field = [&](std::string_view field) {
+    tokens.clear();
+    matched.clear();
+    text::tokenize_views_into(field, buffer, tokens);
+    for (const std::string_view token : tokens) {
+      if (const auto id = postings.lookup(token)) matched.push_back(*id);
+    }
+    std::sort(matched.begin(), matched.end());
+    matched.erase(std::unique(matched.begin(), matched.end()), matched.end());
+    for (const std::uint32_t id : matched) {
+      for (const std::uint32_t q : postings.queries_of(id)) ++scores[q];
+    }
+  };
+
   for (auto& r : results) {
-    const double original_score = score(original, r);
+    std::fill(scores.begin(), scores.end(), 0);
+    accumulate_field(r.title);
+    accumulate_field(r.description);
+    const std::size_t original_score = scores[0];
     bool is_max = true;
-    for (const auto& fake : fakes) {
-      if (score(fake, r) > original_score) {
+    for (std::size_t q = 1; q < scores.size(); ++q) {
+      if (scores[q] > original_score) {
         is_max = false;
         break;
       }
     }
     if (is_max) kept.push_back(std::move(r));
   }
-  strip_tracking(kept);
+  return kept;
+}
+
+std::vector<engine::SearchResult> ResultFilter::filter_cosine(
+    std::string_view original, const std::vector<std::string>& fakes,
+    std::vector<engine::SearchResult> results) const {
+  // One vocabulary for the whole batch; each sub-query's TF vector is built
+  // exactly once. Cosine depends only on term identity, not id values, so
+  // sharing the vocabulary leaves every score unchanged.
+  text::Vocabulary vocab;
+  std::vector<text::SparseVector> query_vecs;
+  query_vecs.reserve(fakes.size() + 1);
+  query_vecs.push_back(text::tf_vector(vocab, original));
+  for (const auto& fake : fakes) query_vecs.push_back(text::tf_vector(vocab, fake));
+
+  std::vector<engine::SearchResult> kept;
+  kept.reserve(results.size());
+  std::string textual;
+  for (auto& r : results) {
+    textual.assign(r.title);
+    textual += ' ';
+    textual += r.description;
+    const text::SparseVector r_vec = text::tf_vector(vocab, textual);
+    const double original_score = query_vecs[0].cosine(r_vec);
+    bool is_max = true;
+    for (std::size_t q = 1; q < query_vecs.size(); ++q) {
+      if (query_vecs[q].cosine(r_vec) > original_score) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) kept.push_back(std::move(r));
+  }
   return kept;
 }
 

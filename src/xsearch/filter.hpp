@@ -6,6 +6,14 @@
 // common words with its description; a result is forwarded to the user only
 // if the *original* query's score is the maximum. The filter also rewrites
 // analytics tracking URLs back to their target (paper §4.1).
+//
+// The implementation scores tokenize-once: each of the k+1 sub-queries and
+// each result's title/description is tokenized exactly once per `filter`
+// call — O(k+1+R) tokenizations instead of the O((k+1)·R) a per-pair scorer
+// pays — and scoring runs over precomputed token→sub-query postings (the
+// cosine ablation shares one vocabulary across the batch). See
+// tests/core_filter_equivalence_test.cpp for the proof that this keeps the
+// exact result set (including ties) of the paper's per-pair formulation.
 #pragma once
 
 #include <string>
@@ -36,8 +44,12 @@ class ResultFilter {
   static void strip_tracking(std::vector<engine::SearchResult>& results);
 
  private:
-  [[nodiscard]] double score(std::string_view query,
-                             const engine::SearchResult& result) const;
+  [[nodiscard]] std::vector<engine::SearchResult> filter_common_words(
+      std::string_view original, const std::vector<std::string>& fakes,
+      std::vector<engine::SearchResult> results) const;
+  [[nodiscard]] std::vector<engine::SearchResult> filter_cosine(
+      std::string_view original, const std::vector<std::string>& fakes,
+      std::vector<engine::SearchResult> results) const;
 
   FilterScoring scoring_;
 };

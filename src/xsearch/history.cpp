@@ -1,6 +1,7 @@
 #include "xsearch/history.hpp"
 
 #include <cassert>
+#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -16,7 +17,7 @@ QueryHistory::~QueryHistory() {
 }
 
 void QueryHistory::add(std::string_view query) {
-  std::lock_guard lock(mutex_);
+  std::unique_lock lock(mutex_);
   std::string incoming(query);
 
   if (count_ < capacity_) {
@@ -47,7 +48,7 @@ void QueryHistory::add(std::string_view query) {
 }
 
 std::vector<std::string> QueryHistory::sample(std::size_t k, Rng& rng) const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::vector<std::string> out;
   if (count_ == 0 || k == 0) return out;
   out.reserve(k);
@@ -79,7 +80,7 @@ std::vector<std::string> QueryHistory::sample(std::size_t k, Rng& rng) const {
 }
 
 std::vector<std::string> QueryHistory::snapshot() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(count_);
   if (count_ < capacity_) {
@@ -95,12 +96,12 @@ std::vector<std::string> QueryHistory::snapshot() const {
 }
 
 std::size_t QueryHistory::size() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   return count_;
 }
 
 std::size_t QueryHistory::memory_bytes() const {
-  std::lock_guard lock(mutex_);
+  std::shared_lock lock(mutex_);
   return bytes_;
 }
 

@@ -8,10 +8,15 @@
 //
 // Every byte the table holds is charged against the enclave's
 // EpcAccountant, which is how the Figure 6 bench measures occupancy.
+//
+// Locking is reader/writer: `sample` (the per-query hot path, k string
+// copies) takes a shared lock so concurrent sessions sample in parallel;
+// only `add` (one string move plus O(1) accounting) takes the exclusive
+// lock. The previous single mutex serialized every session's sampling.
 #pragma once
 
 #include <cstddef>
-#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -31,12 +36,13 @@ class QueryHistory {
   QueryHistory& operator=(const QueryHistory&) = delete;
 
   /// Inserts a query, evicting the oldest once the window is full.
-  /// Thread-safe.
+  /// Thread-safe (exclusive lock).
   void add(std::string_view query);
 
   /// Samples `k` past queries uniformly at random (with replacement across
   /// calls, without replacement within one call when possible). Returns
-  /// fewer than `k` when the table holds fewer entries. Thread-safe.
+  /// fewer than `k` when the table holds fewer entries. Thread-safe, and
+  /// concurrent samples proceed in parallel (shared lock).
   [[nodiscard]] std::vector<std::string> sample(std::size_t k, Rng& rng) const;
 
   [[nodiscard]] std::size_t size() const;
@@ -58,7 +64,7 @@ class QueryHistory {
   const std::size_t capacity_;
   sgx::EpcAccountant* epc_;
 
-  mutable std::mutex mutex_;
+  mutable std::shared_mutex mutex_;
   std::vector<std::string> ring_;
   // Exact bytes charged for each slot. std::string assignment may keep or
   // swap buffers, so the amount to release on eviction must be remembered,

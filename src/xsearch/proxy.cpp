@@ -85,7 +85,6 @@ XSearchProxy::XSearchProxy(const engine::SearchEngine* engine,
       authority_(&authority),
       options_(options),
       filter_(options.filter_scoring),
-      rng_(options.seed),
       secure_rng_([&] {
         crypto::ChaChaKey seed{};
         store_le64(seed.data(), options.seed);
@@ -106,7 +105,6 @@ XSearchProxy::XSearchProxy(const SecureEngineGateway& gateway,
       authority_(&authority),
       options_(options),
       filter_(options.filter_scoring),
-      rng_(options.seed),
       secure_rng_([&] {
         crypto::ChaChaKey seed{};
         store_le64(seed.data(), options.seed);
@@ -136,7 +134,8 @@ Status XSearchProxy::install_boundary() {
   sessions_ = std::make_unique<SessionTable>(
       SessionTable::Options{.capacity = options_.session_capacity,
                             .idle_ttl = options_.session_idle_ttl,
-                            .shards = options_.session_shards},
+                            .shards = options_.session_shards,
+                            .rng_seed = options_.seed},
       &enclave_->epc());
 
   // The paper's narrowed enclave interface.
@@ -144,9 +143,13 @@ Status XSearchProxy::install_boundary() {
   enclave_->register_ecall("request", [this](ByteSpan p) { return ecall_request(p); });
 
   enclave_->register_ocall("sock_connect", [this](ByteSpan) -> Result<Bytes> {
-    std::lock_guard lock(sockets_mutex_);
-    const std::uint64_t id = next_socket_id_++;
-    socket_buffers_[id] = {};
+    const std::uint64_t id =
+        next_socket_id_.fetch_add(1, std::memory_order_relaxed);
+    {
+      SocketShard& shard = socket_shard(id);
+      std::lock_guard lock(shard.mutex);
+      shard.buffers[id] = {};
+    }
     Bytes out;
     wire::put_u64(out, id);
     return out;
@@ -173,9 +176,10 @@ Status XSearchProxy::install_boundary() {
       response = wire::serialize_results(engine_->search_or(
           request.value().sub_queries, request.value().top_k_each));
     }
-    std::lock_guard lock(sockets_mutex_);
-    const auto it = socket_buffers_.find(sock.value());
-    if (it == socket_buffers_.end()) return not_found("send: bad socket");
+    SocketShard& shard = socket_shard(sock.value());
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.buffers.find(sock.value());
+    if (it == shard.buffers.end()) return not_found("send: bad socket");
     it->second = std::move(response);
     return Bytes{};
   });
@@ -184,18 +188,22 @@ Status XSearchProxy::install_boundary() {
     std::size_t offset = 0;
     auto sock = wire::get_u64(payload, offset);
     if (!sock) return sock.status();
-    std::lock_guard lock(sockets_mutex_);
-    const auto it = socket_buffers_.find(sock.value());
-    if (it == socket_buffers_.end()) return not_found("recv: bad socket");
-    return it->second;
+    SocketShard& shard = socket_shard(sock.value());
+    std::lock_guard lock(shard.mutex);
+    const auto it = shard.buffers.find(sock.value());
+    if (it == shard.buffers.end()) return not_found("recv: bad socket");
+    // Moved out, not copied: the response crosses the boundary exactly once
+    // and the subsequent `close` erases the (now empty) slot anyway.
+    return std::move(it->second);
   });
 
   enclave_->register_ocall("close", [this](ByteSpan payload) -> Result<Bytes> {
     std::size_t offset = 0;
     auto sock = wire::get_u64(payload, offset);
     if (!sock) return sock.status();
-    std::lock_guard lock(sockets_mutex_);
-    socket_buffers_.erase(sock.value());
+    SocketShard& shard = socket_shard(sock.value());
+    std::lock_guard lock(shard.mutex);
+    shard.buffers.erase(sock.value());
     return Bytes{};
   });
 
@@ -246,7 +254,7 @@ Result<Bytes> XSearchProxy::trusted_handshake(ByteSpan payload) {
   crypto::X25519Key eph_seed{};
   crypto::X25519KeyPair ephemeral;
   {
-    std::lock_guard lock(rng_mutex_);
+    std::lock_guard lock(handshake_mutex_);
     secure_rng_.fill(eph_seed);
   }
   ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
@@ -293,16 +301,15 @@ Result<Bytes> XSearchProxy::trusted_query(ByteSpan payload) {
     return invalid_argument("query: expected a query message");
   }
 
-  // Algorithm 1 inside the enclave.
-  ObfuscatedQuery obfuscated;
-  {
-    std::lock_guard lock(rng_mutex_);
-    obfuscated = obfuscator_->obfuscate(message.value().query, rng_);
-  }
+  // Algorithm 1 inside the enclave. Randomness comes from this session's
+  // private stream (guarded by the held session lock), so concurrent
+  // sessions obfuscate in parallel: no global RNG lock exists on this path.
+  ObfuscatedQuery obfuscated =
+      obfuscator_->obfuscate(message.value().query, session.rng());
 
   std::vector<engine::SearchResult> filtered;
   if (options_.contact_engine) {
-    auto results = query_engine(obfuscated);
+    auto results = query_engine(obfuscated, session.secure_rng());
     if (!results) {
       return Bytes(channel.seal(wire::frame_error(results.status().to_string())));
     }
@@ -315,7 +322,7 @@ Result<Bytes> XSearchProxy::trusted_query(ByteSpan payload) {
 }
 
 Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(
-    const ObfuscatedQuery& obfuscated) {
+    const ObfuscatedQuery& obfuscated, crypto::SecureRandom& session_rng) {
   // sock_connect
   auto sock_raw = enclave_->ocall("sock_connect", to_bytes("search.example:443"));
   if (!sock_raw) return sock_raw.status();
@@ -335,9 +342,8 @@ Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(
   Bytes send_payload;
   wire::put_u64(send_payload, sock.value());
   if (options_.engine_tls_public_key.has_value()) {
-    std::lock_guard lock(rng_mutex_);
     append(send_payload,
-           crypto::envelope_seal(*options_.engine_tls_public_key, secure_rng_,
+           crypto::envelope_seal(*options_.engine_tls_public_key, session_rng,
                                  to_bytes("xsearch-engine-link-v1"), request_bytes,
                                  &response_key));
   } else {

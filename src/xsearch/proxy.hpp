@@ -17,12 +17,13 @@
 //   5. the enclave seals the surviving results back to the client.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <memory>
 #include <mutex>
 #include <optional>
 
 #include "common/bytes.hpp"
-#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "crypto/random.hpp"
 #include "crypto/secure_channel.hpp"
@@ -168,8 +169,11 @@ class XSearchProxy {
   [[nodiscard]] Result<Bytes> trusted_query(ByteSpan payload);
 
   /// Performs the engine round trip through the four socket ocalls.
+  /// `session_rng` is the calling session's private DRBG (used for the
+  /// encrypted engine link's envelope seal); the caller holds the session
+  /// lock for the duration.
   [[nodiscard]] Result<std::vector<engine::SearchResult>> query_engine(
-      const ObfuscatedQuery& obfuscated);
+      const ObfuscatedQuery& obfuscated, crypto::SecureRandom& session_rng);
 
   [[nodiscard]] Status install_boundary();
 
@@ -185,19 +189,33 @@ class XSearchProxy {
   std::unique_ptr<QueryHistory> history_;
   std::unique_ptr<Obfuscator> obfuscator_;
   ResultFilter filter_;
-  std::mutex rng_mutex_;
-  Rng rng_;
+  // Key-derivation DRBG used at construction and by the handshake path
+  // only. The steady-state query path never touches it: each session draws
+  // from its own RNG streams held in the session table, so concurrent
+  // sessions obfuscate and seal without any shared RNG lock.
+  std::mutex handshake_mutex_;
   crypto::SecureRandom secure_rng_;
 
-  // Bounded session subsystem: per-session channel locking, LRU + idle-TTL
-  // eviction, EPC accounting (see session_table.hpp for the locking order).
+  // Bounded session subsystem: per-session channel locking + RNG streams,
+  // LRU + idle-TTL eviction, EPC accounting (see session_table.hpp for the
+  // locking order).
   std::unique_ptr<SessionTable> sessions_;
   Status init_status_;
 
   // ---- untrusted host state: the "sockets" behind the ocalls ----
-  std::mutex sockets_mutex_;
-  std::unordered_map<std::uint64_t, Bytes> socket_buffers_;
-  std::uint64_t next_socket_id_ = 1;
+  // Sharded by socket id so concurrent sessions' engine round trips do not
+  // serialize on one lock (each shard's critical sections are O(1) map
+  // bookkeeping; the engine search itself runs outside any lock).
+  struct SocketShard {
+    std::mutex mutex;
+    std::unordered_map<std::uint64_t, Bytes> buffers;
+  };
+  static constexpr std::size_t kSocketShards = 8;
+  [[nodiscard]] SocketShard& socket_shard(std::uint64_t sock) {
+    return socket_shards_[sock % kSocketShards];
+  }
+  std::array<SocketShard, kSocketShards> socket_shards_;
+  std::atomic<std::uint64_t> next_socket_id_{1};
 };
 
 }  // namespace xsearch::core

@@ -5,13 +5,40 @@
 
 namespace xsearch::core {
 
-// One live client session. `mutex` serializes channel use; `last_used` and
-// `lru_it` are guarded by the owning shard's mutex, never by `mutex`.
+namespace {
+
+// Deterministic fork of the table seed for one session's fast RNG stream.
+[[nodiscard]] std::uint64_t fork_seed(std::uint64_t base_seed, std::uint64_t id) {
+  std::uint64_t state = base_seed ^ (id * 0x9e3779b97f4a7c15ULL);
+  return splitmix64(state);
+}
+
+// Deterministic ChaCha key for one session's SecureRandom. Domain-separated
+// from the proxy-level DRBG (which tags byte 31 with 0x42).
+[[nodiscard]] crypto::ChaChaKey fork_chacha_seed(std::uint64_t base_seed,
+                                                 std::uint64_t id) {
+  crypto::ChaChaKey seed{};
+  store_le64(seed.data(), base_seed);
+  store_le64(seed.data() + 8, id);
+  seed[31] = 0x53;  // 'S' for session
+  return seed;
+}
+
+}  // namespace
+
+// One live client session. `mutex` serializes channel use and the RNG
+// streams; `last_used` and `lru_it` are guarded by the owning shard's
+// mutex, never by `mutex`.
 struct SessionTable::Session {
-  explicit Session(crypto::SecureChannel ch) : channel(std::move(ch)) {}
+  Session(crypto::SecureChannel ch, std::uint64_t id, std::uint64_t base_seed)
+      : channel(std::move(ch)),
+        rng(fork_seed(base_seed, id)),
+        secure_rng(fork_chacha_seed(base_seed, id)) {}
 
   std::mutex mutex;
   crypto::SecureChannel channel;
+  Rng rng;
+  crypto::SecureRandom secure_rng;
   Nanos last_used = 0;
   std::list<std::uint64_t>::iterator lru_it;
 };
@@ -21,6 +48,12 @@ SessionTable::LockedSession::LockedSession(std::shared_ptr<Session> session)
 
 crypto::SecureChannel& SessionTable::LockedSession::channel() {
   return session_->channel;
+}
+
+Rng& SessionTable::LockedSession::rng() { return session_->rng; }
+
+crypto::SecureRandom& SessionTable::LockedSession::secure_rng() {
+  return session_->secure_rng;
 }
 
 std::size_t SessionTable::session_epc_bytes() {
@@ -83,7 +116,8 @@ std::size_t SessionTable::evict_expired_locked(Shard& shard, Nanos now) {
 
 std::uint64_t SessionTable::insert(crypto::SecureChannel channel) {
   const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  auto session = std::make_shared<Session>(std::move(channel));
+  auto session =
+      std::make_shared<Session>(std::move(channel), id, options_.rng_seed);
   const Nanos now = now_();
 
   Shard& shard = shard_for(id);

@@ -23,6 +23,14 @@
 // forever): a capacity cap with LRU eviction, and an optional idle TTL.
 // Every live session is charged against the enclave's EpcAccountant, which
 // is how the Figure 6 methodology meters enclave occupancy.
+//
+// Each session also owns its *random number streams*: a fast Rng for
+// obfuscation sampling and a ChaCha-based SecureRandom for engine-link
+// envelope seals, both derived deterministically from (Options::rng_seed,
+// session id). They live behind the per-session lock, so the query hot path
+// draws randomness with no cross-session serialization — this is what let
+// the proxy drop its global rng_mutex_ (see ARCHITECTURE.md "Hot path &
+// performance").
 #pragma once
 
 #include <atomic>
@@ -36,6 +44,8 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/rng.hpp"
+#include "crypto/random.hpp"
 #include "crypto/secure_channel.hpp"
 #include "sgx/epc.hpp"
 
@@ -53,6 +63,14 @@ class SessionTable {
     Nanos idle_ttl = 0;
     /// Lock shards; more shards = less contention between sessions.
     std::size_t shards = 8;
+    /// Base seed the per-session RNG streams are forked from. Every
+    /// session's streams are a pure function of (rng_seed, session id), so
+    /// a given seed replays each session's random draws exactly. The
+    /// obfuscation decisions built from those draws also depend on the
+    /// shared QueryHistory's contents at query time, which track the
+    /// global order of add() calls — full replay needs the query
+    /// interleaving too, not just the seed.
+    std::uint64_t rng_seed = 0x5eed;
   };
 
   struct Stats {
@@ -94,6 +112,13 @@ class SessionTable {
 
     [[nodiscard]] explicit operator bool() const { return session_ != nullptr; }
     [[nodiscard]] crypto::SecureChannel& channel();
+
+    /// The session's private obfuscation RNG stream (deterministic fork of
+    /// the table seed). Guarded by the held per-session lock.
+    [[nodiscard]] Rng& rng();
+    /// The session's private ChaCha DRBG for envelope seals. Guarded by the
+    /// held per-session lock.
+    [[nodiscard]] crypto::SecureRandom& secure_rng();
 
    private:
     friend class SessionTable;

@@ -60,8 +60,22 @@ Result<std::string> get_string(ByteSpan in, std::size_t& offset) {
   return s;
 }
 
-Bytes serialize_results(const std::vector<engine::SearchResult>& results) {
-  Bytes out;
+namespace {
+
+// Exact wire size of a serialized result list, so the seal/frame path can
+// reserve once instead of growing geometrically.
+std::size_t results_wire_size(const std::vector<engine::SearchResult>& results) {
+  std::size_t size = 4;  // count
+  for (const auto& r : results) {
+    size += 4 + 8;  // doc + score
+    size += 4 + r.title.size() + 4 + r.description.size() + 4 + r.url.size();
+  }
+  return size;
+}
+
+void serialize_results_into(Bytes& out,
+                            const std::vector<engine::SearchResult>& results) {
+  out.reserve(out.size() + results_wire_size(results));
   put_u32(out, static_cast<std::uint32_t>(results.size()));
   for (const auto& r : results) {
     put_u32(out, r.doc);
@@ -70,6 +84,13 @@ Bytes serialize_results(const std::vector<engine::SearchResult>& results) {
     put_string(out, r.url);
     put_double(out, r.score);
   }
+}
+
+}  // namespace
+
+Bytes serialize_results(const std::vector<engine::SearchResult>& results) {
+  Bytes out;
+  serialize_results_into(out, results);
   return out;
 }
 
@@ -103,7 +124,10 @@ Result<std::vector<engine::SearchResult>> parse_results(ByteSpan raw) {
 }
 
 Bytes serialize_engine_request(const EngineRequest& request) {
+  std::size_t size = 8;
+  for (const auto& q : request.sub_queries) size += 4 + q.size();
   Bytes out;
+  out.reserve(size);
   put_u32(out, request.top_k_each);
   put_u32(out, static_cast<std::uint32_t>(request.sub_queries.size()));
   for (const auto& q : request.sub_queries) put_string(out, q);
@@ -136,8 +160,9 @@ Bytes frame_query(std::string_view query) {
 
 Bytes frame_results(const std::vector<engine::SearchResult>& results) {
   Bytes out;
+  out.reserve(1 + results_wire_size(results));
   out.push_back(static_cast<std::uint8_t>(ClientMessageType::kResults));
-  append(out, serialize_results(results));
+  serialize_results_into(out, results);
   return out;
 }
 

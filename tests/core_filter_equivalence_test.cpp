@@ -1,0 +1,169 @@
+// Randomized equivalence proof for the tokenize-once ResultFilter.
+//
+// The optimized filter tokenizes each sub-query and each result field
+// exactly once per batch and scores via precomputed token→sub-query
+// postings (common words) or a shared vocabulary (cosine). This test pins
+// it against a straight transcription of Algorithm 2 as the paper states
+// it — score every (sub-query, result) pair independently, keep a result
+// iff the original's score equals the maximum — across randomized
+// workloads, asserting the *exact* kept list (contents and order, ties
+// included) for both scoring variants.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "engine/analytics.hpp"
+#include "text/sparse_vector.hpp"
+#include "text/tokenizer.hpp"
+#include "text/vocabulary.hpp"
+#include "xsearch/filter.hpp"
+
+namespace xsearch::core {
+namespace {
+
+// ---- reference implementation (pre-optimization semantics) ---------------
+
+std::size_t ref_common_words(const std::unordered_set<std::string>& a_words,
+                             std::string_view b) {
+  std::size_t count = 0;
+  std::unordered_set<std::string> seen;
+  for (auto& token : text::tokenize(b)) {
+    if (a_words.contains(token) && seen.insert(token).second) ++count;
+  }
+  return count;
+}
+
+double ref_score(FilterScoring scoring, std::string_view query,
+                 const engine::SearchResult& result) {
+  if (scoring == FilterScoring::kCommonWords) {
+    const auto tokens = text::tokenize(query);
+    const std::unordered_set<std::string> words(tokens.begin(), tokens.end());
+    return static_cast<double>(ref_common_words(words, result.title) +
+                               ref_common_words(words, result.description));
+  }
+  // Cosine ablation, per-pair fresh vocabulary (id assignment cannot affect
+  // cosine, so this is the strictest possible baseline for the shared-
+  // vocabulary batch implementation).
+  text::Vocabulary vocab;
+  const auto q_vec = text::tf_vector(vocab, query);
+  const auto r_vec =
+      text::tf_vector(vocab, result.title + " " + result.description);
+  return q_vec.cosine(r_vec);
+}
+
+std::vector<engine::SearchResult> ref_filter(
+    FilterScoring scoring, std::string_view original,
+    const std::vector<std::string>& fakes,
+    std::vector<engine::SearchResult> results) {
+  std::vector<engine::SearchResult> kept;
+  kept.reserve(results.size());
+  for (auto& r : results) {
+    const double original_score = ref_score(scoring, original, r);
+    bool is_max = true;
+    for (const auto& fake : fakes) {
+      if (ref_score(scoring, fake, r) > original_score) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) kept.push_back(std::move(r));
+  }
+  ResultFilter::strip_tracking(kept);
+  return kept;
+}
+
+// ---- randomized workloads -------------------------------------------------
+
+// Deliberately overlapping small vocabulary (so score ties are common),
+// mixed case (tokenizer folding), stopwords, digits, and punctuation-glued
+// tokens.
+const std::vector<std::string>& word_pool() {
+  static const std::vector<std::string> kPool = {
+      "private", "Web",    "search", "ENGINE", "the",   "of",     "and",
+      "enclave", "proxy",  "query",  "ق",      "42",    "x86",    "pasta",
+      "recipe",  "Pasta",  "sauce",  "privacy", "web",  "tools",  "is",
+      "scores",  "match,", "row;",   "",        "a",    "कखग",    "tennis"};
+  return kPool;
+}
+
+std::string random_text(Rng& rng, std::size_t max_words) {
+  std::string out;
+  const std::size_t n = rng.uniform(max_words + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!out.empty()) out += ' ';
+    out += word_pool()[rng.uniform(word_pool().size())];
+  }
+  return out;
+}
+
+std::vector<engine::SearchResult> random_results(Rng& rng, std::size_t max_n) {
+  std::vector<engine::SearchResult> results;
+  const std::size_t n = rng.uniform(max_n + 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    engine::SearchResult r;
+    r.doc = static_cast<engine::DocId>(i);
+    r.title = random_text(rng, 8);
+    r.description = random_text(rng, 30);
+    r.score = rng.uniform_double();
+    r.url = rng.bernoulli(0.3)
+                ? engine::make_tracking_url("https://real.example/p" +
+                                                std::to_string(i),
+                                            rng.next())
+                : "https://clean.example/p" + std::to_string(i);
+    results.push_back(std::move(r));
+  }
+  return results;
+}
+
+class FilterEquivalence : public ::testing::TestWithParam<FilterScoring> {};
+
+TEST_P(FilterEquivalence, MatchesReferenceAcrossRandomWorkloads) {
+  const FilterScoring scoring = GetParam();
+  const ResultFilter optimized(scoring);
+  Rng rng(scoring == FilterScoring::kCommonWords ? 0xf117e4 : 0xc051ce);
+
+  const int rounds = scoring == FilterScoring::kCommonWords ? 200 : 80;
+  for (int round = 0; round < rounds; ++round) {
+    const std::string original = random_text(rng, 6);
+    std::vector<std::string> fakes;
+    const std::size_t k = rng.uniform(9);  // 0..8 (includes the no-fake case)
+    for (std::size_t i = 0; i < k; ++i) fakes.push_back(random_text(rng, 6));
+    const auto results = random_results(rng, 50);
+
+    const auto expected = ref_filter(scoring, original, fakes, results);
+    const auto actual = optimized.filter(original, fakes, results);
+    ASSERT_EQ(actual, expected)
+        << "round " << round << " original='" << original << "' k=" << k
+        << " results=" << results.size();
+  }
+}
+
+TEST_P(FilterEquivalence, TieOnZeroScoresKeepsResult) {
+  // A result sharing nothing with any sub-query scores 0 everywhere; the
+  // original ties the max and Algorithm 2 keeps it. Both implementations
+  // must agree on this edge (the postings-based scorer never even sees the
+  // result's tokens).
+  const ResultFilter optimized(GetParam());
+  std::vector<engine::SearchResult> results(1);
+  results[0].title = "zebra";
+  results[0].description = "quagga";
+  const auto expected =
+      ref_filter(GetParam(), "alpha", {"beta"}, results);
+  EXPECT_EQ(optimized.filter("alpha", {"beta"}, results), expected);
+  EXPECT_EQ(expected.size(), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScorings, FilterEquivalence,
+                         ::testing::Values(FilterScoring::kCommonWords,
+                                           FilterScoring::kCosine),
+                         [](const auto& info) {
+                           return info.param == FilterScoring::kCommonWords
+                                      ? "CommonWords"
+                                      : "Cosine";
+                         });
+
+}  // namespace
+}  // namespace xsearch::core

@@ -109,6 +109,36 @@ TEST_F(IndexTest, DeterministicTieBreakById) {
   EXPECT_EQ(results[1].doc, 1u);
 }
 
+TEST_F(IndexTest, ZeroWeightPostingsNeverDuplicateDocs) {
+  // title_boost = 0 produces postings with weight 0 and thus score
+  // contributions of exactly 0.0; first-touch tracking must not rely on a
+  // zero score, or a doc matched by several such terms is emitted twice.
+  InvertedIndex idx(Bm25Params{.title_boost = 0.0});
+  idx.add_document(make_doc(0, "alpha beta", ""));
+  idx.add_document(make_doc(1, "gamma", "alpha beta body"));
+  const auto results = idx.search("alpha beta", 10);
+  std::unordered_set<DocId> seen;
+  for (const auto& r : results) {
+    EXPECT_TRUE(seen.insert(r.doc).second) << "doc " << r.doc << " duplicated";
+  }
+}
+
+TEST_F(IndexTest, ScratchReuseAcrossQueriesMatchesFreshSearch) {
+  // The OR path reuses one Scratch for all sub-queries; results must be
+  // identical to independent fresh searches.
+  InvertedIndex::Scratch scratch;
+  std::vector<ScoredDoc> reused;
+  for (const std::string_view q : {"web search", "pasta", "private web", ""}) {
+    index_.search_with(q, 5, scratch, reused);
+    const auto fresh = index_.search(q, 5);
+    ASSERT_EQ(reused.size(), fresh.size()) << q;
+    for (std::size_t i = 0; i < fresh.size(); ++i) {
+      EXPECT_EQ(reused[i].doc, fresh[i].doc) << q;
+      EXPECT_DOUBLE_EQ(reused[i].score, fresh[i].score) << q;
+    }
+  }
+}
+
 // ---- corpus + engine -----------------------------------------------------------
 
 class EngineTest : public ::testing::Test {

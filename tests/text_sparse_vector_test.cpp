@@ -36,7 +36,7 @@ TEST(Vocabulary, TermRoundTrip) {
 TEST(Vocabulary, LookupAllSkipsUnknown) {
   Vocabulary v;
   (void)v.intern("known");
-  const auto ids = v.lookup_all({"known", "unknown"});
+  const auto ids = v.lookup_all(std::vector<std::string>{"known", "unknown"});
   EXPECT_EQ(ids.size(), 1u);
 }
 
