@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""Perf-regression gate over BENCH_micro.json.
+
+Compares the current microbench run against the committed baseline
+(bench/baselines/BENCH_micro.baseline.json) and fails when any stage
+regresses beyond the threshold.
+
+Raw microsecond comparisons across machines gate nothing but CPU models,
+so the comparator normalizes first: it computes the median speed ratio
+(current/baseline) across all stages and judges each stage against
+baseline * median * (1 + threshold). A uniformly slower runner moves the
+median and passes; ONE stage regressing (the thing a bad commit does)
+stands out against the others and fails. An absolute mode (--absolute)
+exists for same-machine A/B runs.
+
+Exit status: 0 clean, 1 regression (or malformed input).
+
+Usage:
+  check_regression.py BASELINE CURRENT [--threshold 0.25] [--absolute]
+                      [--inject STAGE=FACTOR] [--summary PATH]
+
+--inject multiplies STAGE's current us/op by FACTOR before comparing —
+the CI self-test proving the gate is live: injecting a 2x slowdown into
+any stage MUST make this script fail.
+
+--summary appends the markdown table to PATH (defaults to
+$GITHUB_STEP_SUMMARY when set, so the job summary shows the pre/post
+table).
+"""
+
+import argparse
+import json
+import os
+import statistics
+import sys
+
+
+def load_stages(path):
+    with open(path) as fh:
+        doc = json.load(fh)
+    stages = {s["name"]: float(s["us_per_op"]) for s in doc.get("stages", [])}
+    if not stages:
+        raise ValueError(f"{path}: no stages")
+    return stages
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--threshold", type=float, default=0.25,
+                        help="allowed normalized regression (0.25 = 25%%)")
+    parser.add_argument("--absolute", action="store_true",
+                        help="skip machine-speed normalization")
+    parser.add_argument("--inject", default=None, metavar="STAGE=FACTOR",
+                        help="multiply one current stage by FACTOR (gate self-test)")
+    parser.add_argument("--summary", default=os.environ.get("GITHUB_STEP_SUMMARY"),
+                        help="append the markdown table to this file")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_stages(args.baseline)
+        current = load_stages(args.current)
+    except (OSError, ValueError, KeyError, json.JSONDecodeError) as err:
+        print(f"check_regression: {err}", file=sys.stderr)
+        return 1
+
+    if args.inject:
+        stage, _, factor = args.inject.partition("=")
+        if stage not in current:
+            print(f"check_regression: --inject: unknown stage {stage!r}",
+                  file=sys.stderr)
+            return 1
+        current[stage] *= float(factor)
+        print(f"# injected synthetic {factor}x slowdown into {stage!r}")
+
+    shared = [name for name in baseline if name in current]
+    missing = [name for name in baseline if name not in current]
+    if not shared:
+        print("check_regression: no shared stages", file=sys.stderr)
+        return 1
+
+    scale = 1.0
+    if not args.absolute:
+        scale = statistics.median(current[n] / baseline[n] for n in shared)
+
+    bar = scale * (1.0 + args.threshold)
+    lines = [
+        f"# microbench regression gate (threshold {args.threshold:.0%}, "
+        f"machine-speed scale {scale:.2f}x)",
+        "",
+        "| stage | baseline us/op | current us/op | normalized | verdict |",
+        "|---|---|---|---|---|",
+    ]
+    failed = []
+    for name in shared:
+        ratio = current[name] / baseline[name]
+        normalized = ratio / scale
+        ok = ratio <= bar
+        if not ok:
+            failed.append(name)
+        lines.append(
+            f"| {name} | {baseline[name]:.2f} | {current[name]:.2f} "
+            f"| {normalized:.2f}x | {'ok' if ok else '**REGRESSED**'} |")
+    for name in missing:
+        failed.append(name)
+        lines.append(f"| {name} | {baseline[name]:.2f} | missing | - | **MISSING** |")
+
+    table = "\n".join(lines)
+    print(table)
+    if args.summary:
+        try:
+            with open(args.summary, "a") as fh:
+                fh.write(table + "\n")
+        except OSError as err:
+            print(f"check_regression: cannot write summary: {err}", file=sys.stderr)
+
+    if failed:
+        print(f"\ncheck_regression: FAILED stages: {', '.join(failed)}",
+              file=sys.stderr)
+        return 1
+    print("\ncheck_regression: all stages within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

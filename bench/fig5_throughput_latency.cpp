@@ -35,13 +35,18 @@
 // serialization point (on a 1-core container it stays level; the thing to
 // check is that it does not *collapse* as sessions are added).
 //
+// The special name "xsearch-fleet" is the scale-out mode: a ProxyFleet of
+// {1,2,4} consistent-hash-routed workers behind one ProxyServer, swept
+// against wire batch sizes {1,4,16} (one AEAD seal/open and one TCP round
+// trip per batched frame). See run_fleet_sweep below.
+//
 // Besides the stdout table, every run writes machine-readable JSON (default
 // BENCH_fig5.json, or pass --json=PATH) with one object per measured row,
 // uploaded by the CI release-bench job so perf numbers accumulate per PR.
 //
 // Run: ./build/bench/fig5_throughput_latency [--json=PATH] [mechanism...]
-//      (default: xsearch peas tor; any registered name, xsearch-remote or
-//      xsearch-sessions)
+//      (default: xsearch peas tor; any registered name, xsearch-remote,
+//      xsearch-sessions or xsearch-fleet)
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -58,7 +63,9 @@
 #include "api/xsearch_options.hpp"
 #include "bench_common.hpp"
 #include "loadgen/loadgen.hpp"
+#include "net/proxy_fleet.hpp"
 #include "net/proxy_server.hpp"
+#include "net/remote_broker.hpp"
 #include "netsim/netsim.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/broker.hpp"
@@ -71,7 +78,8 @@ using namespace xsearch;  // NOLINT
 constexpr std::size_t kWorkers = 4;
 
 /// One measured row, kept for the JSON dump. `sessions` is only meaningful
-/// for the xsearch-sessions sweep (0 elsewhere).
+/// for the xsearch-sessions sweep, `workers`/`batch` for the xsearch-fleet
+/// sweep (0 elsewhere).
 struct JsonRow {
   std::string system;
   double offered_rps = 0.0;
@@ -81,6 +89,8 @@ struct JsonRow {
   double p99_ms = 0.0;
   std::uint64_t dropped = 0;
   std::size_t sessions = 0;
+  std::size_t workers = 0;
+  std::size_t batch = 0;
 };
 
 std::vector<JsonRow> g_rows;
@@ -92,7 +102,7 @@ void print_row(const std::string& system, const loadgen::LoadReport& report) {
               static_cast<unsigned long long>(report.dropped));
   g_rows.push_back({system, report.offered_rps, report.achieved_rps,
                     report.mean_ms(), report.p50_ms(), report.p99_ms(),
-                    report.dropped, 0});
+                    report.dropped, 0, 0, 0});
 }
 
 /// Minimal JSON string escaping (mechanism names come from argv).
@@ -116,10 +126,12 @@ bool write_json(const std::string& path) {
     std::fprintf(f,
                  "    {\"system\": \"%s\", \"offered_rps\": %.1f, "
                  "\"achieved_rps\": %.1f, \"mean_ms\": %.3f, \"p50_ms\": %.3f, "
-                 "\"p99_ms\": %.3f, \"dropped\": %llu, \"sessions\": %zu}%s\n",
+                 "\"p99_ms\": %.3f, \"dropped\": %llu, \"sessions\": %zu, "
+                 "\"workers\": %zu, \"batch\": %zu}%s\n",
                  json_escape(r.system).c_str(), r.offered_rps, r.achieved_rps, r.mean_ms,
                  r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.dropped),
-                 r.sessions, i + 1 < g_rows.size() ? "," : "");
+                 r.sessions, r.workers, r.batch,
+                 i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -181,6 +193,102 @@ void run_session_sweep(const api::ClientConfig& config) {
                       sessions});
   }
   std::printf("# *closed-loop: column is concurrent sessions, not offered rps\n");
+}
+
+/// Fleet scale-out sweep: {1,2,4} consistent-hash-routed proxy workers
+/// behind one ProxyServer × wire batch sizes {1,4,16}, driven closed-loop
+/// by 4 concurrent TCP sessions. Fixed offered load (every client thread
+/// saturates), so the figure of merit is aggregate qps as workers grow and
+/// per-query wire cost as batches grow: each batched frame pays ONE AEAD
+/// seal/open + TCP round trip for `batch` queries. On a single-core runner
+/// worker scaling reads as "does not collapse"; the batch column shows the
+/// real amortization either way (aead_per_query = 2/batch).
+void run_fleet_sweep(const api::ClientConfig& config) {
+  xsearch::sgx::AttestationAuthority authority(
+      xsearch::to_bytes("fig5-fleet-root"));
+  constexpr std::size_t kClientSessions = 4;
+  constexpr auto kDuration = std::chrono::milliseconds(300);
+
+  for (const std::size_t workers : {1u, 2u, 4u}) {
+    net::ProxyFleet::Options fleet_options =
+        api::fleet_options(config, {.workers = workers, .virtual_nodes = 64});
+    fleet_options.proxy.contact_engine = false;  // saturation mode
+    auto fleet = net::ProxyFleet::create(nullptr, authority, fleet_options);
+    if (!fleet.is_ok()) {
+      std::fprintf(stderr, "xsearch-fleet: %s\n",
+                   fleet.status().to_string().c_str());
+      return;
+    }
+    auto server = net::ProxyServer::start(*fleet.value());
+    if (!server.is_ok()) {
+      std::fprintf(stderr, "xsearch-fleet server: %s\n",
+                   server.status().to_string().c_str());
+      return;
+    }
+
+    for (const std::size_t batch : {1u, 4u, 16u}) {
+      std::atomic<bool> go{false};
+      std::atomic<bool> stop{false};
+      std::atomic<std::size_t> ready{0};
+      std::atomic<std::uint64_t> completed{0};
+      std::vector<std::thread> threads;
+      threads.reserve(kClientSessions);
+      for (std::size_t s = 0; s < kClientSessions; ++s) {
+        threads.emplace_back([&, s] {
+          net::RemoteBroker broker("127.0.0.1", server.value()->port(),
+                                   authority, fleet.value()->measurement(),
+                                   7000 + 13 * s + batch);
+          const bool connected = broker.connect().is_ok();
+          ready.fetch_add(1, std::memory_order_release);
+          if (!connected) return;
+          std::vector<std::string> queries(batch, "fleet scaling probe");
+          while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+          std::uint64_t done = 0;
+          while (!stop.load(std::memory_order_relaxed)) {
+            if (batch == 1) {
+              if (broker.search(queries[0]).is_ok()) ++done;
+            } else {
+              auto outcomes = broker.search_batch(queries);
+              if (outcomes.is_ok()) done += outcomes.value().size();
+            }
+          }
+          completed.fetch_add(done, std::memory_order_relaxed);
+        });
+      }
+      while (ready.load(std::memory_order_acquire) < kClientSessions)
+        std::this_thread::yield();
+      const auto t0 = std::chrono::steady_clock::now();
+      go.store(true, std::memory_order_release);
+      std::this_thread::sleep_for(kDuration);
+      stop.store(true, std::memory_order_relaxed);
+      for (auto& t : threads) t.join();
+      const double secs =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      const double qps = static_cast<double>(completed.load()) / secs;
+      const double mean_ms =
+          completed.load() == 0
+              ? 0.0
+              : 1e3 * secs * kClientSessions / static_cast<double>(completed.load());
+      std::printf("%-16s %4zuw %4zub %12.1f %10.3f %10s %10s %8s\n",
+                  "xsearch-fleet", workers, batch, qps, mean_ms, "-", "-", "-");
+      g_rows.push_back({"xsearch-fleet", 0.0, qps, mean_ms, 0.0, 0.0, 0, 0,
+                        workers, batch});
+    }
+
+    std::uint64_t routed_total = 0;
+    std::size_t workers_hit = 0;
+    for (std::size_t w = 0; w < fleet.value()->worker_count(); ++w) {
+      const auto stats = fleet.value()->worker_stats(w);
+      routed_total += stats.routed;
+      workers_hit += stats.sessions.created > 0 ? 1 : 0;
+    }
+    std::printf("# xsearch-fleet workers=%zu: routed=%llu workers_with_sessions=%zu\n",
+                workers, static_cast<unsigned long long>(routed_total),
+                workers_hit);
+    server.value()->stop();
+  }
+  std::printf("# *closed-loop: columns are workers/batch; mean_ms is per query\n");
 }
 
 loadgen::LoadConfig config_for(double rps) {
@@ -277,6 +385,10 @@ int main(int argc, char** argv) {
 
     if (name == "xsearch-sessions") {
       run_session_sweep(config);
+      continue;
+    }
+    if (name == "xsearch-fleet") {
+      run_fleet_sweep(config);
       continue;
     }
 

@@ -411,6 +411,15 @@ core::XSearchProxy::Options xsearch_proxy_options(const ClientConfig& config) {
   return options;
 }
 
+net::ProxyFleet::Options fleet_options(const ClientConfig& config,
+                                       const FleetConfig& fleet) {
+  net::ProxyFleet::Options options;
+  options.workers = fleet.workers;
+  options.virtual_nodes = fleet.virtual_nodes;
+  options.proxy = xsearch_proxy_options(config);
+  return options;
+}
+
 void register_builtin_mechanisms(MechanismRegistry& registry) {
   const auto must = [](Status status) {
     (void)status;

@@ -1,6 +1,7 @@
 #include "api/client.hpp"
 
 #include <condition_variable>
+#include <deque>
 #include <unordered_map>
 #include <unordered_set>
 #include <utility>
@@ -10,10 +11,25 @@
 
 namespace xsearch::api {
 
+/// One submit() parked for coalescing (batch_coalesce > 1): everything a
+/// flusher needs to execute and complete the request later.
+struct PrivateSearchClient::PendingRequest {
+  Ticket ticket = kInvalidTicket;
+  std::string query;
+  std::size_t top_k = 0;  // already resolved
+  std::function<void(SearchOutcome)> on_done;
+  Nanos submitted_at = 0;
+};
+
 // Batch machinery: a thread pool whose lanes are sibling clients sharing
 // the primary's backend, plus the ticket ledger. Workers and lanes are
 // matched 1:1 in count, so round-robin lane selection keeps collisions
 // (two tasks serializing on one sibling) transient.
+//
+// With batch_coalesce > 1 the pool stops carrying one task per request:
+// submits append to `pending` and up to lanes.size() *flusher* tasks drain
+// it, each taking up to batch_coalesce requests per mechanism round trip
+// (one sealed frame for the whole batch on the remote client).
 struct PrivateSearchClient::AsyncEngine {
   std::vector<ClientPtr> siblings;
   std::vector<PrivateSearchClient*> lanes;  // sibling or the primary itself
@@ -25,6 +41,12 @@ struct PrivateSearchClient::AsyncEngine {
   std::unordered_map<Ticket, SearchOutcome> done;
   std::unordered_set<Ticket> inflight;
   Ticket next_ticket = 1;
+
+  // Coalescing state (guarded by `mutex`). `space_cv` signals room in
+  // `pending`, which is bounded by batch_queue_capacity like the pool queue.
+  std::deque<PendingRequest> pending;
+  std::size_t active_flushers = 0;
+  std::condition_variable space_cv;
 };
 
 PrivateSearchClient::PrivateSearchClient(ClientConfig config)
@@ -63,6 +85,49 @@ Result<SearchResults> PrivateSearchClient::search(std::string_view query,
   searches_.fetch_add(1, std::memory_order_relaxed);
   if (!result.is_ok()) failures_.fetch_add(1, std::memory_order_relaxed);
   return result;
+}
+
+std::vector<Result<SearchResults>> PrivateSearchClient::search_batch(
+    std::vector<BatchQuery> queries) {
+  std::vector<Result<SearchResults>> outcomes;
+  if (queries.empty()) return outcomes;
+  for (auto& q : queries) q.top_k = resolve_top_k(q.top_k);
+
+  std::lock_guard lock(sync_mutex_);
+  if (!connected()) {
+    if (const Status status = do_connect(); !status.is_ok()) {
+      for (std::size_t i = 0; i < queries.size(); ++i) {
+        outcomes.emplace_back(status);
+      }
+      failures_.fetch_add(queries.size(), std::memory_order_relaxed);
+      searches_.fetch_add(queries.size(), std::memory_order_relaxed);
+      return outcomes;
+    }
+    connects_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // One stack-cost charge per round trip, not per query: amortizing the
+  // per-request network/OS work is exactly what batching buys.
+  if (config_.stack_cost_per_request > 0) {
+    netsim::busy_wait(config_.stack_cost_per_request);
+  }
+  outcomes = do_search_batch(queries);
+  searches_.fetch_add(outcomes.size(), std::memory_order_relaxed);
+  for (const auto& outcome : outcomes) {
+    if (!outcome.is_ok()) failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return outcomes;
+}
+
+std::vector<Result<SearchResults>> PrivateSearchClient::do_search_batch(
+    const std::vector<BatchQuery>& queries) {
+  // Mechanisms without a batched wire format just loop; the batch still
+  // pays connect and stack cost once.
+  std::vector<Result<SearchResults>> outcomes;
+  outcomes.reserve(queries.size());
+  for (const auto& q : queries) {
+    outcomes.push_back(do_search(q.query, q.top_k));
+  }
+  return outcomes;
 }
 
 Status PrivateSearchClient::prime(const std::vector<std::string>&) {
@@ -143,6 +208,10 @@ Ticket PrivateSearchClient::submit_impl(
     std::string query, std::size_t top_k,
     std::function<void(SearchOutcome)> on_done, bool blocking) {
   AsyncEngine& engine = async();
+  if (config_.batch_coalesce > 1) {
+    return submit_coalesced(engine, std::move(query), top_k, std::move(on_done),
+                            blocking);
+  }
 
   Ticket ticket = kInvalidTicket;
   {
@@ -197,6 +266,120 @@ Ticket PrivateSearchClient::submit_impl(
   }
   submitted_.fetch_add(1, std::memory_order_relaxed);
   return ticket;
+}
+
+Ticket PrivateSearchClient::submit_coalesced(
+    AsyncEngine& engine, std::string query, std::size_t top_k,
+    std::function<void(SearchOutcome)> on_done, bool blocking) {
+  PendingRequest request;
+  request.query = std::move(query);
+  request.top_k = resolve_top_k(top_k);
+  request.on_done = std::move(on_done);
+  request.submitted_at = wall_now();
+
+  bool spawn_flusher = false;
+  Ticket ticket = kInvalidTicket;
+  {
+    std::unique_lock lock(engine.mutex);
+    if (engine.pending.size() >= config_.batch_queue_capacity) {
+      if (!blocking) return kInvalidTicket;
+      engine.space_cv.wait(lock, [&] {
+        return engine.pending.size() < config_.batch_queue_capacity;
+      });
+    }
+    ticket = engine.next_ticket++;
+    request.ticket = ticket;
+    engine.inflight.insert(ticket);
+    engine.pending.push_back(std::move(request));
+    // Keep at most one flusher per lane busy: enough to use every lane,
+    // few enough that batches actually fill.
+    if (engine.active_flushers < engine.lanes.size()) {
+      engine.active_flushers += 1;
+      spawn_flusher = true;
+    }
+  }
+
+  if (spawn_flusher) {
+    const bool accepted =
+        engine.pool->submit([this, &engine] { flush_loop(engine); });
+    if (!accepted) {
+      // Pool shutting down: no new flusher will ever drain our parked
+      // request. If it is still parked, withdraw it and report rejection
+      // (mirroring the per-request path); if a live flusher already took
+      // it, it will complete normally.
+      std::lock_guard lock(engine.mutex);
+      engine.active_flushers -= 1;
+      for (auto it = engine.pending.begin(); it != engine.pending.end(); ++it) {
+        if (it->ticket == ticket) {
+          engine.pending.erase(it);
+          engine.inflight.erase(ticket);
+          return kInvalidTicket;
+        }
+      }
+    }
+  }
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  return ticket;
+}
+
+void PrivateSearchClient::flush_loop(AsyncEngine& engine) {
+  const std::size_t max_batch = config_.batch_coalesce;
+  for (;;) {
+    std::vector<PendingRequest> batch;
+    {
+      std::lock_guard lock(engine.mutex);
+      while (!engine.pending.empty() && batch.size() < max_batch) {
+        batch.push_back(std::move(engine.pending.front()));
+        engine.pending.pop_front();
+      }
+      if (batch.empty()) {
+        engine.active_flushers -= 1;
+        return;
+      }
+    }
+    engine.space_cv.notify_all();
+
+    PrivateSearchClient* lane =
+        engine.lanes[engine.next_lane.fetch_add(1, std::memory_order_relaxed) %
+                     engine.lanes.size()];
+    std::vector<BatchQuery> queries;
+    queries.reserve(batch.size());
+    for (auto& request : batch) {  // queries are not needed again: move them
+      queries.push_back({std::move(request.query), request.top_k});
+    }
+    auto results = lane->search_batch(std::move(queries));
+
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      SearchOutcome outcome;
+      outcome.ticket = batch[i].ticket;
+      if (i < results.size()) {
+        outcome.status = results[i].status();
+        if (results[i].is_ok()) outcome.results = std::move(results[i]).value();
+      } else {
+        outcome.status = internal_error("batch: missing outcome slot");
+      }
+      outcome.latency = wall_now() - batch[i].submitted_at;
+
+      // The lane counted its own searches; mirror into the primary like the
+      // per-request path does.
+      if (lane != this) {
+        searches_.fetch_add(1, std::memory_order_relaxed);
+        if (!outcome.status.is_ok()) {
+          failures_.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+
+      const bool ticketed = batch[i].on_done == nullptr;
+      if (!ticketed) batch[i].on_done(std::move(outcome));
+      {
+        std::lock_guard lock(engine.mutex);
+        engine.inflight.erase(batch[i].ticket);
+        if (ticketed) engine.done.emplace(batch[i].ticket, std::move(outcome));
+      }
+      engine.done_cv.notify_all();
+    }
+  }
 }
 
 std::optional<SearchOutcome> PrivateSearchClient::poll(Ticket ticket) {

@@ -65,6 +65,12 @@ struct ClientConfig {
   /// Pending-request capacity of the batch queue; `try_submit` reports
   /// overflow instead of blocking.
   std::size_t batch_queue_capacity = 4096;
+  /// Maximum `submit()`s coalesced into ONE mechanism round trip (1 = off).
+  /// Mechanisms with a wire protocol (the remote X-Search client) answer a
+  /// coalesced batch with one sealed record each way, amortizing AEAD and
+  /// syscall cost over the batch; others just loop. Capped by the wire
+  /// protocol's batch bound.
+  std::size_t batch_coalesce = 1;
 };
 
 /// What a mechanism exposes to whom — the §2 taxonomy, made introspectable.
@@ -140,6 +146,17 @@ class PrivateSearchClient {
   [[nodiscard]] Result<SearchResults> search(std::string_view query,
                                              std::size_t top_k);
 
+  /// Many searches in one mechanism round trip. Outcomes are index-aligned
+  /// with `queries`; per-query failures do not poison the batch (a
+  /// transport-level failure repeats on every slot). Thread-safe like
+  /// `search`. `top_k` of 0 means `config().top_k`.
+  struct BatchQuery {
+    std::string query;
+    std::size_t top_k = 0;
+  };
+  [[nodiscard]] std::vector<Result<SearchResults>> search_batch(
+      std::vector<BatchQuery> queries);
+
   // --- asynchronous batch path ---------------------------------------------
 
   /// Enqueues a search on the batch thread pool and returns its ticket.
@@ -191,6 +208,13 @@ class PrivateSearchClient {
   [[nodiscard]] virtual Result<SearchResults> do_search(std::string_view query,
                                                         std::size_t top_k) = 0;
 
+  /// One round trip for many searches; `top_k`s are already resolved. The
+  /// default loops over `do_search`; mechanisms with a batched wire format
+  /// (remote X-Search) override it to send one frame. Must return exactly
+  /// `queries.size()` outcomes, index-aligned.
+  [[nodiscard]] virtual std::vector<Result<SearchResults>> do_search_batch(
+      const std::vector<BatchQuery>& queries);
+
   /// A new client sharing this one's backend (same proxy/relays/issuer),
   /// used as an independent batch lane so batch workers run in parallel.
   /// Called serially before batch workers start. Returning nullptr makes
@@ -205,12 +229,17 @@ class PrivateSearchClient {
 
  private:
   struct AsyncEngine;
+  struct PendingRequest;
 
   [[nodiscard]] AsyncEngine& async();
   [[nodiscard]] AsyncEngine* async_if_built();
   [[nodiscard]] Ticket submit_impl(std::string query, std::size_t top_k,
                                    std::function<void(SearchOutcome)> on_done,
                                    bool blocking);
+  [[nodiscard]] Ticket submit_coalesced(
+      AsyncEngine& engine, std::string query, std::size_t top_k,
+      std::function<void(SearchOutcome)> on_done, bool blocking);
+  void flush_loop(AsyncEngine& engine);
   [[nodiscard]] std::size_t resolve_top_k(std::size_t top_k) const {
     return top_k == 0 ? config_.top_k : top_k;
   }

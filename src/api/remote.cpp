@@ -1,10 +1,13 @@
 #include "api/remote.hpp"
 
+#include <algorithm>
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "net/remote_broker.hpp"
+#include "xsearch/wire.hpp"
 
 namespace xsearch::api {
 namespace {
@@ -54,6 +57,45 @@ class RemoteAdapter final : public PrivateSearchClient {
     auto list = std::move(results).value();
     if (list.size() > top_k) list.resize(top_k);
     return list;
+  }
+
+  [[nodiscard]] std::vector<Result<SearchResults>> do_search_batch(
+      const std::vector<BatchQuery>& queries) override {
+    // One kBatchQuery frame per chunk: one TCP round trip and one AEAD
+    // seal/open regardless of chunk size (chunks only appear when the
+    // caller coalesces beyond the wire bound).
+    std::vector<Result<SearchResults>> outcomes;
+    outcomes.reserve(queries.size());
+    for (std::size_t start = 0; start < queries.size();
+         start += core::wire::kMaxBatchQueries) {
+      const std::size_t count =
+          std::min(core::wire::kMaxBatchQueries, queries.size() - start);
+      std::vector<std::string> chunk;
+      chunk.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        chunk.push_back(queries[start + i].query);
+      }
+      auto batch = broker_->search_batch(chunk);
+      if (!batch.is_ok()) {
+        for (std::size_t i = 0; i < count; ++i) {
+          outcomes.emplace_back(batch.status());
+        }
+        continue;
+      }
+      for (std::size_t i = 0; i < count; ++i) {
+        auto& outcome = batch.value()[i];
+        if (!outcome.status.is_ok()) {
+          outcomes.emplace_back(outcome.status);
+          continue;
+        }
+        auto list = std::move(outcome.results);
+        if (list.size() > queries[start + i].top_k) {
+          list.resize(queries[start + i].top_k);
+        }
+        outcomes.emplace_back(std::move(list));
+      }
+    }
+    return outcomes;
   }
 
   [[nodiscard]] ClientPtr spawn_sibling(std::uint64_t seed) override {

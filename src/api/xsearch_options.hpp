@@ -7,6 +7,7 @@
 #pragma once
 
 #include "api/client.hpp"
+#include "net/proxy_fleet.hpp"
 #include "xsearch/proxy.hpp"
 
 namespace xsearch::api {
@@ -16,5 +17,20 @@ namespace xsearch::api {
 /// deploying without an engine must also clear it there.
 [[nodiscard]] core::XSearchProxy::Options xsearch_proxy_options(
     const ClientConfig& config);
+
+/// Scale-out knobs of a proxy-fleet deployment, layered over ClientConfig
+/// the same way the single-proxy options are.
+struct FleetConfig {
+  /// Proxy workers behind the consistent-hash router.
+  std::size_t workers = 2;
+  /// Virtual nodes per worker on the hash ring.
+  std::size_t virtual_nodes = 64;
+};
+
+/// ClientConfig + FleetConfig → net::ProxyFleet::Options, through the same
+/// per-proxy translation as `xsearch_proxy_options` so fleet workers and a
+/// standalone proxy are configured identically.
+[[nodiscard]] net::ProxyFleet::Options fleet_options(const ClientConfig& config,
+                                                     const FleetConfig& fleet);
 
 }  // namespace xsearch::api

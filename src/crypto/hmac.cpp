@@ -10,7 +10,9 @@ Sha256Digest hmac_sha256(ByteSpan key, ByteSpan data) {
   if (key.size() > kSha256BlockSize) {
     const Sha256Digest hashed = Sha256::hash(key);
     std::memcpy(block_key.data(), hashed.data(), hashed.size());
-  } else {
+  } else if (!key.empty()) {
+    // Guard: memcpy from a null source is UB even for zero bytes, and an
+    // empty span's data() may be null (HKDF uses empty salts).
     std::memcpy(block_key.data(), key.data(), key.size());
   }
 

@@ -21,6 +21,9 @@ enum class FrameType : std::uint8_t {
   kHelloReply = 0x81,     // session id + quote + server ephemeral key
   kQuery = 0x02,          // session id + encrypted query record
   kQueryReply = 0x82,     // encrypted response record
+  kBatchQuery = 0x03,     // session id + encrypted batch record (many
+                          // queries, ONE seal/open for the whole batch)
+  kBatchReply = 0x83,     // encrypted batch response record
   kError = 0x7f,          // human-readable error string
 };
 

@@ -3,7 +3,7 @@
 namespace xsearch::net {
 
 Result<std::unique_ptr<HttpFrontend>> HttpFrontend::start(
-    core::XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+    core::ProxyHandler& proxy, const sgx::AttestationAuthority& authority,
     std::uint16_t port) {
   auto listener = TcpListener::bind(port);
   if (!listener) return listener.status();
@@ -17,7 +17,7 @@ Result<std::unique_ptr<HttpFrontend>> HttpFrontend::start(
   return frontend;
 }
 
-HttpFrontend::HttpFrontend(core::XSearchProxy& proxy,
+HttpFrontend::HttpFrontend(core::ProxyHandler& proxy,
                            const sgx::AttestationAuthority& authority,
                            TcpListener listener)
     : proxy_(&proxy), authority_(&authority), listener_(std::move(listener)) {

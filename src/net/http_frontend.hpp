@@ -31,7 +31,7 @@ class HttpFrontend {
   ///   GET /search?q=<query>   -> JSON result list
   ///   GET /healthz            -> "ok"
   [[nodiscard]] static Result<std::unique_ptr<HttpFrontend>> start(
-      core::XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+      core::ProxyHandler& proxy, const sgx::AttestationAuthority& authority,
       std::uint16_t port = 0);
 
   ~HttpFrontend();
@@ -48,14 +48,14 @@ class HttpFrontend {
   }
 
  private:
-  HttpFrontend(core::XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+  HttpFrontend(core::ProxyHandler& proxy, const sgx::AttestationAuthority& authority,
                TcpListener listener);
 
   void accept_loop();
   void serve_connection(const std::shared_ptr<TcpStream>& stream);
   [[nodiscard]] Bytes handle_request(const HttpRequest& request);
 
-  core::XSearchProxy* proxy_;
+  core::ProxyHandler* proxy_;
   const sgx::AttestationAuthority* authority_;
   TcpListener listener_;
 

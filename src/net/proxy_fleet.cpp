@@ -1,0 +1,194 @@
+#include "net/proxy_fleet.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace xsearch::net {
+
+namespace {
+
+/// Stateless 64-bit mixer for ring points and session-id placement.
+/// Session ids come from an Rng (already well mixed), but ring points are
+/// built from tiny (worker, replica) integers — without mixing, every
+/// worker's nodes would clump at the bottom of the ring.
+[[nodiscard]] std::uint64_t mix64(std::uint64_t x) {
+  return splitmix64(x);  // splitmix64 advances its state arg; x is a copy
+}
+
+constexpr std::size_t kHandshakeIdAttempts = 8;
+
+}  // namespace
+
+Result<std::unique_ptr<ProxyFleet>> ProxyFleet::create(
+    const engine::SearchEngine* engine, const sgx::AttestationAuthority& authority,
+    Options options) {
+  if (options.workers == 0) {
+    return invalid_argument("fleet: options.workers must be >= 1");
+  }
+  if (options.virtual_nodes == 0) {
+    return invalid_argument("fleet: options.virtual_nodes must be >= 1");
+  }
+  auto fleet = std::unique_ptr<ProxyFleet>(
+      new ProxyFleet(engine, authority, std::move(options)));
+  for (std::size_t i = 0; i < fleet->options_.workers; ++i) {
+    auto proxy = core::XSearchProxy::create(engine, authority,
+                                            fleet->worker_options(i));
+    if (!proxy) return proxy.status();
+    auto worker = std::make_unique<Worker>();
+    worker->proxy = std::move(proxy).value();
+    fleet->workers_.push_back(std::move(worker));
+  }
+  fleet->rebuild_ring_locked();  // single-threaded here: no lock needed yet
+  return fleet;
+}
+
+ProxyFleet::ProxyFleet(const engine::SearchEngine* engine,
+                       const sgx::AttestationAuthority& authority, Options options)
+    : engine_(engine),
+      authority_(&authority),
+      options_(std::move(options)),
+      session_id_rng_(mix64(options_.proxy.seed ^ 0xf1ee7)) {}
+
+core::XSearchProxy::Options ProxyFleet::worker_options(std::size_t index) const {
+  core::XSearchProxy::Options worker = options_.proxy;
+  // Domain-separate each worker's key material and RNG streams; mix with
+  // the respawn count so a respawned worker never replays its predecessor's
+  // draws.
+  const std::uint64_t generation =
+      workers_.size() > index ? workers_[index]->respawns : 0;
+  worker.seed = mix64(options_.proxy.seed ^ mix64((index + 1) * 0x9e3779b97f4a7c15ULL +
+                                                  generation));
+  return worker;
+}
+
+void ProxyFleet::rebuild_ring_locked() {
+  ring_.clear();
+  ring_.reserve(workers_.size() * options_.virtual_nodes);
+  for (std::size_t w = 0; w < workers_.size(); ++w) {
+    if (!workers_[w]->live) continue;
+    for (std::size_t v = 0; v < options_.virtual_nodes; ++v) {
+      const std::uint64_t point =
+          mix64(mix64(w + 1) ^ (v * 0xbf58476d1ce4e5b9ULL + 0x94d049bb133111ebULL));
+      ring_.emplace_back(point, static_cast<std::uint32_t>(w));
+    }
+  }
+  std::sort(ring_.begin(), ring_.end());
+}
+
+std::size_t ProxyFleet::owner_locked(std::uint64_t session_id) const {
+  if (ring_.empty()) return workers_.size();
+  const std::uint64_t point = mix64(session_id);
+  auto it = std::lower_bound(
+      ring_.begin(), ring_.end(), point,
+      [](const auto& node, std::uint64_t p) { return node.first < p; });
+  if (it == ring_.end()) it = ring_.begin();  // wrap: first node clockwise
+  return it->second;
+}
+
+std::size_t ProxyFleet::owner_of(std::uint64_t session_id) const {
+  std::shared_lock lock(mutex_);
+  return owner_locked(session_id);
+}
+
+std::size_t ProxyFleet::live_workers() const {
+  std::shared_lock lock(mutex_);
+  std::size_t live = 0;
+  for (const auto& worker : workers_) live += worker->live ? 1 : 0;
+  return live;
+}
+
+ProxyFleet::WorkerStats ProxyFleet::worker_stats(std::size_t index) const {
+  std::shared_lock lock(mutex_);
+  WorkerStats out;
+  if (index >= workers_.size()) return out;
+  const Worker& worker = *workers_[index];
+  out.live = worker.live;
+  out.routed = worker.routed.load(std::memory_order_relaxed);
+  out.respawns = worker.respawns;
+  out.sessions = worker.proxy->session_stats();
+  return out;
+}
+
+sgx::Measurement ProxyFleet::measurement() const {
+  // All workers run the same enclave code (XSearchProxy::code_identity), so
+  // worker 0's measurement is the fleet's. Respawn preserves it: a fresh
+  // proxy re-measures the same code. Copied out under the lock — a
+  // reference would dangle if respawn replaced the worker.
+  std::shared_lock lock(mutex_);
+  return workers_.front()->proxy->measurement();
+}
+
+Result<core::HandshakeResponse> ProxyFleet::handshake(
+    const crypto::X25519Key& client_ephemeral_pub,
+    std::uint64_t proposed_session_id) {
+  // A caller-proposed id is routed like any other; otherwise draw ids until
+  // the owning worker accepts one (collisions are ~2^-64, but the loop also
+  // absorbs an id of 0, which is the "no proposal" sentinel).
+  for (std::size_t attempt = 0; attempt < kHandshakeIdAttempts; ++attempt) {
+    std::uint64_t session_id = proposed_session_id;
+    if (session_id == 0) {
+      std::lock_guard rng_lock(rng_mutex_);
+      session_id = session_id_rng_.next();
+    }
+    if (session_id == 0) continue;
+
+    std::shared_lock lock(mutex_);
+    const std::size_t owner = owner_locked(session_id);
+    if (owner >= workers_.size()) {
+      return unavailable("fleet: no live workers");
+    }
+    Worker& worker = *workers_[owner];
+    worker.routed.fetch_add(1, std::memory_order_relaxed);
+    auto response = worker.proxy->handshake(client_ephemeral_pub, session_id);
+    if (response.is_ok() ||
+        response.status().code() != StatusCode::kFailedPrecondition ||
+        proposed_session_id != 0) {
+      return response;
+    }
+    // Id already in use on that worker — draw another.
+  }
+  return resource_exhausted("fleet: could not place a session id");
+}
+
+Result<Bytes> ProxyFleet::handle_query_record(std::uint64_t session_id,
+                                              ByteSpan record) {
+  std::shared_lock lock(mutex_);
+  const std::size_t owner = owner_locked(session_id);
+  if (owner >= workers_.size()) {
+    return unavailable("fleet: no live workers");
+  }
+  Worker& worker = *workers_[owner];
+  worker.routed.fetch_add(1, std::memory_order_relaxed);
+  // The shared lock is held through the proxy call: respawn (exclusive)
+  // must wait out in-flight requests before destroying the old proxy.
+  return worker.proxy->handle_query_record(session_id, record);
+}
+
+Status ProxyFleet::drain(std::size_t index) {
+  std::unique_lock lock(mutex_);
+  if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
+  if (!workers_[index]->live) return Status::ok();  // idempotent
+  std::size_t live = 0;
+  for (const auto& worker : workers_) live += worker->live ? 1 : 0;
+  if (live <= 1) {
+    return failed_precondition("fleet: refusing to drain the last live worker");
+  }
+  workers_[index]->live = false;
+  rebuild_ring_locked();
+  return Status::ok();
+}
+
+Status ProxyFleet::respawn(std::size_t index) {
+  std::unique_lock lock(mutex_);
+  if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
+  workers_[index]->respawns += 1;
+  auto proxy =
+      core::XSearchProxy::create(engine_, *authority_, worker_options(index));
+  if (!proxy) return proxy.status();
+  workers_[index]->proxy = std::move(proxy).value();
+  workers_[index]->live = true;
+  rebuild_ring_locked();
+  return Status::ok();
+}
+
+}  // namespace xsearch::net

@@ -1,0 +1,167 @@
+// Scale-out front tier: N X-Search proxy workers behind one router.
+//
+// The paper's proxy is a single SGX enclave, which caps throughput at one
+// machine's EPC and core budget. ProxyFleet is the first multi-backend
+// layer above it: it owns N XSearchProxy workers — each with its own
+// enclave runtime, SessionTable and socket-ocall state — and routes every
+// request by *consistent hash of the session id*, so
+//
+//  * all records of one session land on one worker, in order (the
+//    SecureChannel nonce counters require it), while
+//  * distinct sessions fan out across the whole fleet.
+//
+// Session ids are untrusted routing metadata (integrity lives in the
+// channel records), so the router picks them: on handshake it draws a
+// random id, looks up the owning worker on the hash ring, and proposes the
+// id to that worker's enclave. Query records then need nothing but the
+// ring lookup — the fleet keeps NO per-session routing table, which is the
+// point of consistent hashing: routing state is O(workers), not
+// O(sessions), and a worker's death invalidates only its own arc.
+//
+// Worker lifecycle:
+//  * drain(i)   removes worker i's virtual nodes from the ring. Its live
+//    sessions remap to ring successors, get "unknown session" there, and
+//    re-attest transparently (both brokers already retry once on
+//    NOT_FOUND). Sessions on other workers never notice.
+//  * respawn(i) replaces worker i with a freshly keyed proxy (new enclave
+//    runtime, empty session table) and restores its ring arc. Only the
+//    sessions that hashed to worker i must re-attest — the failure domain
+//    of a crashed enclave is exactly its own arc, never the fleet.
+//
+// The fleet implements core::ProxyHandler, so net::ProxyServer fronts a
+// fleet exactly as it fronts a single proxy, and core::ClientBroker /
+// net::RemoteBroker work against it unchanged.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+#include "engine/search_engine.hpp"
+#include "sgx/attestation.hpp"
+#include "xsearch/proxy.hpp"
+#include "xsearch/session_table.hpp"
+
+namespace xsearch::net {
+
+class ProxyFleet : public core::ProxyHandler {
+ public:
+  struct Options {
+    /// Proxy workers in the fleet.
+    std::size_t workers = 2;
+    /// Virtual nodes per worker on the hash ring. More nodes = smoother
+    /// session spread and smaller remap arcs on drain, at O(nodes·workers)
+    /// ring memory.
+    std::size_t virtual_nodes = 64;
+    /// Per-worker proxy configuration. Each worker's seed is domain-
+    /// separated from `proxy.seed` by its index, so workers draw
+    /// independent key material while a fleet run stays reproducible.
+    core::XSearchProxy::Options proxy;
+  };
+
+  struct WorkerStats {
+    bool live = false;
+    /// Requests (handshakes + records) routed to this worker.
+    std::uint64_t routed = 0;
+    /// Times this worker was respawned.
+    std::uint64_t respawns = 0;
+    core::SessionTable::Stats sessions;
+  };
+
+  /// Builds `options.workers` proxies over the shared `engine` (which may
+  /// be null when `options.proxy.contact_engine` is false) and `authority`;
+  /// both must outlive the fleet. Every worker runs the same enclave code,
+  /// so clients pin the one shared measurement.
+  [[nodiscard]] static Result<std::unique_ptr<ProxyFleet>> create(
+      const engine::SearchEngine* engine,
+      const sgx::AttestationAuthority& authority, Options options);
+
+  ProxyFleet(const ProxyFleet&) = delete;
+  ProxyFleet& operator=(const ProxyFleet&) = delete;
+
+  // --- ProxyHandler ---------------------------------------------------------
+
+  /// Routes the handshake: draws a session id (or honors a caller
+  /// proposal), finds its ring owner, and proposes the id to that worker.
+  [[nodiscard]] Result<core::HandshakeResponse> handshake(
+      const crypto::X25519Key& client_ephemeral_pub,
+      std::uint64_t proposed_session_id) override;
+
+  /// Routes one record to the session's ring owner. A session whose owner
+  /// was drained maps to the successor worker, which reports NOT_FOUND —
+  /// the broker's re-attest-and-retry path finishes the migration.
+  [[nodiscard]] Result<Bytes> handle_query_record(std::uint64_t session_id,
+                                                  ByteSpan record) override;
+
+  [[nodiscard]] sgx::Measurement measurement() const override;
+
+  // --- worker lifecycle -----------------------------------------------------
+
+  /// Removes worker `index` from the ring (its sessions migrate to ring
+  /// successors on their next query). The worker object stays alive until
+  /// respawn so in-flight requests finish. Draining the last live worker
+  /// is refused.
+  [[nodiscard]] Status drain(std::size_t index);
+
+  /// Replaces worker `index` with a freshly keyed proxy (empty session
+  /// table — the crash-recovery model) and restores its ring arc. Works on
+  /// both live workers (crash + restart) and drained ones (rolling
+  /// restart).
+  [[nodiscard]] Status respawn(std::size_t index);
+
+  // --- introspection --------------------------------------------------------
+
+  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t live_workers() const;
+  [[nodiscard]] WorkerStats worker_stats(std::size_t index) const;
+
+  /// Ring owner of `session_id` right now, or `worker_count()` when the
+  /// ring is empty. Exposed so tests can assert routing stability.
+  [[nodiscard]] std::size_t owner_of(std::uint64_t session_id) const;
+
+ private:
+  struct Worker {
+    std::unique_ptr<core::XSearchProxy> proxy;
+    bool live = true;
+    std::uint64_t respawns = 0;
+    std::atomic<std::uint64_t> routed{0};
+  };
+
+  explicit ProxyFleet(const engine::SearchEngine* engine,
+                      const sgx::AttestationAuthority& authority,
+                      Options options);
+
+  [[nodiscard]] core::XSearchProxy::Options worker_options(
+      std::size_t index) const;
+
+  /// Rebuilds ring_ from the live workers. Caller holds `mutex_` exclusive.
+  void rebuild_ring_locked();
+
+  /// Ring lookup. Caller holds `mutex_` (either mode). Returns
+  /// workers_.size() when the ring is empty.
+  [[nodiscard]] std::size_t owner_locked(std::uint64_t session_id) const;
+
+  const engine::SearchEngine* engine_;
+  const sgx::AttestationAuthority* authority_;
+  const Options options_;
+
+  // Guards the ring and worker slots. Routing holds it shared for the
+  // duration of the worker call, so drain/respawn (exclusive) waits out
+  // in-flight requests instead of destroying a proxy under them.
+  mutable std::shared_mutex mutex_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+  /// (point on the 64-bit ring, worker index), sorted by point.
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  /// Session-id source for handshakes (ids are routing metadata, so a
+  /// deterministic stream is fine — uniqueness per worker is enforced by
+  /// the worker's table refusing duplicate proposals).
+  std::mutex rng_mutex_;
+  Rng session_id_rng_;
+};
+
+}  // namespace xsearch::net

@@ -16,12 +16,12 @@ std::size_t resolve_workers(std::size_t requested) {
 
 }  // namespace
 
-Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::XSearchProxy& proxy,
+Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::ProxyHandler& proxy,
                                                         std::uint16_t port) {
   return start(proxy, port, Options{});
 }
 
-Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::XSearchProxy& proxy,
+Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::ProxyHandler& proxy,
                                                         std::uint16_t port,
                                                         Options options) {
   auto listener = TcpListener::bind(port);
@@ -30,7 +30,7 @@ Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::XSearchProxy& prox
       new ProxyServer(proxy, std::move(listener).value(), options));
 }
 
-ProxyServer::ProxyServer(core::XSearchProxy& proxy, TcpListener listener,
+ProxyServer::ProxyServer(core::ProxyHandler& proxy, TcpListener listener,
                          Options options)
     : proxy_(&proxy),
       listener_(std::move(listener)),
@@ -124,7 +124,15 @@ void ProxyServer::serve_connection(TcpStream& stream) {
         break;
       }
 
-      case FrameType::kQuery: {
+      case FrameType::kQuery:
+      case FrameType::kBatchQuery: {
+        // Identical host-side handling: the frame carries session id +
+        // one sealed record; whether that record holds one query or a
+        // batch is decided inside the enclave. Only the reply frame type
+        // mirrors the request's.
+        const FrameType reply_type = frame.value().type == FrameType::kQuery
+                                         ? FrameType::kQueryReply
+                                         : FrameType::kBatchReply;
         std::size_t offset = 0;
         auto session = core::wire::get_u64(frame.value().payload, offset);
         if (!session) {
@@ -141,7 +149,7 @@ void ProxyServer::serve_connection(TcpStream& stream) {
           }
           break;
         }
-        if (!write_frame(stream, FrameType::kQueryReply, response.value()).is_ok()) {
+        if (!write_frame(stream, reply_type, response.value()).is_ok()) {
           return;
         }
         break;

@@ -1,10 +1,11 @@
 // TCP frontend for the X-Search proxy.
 //
-// Hosts an XSearchProxy behind a loopback TCP listener, speaking the framed
-// protocol of net/frame.hpp: HELLO (attested handshake) then any number of
-// QUERY frames per connection. This is the untrusted host component of the
-// deployment — it moves ciphertext between sockets and the enclave and
-// never sees a plaintext query.
+// Hosts a core::ProxyHandler — a single XSearchProxy or a net::ProxyFleet —
+// behind a loopback TCP listener, speaking the framed protocol of
+// net/frame.hpp: HELLO (attested handshake) then any number of QUERY or
+// BATCH_QUERY frames per connection. This is the untrusted host component
+// of the deployment — it moves ciphertext between sockets and the enclave
+// and never sees a plaintext query.
 //
 // Connections are served by a fixed `common` ThreadPool (the paper's
 // "multiple threads" proxy host, §4.1) instead of one thread per
@@ -45,9 +46,9 @@ class ProxyServer {
 
   /// Binds loopback:`port` (0 = ephemeral) and starts the accept loop.
   [[nodiscard]] static Result<std::unique_ptr<ProxyServer>> start(
-      core::XSearchProxy& proxy, std::uint16_t port = 0);
+      core::ProxyHandler& proxy, std::uint16_t port = 0);
   [[nodiscard]] static Result<std::unique_ptr<ProxyServer>> start(
-      core::XSearchProxy& proxy, std::uint16_t port, Options options);
+      core::ProxyHandler& proxy, std::uint16_t port, Options options);
 
   ~ProxyServer();
 
@@ -79,13 +80,13 @@ class ProxyServer {
   }
 
  private:
-  ProxyServer(core::XSearchProxy& proxy, TcpListener listener, Options options);
+  ProxyServer(core::ProxyHandler& proxy, TcpListener listener, Options options);
 
   void accept_loop();
   void serve_connection(TcpStream& stream);
   void reap(std::uint64_t connection_id);
 
-  core::XSearchProxy* proxy_;
+  core::ProxyHandler* proxy_;
   TcpListener listener_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};

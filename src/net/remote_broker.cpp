@@ -88,18 +88,18 @@ Result<std::vector<engine::SearchResult>> RemoteBroker::search(std::string_view 
   return search_once(query, retryable);
 }
 
-Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
-    std::string_view query, bool& retryable) {
+Result<core::wire::ClientMessage> RemoteBroker::round_trip(
+    FrameType type, FrameType reply_type, ByteSpan message, bool& retryable) {
   XS_RETURN_IF_ERROR(connect());
 
   Bytes payload;
   core::wire::put_u64(payload, session_id_);
-  append(payload, channel_->seal(core::wire::frame_query(query)));
-  if (auto written = write_frame(*stream_, FrameType::kQuery, payload);
-      !written.is_ok()) {
+  append(payload, channel_->seal(message));
+  if (auto written = write_frame(*stream_, type, payload); !written.is_ok()) {
     retryable = true;
     return written;
   }
+  ++frames_sent_;
 
   auto reply = read_frame(*stream_);
   if (!reply) {
@@ -113,7 +113,7 @@ Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
     retryable = true;
     return unavailable("proxy: " + to_string(reply.value().payload));
   }
-  if (reply.value().type != FrameType::kQueryReply) {
+  if (reply.value().type != reply_type) {
     retryable = true;
     return data_loss("unexpected frame type in query reply");
   }
@@ -123,8 +123,15 @@ Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
     retryable = true;
     return plaintext.status();
   }
-  auto message = core::wire::parse_client_message(plaintext.value());
+  return core::wire::parse_client_message(plaintext.value());
+}
+
+Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
+    std::string_view query, bool& retryable) {
+  auto message = round_trip(FrameType::kQuery, FrameType::kQueryReply,
+                            core::wire::frame_query(query), retryable);
   if (!message) return message.status();
+  ++queries_sent_;
   if (message.value().type == core::wire::ClientMessageType::kError) {
     return unavailable("proxy error: " + message.value().error);
   }
@@ -132,6 +139,27 @@ Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
     return data_loss("unexpected message type from proxy");
   }
   return std::move(message).value().results;
+}
+
+Result<std::vector<core::BatchOutcome>> RemoteBroker::search_batch(
+    const std::vector<std::string>& queries) {
+  bool retryable = false;
+  auto first = search_batch_once(queries, retryable);
+  if (first.is_ok() || !retryable) return first;
+  reset_session();
+  ++reconnects_;
+  retryable = false;
+  return search_batch_once(queries, retryable);
+}
+
+Result<std::vector<core::BatchOutcome>> RemoteBroker::search_batch_once(
+    const std::vector<std::string>& queries, bool& retryable) {
+  XS_RETURN_IF_ERROR(core::check_batch_request_size(queries.size()));
+  auto message = round_trip(FrameType::kBatchQuery, FrameType::kBatchReply,
+                            core::wire::frame_query_batch(queries), retryable);
+  if (!message) return message.status();
+  queries_sent_ += queries.size();
+  return core::decode_batch_reply(std::move(message).value(), queries.size());
 }
 
 }  // namespace xsearch::net

@@ -16,6 +16,7 @@
 
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "crypto/random.hpp"
 #include "crypto/secure_channel.hpp"
@@ -23,6 +24,8 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "sgx/attestation.hpp"
+#include "xsearch/broker.hpp"
+#include "xsearch/wire.hpp"
 
 namespace xsearch::net {
 
@@ -41,10 +44,26 @@ class RemoteBroker {
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search(
       std::string_view query);
 
+  /// Many private searches in one kBatchQuery frame: ONE sealed record
+  /// each way and one TCP round trip, so AEAD and syscall cost amortize
+  /// over the batch (bounded by core::wire::kMaxBatchQueries).
+  /// Whole-batch transport failures are the returned status; per-query
+  /// failures are per-item. Re-handshakes and retries once, like `search`.
+  [[nodiscard]] Result<std::vector<core::BatchOutcome>> search_batch(
+      const std::vector<std::string>& queries);
+
   [[nodiscard]] bool connected() const { return channel_.has_value(); }
 
   /// Times `search` had to tear down and re-establish the session.
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
+  /// Current session id (0 before connect). Routing metadata only.
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+
+  /// Wire round trips (frames) and queries carried — the amortization the
+  /// fleet bench reports as seal/open ops per query.
+  [[nodiscard]] std::uint64_t frames_sent() const { return frames_sent_; }
+  [[nodiscard]] std::uint64_t queries_sent() const { return queries_sent_; }
 
  private:
   /// One attempt; sets `retryable` when the failure left the session
@@ -52,6 +71,12 @@ class RemoteBroker {
   /// handshake may succeed.
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search_once(
       std::string_view query, bool& retryable);
+  [[nodiscard]] Result<std::vector<core::BatchOutcome>> search_batch_once(
+      const std::vector<std::string>& queries, bool& retryable);
+  /// Shared query/batch transport: seals `message`, sends it as `type`,
+  /// expects `reply_type`, opens and parses the reply.
+  [[nodiscard]] Result<core::wire::ClientMessage> round_trip(
+      FrameType type, FrameType reply_type, ByteSpan message, bool& retryable);
   void reset_session();
 
   std::string host_;
@@ -64,6 +89,8 @@ class RemoteBroker {
   std::optional<crypto::SecureChannel> channel_;
   std::uint64_t session_id_ = 0;
   std::uint64_t reconnects_ = 0;
+  std::uint64_t frames_sent_ = 0;
+  std::uint64_t queries_sent_ = 0;
 };
 
 }  // namespace xsearch::net

@@ -4,7 +4,40 @@
 
 namespace xsearch::core {
 
-ClientBroker::ClientBroker(XSearchProxy& proxy,
+Status check_batch_request_size(std::size_t count) {
+  if (count == 0 || count > wire::kMaxBatchQueries) {
+    return invalid_argument("broker: batch size must be 1.." +
+                            std::to_string(wire::kMaxBatchQueries));
+  }
+  return Status::ok();
+}
+
+Result<std::vector<BatchOutcome>> decode_batch_reply(wire::ClientMessage message,
+                                                     std::size_t expected) {
+  if (message.type == wire::ClientMessageType::kError) {
+    return unavailable("proxy error: " + message.error);
+  }
+  if (message.type != wire::ClientMessageType::kResultsBatch) {
+    return data_loss("broker: expected a results batch from the proxy");
+  }
+  if (message.batch.size() != expected) {
+    return data_loss("broker: batch reply size mismatch");
+  }
+  std::vector<BatchOutcome> outcomes;
+  outcomes.reserve(expected);
+  for (auto& item : message.batch) {
+    BatchOutcome outcome;
+    if (item.ok) {
+      outcome.results = std::move(item.results);
+    } else {
+      outcome.status = unavailable("proxy error: " + item.error);
+    }
+    outcomes.push_back(std::move(outcome));
+  }
+  return outcomes;
+}
+
+ClientBroker::ClientBroker(ProxyHandler& proxy,
                            const sgx::AttestationAuthority& authority,
                            const sgx::Measurement& expected_measurement,
                            std::uint64_t seed)
@@ -72,10 +105,42 @@ Result<std::vector<engine::SearchResult>> ClientBroker::search_once(
       return std::move(message).value().results;
     case wire::ClientMessageType::kError:
       return unavailable("proxy error: " + message.value().error);
-    case wire::ClientMessageType::kQuery:
+    default:
       break;
   }
   return data_loss("broker: unexpected message type from proxy");
+}
+
+Result<std::vector<BatchOutcome>> ClientBroker::search_batch(
+    const std::vector<std::string>& queries) {
+  auto first = search_batch_once(queries);
+  if (first.is_ok() || first.status().code() != StatusCode::kNotFound) {
+    return first;
+  }
+  // Same recovery as search(): unknown session — re-attest once and retry.
+  channel_.reset();
+  session_id_ = 0;
+  ++reconnects_;
+  return search_batch_once(queries);
+}
+
+Result<std::vector<BatchOutcome>> ClientBroker::search_batch_once(
+    const std::vector<std::string>& queries) {
+  XS_RETURN_IF_ERROR(check_batch_request_size(queries.size()));
+  XS_RETURN_IF_ERROR(connect());
+
+  // One seal for the whole batch: this is the amortization the batched
+  // wire format exists for.
+  const Bytes record = channel_->seal(wire::frame_query_batch(queries));
+  auto response = proxy_->handle_query_record(session_id_, record);
+  if (!response) return response.status();
+
+  auto plaintext = channel_->open(response.value());
+  if (!plaintext) return plaintext.status();
+
+  auto message = wire::parse_client_message(plaintext.value());
+  if (!message) return message.status();
+  return decode_batch_reply(std::move(message).value(), queries.size());
 }
 
 }  // namespace xsearch::core

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <optional>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -18,13 +19,31 @@
 #include "engine/document.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/proxy.hpp"
+#include "xsearch/wire.hpp"
 
 namespace xsearch::core {
+
+/// Client-side outcome of one query inside a batch round trip. The batch
+/// travels as ONE sealed record each way; failures of individual queries
+/// (engine refusing one of them) surface here per item.
+struct BatchOutcome {
+  Status status;
+  std::vector<engine::SearchResult> results;
+};
+
+/// Validates a client-visible batch size against the wire bound.
+[[nodiscard]] Status check_batch_request_size(std::size_t count);
+
+/// Decodes the proxy's reply to a batch of `expected` queries into
+/// per-item outcomes — the half of the batch protocol both brokers
+/// (in-process and TCP) share.
+[[nodiscard]] Result<std::vector<BatchOutcome>> decode_batch_reply(
+    wire::ClientMessage message, std::size_t expected);
 
 class ClientBroker {
  public:
   /// `expected_measurement` pins the enclave code the client trusts.
-  ClientBroker(XSearchProxy& proxy, const sgx::AttestationAuthority& authority,
+  ClientBroker(ProxyHandler& proxy, const sgx::AttestationAuthority& authority,
                const sgx::Measurement& expected_measurement, std::uint64_t seed);
 
   /// Attests the proxy and establishes the secure channel. Idempotent;
@@ -38,16 +57,30 @@ class ClientBroker {
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search(
       std::string_view query);
 
+  /// Many private searches in ONE sealed record each way (one AEAD
+  /// seal/open per batch instead of per query). Batch size is bounded by
+  /// wire::kMaxBatchQueries. Whole-batch transport failures are the
+  /// returned status; per-query failures are per-item. Retries once on an
+  /// evicted/expired session, like `search`.
+  [[nodiscard]] Result<std::vector<BatchOutcome>> search_batch(
+      const std::vector<std::string>& queries);
+
   [[nodiscard]] bool connected() const { return channel_.has_value(); }
 
   /// Times `search` had to re-establish an evicted/expired session.
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
 
+  /// Current session id (0 before connect). Routing metadata only — fleet
+  /// tests use it to assert which worker owns this session.
+  [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
+
  private:
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search_once(
       std::string_view query);
+  [[nodiscard]] Result<std::vector<BatchOutcome>> search_batch_once(
+      const std::vector<std::string>& queries);
 
-  XSearchProxy* proxy_;
+  ProxyHandler* proxy_;
   const sgx::AttestationAuthority* authority_;
   sgx::Measurement expected_measurement_;
   crypto::SecureRandom rng_;

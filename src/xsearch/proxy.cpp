@@ -245,7 +245,15 @@ Result<Bytes> XSearchProxy::ecall_request(ByteSpan payload) {
 }
 
 Result<Bytes> XSearchProxy::trusted_handshake(ByteSpan payload) {
-  if (payload.size() != crypto::kX25519KeySize) {
+  // Either a bare client key, or key || u64 host-proposed session id (the
+  // fleet router's consistent-hash ids — untrusted routing metadata).
+  std::uint64_t proposed_id = 0;
+  if (payload.size() == crypto::kX25519KeySize + 8) {
+    std::size_t offset = crypto::kX25519KeySize;
+    auto proposed = wire::get_u64(payload, offset);
+    if (!proposed) return proposed.status();
+    proposed_id = proposed.value();
+  } else if (payload.size() != crypto::kX25519KeySize) {
     return invalid_argument("handshake: bad client key size");
   }
   crypto::X25519Key client_pub;
@@ -262,7 +270,11 @@ Result<Bytes> XSearchProxy::trusted_handshake(ByteSpan payload) {
   // The table is bounded: this may evict the least-recently-used session
   // (whose client will be told "unknown session" and must re-handshake).
   const std::uint64_t session_id = sessions_->insert(
-      crypto::SecureChannel::responder(static_keys_, ephemeral, client_pub));
+      crypto::SecureChannel::responder(static_keys_, ephemeral, client_pub),
+      proposed_id);
+  if (session_id == 0) {
+    return failed_precondition("handshake: proposed session id already in use");
+  }
 
   const sgx::Quote quote =
       quote_channel_key(*authority_, *enclave_, static_keys_.public_key);
@@ -297,28 +309,55 @@ Result<Bytes> XSearchProxy::trusted_query(ByteSpan payload) {
   if (!plaintext) return plaintext.status();
   auto message = wire::parse_client_message(plaintext.value());
   if (!message) return message.status();
-  if (message.value().type != wire::ClientMessageType::kQuery) {
-    return invalid_argument("query: expected a query message");
+
+  if (message.value().type == wire::ClientMessageType::kQuery) {
+    auto filtered = run_trusted_query(message.value().query, session);
+    if (!filtered) {
+      return Bytes(channel.seal(wire::frame_error(filtered.status().to_string())));
+    }
+    return Bytes(channel.seal(wire::frame_results(filtered.value())));
   }
 
+  if (message.value().type == wire::ClientMessageType::kQueryBatch) {
+    // The whole batch was opened with ONE AEAD operation and is answered
+    // with one sealed reply — the per-query channel-crypto and boundary
+    // cost amortizes over the batch. Item failures (engine refusing one
+    // query) stay per-item so they cannot poison their neighbours.
+    std::vector<wire::BatchItem> items;
+    items.reserve(message.value().queries.size());
+    for (const auto& query : message.value().queries) {
+      wire::BatchItem item;
+      auto filtered = run_trusted_query(query, session);
+      if (filtered) {
+        item.ok = true;
+        item.results = std::move(filtered).value();
+      } else {
+        item.error = filtered.status().to_string();
+      }
+      items.push_back(std::move(item));
+    }
+    return Bytes(channel.seal(wire::frame_results_batch(items)));
+  }
+
+  return invalid_argument("query: expected a query or query-batch message");
+}
+
+Result<std::vector<engine::SearchResult>> XSearchProxy::run_trusted_query(
+    const std::string& query, SessionTable::LockedSession& session) {
   // Algorithm 1 inside the enclave. Randomness comes from this session's
   // private stream (guarded by the held session lock), so concurrent
   // sessions obfuscate in parallel: no global RNG lock exists on this path.
-  ObfuscatedQuery obfuscated =
-      obfuscator_->obfuscate(message.value().query, session.rng());
+  ObfuscatedQuery obfuscated = obfuscator_->obfuscate(query, session.rng());
 
   std::vector<engine::SearchResult> filtered;
   if (options_.contact_engine) {
     auto results = query_engine(obfuscated, session.secure_rng());
-    if (!results) {
-      return Bytes(channel.seal(wire::frame_error(results.status().to_string())));
-    }
+    if (!results) return results.status();
     // Algorithm 2 inside the enclave, plus analytics scrubbing.
     filtered = filter_.filter(obfuscated.original, obfuscated.fakes,
                               std::move(results).value());
   }
-
-  return Bytes(channel.seal(wire::frame_results(filtered)));
+  return filtered;
 }
 
 Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(
@@ -374,10 +413,12 @@ Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(
 }
 
 Result<XSearchProxy::HandshakeResponse> XSearchProxy::handshake(
-    const crypto::X25519Key& client_ephemeral_pub) {
+    const crypto::X25519Key& client_ephemeral_pub,
+    std::uint64_t proposed_session_id) {
   Bytes payload;
   payload.push_back(kTagHandshake);
   append(payload, client_ephemeral_pub);
+  if (proposed_session_id != 0) wire::put_u64(payload, proposed_session_id);
   auto raw = enclave_->ecall("request", payload);
   if (!raw) return raw.status();
 

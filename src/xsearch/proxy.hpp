@@ -38,7 +38,51 @@
 
 namespace xsearch::core {
 
-class XSearchProxy {
+/// What the host returns to a connecting client: a fresh session, the
+/// enclave's attestation quote over its static channel key, and the
+/// session's server ephemeral key.
+struct HandshakeResponse {
+  std::uint64_t session_id = 0;
+  sgx::Quote quote;
+  crypto::X25519Key server_ephemeral_pub{};
+};
+
+/// The narrow host surface a frontend needs from "something that terminates
+/// the proxy protocol" — one enclave proxy, or a whole fleet of them behind
+/// a router (net::ProxyFleet). Session ids are *untrusted routing metadata*:
+/// all confidentiality and integrity comes from the SecureChannel records
+/// keyed during the attested handshake, so a router may propose the session
+/// id (it picks ids that consistent-hash to the worker it routed the
+/// handshake to) without weakening anything — a host lying about ids only
+/// produces AEAD failures.
+class ProxyHandler {
+ public:
+  virtual ~ProxyHandler() = default;
+
+  /// Establishes a client session. `proposed_session_id` of 0 lets the
+  /// proxy assign the id; a nonzero proposal is honored or refused with
+  /// FAILED_PRECONDITION when already in use (the caller proposes another).
+  [[nodiscard]] virtual Result<HandshakeResponse> handshake(
+      const crypto::X25519Key& client_ephemeral_pub,
+      std::uint64_t proposed_session_id) = 0;
+
+  [[nodiscard]] Result<HandshakeResponse> handshake(
+      const crypto::X25519Key& client_ephemeral_pub) {
+    return handshake(client_ephemeral_pub, 0);
+  }
+
+  /// Processes one encrypted record (single query or batch); returns the
+  /// encrypted response record.
+  [[nodiscard]] virtual Result<Bytes> handle_query_record(
+      std::uint64_t session_id, ByteSpan record) = 0;
+
+  /// The enclave code identity clients pin during attestation. By value:
+  /// a fleet's workers can be respawned concurrently, so a reference into
+  /// a worker's enclave could dangle.
+  [[nodiscard]] virtual sgx::Measurement measurement() const = 0;
+};
+
+class XSearchProxy : public ProxyHandler {
  public:
   struct Options {
     /// Number of fake queries per user query (the paper's k).
@@ -109,27 +153,26 @@ class XSearchProxy {
 
   // --- untrusted host API -------------------------------------------------
 
-  /// What the host returns to a connecting client: a fresh session, the
-  /// enclave's attestation quote over its static channel key, and the
-  /// session's server ephemeral key.
-  struct HandshakeResponse {
-    std::uint64_t session_id = 0;
-    sgx::Quote quote;
-    crypto::X25519Key server_ephemeral_pub{};
-  };
+  using HandshakeResponse = ::xsearch::core::HandshakeResponse;
+
+  using ProxyHandler::handshake;
 
   /// Establishes a client session (routed through the `request` ecall).
+  /// A nonzero `proposed_session_id` is used as the session id if free,
+  /// refused with FAILED_PRECONDITION otherwise (see ProxyHandler).
   [[nodiscard]] Result<HandshakeResponse> handshake(
-      const crypto::X25519Key& client_ephemeral_pub);
+      const crypto::X25519Key& client_ephemeral_pub,
+      std::uint64_t proposed_session_id) override;
 
-  /// Processes one encrypted query record; returns the encrypted response
-  /// record (routed through the `request` ecall).
+  /// Processes one encrypted query record — a single query or a batch
+  /// (one AEAD open/seal per batch); returns the encrypted response record
+  /// (routed through the `request` ecall).
   [[nodiscard]] Result<Bytes> handle_query_record(std::uint64_t session_id,
-                                                  ByteSpan record);
+                                                  ByteSpan record) override;
 
   // --- introspection -------------------------------------------------------
 
-  [[nodiscard]] const sgx::Measurement& measurement() const {
+  [[nodiscard]] sgx::Measurement measurement() const override {
     return enclave_->measurement();
   }
   [[nodiscard]] const sgx::EnclaveRuntime& enclave() const { return *enclave_; }
@@ -167,6 +210,12 @@ class XSearchProxy {
 
   [[nodiscard]] Result<Bytes> trusted_handshake(ByteSpan payload);
   [[nodiscard]] Result<Bytes> trusted_query(ByteSpan payload);
+
+  /// One query's trusted work — obfuscate, engine round trip, filter —
+  /// shared by the single-query and batch paths. The caller holds the
+  /// session lock (the RNG streams and channel ordering depend on it).
+  [[nodiscard]] Result<std::vector<engine::SearchResult>> run_trusted_query(
+      const std::string& query, SessionTable::LockedSession& session);
 
   /// Performs the engine round trip through the four socket ocalls.
   /// `session_rng` is the calling session's private DRBG (used for the

@@ -114,16 +114,28 @@ std::size_t SessionTable::evict_expired_locked(Shard& shard, Nanos now) {
   return evicted;
 }
 
-std::uint64_t SessionTable::insert(crypto::SecureChannel channel) {
-  const std::uint64_t id = next_id_.fetch_add(1, std::memory_order_relaxed);
-  auto session =
-      std::make_shared<Session>(std::move(channel), id, options_.rng_seed);
+std::uint64_t SessionTable::insert(crypto::SecureChannel channel,
+                                   std::uint64_t proposed_id) {
   const Nanos now = now_();
+  std::uint64_t id = 0;
+  for (;;) {
+    id = proposed_id != 0 ? proposed_id
+                          : next_id_.fetch_add(1, std::memory_order_relaxed);
+    auto session =
+        std::make_shared<Session>(std::move(channel), id, options_.rng_seed);
 
-  Shard& shard = shard_for(id);
-  {
+    Shard& shard = shard_for(id);
     std::lock_guard lock(shard.mutex);
     evict_expired_locked(shard, now);
+    if (shard.sessions.contains(id)) {
+      // Occupied either way (a proposed id may have landed ahead of the
+      // counter): refuse a proposal, draw the next counter id otherwise —
+      // a silent emplace no-op here would orphan an LRU entry and corrupt
+      // the table's accounting.
+      if (proposed_id != 0) return 0;
+      channel = std::move(session->channel);  // reclaim for the retry
+      continue;
+    }
     session->last_used = now;
     shard.lru.push_front(id);
     session->lru_it = shard.lru.begin();
@@ -135,6 +147,7 @@ std::uint64_t SessionTable::insert(crypto::SecureChannel channel) {
       remove_locked(shard, shard.sessions.find(shard.lru.back()));
       evicted_lru_.fetch_add(1, std::memory_order_relaxed);
     }
+    break;
   }
 
   created_.fetch_add(1, std::memory_order_relaxed);

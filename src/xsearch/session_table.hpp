@@ -130,7 +130,11 @@ class SessionTable {
 
   /// Registers an established channel and returns its session id. May evict
   /// the least-recently-used session of the target shard to stay bounded.
-  [[nodiscard]] std::uint64_t insert(crypto::SecureChannel channel);
+  /// A nonzero `proposed_id` is used as the session id when free (a fleet
+  /// router proposes ids that consistent-hash back to the worker it chose);
+  /// returns 0 — no session inserted — when the id is already taken.
+  [[nodiscard]] std::uint64_t insert(crypto::SecureChannel channel,
+                                     std::uint64_t proposed_id = 0);
 
   /// Looks up a session, refreshes its LRU/idle position, and returns it
   /// locked. Expired sessions encountered on the way are evicted.

@@ -86,16 +86,11 @@ void serialize_results_into(Bytes& out,
   }
 }
 
-}  // namespace
-
-Bytes serialize_results(const std::vector<engine::SearchResult>& results) {
-  Bytes out;
-  serialize_results_into(out, results);
-  return out;
-}
-
-Result<std::vector<engine::SearchResult>> parse_results(ByteSpan raw) {
-  std::size_t offset = 0;
+/// Parses one result list *prefix* of `raw` starting at `offset`. The batch
+/// framing concatenates several lists, so unlike parse_results this must
+/// not require the list to exhaust the input.
+Result<std::vector<engine::SearchResult>> parse_results_at(ByteSpan raw,
+                                                           std::size_t& offset) {
   auto count = get_u32(raw, offset);
   if (!count) return count.status();
   std::vector<engine::SearchResult> results;
@@ -119,6 +114,29 @@ Result<std::vector<engine::SearchResult>> parse_results(ByteSpan raw) {
     r.score = score.value();
     results.push_back(std::move(r));
   }
+  return results;
+}
+
+/// A batch count of zero is as malformed as an oversized one: an empty
+/// batch would make the enclave seal a reply for nothing.
+Status check_batch_count(std::uint32_t count) {
+  if (count == 0) return data_loss("wire: empty batch");
+  if (count > kMaxBatchQueries) return data_loss("wire: batch too large");
+  return Status::ok();
+}
+
+}  // namespace
+
+Bytes serialize_results(const std::vector<engine::SearchResult>& results) {
+  Bytes out;
+  serialize_results_into(out, results);
+  return out;
+}
+
+Result<std::vector<engine::SearchResult>> parse_results(ByteSpan raw) {
+  std::size_t offset = 0;
+  auto results = parse_results_at(raw, offset);
+  if (!results) return results.status();
   if (offset != raw.size()) return data_loss("wire: trailing bytes after results");
   return results;
 }
@@ -173,6 +191,38 @@ Bytes frame_error(std::string_view message) {
   return out;
 }
 
+Bytes frame_query_batch(const std::vector<std::string>& queries) {
+  std::size_t size = 1 + 4;
+  for (const auto& q : queries) size += 4 + q.size();
+  Bytes out;
+  out.reserve(size);
+  out.push_back(static_cast<std::uint8_t>(ClientMessageType::kQueryBatch));
+  put_u32(out, static_cast<std::uint32_t>(queries.size()));
+  for (const auto& q : queries) put_string(out, q);
+  return out;
+}
+
+Bytes frame_results_batch(const std::vector<BatchItem>& items) {
+  std::size_t size = 1 + 4;
+  for (const auto& item : items) {
+    size += 1;
+    size += item.ok ? results_wire_size(item.results) : 4 + item.error.size();
+  }
+  Bytes out;
+  out.reserve(size);
+  out.push_back(static_cast<std::uint8_t>(ClientMessageType::kResultsBatch));
+  put_u32(out, static_cast<std::uint32_t>(items.size()));
+  for (const auto& item : items) {
+    out.push_back(item.ok ? 1 : 0);
+    if (item.ok) {
+      serialize_results_into(out, item.results);
+    } else {
+      put_string(out, item.error);
+    }
+  }
+  return out;
+}
+
 Result<ClientMessage> parse_client_message(ByteSpan raw) {
   if (raw.empty()) return data_loss("wire: empty client message");
   ClientMessage msg;
@@ -199,6 +249,49 @@ Result<ClientMessage> parse_client_message(ByteSpan raw) {
       if (!e) return e.status();
       msg.type = ClientMessageType::kError;
       msg.error = std::move(e).value();
+      return msg;
+    }
+    case ClientMessageType::kQueryBatch: {
+      auto count = get_u32(payload, offset);
+      if (!count) return count.status();
+      XS_RETURN_IF_ERROR(check_batch_count(count.value()));
+      msg.queries.reserve(count.value());
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        auto q = get_string(payload, offset);
+        if (!q) return q.status();
+        msg.queries.push_back(std::move(q).value());
+      }
+      if (offset != payload.size()) {
+        return data_loss("wire: trailing bytes after query batch");
+      }
+      msg.type = ClientMessageType::kQueryBatch;
+      return msg;
+    }
+    case ClientMessageType::kResultsBatch: {
+      auto count = get_u32(payload, offset);
+      if (!count) return count.status();
+      XS_RETURN_IF_ERROR(check_batch_count(count.value()));
+      msg.batch.reserve(count.value());
+      for (std::uint32_t i = 0; i < count.value(); ++i) {
+        if (offset >= payload.size()) return data_loss("wire: truncated batch");
+        BatchItem item;
+        item.ok = payload[offset] != 0;
+        ++offset;
+        if (item.ok) {
+          auto results = parse_results_at(payload, offset);
+          if (!results) return results.status();
+          item.results = std::move(results).value();
+        } else {
+          auto e = get_string(payload, offset);
+          if (!e) return e.status();
+          item.error = std::move(e).value();
+        }
+        msg.batch.push_back(std::move(item));
+      }
+      if (offset != payload.size()) {
+        return data_loss("wire: trailing bytes after results batch");
+      }
+      msg.type = ClientMessageType::kResultsBatch;
       return msg;
     }
   }

@@ -59,6 +59,22 @@ enum class ClientMessageType : std::uint8_t {
   kQuery = 1,
   kResults = 2,
   kError = 3,
+  kQueryBatch = 4,    // many queries sealed as ONE channel record
+  kResultsBatch = 5,  // per-item results/errors, sealed as one record
+};
+
+/// Upper bound on queries per batch message. Bounds the work one sealed
+/// record can demand from the enclave and the allocation a parsed batch can
+/// force; parsers reject bigger (and empty) batches as malformed.
+inline constexpr std::size_t kMaxBatchQueries = 64;
+
+/// Outcome of one query inside a batch: either a result list or an error
+/// string. Item failures (engine unavailable for one query) must not poison
+/// the batch, so each slot carries its own verdict.
+struct BatchItem {
+  bool ok = false;
+  std::vector<engine::SearchResult> results;  // ok
+  std::string error;                          // !ok
 };
 
 /// Frames a query message (client -> enclave plaintext).
@@ -70,11 +86,21 @@ enum class ClientMessageType : std::uint8_t {
 /// Frames an error message.
 [[nodiscard]] Bytes frame_error(std::string_view message);
 
+/// Frames a query batch (client -> enclave plaintext): 1..kMaxBatchQueries
+/// queries carried in one sealed record, so a batch costs one AEAD
+/// seal/open instead of one per query.
+[[nodiscard]] Bytes frame_query_batch(const std::vector<std::string>& queries);
+
+/// Frames the per-item outcomes of a batch (enclave -> client plaintext).
+[[nodiscard]] Bytes frame_results_batch(const std::vector<BatchItem>& items);
+
 struct ClientMessage {
   ClientMessageType type = ClientMessageType::kError;
   std::string query;                          // kQuery
   std::vector<engine::SearchResult> results;  // kResults
   std::string error;                          // kError
+  std::vector<std::string> queries;           // kQueryBatch
+  std::vector<BatchItem> batch;               // kResultsBatch
 };
 
 [[nodiscard]] Result<ClientMessage> parse_client_message(ByteSpan raw);
