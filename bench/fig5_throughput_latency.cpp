@@ -40,16 +40,29 @@
 // against wire batch sizes {1,4,16} (one AEAD seal/open and one TCP round
 // trip per batched frame). See run_fleet_sweep below.
 //
+// The special name "xsearch-recovery" (also reachable as
+// --mode=xsearch-recovery) is the kill-and-recover mode: a 2-worker fleet
+// under a FleetSupervisor, closed-loop TCP load, one worker's enclave
+// killed mid-run. Measured per phase (pre-kill / recovery / post-recovery):
+// qps and the victim's history depth — decoy quality — right after the
+// automatic respawn. Run twice: warm (sealed checkpoints on, the respawn
+// restores the history) vs cold (no checkpoints, the respawn reopens the
+// paper's cold-start obfuscation window). See run_recovery_sweep below.
+//
 // Besides the stdout table, every run writes machine-readable JSON (default
 // BENCH_fig5.json, or pass --json=PATH) with one object per measured row,
 // uploaded by the CI release-bench job so perf numbers accumulate per PR.
 //
-// Run: ./build/bench/fig5_throughput_latency [--json=PATH] [mechanism...]
+// Run: ./build/bench/fig5_throughput_latency [--json=PATH] [--mode=NAME]
+//      [mechanism...]
 //      (default: xsearch peas tor; any registered name, xsearch-remote,
-//      xsearch-sessions or xsearch-fleet)
+//      xsearch-sessions, xsearch-fleet or xsearch-recovery; --mode=NAME is
+//      shorthand for appending NAME to the mechanism list)
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <string>
@@ -63,6 +76,7 @@
 #include "api/xsearch_options.hpp"
 #include "bench_common.hpp"
 #include "loadgen/loadgen.hpp"
+#include "net/fleet_supervisor.hpp"
 #include "net/proxy_fleet.hpp"
 #include "net/proxy_server.hpp"
 #include "net/remote_broker.hpp"
@@ -79,7 +93,8 @@ constexpr std::size_t kWorkers = 4;
 
 /// One measured row, kept for the JSON dump. `sessions` is only meaningful
 /// for the xsearch-sessions sweep, `workers`/`batch` for the xsearch-fleet
-/// sweep (0 elsewhere).
+/// sweep, `mode`/`phase`/`history_depth` for the xsearch-recovery sweep
+/// (0/empty elsewhere).
 struct JsonRow {
   std::string system;
   double offered_rps = 0.0;
@@ -91,6 +106,9 @@ struct JsonRow {
   std::size_t sessions = 0;
   std::size_t workers = 0;
   std::size_t batch = 0;
+  std::string mode;   // "warm" / "cold"
+  std::string phase;  // "pre-kill" / "recovery" / "post-recovery"
+  std::size_t history_depth = 0;
 };
 
 std::vector<JsonRow> g_rows;
@@ -127,10 +145,12 @@ bool write_json(const std::string& path) {
                  "    {\"system\": \"%s\", \"offered_rps\": %.1f, "
                  "\"achieved_rps\": %.1f, \"mean_ms\": %.3f, \"p50_ms\": %.3f, "
                  "\"p99_ms\": %.3f, \"dropped\": %llu, \"sessions\": %zu, "
-                 "\"workers\": %zu, \"batch\": %zu}%s\n",
+                 "\"workers\": %zu, \"batch\": %zu, \"mode\": \"%s\", "
+                 "\"phase\": \"%s\", \"history_depth\": %zu}%s\n",
                  json_escape(r.system).c_str(), r.offered_rps, r.achieved_rps, r.mean_ms,
                  r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.dropped),
-                 r.sessions, r.workers, r.batch,
+                 r.sessions, r.workers, r.batch, json_escape(r.mode).c_str(),
+                 json_escape(r.phase).c_str(), r.history_depth,
                  i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -291,6 +311,153 @@ void run_fleet_sweep(const api::ClientConfig& config) {
   std::printf("# *closed-loop: columns are workers/batch; mean_ms is per query\n");
 }
 
+/// Kill-and-recover sweep: 2 fleet workers behind one ProxyServer, 2
+/// closed-loop TCP sessions, a FleetSupervisor probing heartbeats. After a
+/// pre-kill measurement window one worker's enclave is crashed; the
+/// supervisor detects it, drains the arc and respawns. Measured per phase:
+/// aggregate qps, plus the victim's history depth right after the respawn —
+/// the decoy-quality number that separates warm (checkpointed) from cold
+/// restarts. Run twice, warm then cold.
+void run_recovery_sweep(const api::ClientConfig& base_config) {
+  constexpr std::size_t kClientSessions = 2;
+  constexpr auto kPhaseWindow = std::chrono::milliseconds(300);
+  constexpr const char* kPhaseNames[] = {"pre-kill", "recovery", "post-recovery"};
+
+  for (const bool warm : {true, false}) {
+    api::ClientConfig config = base_config;
+    std::filesystem::path checkpoint_dir;
+    if (warm) {
+      checkpoint_dir =
+          std::filesystem::temp_directory_path() / "fig5_recovery_ckpt";
+      std::filesystem::remove_all(checkpoint_dir);
+      config.recovery.checkpoint_dir = checkpoint_dir.string();
+      // Closed-loop in-process rates reach tens of kqps: a tighter interval
+      // would turn the row into a checkpoint-write bench instead of a
+      // recovery one (each seal snapshots the whole history).
+      config.recovery.checkpoint_interval_queries = 512;
+    } else {
+      config.recovery.checkpoint_dir.clear();
+    }
+    config.recovery.probe_interval = 5 * kMilli;
+    config.recovery.failure_threshold = 2;
+
+    xsearch::sgx::AttestationAuthority authority(
+        xsearch::to_bytes("fig5-recovery-root"));
+    net::ProxyFleet::Options fleet_options =
+        api::fleet_options(config, {.workers = 2, .virtual_nodes = 64});
+    fleet_options.proxy.contact_engine = false;  // saturation mode
+    auto fleet = net::ProxyFleet::create(nullptr, authority, fleet_options);
+    if (!fleet.is_ok()) {
+      std::fprintf(stderr, "xsearch-recovery: %s\n",
+                   fleet.status().to_string().c_str());
+      return;
+    }
+    auto server = net::ProxyServer::start(*fleet.value());
+    if (!server.is_ok()) {
+      std::fprintf(stderr, "xsearch-recovery server: %s\n",
+                   server.status().to_string().c_str());
+      return;
+    }
+    net::FleetSupervisor supervisor(*fleet.value(),
+                                    api::supervisor_options(config));
+
+    std::atomic<int> phase{0};
+    std::atomic<bool> go{false};
+    std::atomic<bool> stop{false};
+    std::atomic<std::size_t> ready{0};
+    std::array<std::atomic<std::uint64_t>, 3> completed{};
+    std::array<std::atomic<std::uint64_t>, 3> failed{};
+    std::vector<std::uint64_t> session_ids(kClientSessions, 0);
+    std::vector<std::thread> threads;
+    threads.reserve(kClientSessions);
+    for (std::size_t s = 0; s < kClientSessions; ++s) {
+      threads.emplace_back([&, s] {
+        net::RemoteBroker broker("127.0.0.1", server.value()->port(), authority,
+                                 fleet.value()->measurement(), 4200 + 17 * s);
+        const bool connected = broker.connect().is_ok();
+        if (connected) session_ids[s] = broker.session_id();
+        ready.fetch_add(1, std::memory_order_release);
+        if (!connected) return;
+        while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+        while (!stop.load(std::memory_order_relaxed)) {
+          const int p = phase.load(std::memory_order_relaxed);
+          if (broker.search("recovery probe").is_ok()) {
+            completed[static_cast<std::size_t>(p)].fetch_add(
+                1, std::memory_order_relaxed);
+          } else {
+            failed[static_cast<std::size_t>(p)].fetch_add(
+                1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    while (ready.load(std::memory_order_acquire) < kClientSessions)
+      std::this_thread::yield();
+    // Kill the worker that owns session 0 so the dip is visible from a
+    // client actually parked on the dead arc.
+    const std::size_t victim = fleet.value()->owner_of(session_ids[0]);
+
+    std::array<double, 3> phase_secs{};
+    const auto run_phase = [&](int index, auto&& mid) {
+      const auto t0 = std::chrono::steady_clock::now();
+      phase.store(index, std::memory_order_relaxed);
+      mid();
+      std::this_thread::sleep_for(kPhaseWindow);
+      phase_secs[static_cast<std::size_t>(index)] =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+    };
+
+    go.store(true, std::memory_order_release);
+    run_phase(0, [] {});
+    const std::size_t depth_before_kill =
+        fleet.value()->worker_history_depth(victim);
+    run_phase(1, [&] { (void)fleet.value()->kill_worker(victim); });
+    // The decoy table the respawned worker STARTED from (warm = last
+    // checkpoint, cold = 0). checkpoint.restored_entries is immutable for
+    // the revived proxy — the live history_depth would already include
+    // post-respawn traffic that re-hashed onto the arc, which in cold mode
+    // can erase the warm/cold gap this sweep exists to show.
+    const std::size_t depth_after_respawn =
+        fleet.value()->worker_stats(victim).checkpoint.restored_entries;
+    run_phase(2, [] {});
+    stop.store(true, std::memory_order_relaxed);
+    for (auto& t : threads) t.join();
+
+    const char* mode = warm ? "warm" : "cold";
+    const auto stats = fleet.value()->fleet_stats();
+    for (int p = 0; p < 3; ++p) {
+      const auto idx = static_cast<std::size_t>(p);
+      const double qps =
+          static_cast<double>(completed[idx].load()) / phase_secs[idx];
+      const std::size_t depth = p == 0 ? depth_before_kill : depth_after_respawn;
+      std::printf("%-16s %5s %13s %12.1f %10s %10s %10s %8llu depth=%zu\n",
+                  "xsearch-recovery", mode, kPhaseNames[idx], qps, "-", "-", "-",
+                  static_cast<unsigned long long>(failed[idx].load()), depth);
+      JsonRow row;
+      row.system = "xsearch-recovery";
+      row.achieved_rps = qps;
+      row.dropped = failed[idx].load();
+      row.workers = 2;
+      row.mode = mode;
+      row.phase = kPhaseNames[idx];
+      row.history_depth = depth;
+      g_rows.push_back(row);
+    }
+    std::printf("# xsearch-recovery %s: auto_respawns=%llu restore_hits=%llu "
+                "restore_misses=%llu warm_start_ratio=%.2f\n",
+                mode, static_cast<unsigned long long>(stats.auto_respawns),
+                static_cast<unsigned long long>(stats.restore_hits),
+                static_cast<unsigned long long>(stats.restore_misses),
+                stats.warm_start_ratio);
+    server.value()->stop();
+    if (warm) std::filesystem::remove_all(checkpoint_dir);
+  }
+  std::printf("# *kill-and-recover: dropped column is failed searches in the "
+              "phase; depth is the victim's pre-kill history, then its "
+              "restored-checkpoint depth\n");
+}
+
 loadgen::LoadConfig config_for(double rps) {
   loadgen::LoadConfig config;
   config.target_rps = rps;
@@ -360,6 +527,8 @@ int main(int argc, char** argv) {
     const std::string arg = argv[i];
     if (arg.rfind("--json=", 0) == 0) {
       json_path = arg.substr(7);
+    } else if (arg.rfind("--mode=", 0) == 0) {
+      mechanisms.push_back(arg.substr(7));
     } else {
       mechanisms.push_back(arg);
     }
@@ -389,6 +558,10 @@ int main(int argc, char** argv) {
     }
     if (name == "xsearch-fleet") {
       run_fleet_sweep(config);
+      continue;
+    }
+    if (name == "xsearch-recovery") {
+      run_recovery_sweep(config);
       continue;
     }
 

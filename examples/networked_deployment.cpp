@@ -4,22 +4,31 @@
 // process of a cloud deployment) and drives it through the unified client
 // API: api::make_remote_client wraps the per-user local daemon of §4.2,
 // speaking the framed protocol over actual sockets — the same
-// PrivateSearchClient surface as every in-process mechanism. Also
-// demonstrates the sealed-history checkpoint: the proxy "restarts" and
-// restores its decoy table without the host ever seeing a plaintext query.
+// PrivateSearchClient surface as every in-process mechanism.
+//
+// The second act is kill-and-recover: a 2-worker ProxyFleet with sealed
+// checkpointing (api::RecoveryConfig) under a FleetSupervisor. One worker's
+// enclave is crashed mid-session; the supervisor's heartbeat probes notice,
+// drain its ring arc and respawn it — and the replacement restores the
+// crashed worker's decoy table from its sealed checkpoint, so the restart
+// is warm. The host only ever handles the opaque sealed blob.
 //
 // Run: ./build/examples/networked_deployment
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <thread>
 
 #include "api/client.hpp"
 #include "api/remote.hpp"
+#include "api/xsearch_options.hpp"
 #include "dataset/synthetic.hpp"
 #include "engine/corpus.hpp"
 #include "engine/search_engine.hpp"
+#include "net/fleet_supervisor.hpp"
+#include "net/proxy_fleet.hpp"
 #include "net/proxy_server.hpp"
 #include "sgx/attestation.hpp"
-#include "xsearch/checkpoint.hpp"
 #include "xsearch/proxy.hpp"
 
 using namespace xsearch;  // NOLINT
@@ -74,31 +83,88 @@ int main() {
   std::printf("history table now holds %zu queries (%zu bytes of EPC)\n",
               proxy.value()->history_size(), proxy.value()->history_memory_bytes());
 
-  // --- Sealed checkpoint across a "restart". ---------------------------------
-  // The seal/restore path runs inside the enclave; the host only ever
-  // handles the opaque sealed blob. Demonstrated with a standalone
-  // enclave + history pair sharing the proxy's code identity.
-  const auto checkpoint_path =
-      std::filesystem::temp_directory_path() / "xsearch_history.sealed";
-  sgx::EnclaveRuntime enclave({.code_identity = core::XSearchProxy::code_identity()});
-  core::QueryHistory history(10'000);
-  for (std::size_t i = 0; i < 500; ++i) history.add(log.records()[i].text);
-  const Bytes sealed = core::seal_history(enclave, history);
-  (void)core::write_checkpoint_file(checkpoint_path, sealed);
-  std::printf("\nsealed %zu queries into %s (%zu bytes, host-opaque)\n",
-              history.size(), checkpoint_path.c_str(), sealed.size());
-
-  core::QueryHistory restored(10'000);
-  const auto blob = core::read_checkpoint_file(checkpoint_path);
-  if (blob.is_ok() &&
-      core::restore_history(enclave, blob.value(), restored).is_ok()) {
-    std::printf("restarted enclave restored %zu queries — no cold start\n",
-                restored.size());
-  }
-  std::filesystem::remove(checkpoint_path);
-
   server.value()->stop();
-  std::printf("\nserved %llu connections; server stopped cleanly\n",
+  std::printf("served %llu connections; server stopped cleanly\n",
               static_cast<unsigned long long>(server.value()->connections_served()));
+
+  // --- Kill-and-recover: supervised fleet with sealed checkpoints. -----------
+  const auto checkpoint_dir =
+      std::filesystem::temp_directory_path() / "xsearch_example_ckpt";
+  std::filesystem::remove_all(checkpoint_dir);
+
+  api::ClientConfig fleet_config;
+  fleet_config.k = 3;
+  fleet_config.seed = 7;
+  fleet_config.recovery.checkpoint_dir = checkpoint_dir.string();
+  fleet_config.recovery.checkpoint_interval_queries = 32;
+  fleet_config.recovery.probe_interval = 5 * kMilli;
+  fleet_config.recovery.failure_threshold = 2;
+
+  auto fleet = net::ProxyFleet::create(
+      &search_engine, intel,
+      api::fleet_options(fleet_config, {.workers = 2, .virtual_nodes = 64}));
+  if (!fleet.is_ok()) {
+    std::fprintf(stderr, "fleet: %s\n", fleet.status().to_string().c_str());
+    return 1;
+  }
+  auto fleet_server = net::ProxyServer::start(*fleet.value());
+  if (!fleet_server.is_ok()) {
+    std::fprintf(stderr, "fleet server: %s\n",
+                 fleet_server.status().to_string().c_str());
+    return 1;
+  }
+  net::FleetSupervisor supervisor(*fleet.value(),
+                                  api::supervisor_options(fleet_config));
+
+  api::ClientConfig carol_config = fleet_config;
+  carol_config.seed = 3;
+  const auto carol = api::make_remote_client(
+      "127.0.0.1", fleet_server.value()->port(), intel,
+      fleet.value()->measurement(), carol_config);
+  for (std::size_t i = 0; i < 120; ++i) {
+    (void)carol->search(log.records()[i * 7].text);
+  }
+
+  // The untrusted host now loses a worker mid-session (power event, EPC
+  // wipe): every ecall into that enclave fails from here on. Kill the
+  // worker carol's session hashed to — the one whose history her queries
+  // warmed.
+  std::size_t victim = 0;
+  for (std::size_t w = 1; w < fleet.value()->worker_count(); ++w) {
+    if (fleet.value()->worker_history_depth(w) >
+        fleet.value()->worker_history_depth(victim)) {
+      victim = w;
+    }
+  }
+  const std::size_t depth_before = fleet.value()->worker_history_depth(victim);
+  (void)fleet.value()->kill_worker(victim);
+  std::printf("\nkilled fleet worker %zu (history held %zu decoy queries)\n",
+              victim, depth_before);
+
+  // The supervisor's heartbeats flag the dead enclave and respawn it; the
+  // replacement restores the sealed checkpoint. Client searches keep
+  // working throughout — the broker re-attests transparently.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (fleet.value()->fleet_stats().auto_respawns == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    (void)carol->search(log.records()[321].text);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  const auto stats = fleet.value()->fleet_stats();
+  const auto worker = fleet.value()->worker_stats(victim);
+  std::printf("supervisor auto-respawned it: restored %zu of %zu queries from "
+              "the sealed checkpoint (auto_respawns=%llu, warm_start_ratio=%.2f)\n",
+              worker.checkpoint.restored_entries, depth_before,
+              static_cast<unsigned long long>(stats.auto_respawns),
+              stats.warm_start_ratio);
+  const auto after = carol->search(log.records()[999].text);
+  std::printf("carol's search after recovery: %s\n",
+              after.is_ok() ? "ok" : after.status().to_string().c_str());
+
+  fleet_server.value()->stop();
+  std::filesystem::remove_all(checkpoint_dir);
+  std::printf("\nfleet served %llu connections; recovered without a cold start\n",
+              static_cast<unsigned long long>(
+                  fleet_server.value()->connections_served()));
   return 0;
 }

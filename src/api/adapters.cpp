@@ -408,6 +408,15 @@ core::XSearchProxy::Options xsearch_proxy_options(const ClientConfig& config) {
   options.session_capacity = config.session_capacity;
   options.session_idle_ttl = config.session_idle_ttl;
   options.session_shards = config.session_shards;
+  options.checkpoint_dir = config.recovery.checkpoint_dir;
+  options.checkpoint_interval_queries = config.recovery.checkpoint_interval_queries;
+  return options;
+}
+
+net::FleetSupervisor::Options supervisor_options(const ClientConfig& config) {
+  net::FleetSupervisor::Options options;
+  options.probe_interval = config.recovery.probe_interval;
+  options.failure_threshold = config.recovery.failure_threshold;
   return options;
 }
 

@@ -26,6 +26,24 @@
 
 namespace xsearch::api {
 
+/// Crash-recovery knobs of checkpointing deployments (X-Search only; other
+/// mechanisms hold no server-side state worth restoring). With
+/// `checkpoint_dir` set, the proxy (or each fleet worker, under its own
+/// subdirectory) periodically seals its query history to disk and restores
+/// it on restart — a warm restart instead of the cold-start obfuscation
+/// window a crash otherwise opens. The supervisor knobs drive
+/// net::FleetSupervisor for fleet deployments.
+struct RecoveryConfig {
+  /// Directory for sealed history checkpoints (empty = checkpointing off).
+  std::string checkpoint_dir;
+  /// Queries between periodic checkpoints (0 = explicit/drain-time only).
+  std::uint64_t checkpoint_interval_queries = 256;
+  /// Supervisor pause between heartbeat sweeps over the fleet.
+  Nanos probe_interval = 20 * kMilli;
+  /// Consecutive heartbeat failures before a worker is auto-respawned.
+  std::uint32_t failure_threshold = 3;
+};
+
 /// Mechanism-agnostic client configuration. Every knob that several
 /// mechanisms interpret (top_k, k, seeds) is routed through here so no
 /// mechanism hard-codes its own default.
@@ -71,6 +89,8 @@ struct ClientConfig {
   /// syscall cost over the batch; others just loop. Capped by the wire
   /// protocol's batch bound.
   std::size_t batch_coalesce = 1;
+  /// Crash-recovery configuration (checkpointing + fleet supervision).
+  RecoveryConfig recovery;
 };
 
 /// What a mechanism exposes to whom — the §2 taxonomy, made introspectable.

@@ -7,6 +7,7 @@
 #pragma once
 
 #include "api/client.hpp"
+#include "net/fleet_supervisor.hpp"
 #include "net/proxy_fleet.hpp"
 #include "xsearch/proxy.hpp"
 
@@ -29,8 +30,15 @@ struct FleetConfig {
 
 /// ClientConfig + FleetConfig → net::ProxyFleet::Options, through the same
 /// per-proxy translation as `xsearch_proxy_options` so fleet workers and a
-/// standalone proxy are configured identically.
+/// standalone proxy are configured identically (including
+/// ClientConfig::recovery — the fleet hands each worker its own checkpoint
+/// subdirectory).
 [[nodiscard]] net::ProxyFleet::Options fleet_options(const ClientConfig& config,
                                                      const FleetConfig& fleet);
+
+/// ClientConfig::recovery → net::FleetSupervisor::Options, so a deployment
+/// configures probing and checkpointing from the one RecoveryConfig.
+[[nodiscard]] net::FleetSupervisor::Options supervisor_options(
+    const ClientConfig& config);
 
 }  // namespace xsearch::api

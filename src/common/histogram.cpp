@@ -76,6 +76,13 @@ double Histogram::mean() const {
 std::int64_t Histogram::value_at_quantile(double q) const {
   if (total_count_ == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
+  // The extremes answer exactly, not at bucket precision: q=0 is the
+  // recorded minimum and q=1 the recorded maximum. Without this, q=0
+  // returned the *upper* edge of the minimum's bucket — above min() by up
+  // to the bucket width — which the recovery bench's across-respawn
+  // comparisons would read as a phantom regression.
+  if (q <= 0.0) return min();
+  if (q >= 1.0) return max_value_;
   const auto target = static_cast<std::uint64_t>(
       q * static_cast<double>(total_count_) + 0.5);
   std::uint64_t cumulative = 0;

@@ -33,9 +33,11 @@ class Histogram {
   [[nodiscard]] std::int64_t max() const { return max_value_; }
   [[nodiscard]] double mean() const;
 
-  /// Value at quantile q in [0, 1]; returns 0 for an empty histogram.
-  /// The returned value is the upper edge of the bucket containing q
-  /// (i.e. "p99 <= value" semantics, like HdrHistogram).
+  /// Value at quantile q; returns 0 for an empty histogram regardless of q.
+  /// Out-of-range q is clamped to [0, 1]; q == 0 returns `min()` and
+  /// q == 1 returns `max()` exactly (not a bucket edge). Interior quantiles
+  /// return the upper edge of the bucket containing q (i.e. "p99 <= value"
+  /// semantics, like HdrHistogram), clamped to `max()`.
   [[nodiscard]] std::int64_t value_at_quantile(double q) const;
 
   /// Convenience: q in percent (e.g. 99.9).

@@ -1,0 +1,70 @@
+#include "net/fleet_supervisor.hpp"
+
+#include <chrono>
+
+namespace xsearch::net {
+
+FleetSupervisor::FleetSupervisor(ProxyFleet& fleet, Options options)
+    : fleet_(&fleet),
+      options_(options),
+      consecutive_failures_(fleet.worker_count(), 0),
+      probe_thread_([this] { run(); }) {}
+
+FleetSupervisor::~FleetSupervisor() { stop(); }
+
+void FleetSupervisor::stop() {
+  {
+    std::lock_guard lock(stop_mutex_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (probe_thread_.joinable()) probe_thread_.join();
+}
+
+void FleetSupervisor::run() {
+  for (;;) {
+    {
+      std::unique_lock lock(stop_mutex_);
+      stop_cv_.wait_for(lock, std::chrono::nanoseconds(options_.probe_interval),
+                        [this] { return stopping_; });
+      if (stopping_) return;
+    }
+    probe_once();
+  }
+}
+
+void FleetSupervisor::probe_once() {
+  std::lock_guard sweep(sweep_mutex_);
+  for (std::size_t i = 0; i < consecutive_failures_.size(); ++i) {
+    const Status alive = fleet_->heartbeat(i);
+    probes_.fetch_add(1, std::memory_order_relaxed);
+    if (alive.is_ok()) {
+      consecutive_failures_[i] = 0;
+      continue;
+    }
+    probe_failures_.fetch_add(1, std::memory_order_relaxed);
+    if (++consecutive_failures_[i] < options_.failure_threshold) continue;
+
+    // Declared dead: migrate its arc first (drain is refused for the last
+    // live worker and is a no-op on an already-drained one), then bring up
+    // the replacement, which restores the sealed checkpoint when there is
+    // one. On respawn failure the counter stays saturated, so the next
+    // sweep retries immediately.
+    (void)fleet_->drain(i);
+    if (fleet_->auto_respawn(i).is_ok()) {
+      auto_respawns_.fetch_add(1, std::memory_order_relaxed);
+      consecutive_failures_[i] = 0;
+    }
+  }
+}
+
+FleetSupervisor::Stats FleetSupervisor::stats() const {
+  Stats out;
+  out.probes = probes_.load(std::memory_order_relaxed);
+  out.probe_failures = probe_failures_.load(std::memory_order_relaxed);
+  out.auto_respawns = auto_respawns_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace xsearch::net

@@ -1,0 +1,86 @@
+// Automatic crash recovery for a ProxyFleet.
+//
+// A production front tier cannot wait for an operator to notice a dead
+// enclave: the supervisor closes the detect→drain→respawn→restore loop the
+// fleet exposes as manual calls. A background thread probes every worker
+// with a heartbeat ecall each `probe_interval`; a worker failing
+// `failure_threshold` consecutive probes is declared dead and respawned
+// (drain first, so its ring arc migrates before the replacement attests).
+// With per-worker checkpointing enabled on the fleet, the respawn is a
+// *warm* restart — the replacement proxy restores the crashed worker's
+// sealed history, so its decoy quality resumes at the last checkpoint
+// instead of the cold-start window the paper's threat model cares about.
+//
+// The supervisor is untrusted host machinery: it sees only ecall success/
+// failure and moves sealed blobs around. Nothing it does (or maliciously
+// fails to do) weakens the enclave's guarantees — a supervisor that never
+// respawns is availability loss, not privacy loss.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/clock.hpp"
+#include "net/proxy_fleet.hpp"
+
+namespace xsearch::net {
+
+class FleetSupervisor {
+ public:
+  struct Options {
+    /// Pause between probe sweeps over all workers.
+    Nanos probe_interval = 20 * kMilli;
+    /// Consecutive heartbeat failures before a worker is respawned.
+    std::uint32_t failure_threshold = 3;
+  };
+
+  struct Stats {
+    std::uint64_t probes = 0;          // heartbeats sent
+    std::uint64_t probe_failures = 0;  // heartbeats failed
+    std::uint64_t auto_respawns = 0;   // workers this supervisor revived
+  };
+
+  /// Starts supervising `fleet` (which must outlive this object) on a
+  /// background thread. Stops on destruction.
+  FleetSupervisor(ProxyFleet& fleet, Options options);
+  ~FleetSupervisor();
+
+  FleetSupervisor(const FleetSupervisor&) = delete;
+  FleetSupervisor& operator=(const FleetSupervisor&) = delete;
+
+  /// Stops the probe thread. Idempotent; the destructor calls it.
+  void stop();
+
+  [[nodiscard]] Stats stats() const;
+
+  /// One synchronous probe sweep over all workers (exactly what the
+  /// background thread runs per interval). Exposed so tests and the
+  /// recovery bench can step the state machine deterministically; safe to
+  /// call while the background thread runs (sweeps serialize).
+  void probe_once();
+
+ private:
+  void run();
+
+  ProxyFleet* fleet_;
+  const Options options_;
+
+  /// Serializes probe sweeps and guards `consecutive_failures_`.
+  std::mutex sweep_mutex_;
+  std::vector<std::uint32_t> consecutive_failures_;
+
+  std::atomic<std::uint64_t> probes_{0};
+  std::atomic<std::uint64_t> probe_failures_{0};
+  std::atomic<std::uint64_t> auto_respawns_{0};
+
+  std::mutex stop_mutex_;
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  std::thread probe_thread_;
+};
+
+}  // namespace xsearch::net

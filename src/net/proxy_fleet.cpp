@@ -34,6 +34,7 @@ Result<std::unique_ptr<ProxyFleet>> ProxyFleet::create(
     auto proxy = core::XSearchProxy::create(engine, authority,
                                             fleet->worker_options(i));
     if (!proxy) return proxy.status();
+    fleet->account_restore(*proxy.value(), /*initial_spawn=*/true);
     auto worker = std::make_unique<Worker>();
     worker->proxy = std::move(proxy).value();
     fleet->workers_.push_back(std::move(worker));
@@ -58,7 +59,24 @@ core::XSearchProxy::Options ProxyFleet::worker_options(std::size_t index) const 
       workers_.size() > index ? workers_[index]->respawns : 0;
   worker.seed = mix64(options_.proxy.seed ^ mix64((index + 1) * 0x9e3779b97f4a7c15ULL +
                                                   generation));
+  // Each worker checkpoints under its own subdirectory, named by slot (not
+  // generation): a respawned worker must find exactly its predecessor's
+  // sealed history, and never a sibling's.
+  if (!options_.proxy.checkpoint_dir.empty()) {
+    worker.checkpoint_dir =
+        options_.proxy.checkpoint_dir / ("worker-" + std::to_string(index));
+  }
   return worker;
+}
+
+void ProxyFleet::account_restore(const core::XSearchProxy& proxy,
+                                 bool initial_spawn) {
+  const auto stats = proxy.checkpoint_stats();
+  if (stats.restore_hit) {
+    restore_hits_.fetch_add(1, std::memory_order_relaxed);
+  } else if (!initial_spawn) {
+    restore_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 void ProxyFleet::rebuild_ring_locked() {
@@ -106,7 +124,40 @@ ProxyFleet::WorkerStats ProxyFleet::worker_stats(std::size_t index) const {
   out.routed = worker.routed.load(std::memory_order_relaxed);
   out.respawns = worker.respawns;
   out.sessions = worker.proxy->session_stats();
+  out.checkpoint = worker.proxy->checkpoint_stats();
   return out;
+}
+
+ProxyFleet::FleetStats ProxyFleet::fleet_stats() const {
+  FleetStats out;
+  out.respawns = respawns_total_.load(std::memory_order_relaxed);
+  out.auto_respawns = auto_respawns_.load(std::memory_order_relaxed);
+  out.restore_hits = restore_hits_.load(std::memory_order_relaxed);
+  out.restore_misses = restore_misses_.load(std::memory_order_relaxed);
+  const std::uint64_t total = out.restore_hits + out.restore_misses;
+  out.warm_start_ratio =
+      total == 0 ? 1.0
+                 : static_cast<double>(out.restore_hits) / static_cast<double>(total);
+  return out;
+}
+
+std::size_t ProxyFleet::worker_history_depth(std::size_t index) const {
+  std::shared_lock lock(mutex_);
+  if (index >= workers_.size()) return 0;
+  return workers_[index]->proxy->history_size();
+}
+
+Status ProxyFleet::heartbeat(std::size_t index) {
+  std::shared_lock lock(mutex_);
+  if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
+  return workers_[index]->proxy->heartbeat();
+}
+
+Status ProxyFleet::kill_worker(std::size_t index) {
+  std::shared_lock lock(mutex_);
+  if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
+  workers_[index]->proxy->crash_enclave();
+  return Status::ok();
 }
 
 sgx::Measurement ProxyFleet::measurement() const {
@@ -165,30 +216,70 @@ Result<Bytes> ProxyFleet::handle_query_record(std::uint64_t session_id,
 }
 
 Status ProxyFleet::drain(std::size_t index) {
-  std::unique_lock lock(mutex_);
-  if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
-  if (!workers_[index]->live) return Status::ok();  // idempotent
-  std::size_t live = 0;
-  for (const auto& worker : workers_) live += worker->live ? 1 : 0;
-  if (live <= 1) {
-    return failed_precondition("fleet: refusing to drain the last live worker");
+  {
+    std::unique_lock lock(mutex_);
+    if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
+    if (!workers_[index]->live) return Status::ok();  // idempotent
+    std::size_t live = 0;
+    for (const auto& worker : workers_) live += worker->live ? 1 : 0;
+    if (live <= 1) {
+      return failed_precondition("fleet: refusing to drain the last live worker");
+    }
+    workers_[index]->live = false;
+    rebuild_ring_locked();
   }
-  workers_[index]->live = false;
-  rebuild_ring_locked();
+  // Graceful exit: seal what the worker learned so its successor restores
+  // a full window. Best effort — a crashed enclave fails the seal ecall,
+  // leaving the last *periodic* checkpoint as the recovery point. Runs
+  // under the SHARED lock: the seal + file write must not stall queries on
+  // healthy workers (the drained worker's failure domain is its own arc),
+  // while the lock still keeps a concurrent respawn from destroying the
+  // proxy mid-seal.
+  std::shared_lock lock(mutex_);
+  Worker& worker = *workers_[index];
+  if (!worker.live && !worker.proxy->checkpoint_path().empty()) {
+    (void)worker.proxy->checkpoint_now();
+  }
   return Status::ok();
 }
 
 Status ProxyFleet::respawn(std::size_t index) {
-  std::unique_lock lock(mutex_);
-  if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
-  workers_[index]->respawns += 1;
+  core::XSearchProxy::Options options;
+  {
+    std::unique_lock lock(mutex_);
+    if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
+    workers_[index]->respawns += 1;
+    options = worker_options(index);
+  }
+  // The expensive part — enclave init plus reading and replaying the
+  // sealed checkpoint — runs without the fleet lock, so queries on healthy
+  // workers (shared lock) flow while the replacement warms up. Routing
+  // still sends the dead arc's records to the old slot until the swap;
+  // they fail/migrate exactly as during the outage itself.
   auto proxy =
-      core::XSearchProxy::create(engine_, *authority_, worker_options(index));
+      core::XSearchProxy::create(engine_, *authority_, options);
   if (!proxy) return proxy.status();
-  workers_[index]->proxy = std::move(proxy).value();
-  workers_[index]->live = true;
-  rebuild_ring_locked();
+  // The fresh proxy already ran its restore in create(): with a sealed
+  // checkpoint on disk this respawn was warm, otherwise cold.
+  account_restore(*proxy.value(), /*initial_spawn=*/false);
+  respawns_total_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<core::XSearchProxy> retired;
+  {
+    std::unique_lock lock(mutex_);
+    retired = std::move(workers_[index]->proxy);  // destroyed after unlock
+    workers_[index]->proxy = std::move(proxy).value();
+    workers_[index]->live = true;
+    rebuild_ring_locked();
+  }
   return Status::ok();
+}
+
+Status ProxyFleet::auto_respawn(std::size_t index) {
+  const Status respawned = respawn(index);
+  if (respawned.is_ok()) {
+    auto_respawns_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return respawned;
 }
 
 }  // namespace xsearch::net

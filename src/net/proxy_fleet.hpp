@@ -22,11 +22,20 @@
 //  * drain(i)   removes worker i's virtual nodes from the ring. Its live
 //    sessions remap to ring successors, get "unknown session" there, and
 //    re-attest transparently (both brokers already retry once on
-//    NOT_FOUND). Sessions on other workers never notice.
-//  * respawn(i) replaces worker i with a freshly keyed proxy (new enclave
-//    runtime, empty session table) and restores its ring arc. Only the
-//    sessions that hashed to worker i must re-attest — the failure domain
-//    of a crashed enclave is exactly its own arc, never the fleet.
+//    NOT_FOUND). Sessions on other workers never notice. When the worker
+//    checkpoints, drain also seals a final checkpoint (graceful shutdown),
+//    so a rolling restart restores with zero history loss.
+//  * respawn(i) replaces worker i with a freshly keyed proxy and restores
+//    its ring arc. With Options::proxy.checkpoint_dir set, each worker
+//    keeps its sealed history under its own `worker-<i>/` subdirectory and
+//    the replacement proxy restores it — a *warm* restart whose decoy
+//    table is as deep as the last checkpoint, instead of the cold-start
+//    obfuscation window a crash used to open. Only the sessions that
+//    hashed to worker i must re-attest — the failure domain of a crashed
+//    enclave is exactly its own arc, never the fleet.
+//
+// FleetSupervisor (fleet_supervisor.hpp) automates the crash half:
+// heartbeat probes per worker, drain+respawn after a failure threshold.
 //
 // The fleet implements core::ProxyHandler, so net::ProxyServer fronts a
 // fleet exactly as it fronts a single proxy, and core::ClientBroker /
@@ -71,6 +80,23 @@ class ProxyFleet : public core::ProxyHandler {
     /// Times this worker was respawned.
     std::uint64_t respawns = 0;
     core::SessionTable::Stats sessions;
+    core::XSearchProxy::CheckpointStats checkpoint;
+  };
+
+  /// Fleet-wide recovery counters. A worker start is a restore *hit* when
+  /// it came back with its sealed history, and a *miss* when a respawn had
+  /// to cold-start (no checkpointing, no file yet, or a truncated/tampered
+  /// blob that was rejected). The initial boot of a worker is counted only
+  /// when it actually restored (a fleet restarted over existing checkpoints
+  /// is warm; a first-ever boot is not a failed recovery).
+  struct FleetStats {
+    std::uint64_t respawns = 0;       // manual + automatic
+    std::uint64_t auto_respawns = 0;  // supervisor-initiated (auto_respawn)
+    std::uint64_t restore_hits = 0;
+    std::uint64_t restore_misses = 0;
+    /// restore_hits / (restore_hits + restore_misses); 1.0 when no
+    /// restart has happened yet (nothing was ever cold).
+    double warm_start_ratio = 1.0;
   };
 
   /// Builds `options.workers` proxies over the shared `engine` (which may
@@ -105,20 +131,44 @@ class ProxyFleet : public core::ProxyHandler {
   /// Removes worker `index` from the ring (its sessions migrate to ring
   /// successors on their next query). The worker object stays alive until
   /// respawn so in-flight requests finish. Draining the last live worker
-  /// is refused.
+  /// is refused. A checkpointing worker seals a final checkpoint on its
+  /// way out (best effort — a crashed enclave cannot, and that is what
+  /// the periodic interval is for).
   [[nodiscard]] Status drain(std::size_t index);
 
-  /// Replaces worker `index` with a freshly keyed proxy (empty session
-  /// table — the crash-recovery model) and restores its ring arc. Works on
-  /// both live workers (crash + restart) and drained ones (rolling
-  /// restart).
+  /// Replaces worker `index` with a freshly keyed proxy and restores its
+  /// ring arc. The replacement restores the worker's sealed checkpoint
+  /// when one exists (warm restart; counted in FleetStats), and falls
+  /// back to an empty history otherwise (cold — the pre-checkpoint crash
+  /// model). Works on both live workers (crash + restart) and drained
+  /// ones (rolling restart).
   [[nodiscard]] Status respawn(std::size_t index);
+
+  /// `respawn` as invoked by the supervisor's failure path: additionally
+  /// counted in FleetStats::auto_respawns.
+  [[nodiscard]] Status auto_respawn(std::size_t index);
+
+  /// Probes worker `index`'s enclave with a heartbeat ecall. UNAVAILABLE
+  /// once the enclave crashed; the supervisor respawns after a threshold
+  /// of consecutive failures.
+  [[nodiscard]] Status heartbeat(std::size_t index);
+
+  /// Host-side fault injection: crashes worker `index`'s enclave (every
+  /// subsequent ecall on it fails). The failure-injection tests and the
+  /// fig5 kill-and-recover bench use this; the supervisor is what brings
+  /// the worker back.
+  [[nodiscard]] Status kill_worker(std::size_t index);
 
   // --- introspection --------------------------------------------------------
 
   [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
   [[nodiscard]] std::size_t live_workers() const;
   [[nodiscard]] WorkerStats worker_stats(std::size_t index) const;
+  [[nodiscard]] FleetStats fleet_stats() const;
+
+  /// History depth of worker `index` right now — the decoy-quality number
+  /// the recovery bench charts across a respawn (0 on a cold start).
+  [[nodiscard]] std::size_t worker_history_depth(std::size_t index) const;
 
   /// Ring owner of `session_id` right now, or `worker_count()` when the
   /// ring is empty. Exposed so tests can assert routing stability.
@@ -142,6 +192,10 @@ class ProxyFleet : public core::ProxyHandler {
   /// Rebuilds ring_ from the live workers. Caller holds `mutex_` exclusive.
   void rebuild_ring_locked();
 
+  /// Folds a (re)started worker's restore outcome into the fleet counters.
+  /// `initial_spawn` exempts checkpoint-less workers from the miss count.
+  void account_restore(const core::XSearchProxy& proxy, bool initial_spawn);
+
   /// Ring lookup. Caller holds `mutex_` (either mode). Returns
   /// workers_.size() when the ring is empty.
   [[nodiscard]] std::size_t owner_locked(std::uint64_t session_id) const;
@@ -162,6 +216,11 @@ class ProxyFleet : public core::ProxyHandler {
   /// the worker's table refusing duplicate proposals).
   std::mutex rng_mutex_;
   Rng session_id_rng_;
+
+  std::atomic<std::uint64_t> respawns_total_{0};
+  std::atomic<std::uint64_t> auto_respawns_{0};
+  std::atomic<std::uint64_t> restore_hits_{0};
+  std::atomic<std::uint64_t> restore_misses_{0};
 };
 
 }  // namespace xsearch::net

@@ -77,28 +77,36 @@ void RemoteBroker::reset_session() {
 
 Result<std::vector<engine::SearchResult>> RemoteBroker::search(std::string_view query) {
   bool retryable = false;
-  auto first = search_once(query, retryable);
+  bool delivered = false;
+  auto first = search_once(query, retryable, delivered);
   if (first.is_ok() || !retryable) return first;
   // The session died under us (bounded-table eviction, idle expiry, broken
   // or shed connection) or the channel desynced: one fresh attested
-  // handshake, one retry.
+  // handshake, one retry. If the first frame had already been delivered,
+  // the retry may re-execute the query on the proxy (at-least-once).
+  if (delivered) ++at_least_once_retries_;
   reset_session();
   ++reconnects_;
   retryable = false;
-  return search_once(query, retryable);
+  delivered = false;
+  return search_once(query, retryable, delivered);
 }
 
 Result<core::wire::ClientMessage> RemoteBroker::round_trip(
-    FrameType type, FrameType reply_type, ByteSpan message, bool& retryable) {
+    FrameType type, FrameType reply_type, ByteSpan message, bool& retryable,
+    bool& delivered) {
   XS_RETURN_IF_ERROR(connect());
 
   Bytes payload;
   core::wire::put_u64(payload, session_id_);
   append(payload, channel_->seal(message));
   if (auto written = write_frame(*stream_, type, payload); !written.is_ok()) {
+    // The frame never reached the transport: retrying cannot duplicate
+    // work on the proxy.
     retryable = true;
     return written;
   }
+  delivered = true;
   ++frames_sent_;
 
   auto reply = read_frame(*stream_);
@@ -109,8 +117,10 @@ Result<core::wire::ClientMessage> RemoteBroker::round_trip(
   if (reply.value().type == FrameType::kError) {
     // A frame-level error means the proxy never opened our record (unknown
     // session, auth failure, busy server): our send counter advanced but
-    // the proxy's receive counter did not, so the channel is unusable.
+    // the proxy's receive counter did not, so the channel is unusable —
+    // and since nothing was executed, a retry cannot duplicate work.
     retryable = true;
+    delivered = false;
     return unavailable("proxy: " + to_string(reply.value().payload));
   }
   if (reply.value().type != reply_type) {
@@ -127,9 +137,9 @@ Result<core::wire::ClientMessage> RemoteBroker::round_trip(
 }
 
 Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
-    std::string_view query, bool& retryable) {
+    std::string_view query, bool& retryable, bool& delivered) {
   auto message = round_trip(FrameType::kQuery, FrameType::kQueryReply,
-                            core::wire::frame_query(query), retryable);
+                            core::wire::frame_query(query), retryable, delivered);
   if (!message) return message.status();
   ++queries_sent_;
   if (message.value().type == core::wire::ClientMessageType::kError) {
@@ -144,19 +154,29 @@ Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
 Result<std::vector<core::BatchOutcome>> RemoteBroker::search_batch(
     const std::vector<std::string>& queries) {
   bool retryable = false;
-  auto first = search_batch_once(queries, retryable);
+  bool delivered = false;
+  auto first = search_batch_once(queries, retryable, delivered);
   if (first.is_ok() || !retryable) return first;
+  // A parsed reply with per-item failures is NOT retryable (those verdicts
+  // are final and a blind batch re-send would duplicate the successful
+  // items); only transport/session-level failures reach here. A batch that
+  // never hit the wire retries exactly-once; one that did is the counted
+  // at-least-once case — the reply was lost, so the whole frame (the
+  // smallest unit the proxy can execute) must be re-sent.
+  if (delivered) ++at_least_once_retries_;
   reset_session();
   ++reconnects_;
   retryable = false;
-  return search_batch_once(queries, retryable);
+  delivered = false;
+  return search_batch_once(queries, retryable, delivered);
 }
 
 Result<std::vector<core::BatchOutcome>> RemoteBroker::search_batch_once(
-    const std::vector<std::string>& queries, bool& retryable) {
+    const std::vector<std::string>& queries, bool& retryable, bool& delivered) {
   XS_RETURN_IF_ERROR(core::check_batch_request_size(queries.size()));
   auto message = round_trip(FrameType::kBatchQuery, FrameType::kBatchReply,
-                            core::wire::frame_query_batch(queries), retryable);
+                            core::wire::frame_query_batch(queries), retryable,
+                            delivered);
   if (!message) return message.status();
   queries_sent_ += queries.size();
   return core::decode_batch_reply(std::move(message).value(), queries.size());

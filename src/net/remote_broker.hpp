@@ -49,6 +49,20 @@ class RemoteBroker {
   /// over the batch (bounded by core::wire::kMaxBatchQueries).
   /// Whole-batch transport failures are the returned status; per-query
   /// failures are per-item. Re-handshakes and retries once, like `search`.
+  ///
+  /// Retry semantics are *at-least-once*, and only where unavoidable. The
+  /// batch travels as one frame, so per-item delivery states do not exist:
+  ///  * per-item failures in a received reply are final (deterministic
+  ///    engine/proxy verdicts) — they are NOT blindly retried;
+  ///  * a failure before the frame reached the wire — and a frame-level
+  ///    error reply, which means the proxy refused the record without
+  ///    opening it — retries with exactly-once semantics;
+  ///  * a frame that was sent but whose reply was lost (dead connection,
+  ///    garbled reply) is the ambiguous case: the proxy may have executed
+  ///    the whole batch, and the retry may execute it again (duplicate
+  ///    history entries and engine traffic, no channel-safety impact).
+  ///    These retries are counted in `at_least_once_retries()` so
+  ///    deployments can observe the duplication risk they actually took.
   [[nodiscard]] Result<std::vector<core::BatchOutcome>> search_batch(
       const std::vector<std::string>& queries);
 
@@ -56,6 +70,15 @@ class RemoteBroker {
 
   /// Times `search` had to tear down and re-establish the session.
   [[nodiscard]] std::uint64_t reconnects() const { return reconnects_; }
+
+  /// Retries that re-sent a query/batch frame whose reply was LOST after
+  /// delivery (dead connection, garbled reply): the at-least-once window,
+  /// where the proxy may have executed the work twice. Never-delivered
+  /// frames and frame-level error replies (the proxy refused the record
+  /// without opening it) do not count — those retries are exactly-once.
+  [[nodiscard]] std::uint64_t at_least_once_retries() const {
+    return at_least_once_retries_;
+  }
 
   /// Current session id (0 before connect). Routing metadata only.
   [[nodiscard]] std::uint64_t session_id() const { return session_id_; }
@@ -68,15 +91,17 @@ class RemoteBroker {
  private:
   /// One attempt; sets `retryable` when the failure left the session
   /// unusable (channel nonce desync or dead transport) and a fresh
-  /// handshake may succeed.
+  /// handshake may succeed, and `delivered` once the request frame was
+  /// handed to the transport (after which a retry is at-least-once).
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search_once(
-      std::string_view query, bool& retryable);
+      std::string_view query, bool& retryable, bool& delivered);
   [[nodiscard]] Result<std::vector<core::BatchOutcome>> search_batch_once(
-      const std::vector<std::string>& queries, bool& retryable);
+      const std::vector<std::string>& queries, bool& retryable, bool& delivered);
   /// Shared query/batch transport: seals `message`, sends it as `type`,
   /// expects `reply_type`, opens and parses the reply.
   [[nodiscard]] Result<core::wire::ClientMessage> round_trip(
-      FrameType type, FrameType reply_type, ByteSpan message, bool& retryable);
+      FrameType type, FrameType reply_type, ByteSpan message, bool& retryable,
+      bool& delivered);
   void reset_session();
 
   std::string host_;
@@ -89,6 +114,7 @@ class RemoteBroker {
   std::optional<crypto::SecureChannel> channel_;
   std::uint64_t session_id_ = 0;
   std::uint64_t reconnects_ = 0;
+  std::uint64_t at_least_once_retries_ = 0;
   std::uint64_t frames_sent_ = 0;
   std::uint64_t queries_sent_ = 0;
 };

@@ -32,7 +32,12 @@ void EnclaveRuntime::register_ocall(std::string name, Handler handler) {
   ocalls_[std::move(name)] = std::move(handler);
 }
 
+void EnclaveRuntime::crash() { crashed_.store(true, std::memory_order_release); }
+
 Result<Bytes> EnclaveRuntime::ecall(std::string_view name, ByteSpan input) {
+  if (crashed_.load(std::memory_order_acquire)) {
+    return unavailable("enclave crashed: no trusted code is running");
+  }
   Handler handler;
   {
     std::shared_lock lock(mutex_);

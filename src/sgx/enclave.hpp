@@ -75,6 +75,17 @@ class EnclaveRuntime {
   /// the boundary itself is not a contention point.
   [[nodiscard]] Result<Bytes> ecall(std::string_view name, ByteSpan input);
 
+  /// Host-side destruction of the enclave (power event, EREMOVE, the host
+  /// process dying under it). The enclave's volatile state is conceptually
+  /// gone: every subsequent ecall fails with UNAVAILABLE — which is exactly
+  /// what a fleet supervisor's heartbeat probe observes on a crashed worker.
+  /// Only *sealed* state survives a crash; the recovery tests and the fig5
+  /// kill-and-recover bench crash enclaves through this.
+  void crash();
+  [[nodiscard]] bool crashed() const {
+    return crashed_.load(std::memory_order_acquire);
+  }
+
   /// Invoked by trusted code to reach host services; counted separately.
   [[nodiscard]] Result<Bytes> ocall(std::string_view name, ByteSpan input);
 
@@ -105,6 +116,7 @@ class EnclaveRuntime {
   mutable std::shared_mutex mutex_;
   HandlerMap ecalls_;
   HandlerMap ocalls_;
+  std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> ecall_count_{0};
   std::atomic<std::uint64_t> ocall_count_{0};
   std::atomic<std::uint64_t> seal_counter_{0};

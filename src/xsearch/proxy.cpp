@@ -4,15 +4,22 @@
 #include <cstring>
 
 #include "crypto/envelope.hpp"
+#include "xsearch/checkpoint.hpp"
 #include "xsearch/wire.hpp"
 
 namespace xsearch::core {
 
 namespace {
 
-// Request-ecall framing: one tag byte selects handshake vs query.
+// Request-ecall framing: one tag byte selects the trusted entry point.
+// kTagHeartbeat and kTagCheckpoint are host-invoked (like kTagHandshake):
+// the supervisor's liveness probe and the sealed-history export.
 constexpr std::uint8_t kTagHandshake = 1;
 constexpr std::uint8_t kTagQuery = 2;
+constexpr std::uint8_t kTagHeartbeat = 3;
+constexpr std::uint8_t kTagCheckpoint = 4;
+
+constexpr char kCheckpointFileName[] = "history.ckpt";
 
 constexpr char kCodeIdentity[] =
     "xsearch-enclave v1.0: history+obfuscation+filtering, "
@@ -207,6 +214,11 @@ Status XSearchProxy::install_boundary() {
     return Bytes{};
   });
 
+  // Warm restart: replay the sealed checkpoint (if one exists) into the
+  // fresh history before serving. Runs at construction, conceptually part
+  // of enclave init — the host supplies only the opaque blob.
+  restore_checkpoint();
+
   // Configure the trusted side through the init ecall, as the SDK would.
   // A failure here (the enclave refusing the host's configuration) is
   // recorded and surfaced by `create`, not swallowed.
@@ -214,6 +226,96 @@ Status XSearchProxy::install_boundary() {
   wire::put_u32(init_payload, static_cast<std::uint32_t>(options_.k));
   wire::put_u32(init_payload, options_.results_per_subquery);
   return enclave_->ecall("init", init_payload).status();
+}
+
+std::filesystem::path XSearchProxy::checkpoint_path() const {
+  if (options_.checkpoint_dir.empty()) return {};
+  return options_.checkpoint_dir / kCheckpointFileName;
+}
+
+void XSearchProxy::restore_checkpoint() {
+  if (options_.checkpoint_dir.empty()) return;
+  auto blob = read_checkpoint_file(checkpoint_path());
+  if (!blob) return;  // no checkpoint yet: plain cold start
+  restore_attempted_ = true;
+
+  SessionObfuscationCounts sessions;
+  const Status restored =
+      restore_history(*enclave_, blob.value(), *history_, &sessions);
+  if (!restored.is_ok()) {
+    // Tampered or truncated blob: discard the (possibly partial) replay
+    // and fall back to a clean cold start rather than a corrupt window.
+    history_ =
+        std::make_unique<QueryHistory>(options_.history_capacity, &enclave_->epc());
+    obfuscator_ = std::make_unique<Obfuscator>(*history_, options_.k);
+    return;
+  }
+  restore_hit_ = true;
+  restored_entries_ = history_->size();
+  restored_sessions_ = sessions.size();
+  sessions_->set_resume_generations(std::move(sessions));
+}
+
+Status XSearchProxy::checkpoint_now() {
+  if (options_.checkpoint_dir.empty()) {
+    return failed_precondition("checkpointing disabled: no checkpoint_dir");
+  }
+  std::lock_guard lock(checkpoint_mutex_);
+  return checkpoint_locked();
+}
+
+void XSearchProxy::maybe_checkpoint() {
+  if (options_.checkpoint_dir.empty() ||
+      options_.checkpoint_interval_queries == 0) {
+    return;
+  }
+  if (queries_since_checkpoint_.load(std::memory_order_relaxed) <
+      options_.checkpoint_interval_queries) {
+    return;
+  }
+  // Contended means a checkpoint is being written right now — skip instead
+  // of queueing a redundant one behind it.
+  std::unique_lock lock(checkpoint_mutex_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  (void)checkpoint_locked();
+}
+
+Status XSearchProxy::checkpoint_locked() {
+  queries_since_checkpoint_.store(0, std::memory_order_relaxed);
+  // The sealing runs inside the enclave (the checkpoint tag of the
+  // `request` ecall); the host persists the opaque blob it gets back.
+  Bytes payload;
+  payload.push_back(kTagCheckpoint);
+  auto sealed = enclave_->ecall("request", payload);
+  if (!sealed) {
+    checkpoint_write_failures_.fetch_add(1, std::memory_order_relaxed);
+    return sealed.status();
+  }
+  const Status written = write_checkpoint_file(checkpoint_path(), sealed.value());
+  if (written.is_ok()) {
+    checkpoints_written_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    checkpoint_write_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  return written;
+}
+
+Status XSearchProxy::heartbeat() {
+  Bytes payload;
+  payload.push_back(kTagHeartbeat);
+  return enclave_->ecall("request", payload).status();
+}
+
+XSearchProxy::CheckpointStats XSearchProxy::checkpoint_stats() const {
+  CheckpointStats out;
+  out.enabled = !options_.checkpoint_dir.empty();
+  out.restore_attempted = restore_attempted_;
+  out.restore_hit = restore_hit_;
+  out.restored_entries = restored_entries_;
+  out.restored_sessions = restored_sessions_;
+  out.written = checkpoints_written_.load(std::memory_order_relaxed);
+  out.write_failures = checkpoint_write_failures_.load(std::memory_order_relaxed);
+  return out;
 }
 
 Result<Bytes> XSearchProxy::ecall_init(ByteSpan payload) {
@@ -239,6 +341,10 @@ Result<Bytes> XSearchProxy::ecall_request(ByteSpan payload) {
       return trusted_handshake(body);
     case kTagQuery:
       return trusted_query(body);
+    case kTagHeartbeat:
+      return trusted_heartbeat();
+    case kTagCheckpoint:
+      return trusted_checkpoint();
     default:
       return invalid_argument("request: unknown tag");
   }
@@ -342,12 +448,30 @@ Result<Bytes> XSearchProxy::trusted_query(ByteSpan payload) {
   return invalid_argument("query: expected a query or query-batch message");
 }
 
+Result<Bytes> XSearchProxy::trusted_heartbeat() {
+  // Proof of life from inside the TEE: the probe answers with the history
+  // depth, so a supervisor can watch decoy quality recover after a warm
+  // restart without any extra ecall surface.
+  Bytes out;
+  wire::put_u64(out, history_->size());
+  return out;
+}
+
+Result<Bytes> XSearchProxy::trusted_checkpoint() {
+  // Seal the history plus each session's cumulative stream generation
+  // (format v2). Runs inside the enclave; only the sealed blob crosses out.
+  return Bytes(
+      seal_history(*enclave_, *history_, sessions_->checkpoint_generations()));
+}
+
 Result<std::vector<engine::SearchResult>> XSearchProxy::run_trusted_query(
     const std::string& query, SessionTable::LockedSession& session) {
   // Algorithm 1 inside the enclave. Randomness comes from this session's
   // private stream (guarded by the held session lock), so concurrent
   // sessions obfuscate in parallel: no global RNG lock exists on this path.
   ObfuscatedQuery obfuscated = obfuscator_->obfuscate(query, session.rng());
+  session.note_obfuscation();
+  queries_since_checkpoint_.fetch_add(1, std::memory_order_relaxed);
 
   std::vector<engine::SearchResult> filtered;
   if (options_.contact_engine) {
@@ -448,7 +572,12 @@ Result<Bytes> XSearchProxy::handle_query_record(std::uint64_t session_id,
   payload.push_back(kTagQuery);
   wire::put_u64(payload, session_id);
   append(payload, record);
-  return enclave_->ecall("request", payload);
+  auto response = enclave_->ecall("request", payload);
+  // Periodic checkpoint poll, host side: the trusted counter says how many
+  // queries (including batch items, which the host cannot see inside the
+  // sealed record) ran since the last seal.
+  if (response.is_ok()) maybe_checkpoint();
+  return response;
 }
 
 }  // namespace xsearch::core

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <atomic>
+#include <filesystem>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -113,6 +114,23 @@ class XSearchProxy : public ProxyHandler {
     Nanos session_idle_ttl = 0;
     /// Lock shards of the session table.
     std::size_t session_shards = 8;
+    /// When non-empty, the proxy keeps a sealed checkpoint of its history
+    /// (format v2, see checkpoint.hpp) at `<checkpoint_dir>/history.ckpt`:
+    /// it restores the file at construction (falling back to a cold start
+    /// when the file is missing, truncated, or tampered with) and re-seals
+    /// every `checkpoint_interval_queries` queries. The host only ever
+    /// handles the sealed blob.
+    std::filesystem::path checkpoint_dir;
+    /// Queries between periodic checkpoints (0 = only explicit
+    /// `checkpoint_now` calls write). Ignored without `checkpoint_dir`.
+    /// The seal + write runs synchronously on the query thread that
+    /// crosses the interval (one full-history snapshot+seal and a file
+    /// write), a deliberate tradeoff: it keeps the sealed depth
+    /// deterministic w.r.t. the query stream — what the recovery tests
+    /// and the warm-vs-cold bench compare — at the cost of a periodic
+    /// latency spike on that one query. Size the interval against the
+    /// history depth (cost is O(history) per checkpoint).
+    std::uint64_t checkpoint_interval_queries = 0;
 
     /// Rejects configurations the proxy would otherwise silently mishandle:
     /// `k == 0` (no obfuscation), an empty history window, a zero per-sub-
@@ -166,9 +184,45 @@ class XSearchProxy : public ProxyHandler {
 
   /// Processes one encrypted query record — a single query or a batch
   /// (one AEAD open/seal per batch); returns the encrypted response record
-  /// (routed through the `request` ecall).
+  /// (routed through the `request` ecall). When periodic checkpointing is
+  /// configured, the host persists a freshly sealed checkpoint every
+  /// `checkpoint_interval_queries` queries from here.
   [[nodiscard]] Result<Bytes> handle_query_record(std::uint64_t session_id,
                                                   ByteSpan record) override;
+
+  // --- recovery -------------------------------------------------------------
+
+  /// Liveness probe: one cheap `request` ecall into the enclave. Fails
+  /// (UNAVAILABLE) once the enclave has crashed — what a fleet supervisor's
+  /// health probe keys its respawn decision on.
+  [[nodiscard]] Status heartbeat();
+
+  /// Seals the current history (+ per-session obfuscator state) inside the
+  /// enclave and persists the blob crash-atomically to the checkpoint file.
+  /// Requires Options::checkpoint_dir.
+  [[nodiscard]] Status checkpoint_now();
+
+  /// Host-side fault injection: destroys the enclave under the proxy (see
+  /// sgx::EnclaveRuntime::crash). Every later ecall — handshakes, queries,
+  /// heartbeats, checkpoint seals — fails; only previously sealed
+  /// checkpoints survive. Used by the recovery tests and the fig5
+  /// kill-and-recover bench.
+  void crash_enclave() { enclave_->crash(); }
+
+  /// Checkpoint/restore lifecycle counters.
+  struct CheckpointStats {
+    bool enabled = false;            // Options::checkpoint_dir set
+    bool restore_attempted = false;  // a checkpoint file was found and read
+    bool restore_hit = false;        // ...and restored successfully
+    std::size_t restored_entries = 0;
+    std::size_t restored_sessions = 0;  // v2 per-session states installed
+    std::uint64_t written = 0;          // successful checkpoint writes
+    std::uint64_t write_failures = 0;
+  };
+  [[nodiscard]] CheckpointStats checkpoint_stats() const;
+
+  /// Where this proxy persists its sealed history (empty when disabled).
+  [[nodiscard]] std::filesystem::path checkpoint_path() const;
 
   // --- introspection -------------------------------------------------------
 
@@ -210,6 +264,20 @@ class XSearchProxy : public ProxyHandler {
 
   [[nodiscard]] Result<Bytes> trusted_handshake(ByteSpan payload);
   [[nodiscard]] Result<Bytes> trusted_query(ByteSpan payload);
+  [[nodiscard]] Result<Bytes> trusted_heartbeat();
+  [[nodiscard]] Result<Bytes> trusted_checkpoint();
+
+  /// Restores the sealed checkpoint (if any) into the fresh history during
+  /// construction; a bad blob falls back to a cold start, never a partial
+  /// window.
+  void restore_checkpoint();
+
+  /// Periodic-checkpoint poll on the host path; skips when another thread
+  /// is already writing.
+  void maybe_checkpoint();
+
+  /// Seal + persist. Caller holds `checkpoint_mutex_`.
+  [[nodiscard]] Status checkpoint_locked();
 
   /// One query's trusted work — obfuscate, engine round trip, filter —
   /// shared by the single-query and batch paths. The caller holds the
@@ -250,6 +318,19 @@ class XSearchProxy : public ProxyHandler {
   // locking order).
   std::unique_ptr<SessionTable> sessions_;
   Status init_status_;
+
+  // ---- recovery state ----
+  // Queries processed since the last checkpoint (bumped on the trusted
+  // side, polled by the host to decide when a periodic checkpoint is due).
+  std::atomic<std::uint64_t> queries_since_checkpoint_{0};
+  // Serializes checkpoint writes; periodic polls skip when contended.
+  std::mutex checkpoint_mutex_;
+  std::atomic<std::uint64_t> checkpoints_written_{0};
+  std::atomic<std::uint64_t> checkpoint_write_failures_{0};
+  bool restore_attempted_ = false;  // set during single-threaded construction
+  bool restore_hit_ = false;
+  std::size_t restored_entries_ = 0;
+  std::size_t restored_sessions_ = 0;
 
   // ---- untrusted host state: the "sockets" behind the ocalls ----
   // Sharded by socket id so concurrent sessions' engine round trips do not

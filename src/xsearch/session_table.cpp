@@ -8,18 +8,25 @@ namespace xsearch::core {
 namespace {
 
 // Deterministic fork of the table seed for one session's fast RNG stream.
-[[nodiscard]] std::uint64_t fork_seed(std::uint64_t base_seed, std::uint64_t id) {
-  std::uint64_t state = base_seed ^ (id * 0x9e3779b97f4a7c15ULL);
+// `generation` is 0 for fresh sessions; a session resumed from a v2
+// checkpoint under its old id forks a new stream per generation so the
+// restored proxy never replays decoy draws the crashed one already made.
+[[nodiscard]] std::uint64_t fork_seed(std::uint64_t base_seed, std::uint64_t id,
+                                      std::uint64_t generation) {
+  std::uint64_t state = base_seed ^ (id * 0x9e3779b97f4a7c15ULL) ^
+                        (generation * 0xbf58476d1ce4e5b9ULL);
   return splitmix64(state);
 }
 
 // Deterministic ChaCha key for one session's SecureRandom. Domain-separated
 // from the proxy-level DRBG (which tags byte 31 with 0x42).
 [[nodiscard]] crypto::ChaChaKey fork_chacha_seed(std::uint64_t base_seed,
-                                                 std::uint64_t id) {
+                                                 std::uint64_t id,
+                                                 std::uint64_t generation) {
   crypto::ChaChaKey seed{};
   store_le64(seed.data(), base_seed);
   store_le64(seed.data() + 8, id);
+  store_le64(seed.data() + 16, generation);
   seed[31] = 0x53;  // 'S' for session
   return seed;
 }
@@ -30,15 +37,26 @@ namespace {
 // streams; `last_used` and `lru_it` are guarded by the owning shard's
 // mutex, never by `mutex`.
 struct SessionTable::Session {
-  Session(crypto::SecureChannel ch, std::uint64_t id, std::uint64_t base_seed)
+  Session(crypto::SecureChannel ch, std::uint64_t id, std::uint64_t base_seed,
+          std::uint64_t base_generation)
       : channel(std::move(ch)),
-        rng(fork_seed(base_seed, id)),
-        secure_rng(fork_chacha_seed(base_seed, id)) {}
+        generation(base_generation),
+        rng(fork_seed(base_seed, id, base_generation)),
+        secure_rng(fork_chacha_seed(base_seed, id, base_generation)) {}
 
   std::mutex mutex;
   crypto::SecureChannel channel;
+  // Stream generation this session's RNG forks were derived with (0 for a
+  // fresh session, the restored count for a resumed one). Checkpoints seal
+  // generation + obfuscations so generations accumulate across crashes
+  // instead of regressing to an already-spent stream.
+  const std::uint64_t generation;
   Rng rng;
   crypto::SecureRandom secure_rng;
+  // Obfuscations performed on this session; atomic because the count is
+  // bumped under the session lock but snapshotted (for checkpoints) under
+  // only the shard lock.
+  std::atomic<std::uint64_t> obfuscations{0};
   Nanos last_used = 0;
   std::list<std::uint64_t>::iterator lru_it;
 };
@@ -54,6 +72,14 @@ Rng& SessionTable::LockedSession::rng() { return session_->rng; }
 
 crypto::SecureRandom& SessionTable::LockedSession::secure_rng() {
   return session_->secure_rng;
+}
+
+void SessionTable::LockedSession::note_obfuscation() {
+  session_->obfuscations.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t SessionTable::LockedSession::obfuscations() const {
+  return session_->obfuscations.load(std::memory_order_relaxed);
 }
 
 std::size_t SessionTable::session_epc_bytes() {
@@ -92,6 +118,18 @@ SessionTable::~SessionTable() {
 void SessionTable::remove_locked(
     Shard& shard,
     std::unordered_map<std::uint64_t, std::shared_ptr<Session>>::iterator it) {
+  // Remember the departing session's cumulative stream position: its id can
+  // recur (the standalone proxy's id counter restarts at 1 across restarts),
+  // and a checkpoint that forgot it would hand the recurrence an
+  // already-spent decoy stream. Ordering: shard mutex → generations mutex,
+  // never the reverse.
+  const std::uint64_t spent =
+      it->second->generation +
+      it->second->obfuscations.load(std::memory_order_relaxed);
+  if (spent > 0) {
+    std::lock_guard generations_lock(retained_generations_mutex_);
+    retained_generations_[it->first] = spent;
+  }
   shard.lru.erase(it->second->lru_it);
   shard.sessions.erase(it);
   active_.fetch_sub(1, std::memory_order_relaxed);
@@ -121,8 +159,26 @@ std::uint64_t SessionTable::insert(crypto::SecureChannel channel,
   for (;;) {
     id = proposed_id != 0 ? proposed_id
                           : next_id_.fetch_add(1, std::memory_order_relaxed);
-    auto session =
-        std::make_shared<Session>(std::move(channel), id, options_.rng_seed);
+    // A session resumed under a checkpointed id gets generation = the
+    // obfuscation count the crashed proxy sealed, advancing its RNG
+    // derivation past the spent stream (see set_resume_generations). The
+    // retained map covers the same id departing and returning within one
+    // run (eviction must not rewind the stream either); take the furthest
+    // position known.
+    std::uint64_t generation = 0;
+    if (!resume_generations_.empty()) {
+      const auto gen_it = resume_generations_.find(id);
+      if (gen_it != resume_generations_.end()) generation = gen_it->second;
+    }
+    {
+      std::lock_guard generations_lock(retained_generations_mutex_);
+      const auto gen_it = retained_generations_.find(id);
+      if (gen_it != retained_generations_.end()) {
+        generation = std::max(generation, gen_it->second);
+      }
+    }
+    auto session = std::make_shared<Session>(std::move(channel), id,
+                                             options_.rng_seed, generation);
 
     Shard& shard = shard_for(id);
     std::lock_guard lock(shard.mutex);
@@ -203,6 +259,47 @@ std::size_t SessionTable::sweep_expired() {
 
 std::size_t SessionTable::size() const {
   return active_.load(std::memory_order_relaxed);
+}
+
+std::vector<std::pair<std::uint64_t, std::uint64_t>>
+SessionTable::checkpoint_generations() const {
+  // Merge three layers, most current last, so an id's generation only ever
+  // advances across repeated crash/restore cycles (a regressed generation
+  // would re-derive a stream the engine already observed):
+  //  1. the restored state — ids checkpointed before the crash that never
+  //     resumed keep their spent-stream marker;
+  //  2. retained positions of sessions evicted/expired/erased since —
+  //     eviction must not erase how much of the stream the id spent;
+  //  3. live sessions at their cumulative position (base generation +
+  //     draws made since).
+  std::unordered_map<std::uint64_t, std::uint64_t> merged(resume_generations_);
+  {
+    std::lock_guard generations_lock(retained_generations_mutex_);
+    for (const auto& [id, generation] : retained_generations_) {
+      merged[id] = generation;
+    }
+  }
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (const auto& [id, session] : shard->sessions) {
+      merged[id] = session->generation +
+                   session->obfuscations.load(std::memory_order_relaxed);
+    }
+  }
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> out;
+  out.reserve(merged.size());
+  for (const auto& [id, generation] : merged) {
+    if (generation > 0) out.emplace_back(id, generation);
+  }
+  return out;
+}
+
+void SessionTable::set_resume_generations(
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> generations) {
+  resume_generations_.clear();
+  for (const auto& [id, count] : generations) {
+    if (count > 0) resume_generations_.emplace(id, count);
+  }
 }
 
 SessionTable::Stats SessionTable::stats() const {

@@ -41,6 +41,7 @@
 #include <memory>
 #include <mutex>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/clock.hpp"
@@ -120,6 +121,12 @@ class SessionTable {
     /// held per-session lock.
     [[nodiscard]] crypto::SecureRandom& secure_rng();
 
+    /// Records one obfuscation performed on this session (the proxy calls
+    /// it per query). The count is what v2 checkpoints seal as per-session
+    /// obfuscator state.
+    void note_obfuscation();
+    [[nodiscard]] std::uint64_t obfuscations() const;
+
    private:
     friend class SessionTable;
     explicit LockedSession(std::shared_ptr<Session> session);
@@ -149,6 +156,24 @@ class SessionTable {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] Stats stats() const;
   [[nodiscard]] const Options& options() const { return options_; }
+
+  /// The per-session obfuscator state a v2 checkpoint seals: for every
+  /// live session its *cumulative* stream position (restored base
+  /// generation + obfuscations performed since), plus the carried-forward
+  /// entries of restored ids that never resumed. Cumulative so generations
+  /// only ever advance across repeated crash/restore cycles — a regressed
+  /// generation would re-derive an already-spent decoy stream.
+  [[nodiscard]] std::vector<std::pair<std::uint64_t, std::uint64_t>>
+  checkpoint_generations() const;
+
+  /// Installs restored per-session obfuscator state: a session later
+  /// inserted under one of these ids derives its RNG streams from
+  /// (rng_seed, id, generation) instead of (rng_seed, id), so a session
+  /// resumed under its pre-crash id never replays the decoy draws it
+  /// already spent. Must be called before the table is used concurrently
+  /// (the proxy calls it during construction); the map is immutable after.
+  void set_resume_generations(
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> generations);
 
   /// EPC bytes accounted per live session (channel state + table node
   /// bookkeeping) — what `insert` charges and eviction releases.
@@ -180,6 +205,20 @@ class SessionTable {
   const Options options_;
   sgx::EpcAccountant* epc_;
   Clock now_;
+
+  // Restored (session id -> generation) map; written once during
+  // single-threaded construction, read-only afterwards (see
+  // set_resume_generations).
+  std::unordered_map<std::uint64_t, std::uint64_t> resume_generations_;
+
+  // Cumulative stream positions of sessions that were evicted, expired, or
+  // erased — checkpoints must remember spent streams of departed ids, not
+  // just live ones. 16 bytes per departed session with draws; reset by a
+  // restart (the checkpoint round-trips the entries that matter). Locking
+  // order: a shard mutex may be held when taking this mutex, never the
+  // reverse.
+  mutable std::mutex retained_generations_mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> retained_generations_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

@@ -116,5 +116,75 @@ TEST(Histogram, LargeValues) {
               static_cast<double>(big), static_cast<double>(big) * 0.01);
 }
 
+// The recovery bench compares p99-across-respawn numbers, so the quantile
+// edge behaviour is pinned here: empty histograms, the exact q=0/q=1
+// answers, out-of-range clamping, and single-value degenerate cases.
+
+TEST(Histogram, EmptyReturnsZeroForEveryQuantile) {
+  Histogram h;
+  for (const double q : {-1.0, 0.0, 0.25, 0.5, 1.0, 2.0}) {
+    EXPECT_EQ(h.value_at_quantile(q), 0) << "q=" << q;
+  }
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(99.0), 0);
+  EXPECT_EQ(h.percentile(100.0), 0);
+}
+
+TEST(Histogram, QuantileZeroIsExactMinimum) {
+  // Regression: q=0 used to return the *upper edge* of the minimum's
+  // bucket — above min() by up to the ~1% bucket width once values leave
+  // the exact range.
+  Histogram h;
+  h.record(1000);
+  h.record(2000);
+  EXPECT_EQ(h.value_at_quantile(0.0), 1000);
+  EXPECT_EQ(h.value_at_quantile(0.0), h.min());
+}
+
+TEST(Histogram, QuantileOneIsExactMaximum) {
+  Histogram h;
+  h.record(123);
+  h.record(123'456'789);
+  EXPECT_EQ(h.value_at_quantile(1.0), 123'456'789);
+  EXPECT_EQ(h.value_at_quantile(1.0), h.max());
+  EXPECT_EQ(h.percentile(100.0), h.max());
+}
+
+TEST(Histogram, OutOfRangeQuantilesClampToTheEdges) {
+  Histogram h;
+  h.record(10);
+  h.record(1'000'000);
+  EXPECT_EQ(h.value_at_quantile(-0.5), h.value_at_quantile(0.0));
+  EXPECT_EQ(h.value_at_quantile(1.5), h.value_at_quantile(1.0));
+}
+
+TEST(Histogram, SingleValueAnswersEveryQuantileWithThatValue) {
+  Histogram h;
+  h.record(777'777);
+  EXPECT_EQ(h.value_at_quantile(0.0), 777'777);
+  EXPECT_EQ(h.value_at_quantile(1.0), 777'777);
+  // Interior quantiles stay within bucket precision and never exceed max.
+  for (const double q : {0.1, 0.5, 0.9, 0.99}) {
+    EXPECT_LE(h.value_at_quantile(q), h.max()) << "q=" << q;
+    EXPECT_GE(h.value_at_quantile(q), h.min()) << "q=" << q;
+  }
+}
+
+TEST(Histogram, QuantilesNeverExceedRecordedRange) {
+  Histogram h;
+  Rng rng(7);
+  for (int i = 0; i < 10'000; ++i) {
+    h.record(static_cast<std::int64_t>(rng.uniform(1'000'000'000)));
+  }
+  double previous = -1.0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    const auto v = static_cast<double>(h.value_at_quantile(q));
+    EXPECT_GE(v, static_cast<double>(h.min()));
+    EXPECT_LE(v, static_cast<double>(h.max()));
+    EXPECT_GE(v, previous) << "quantiles must be monotone, q=" << q;
+    previous = v;
+  }
+}
+
 }  // namespace
 }  // namespace xsearch

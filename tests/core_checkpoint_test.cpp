@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <fstream>
 
 #include "common/rng.hpp"
+#include "xsearch/wire.hpp"
 
 namespace xsearch::core {
 namespace {
@@ -110,6 +112,108 @@ TEST(Checkpoint, FileRoundTrip) {
 
 TEST(Checkpoint, MissingFileFails) {
   EXPECT_FALSE(read_checkpoint_file("/nonexistent/checkpoint.bin").is_ok());
+}
+
+TEST(Checkpoint, TruncatedFileRejectedCleanly) {
+  // Regression: a crash mid-write used to leave a truncated blob at the
+  // target path that poisoned the next restore. Writes are now atomic
+  // (temp + rename), but a host can still truncate the file; the restore
+  // must fail cleanly, not half-replay.
+  const auto path =
+      std::filesystem::temp_directory_path() / "xs_checkpoint_truncated.bin";
+  auto enclave = make_enclave();
+  QueryHistory original(50);
+  for (int i = 0; i < 30; ++i) original.add("entry " + std::to_string(i));
+  ASSERT_TRUE(write_checkpoint_file(path, seal_history(enclave, original)).is_ok());
+
+  // Truncate the persisted blob to half (what an interrupted non-atomic
+  // write would have produced).
+  const auto full = read_checkpoint_file(path);
+  ASSERT_TRUE(full.is_ok());
+  Bytes half(full.value().begin(),
+             full.value().begin() + static_cast<std::ptrdiff_t>(full.value().size() / 2));
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(half.data()),
+              static_cast<std::streamsize>(half.size()));
+  }
+
+  const auto loaded = read_checkpoint_file(path);
+  ASSERT_TRUE(loaded.is_ok());
+  QueryHistory restored(50);
+  EXPECT_FALSE(restore_history(enclave, loaded.value(), restored).is_ok());
+  std::filesystem::remove(path);
+}
+
+TEST(Checkpoint, WriteLeavesNoTempFileBehind) {
+  const auto dir = std::filesystem::temp_directory_path() / "xs_ckpt_atomic_dir";
+  std::filesystem::remove_all(dir);
+  const auto path = dir / "history.ckpt";
+  auto enclave = make_enclave();
+  QueryHistory history(10);
+  history.add("q");
+  ASSERT_TRUE(write_checkpoint_file(path, seal_history(enclave, history)).is_ok());
+  // The directory was created on demand and holds exactly the checkpoint —
+  // the temp file was renamed into place, not left beside it.
+  std::size_t entries = 0;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    ++entries;
+    EXPECT_EQ(entry.path().filename(), "history.ckpt");
+  }
+  EXPECT_EQ(entries, 1u);
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Checkpoint, OverCapacityRestoreKeepsNewestEntries) {
+  // Regression: restoring a checkpoint wider than the target window used to
+  // replay oldest-first, wasting the whole window on entries the replay
+  // itself evicted. Only the newest `capacity` entries must land.
+  auto enclave = make_enclave();
+  QueryHistory original(100);
+  for (int i = 0; i < 100; ++i) original.add("q" + std::to_string(i));
+  const Bytes sealed = seal_history(enclave, original);
+
+  QueryHistory narrow(10);
+  ASSERT_TRUE(restore_history(enclave, sealed, narrow).is_ok());
+  EXPECT_EQ(narrow.size(), 10u);
+  EXPECT_EQ(narrow.snapshot(),
+            (std::vector<std::string>{"q90", "q91", "q92", "q93", "q94", "q95",
+                                      "q96", "q97", "q98", "q99"}));
+}
+
+TEST(Checkpoint, V2CarriesPerSessionObfuscatorState) {
+  auto enclave = make_enclave();
+  QueryHistory original(10);
+  original.add("warm");
+  const SessionObfuscationCounts sealed_sessions = {{11, 7}, {42, 1000}};
+  const Bytes sealed = seal_history(enclave, original, sealed_sessions);
+
+  QueryHistory restored(10);
+  SessionObfuscationCounts restored_sessions;
+  ASSERT_TRUE(
+      restore_history(enclave, sealed, restored, &restored_sessions).is_ok());
+  EXPECT_EQ(restored_sessions, sealed_sessions);
+  EXPECT_EQ(restored.size(), 1u);
+}
+
+TEST(Checkpoint, V1BlobStillRestorable) {
+  // Hand-build a v1 plaintext (magic, version=1, entries — no session
+  // section) and seal it: v2 readers must keep accepting pre-upgrade
+  // checkpoints.
+  auto enclave = make_enclave();
+  Bytes plain;
+  wire::put_u32(plain, 0x58534850);  // "XSHP"
+  wire::put_u32(plain, 1);
+  wire::put_u32(plain, 2);
+  wire::put_string(plain, "old one");
+  wire::put_string(plain, "old two");
+  const Bytes sealed = enclave.seal(plain);
+
+  QueryHistory restored(10);
+  SessionObfuscationCounts sessions = {{1, 1}};  // must be cleared
+  ASSERT_TRUE(restore_history(enclave, sealed, restored, &sessions).is_ok());
+  EXPECT_EQ(restored.snapshot(), (std::vector<std::string>{"old one", "old two"}));
+  EXPECT_TRUE(sessions.empty());
 }
 
 TEST(Checkpoint, RestoredHistoryFeedsObfuscation) {

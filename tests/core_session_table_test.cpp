@@ -231,12 +231,15 @@ TEST(ProxySessions, EvictedSessionQueryReturnsNotFound) {
 TEST(ProxySessions, IdleSessionExpiresThroughProxy) {
   sgx::AttestationAuthority authority(to_bytes("session-test-root"));
   auto options = saturation_options();
-  options.session_idle_ttl = 1 * kMilli;
+  // Wide enough that the handshake→query gap of one search cannot span it
+  // even under TSan on a loaded runner (a 1 ms TTL flaked there: the FIRST
+  // search's own session expired mid-call, yielding a second reconnect).
+  options.session_idle_ttl = 200 * kMilli;
   XSearchProxy proxy(nullptr, authority, options);
 
   ClientBroker broker(proxy, authority, proxy.measurement(), 3);
   ASSERT_TRUE(broker.search("fresh").is_ok());
-  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
   // The idle session expired; the broker re-handshakes and retries once.
   EXPECT_TRUE(broker.search("stale").is_ok());
   EXPECT_EQ(broker.reconnects(), 1u);

@@ -2,11 +2,28 @@
 // untrusted host misbehaves — failing sockets, truncated engine responses,
 // garbage data — since Byzantine host behaviour is exactly the threat model
 // (§3). Faults are injected by re-registering the host-side ocall handlers.
+//
+// The FleetFault section lifts the same discipline to the fleet layer, end
+// to end over real TCP: a worker is lost mid-session (the Byzantine host
+// drops its ocall sockets and stops servicing the enclave), the supervisor
+// must detect and respawn it, the arc must re-attest, and the restored
+// history depth must equal the checkpointed depth. Run under TSan and ASan
+// in CI (labels: net, concurrency).
 #include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <thread>
+
+#include "test_util.hpp"
 
 #include "dataset/synthetic.hpp"
 #include "engine/corpus.hpp"
 #include "engine/search_engine.hpp"
+#include "net/fleet_supervisor.hpp"
+#include "net/proxy_fleet.hpp"
+#include "net/proxy_server.hpp"
+#include "net/remote_broker.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/broker.hpp"
 #include "xsearch/proxy.hpp"
@@ -152,6 +169,101 @@ TEST_F(FaultTest, RecoveryAfterTransientFault) {
   EXPECT_FALSE(after.is_ok());
   // Channel still alive: error came back *through* the channel.
   EXPECT_NE(after.status().message().find("proxy error"), std::string::npos);
+}
+
+TEST_F(FaultTest, DroppedOcallSocketsDoNotKillTheEnclave) {
+  // A host that merely drops the worker's engine sockets degrades queries
+  // but leaves the trusted side alive: the heartbeat ecall — the signal a
+  // supervisor keys respawns on — keeps succeeding. Distinguishing "host
+  // sabotages ocalls" from "enclave is gone" is what keeps the supervisor
+  // from respawning (and EPC-wiping) a worker over an engine outage.
+  host_enclave().register_ocall("sock_connect", [](ByteSpan) -> Result<Bytes> {
+    return unavailable("host dropped the socket table");
+  });
+  EXPECT_FALSE(broker_.search(log_.records()[9].text).is_ok());
+  EXPECT_TRUE(proxy_.heartbeat().is_ok());
+
+  // A crashed enclave, by contrast, fails both.
+  proxy_.crash_enclave();
+  EXPECT_FALSE(proxy_.heartbeat().is_ok());
+  EXPECT_FALSE(broker_.search(log_.records()[9].text).is_ok());
+}
+
+// --- fleet layer -------------------------------------------------------------
+
+using testutil::eventually;
+
+TEST(FleetFault, WorkerKilledMidSessionIsRespawnedWarm) {
+  const auto dir =
+      std::filesystem::temp_directory_path() / "xs_fleet_fault_ckpt";
+  std::filesystem::remove_all(dir);
+  sgx::AttestationAuthority authority(to_bytes("fleet-fault-root"));
+
+  net::ProxyFleet::Options options;
+  options.workers = 2;
+  options.proxy.k = 2;
+  options.proxy.history_capacity = 4096;
+  options.proxy.contact_engine = false;
+  options.proxy.checkpoint_dir = dir;
+  options.proxy.checkpoint_interval_queries = 4;
+  auto fleet = net::ProxyFleet::create(nullptr, authority, options);
+  ASSERT_TRUE(fleet.is_ok()) << fleet.status().to_string();
+  auto server = net::ProxyServer::start(*fleet.value());
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  // One attested session over real TCP, warmed past two checkpoint
+  // intervals — the sealed depth a warm respawn must come back with.
+  net::RemoteBroker broker("127.0.0.1", server.value()->port(), authority,
+                           fleet.value()->measurement(), 99);
+  ASSERT_TRUE(broker.connect().is_ok());
+  const std::size_t victim = fleet.value()->owner_of(broker.session_id());
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(broker.search("fleet warmup " + std::to_string(i)).is_ok());
+  }
+  const std::size_t checkpointed_depth = 8;  // interval 4: last seal at 8
+
+  net::FleetSupervisor::Options probe;
+  probe.probe_interval = 2 * kMilli;
+  probe.failure_threshold = 2;
+  net::FleetSupervisor supervisor(*fleet.value(), probe);
+
+  // Mid-session kill: the Byzantine host drops the worker's ocall sockets
+  // and stops servicing its enclave; the broker still holds a live channel
+  // onto the dead arc.
+  ASSERT_TRUE(fleet.value()->kill_worker(victim).is_ok());
+
+  // Queries keep being answered throughout: the broker re-attests onto the
+  // surviving arc (retry-once) while the supervisor revives the victim.
+  std::size_t served_during_outage = 0;
+  for (int i = 0; i < 20; ++i) {
+    if (broker.search("during outage " + std::to_string(i)).is_ok()) {
+      ++served_during_outage;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(served_during_outage, 0u);
+  EXPECT_GE(broker.reconnects(), 1u);  // the arc re-attested
+
+  ASSERT_TRUE(
+      eventually([&] { return fleet.value()->fleet_stats().auto_respawns >= 1; }));
+  supervisor.stop();
+
+  // The revived worker restored exactly the checkpointed depth (plus any
+  // outage traffic that hashed back to it — exclude that by checking the
+  // restore counter, not just the live depth).
+  const auto worker = fleet.value()->worker_stats(victim);
+  EXPECT_TRUE(worker.live);
+  EXPECT_TRUE(worker.checkpoint.restore_hit);
+  EXPECT_EQ(worker.checkpoint.restored_entries, checkpointed_depth);
+  const auto stats = fleet.value()->fleet_stats();
+  EXPECT_GE(stats.restore_hits, 1u);
+  EXPECT_EQ(stats.restore_misses, 0u);
+  EXPECT_DOUBLE_EQ(stats.warm_start_ratio, 1.0);
+
+  // Steady state after recovery.
+  EXPECT_TRUE(broker.search("after recovery").is_ok());
+  server.value()->stop();
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

@@ -14,11 +14,16 @@
 #include <thread>
 #include <vector>
 
+#include <cstring>
+
 #include "net/frame.hpp"
 #include "net/remote_broker.hpp"
 #include "net/socket.hpp"
 #include "sgx/attestation.hpp"
+#include "test_util.hpp"
+#include "xsearch/broker.hpp"
 #include "xsearch/proxy.hpp"
+#include "xsearch/wire.hpp"
 
 namespace xsearch::net {
 namespace {
@@ -31,17 +36,9 @@ core::XSearchProxy::Options saturation_options() {
   return options;
 }
 
-/// Polls `condition` for up to five seconds (reaping is asynchronous with
-/// the client's close: the worker notices EOF, then erases the registry
-/// entry).
-bool eventually(const std::function<bool()>& condition) {
-  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
-  while (std::chrono::steady_clock::now() < deadline) {
-    if (condition()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  return condition();
-}
+// Reaping is asynchronous with the client's close (the worker notices EOF,
+// then erases the registry entry), hence the shared polling helper.
+using testutil::eventually;
 
 TEST(ProxyServerPool, ReapsFinishedConnections) {
   sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
@@ -196,6 +193,111 @@ TEST(ProxyServerPool, StopWithLiveConnectionsIsCleanAndIdempotent) {
   // for a replacement server, even while the stopped one is still in scope.
   auto rebound = TcpListener::bind(server.value()->port());
   EXPECT_TRUE(rebound.is_ok()) << rebound.status().to_string();
+}
+
+// --- batch retry semantics ---------------------------------------------------
+
+/// Minimal lossy proxy host: speaks the real frame protocol against a real
+/// enclave proxy, but CLOSES the first connection right after executing its
+/// batch — the "reply lost after execution" window no transport can rule
+/// out. The second connection behaves.
+void serve_lossy_host(TcpListener& listener, core::XSearchProxy& proxy) {
+  for (int conn = 0; conn < 2; ++conn) {
+    auto stream = listener.accept();
+    if (!stream.is_ok()) return;
+    const bool drop_reply = conn == 0;
+    for (;;) {
+      auto frame = read_frame(stream.value());
+      if (!frame.is_ok()) break;
+      if (frame.value().type == FrameType::kHello) {
+        crypto::X25519Key client_pub;
+        ASSERT_EQ(frame.value().payload.size(), client_pub.size());
+        std::memcpy(client_pub.data(), frame.value().payload.data(),
+                    client_pub.size());
+        auto response = proxy.handshake(client_pub);
+        ASSERT_TRUE(response.is_ok());
+        Bytes payload;
+        core::wire::put_u64(payload, response.value().session_id);
+        const Bytes quote = response.value().quote.serialize();
+        core::wire::put_u32(payload, static_cast<std::uint32_t>(quote.size()));
+        append(payload, quote);
+        append(payload, response.value().server_ephemeral_pub);
+        ASSERT_TRUE(
+            write_frame(stream.value(), FrameType::kHelloReply, payload).is_ok());
+        continue;
+      }
+      ASSERT_EQ(frame.value().type, FrameType::kBatchQuery);
+      std::size_t offset = 0;
+      auto session = core::wire::get_u64(frame.value().payload, offset);
+      ASSERT_TRUE(session.is_ok());
+      // The proxy EXECUTES the batch either way…
+      auto response = proxy.handle_query_record(
+          session.value(), ByteSpan(frame.value().payload).subspan(offset));
+      ASSERT_TRUE(response.is_ok());
+      if (!drop_reply) {  // …but on conn 0 the reply dies with the connection.
+        ASSERT_TRUE(write_frame(stream.value(), FrameType::kBatchReply,
+                                response.value())
+                        .is_ok());
+      }
+      break;  // one batch per connection, then hang up
+    }
+  }
+}
+
+TEST(RemoteBrokerRetry, LostBatchReplyRetriesAtLeastOnceAndIsCounted) {
+  // Pins the documented at-least-once semantics of search_batch: when the
+  // frame was delivered but its reply lost, the retry re-executes the whole
+  // batch on the proxy (duplicate history adds), and the broker counts the
+  // duplication-risk retry.
+  sgx::AttestationAuthority authority(to_bytes("lossy-host-root"));
+  core::XSearchProxy proxy(nullptr, authority, saturation_options());
+  auto listener = TcpListener::bind(0);
+  ASSERT_TRUE(listener.is_ok());
+  std::thread host(
+      [&] { serve_lossy_host(listener.value(), proxy); });
+
+  RemoteBroker broker("127.0.0.1", listener.value().port(), authority,
+                      proxy.measurement(), 77);
+  const std::vector<std::string> queries = {"alpha", "beta", "gamma"};
+  auto outcomes = broker.search_batch(queries);
+  host.join();
+
+  ASSERT_TRUE(outcomes.is_ok()) << outcomes.status().to_string();
+  ASSERT_EQ(outcomes.value().size(), queries.size());
+  for (const auto& outcome : outcomes.value()) {
+    EXPECT_TRUE(outcome.status.is_ok());
+  }
+  EXPECT_EQ(broker.reconnects(), 1u);
+  EXPECT_EQ(broker.at_least_once_retries(), 1u);
+  // The at-least-once window is real: both executions added to the history.
+  EXPECT_EQ(proxy.history_size(), 2 * queries.size());
+}
+
+TEST(RemoteBrokerRetry, RefusedRecordRetriesExactlyOnce) {
+  // A frame-level error (unknown session after an eviction) means the proxy
+  // never opened the record: the transparent retry must NOT count as an
+  // at-least-once risk, and nothing may execute twice.
+  sgx::AttestationAuthority authority(to_bytes("evict-retry-root"));
+  core::XSearchProxy::Options options = saturation_options();
+  options.session_capacity = 1;
+  core::XSearchProxy proxy(nullptr, authority, options);
+  auto server = ProxyServer::start(proxy);
+  ASSERT_TRUE(server.is_ok());
+
+  RemoteBroker first("127.0.0.1", server.value()->port(), authority,
+                     proxy.measurement(), 1);
+  ASSERT_TRUE(first.connect().is_ok());
+  RemoteBroker second("127.0.0.1", server.value()->port(), authority,
+                      proxy.measurement(), 2);
+  ASSERT_TRUE(second.connect().is_ok());  // capacity 1: evicts `first`
+
+  const std::vector<std::string> queries = {"one", "two"};
+  auto outcomes = first.search_batch(queries);  // unknown session → retry
+  ASSERT_TRUE(outcomes.is_ok()) << outcomes.status().to_string();
+  EXPECT_EQ(first.reconnects(), 1u);
+  EXPECT_EQ(first.at_least_once_retries(), 0u);
+  EXPECT_EQ(proxy.history_size(), queries.size());  // executed exactly once
+  server.value()->stop();
 }
 
 }  // namespace

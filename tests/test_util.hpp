@@ -1,0 +1,23 @@
+// Small helpers shared across test binaries (each test .cpp compiles into
+// its own executable, so these stay header-only).
+#pragma once
+
+#include <chrono>
+#include <functional>
+#include <thread>
+
+namespace xsearch::testutil {
+
+/// Polls `condition` for up to five seconds — for asynchronous effects
+/// (connection reaping, supervisor probe/respawn cycles) that complete
+/// "soon" but on their own thread's schedule.
+inline bool eventually(const std::function<bool()>& condition) {
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (condition()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return condition();
+}
+
+}  // namespace xsearch::testutil
