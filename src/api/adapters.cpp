@@ -8,7 +8,6 @@
 // exactly the multi-client deployment the paper load-tests in Figure 5.
 #include <cassert>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <utility>
 
@@ -18,6 +17,7 @@
 #include "baselines/peas/peas.hpp"
 #include "baselines/tmn/trackmenot.hpp"
 #include "baselines/tor/tor.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/broker.hpp"
@@ -157,7 +157,7 @@ class TorAdapter final : public PrivateSearchClient {
     baselines::tor::TorRelay exit;
     // Serializes circuit establishment: relays keep per-circuit session
     // keys in a map that concurrent extensions would race on.
-    std::mutex establish_mutex;
+    Mutex establish_mutex;
   };
 
   TorAdapter(const Backend& backend, const ClientConfig& config,
@@ -183,7 +183,7 @@ class TorAdapter final : public PrivateSearchClient {
  protected:
   [[nodiscard]] Status do_connect() override {
     if (client_.has_value()) return Status::ok();
-    std::lock_guard lock(chain_->establish_mutex);
+    MutexLock lock(chain_->establish_mutex);
     client_.emplace(
         std::vector<baselines::tor::TorRelay*>{&chain_->entry, &chain_->middle,
                                                &chain_->exit},

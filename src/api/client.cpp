@@ -1,6 +1,5 @@
 #include "api/client.hpp"
 
-#include <condition_variable>
 #include <deque>
 #include <unordered_map>
 #include <unordered_set>
@@ -36,17 +35,17 @@ struct PrivateSearchClient::AsyncEngine {
   std::unique_ptr<ThreadPool> pool;
   std::atomic<std::size_t> next_lane{0};
 
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  std::unordered_map<Ticket, SearchOutcome> done;
-  std::unordered_set<Ticket> inflight;
-  Ticket next_ticket = 1;
+  Mutex mutex;
+  CondVar done_cv;
+  std::unordered_map<Ticket, SearchOutcome> done XS_GUARDED_BY(mutex);
+  std::unordered_set<Ticket> inflight XS_GUARDED_BY(mutex);
+  Ticket next_ticket XS_GUARDED_BY(mutex) = 1;
 
-  // Coalescing state (guarded by `mutex`). `space_cv` signals room in
-  // `pending`, which is bounded by batch_queue_capacity like the pool queue.
-  std::deque<PendingRequest> pending;
-  std::size_t active_flushers = 0;
-  std::condition_variable space_cv;
+  // Coalescing state. `space_cv` signals room in `pending`, which is
+  // bounded by batch_queue_capacity like the pool queue.
+  std::deque<PendingRequest> pending XS_GUARDED_BY(mutex);
+  std::size_t active_flushers XS_GUARDED_BY(mutex) = 0;
+  CondVar space_cv;
 };
 
 PrivateSearchClient::PrivateSearchClient(ClientConfig config)
@@ -55,7 +54,7 @@ PrivateSearchClient::PrivateSearchClient(ClientConfig config)
 PrivateSearchClient::~PrivateSearchClient() { shutdown_async(); }
 
 Status PrivateSearchClient::connect() {
-  std::lock_guard lock(sync_mutex_);
+  MutexLock lock(sync_mutex_);
   const Status status = do_connect();
   if (status.is_ok()) connects_.fetch_add(1, std::memory_order_relaxed);
   return status;
@@ -63,7 +62,7 @@ Status PrivateSearchClient::connect() {
 
 void PrivateSearchClient::close() {
   shutdown_async();
-  std::lock_guard lock(sync_mutex_);
+  MutexLock lock(sync_mutex_);
   do_close();
 }
 
@@ -73,7 +72,7 @@ Result<SearchResults> PrivateSearchClient::search(std::string_view query) {
 
 Result<SearchResults> PrivateSearchClient::search(std::string_view query,
                                                   std::size_t top_k) {
-  std::lock_guard lock(sync_mutex_);
+  MutexLock lock(sync_mutex_);
   if (!connected()) {
     XS_RETURN_IF_ERROR(do_connect());
     connects_.fetch_add(1, std::memory_order_relaxed);
@@ -93,7 +92,7 @@ std::vector<Result<SearchResults>> PrivateSearchClient::search_batch(
   if (queries.empty()) return outcomes;
   for (auto& q : queries) q.top_k = resolve_top_k(q.top_k);
 
-  std::lock_guard lock(sync_mutex_);
+  MutexLock lock(sync_mutex_);
   if (!connected()) {
     if (const Status status = do_connect(); !status.is_ok()) {
       for (std::size_t i = 0; i < queries.size(); ++i) {
@@ -150,7 +149,7 @@ Stats PrivateSearchClient::stats() const {
 }
 
 PrivateSearchClient::AsyncEngine& PrivateSearchClient::async() {
-  std::lock_guard lock(async_init_mutex_);
+  MutexLock lock(async_init_mutex_);
   if (!async_) {
     auto engine = std::make_unique<AsyncEngine>();
     const std::size_t workers = config_.batch_workers == 0 ? 1 : config_.batch_workers;
@@ -175,14 +174,14 @@ PrivateSearchClient::AsyncEngine& PrivateSearchClient::async() {
 }
 
 PrivateSearchClient::AsyncEngine* PrivateSearchClient::async_if_built() {
-  std::lock_guard lock(async_init_mutex_);
+  MutexLock lock(async_init_mutex_);
   return async_.get();
 }
 
 void PrivateSearchClient::shutdown_async() {
   std::unique_ptr<AsyncEngine> engine;
   {
-    std::lock_guard lock(async_init_mutex_);
+    MutexLock lock(async_init_mutex_);
     engine = std::move(async_);
   }
   // Shutdown drains queued tasks before joining, so every accepted ticket
@@ -215,7 +214,7 @@ Ticket PrivateSearchClient::submit_impl(
 
   Ticket ticket = kInvalidTicket;
   {
-    std::lock_guard lock(engine.mutex);
+    MutexLock lock(engine.mutex);
     ticket = engine.next_ticket++;
     engine.inflight.insert(ticket);
   }
@@ -250,7 +249,7 @@ Ticket PrivateSearchClient::submit_impl(
     // so drain() returning guarantees every callback has run.
     if (!ticketed) on_done(std::move(outcome));
     {
-      std::lock_guard lock(engine.mutex);
+      MutexLock lock(engine.mutex);
       engine.inflight.erase(ticket);
       if (ticketed) engine.done.emplace(ticket, std::move(outcome));
     }
@@ -260,7 +259,7 @@ Ticket PrivateSearchClient::submit_impl(
   const bool accepted = blocking ? engine.pool->submit(std::move(task))
                                  : engine.pool->try_submit(std::move(task));
   if (!accepted) {
-    std::lock_guard lock(engine.mutex);
+    MutexLock lock(engine.mutex);
     engine.inflight.erase(ticket);
     return kInvalidTicket;
   }
@@ -280,12 +279,12 @@ Ticket PrivateSearchClient::submit_coalesced(
   bool spawn_flusher = false;
   Ticket ticket = kInvalidTicket;
   {
-    std::unique_lock lock(engine.mutex);
+    MutexLock lock(engine.mutex);
     if (engine.pending.size() >= config_.batch_queue_capacity) {
       if (!blocking) return kInvalidTicket;
-      engine.space_cv.wait(lock, [&] {
-        return engine.pending.size() < config_.batch_queue_capacity;
-      });
+      while (engine.pending.size() >= config_.batch_queue_capacity) {
+        engine.space_cv.wait(engine.mutex);
+      }
     }
     ticket = engine.next_ticket++;
     request.ticket = ticket;
@@ -307,7 +306,7 @@ Ticket PrivateSearchClient::submit_coalesced(
       // request. If it is still parked, withdraw it and report rejection
       // (mirroring the per-request path); if a live flusher already took
       // it, it will complete normally.
-      std::lock_guard lock(engine.mutex);
+      MutexLock lock(engine.mutex);
       engine.active_flushers -= 1;
       for (auto it = engine.pending.begin(); it != engine.pending.end(); ++it) {
         if (it->ticket == ticket) {
@@ -327,7 +326,7 @@ void PrivateSearchClient::flush_loop(AsyncEngine& engine) {
   for (;;) {
     std::vector<PendingRequest> batch;
     {
-      std::lock_guard lock(engine.mutex);
+      MutexLock lock(engine.mutex);
       while (!engine.pending.empty() && batch.size() < max_batch) {
         batch.push_back(std::move(engine.pending.front()));
         engine.pending.pop_front();
@@ -373,7 +372,7 @@ void PrivateSearchClient::flush_loop(AsyncEngine& engine) {
       const bool ticketed = batch[i].on_done == nullptr;
       if (!ticketed) batch[i].on_done(std::move(outcome));
       {
-        std::lock_guard lock(engine.mutex);
+        MutexLock lock(engine.mutex);
         engine.inflight.erase(batch[i].ticket);
         if (ticketed) engine.done.emplace(batch[i].ticket, std::move(outcome));
       }
@@ -392,7 +391,7 @@ std::optional<SearchOutcome> PrivateSearchClient::poll(Ticket ticket) {
     return unknown;
   }
   AsyncEngine& engine = *built;
-  std::lock_guard lock(engine.mutex);
+  MutexLock lock(engine.mutex);
   if (const auto it = engine.done.find(ticket); it != engine.done.end()) {
     SearchOutcome outcome = std::move(it->second);
     engine.done.erase(it);
@@ -414,10 +413,10 @@ SearchOutcome PrivateSearchClient::wait(Ticket ticket) {
     return unknown;
   }
   AsyncEngine& engine = *built;
-  std::unique_lock lock(engine.mutex);
-  engine.done_cv.wait(lock, [&] {
-    return engine.done.contains(ticket) || !engine.inflight.contains(ticket);
-  });
+  MutexLock lock(engine.mutex);
+  while (!engine.done.contains(ticket) && engine.inflight.contains(ticket)) {
+    engine.done_cv.wait(engine.mutex);
+  }
   if (const auto it = engine.done.find(ticket); it != engine.done.end()) {
     SearchOutcome outcome = std::move(it->second);
     engine.done.erase(it);
@@ -432,8 +431,8 @@ SearchOutcome PrivateSearchClient::wait(Ticket ticket) {
 void PrivateSearchClient::drain() {
   AsyncEngine* built = async_if_built();
   if (built == nullptr) return;
-  std::unique_lock lock(built->mutex);
-  built->done_cv.wait(lock, [&] { return built->inflight.empty(); });
+  MutexLock lock(built->mutex);
+  while (!built->inflight.empty()) built->done_cv.wait(built->mutex);
 }
 
 }  // namespace xsearch::api

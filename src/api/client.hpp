@@ -14,13 +14,13 @@
 #include <atomic>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "engine/document.hpp"
 
@@ -266,9 +266,12 @@ class PrivateSearchClient {
 
   ClientConfig config_;
 
-  mutable std::mutex sync_mutex_;  // serializes do_connect/do_search
-  std::mutex async_init_mutex_;
-  std::unique_ptr<AsyncEngine> async_;
+  mutable Mutex sync_mutex_;  // serializes do_connect/do_search
+  // Guards the engine *slot*; the engine itself has its own mutex and
+  // stays alive until shutdown_async() reclaims it, so references
+  // handed out by async() remain valid outside this lock.
+  Mutex async_init_mutex_;
+  std::unique_ptr<AsyncEngine> async_ XS_GUARDED_BY(async_init_mutex_);
 
   std::atomic<std::uint64_t> connects_{0};
   std::atomic<std::uint64_t> searches_{0};

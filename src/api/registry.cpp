@@ -23,7 +23,7 @@ Status MechanismRegistry::register_mechanism(std::string name, Factory factory) 
   if (factory == nullptr) {
     return invalid_argument("mechanism factory must be callable");
   }
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   if (!factories_.emplace(std::move(name), std::move(factory)).second) {
     return failed_precondition("mechanism already registered");
   }
@@ -35,7 +35,7 @@ Result<ClientPtr> MechanismRegistry::make_client(std::string_view name,
                                                  const ClientConfig& config) const {
   Factory factory;
   {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     const auto it = factories_.find(name);
     if (it == factories_.end()) {
       return not_found("unknown mechanism: " + std::string(name));
@@ -50,7 +50,7 @@ Result<ClientPtr> MechanismRegistry::make_client(std::string_view name,
 }
 
 std::vector<std::string> MechanismRegistry::mechanism_names() const {
-  std::lock_guard lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::string> names;
   names.reserve(factories_.size());
   for (const auto& [name, factory] : factories_) names.push_back(name);

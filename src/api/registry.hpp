@@ -11,12 +11,12 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "api/client.hpp"
+#include "common/mutex.hpp"
 #include "dataset/query_log.hpp"
 #include "engine/search_engine.hpp"
 
@@ -54,8 +54,8 @@ class MechanismRegistry {
   [[nodiscard]] std::vector<std::string> mechanism_names() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::map<std::string, Factory, std::less<>> factories_;
+  mutable Mutex mutex_;
+  std::map<std::string, Factory, std::less<>> factories_ XS_GUARDED_BY(mutex_);
 };
 
 /// Convenience: `MechanismRegistry::instance().make_client(...)`.

@@ -2,13 +2,14 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "common/mutex.hpp"
 
 namespace xsearch {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_log_mutex;
+Mutex g_log_mutex;
 
 [[nodiscard]] const char* level_tag(LogLevel level) {
   switch (level) {
@@ -30,7 +31,7 @@ void log_line(LogLevel level, std::string_view file, int line, std::string_view 
   // Strip directories from the file path for compact output.
   const auto slash = file.find_last_of('/');
   if (slash != std::string_view::npos) file.remove_prefix(slash + 1);
-  std::lock_guard lock(g_log_mutex);
+  MutexLock lock(g_log_mutex);
   std::fprintf(stderr, "[%s %.*s:%d] %.*s\n", level_tag(level),
                static_cast<int>(file.size()), file.data(), line,
                static_cast<int>(msg.size()), msg.data());

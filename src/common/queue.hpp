@@ -4,14 +4,18 @@
 // chain) are connected by these queues in the throughput benchmark. The
 // queue supports closing, after which pops drain remaining items and then
 // report exhaustion — the standard shutdown idiom for worker pools.
+//
+// Lock discipline is machine-checked: `items_`/`closed_` are guarded by
+// `mutex_` (Clang -Wthread-safety), and notifications are issued after the
+// guard scope closes so waiters never wake into a still-held lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <optional>
 #include <utility>
+
+#include "common/mutex.hpp"
 
 namespace xsearch {
 
@@ -26,11 +30,12 @@ class BoundedQueue {
   /// Blocks until there is room (or the queue is closed).
   /// Returns false if the queue was closed before the item could be added.
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock, [&] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+    {
+      MutexLock lock(mutex_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -38,7 +43,7 @@ class BoundedQueue {
   /// Non-blocking push; returns false when full or closed.
   bool try_push(T item) {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (closed_ || items_.size() >= capacity_) return false;
       items_.push_back(std::move(item));
     }
@@ -49,23 +54,25 @@ class BoundedQueue {
   /// Blocks until an item is available; returns nullopt once the queue is
   /// closed *and* drained.
   std::optional<T> pop() {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [&] { return !items_.empty() || closed_; });
-    if (items_.empty()) return std::nullopt;
-    T item = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    std::optional<T> out;
+    {
+      MutexLock lock(mutex_);
+      while (items_.empty() && !closed_) not_empty_.wait(mutex_);
+      if (items_.empty()) return std::nullopt;
+      out.emplace(std::move(items_.front()));
+      items_.pop_front();
+    }
     not_full_.notify_one();
-    return item;
+    return out;
   }
 
   /// Non-blocking pop.
   std::optional<T> try_pop() {
     std::optional<T> out;
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       if (items_.empty()) return std::nullopt;
-      out = std::move(items_.front());
+      out.emplace(std::move(items_.front()));
       items_.pop_front();
     }
     not_full_.notify_one();
@@ -75,7 +82,7 @@ class BoundedQueue {
   /// Closes the queue: pending and future pushes fail, pops drain then stop.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -83,22 +90,22 @@ class BoundedQueue {
   }
 
   [[nodiscard]] std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
   [[nodiscard]] bool closed() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return closed_;
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ XS_GUARDED_BY(mutex_);
+  bool closed_ XS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace xsearch

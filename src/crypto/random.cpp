@@ -6,6 +6,7 @@
 namespace xsearch::crypto {
 
 SecureRandom::SecureRandom() {
+  // tcb-lint: allow(trusted-insecure-rng) this IS SecureRandom's entropy ingress: the one sanctioned std::random_device use, stirred into the pool exactly once at seeding
   std::random_device rd;
   for (std::size_t i = 0; i < key_.size(); i += 4) {
     const std::uint32_t word = rd();

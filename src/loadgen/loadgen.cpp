@@ -1,10 +1,10 @@
 #include "loadgen/loadgen.hpp"
 
 #include <atomic>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/queue.hpp"
 
 namespace xsearch::loadgen {
@@ -25,7 +25,7 @@ LoadReport run_open_loop(const std::function<void()>& handler,
   std::atomic<std::uint64_t> completed{0};
   std::atomic<std::uint64_t> dropped{0};
 
-  std::mutex histogram_mutex;
+  Mutex histogram_mutex;
   Histogram latency;
 
   // Workers: pull tickets, run the handler, record scheduled-to-done time.
@@ -39,7 +39,7 @@ LoadReport run_open_loop(const std::function<void()>& handler,
         local.record(wall_now() - ticket->scheduled);
         completed.fetch_add(1, std::memory_order_relaxed);
       }
-      std::lock_guard lock(histogram_mutex);
+      MutexLock lock(histogram_mutex);
       latency.merge(local);
     });
   }

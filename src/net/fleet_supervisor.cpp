@@ -14,7 +14,7 @@ FleetSupervisor::~FleetSupervisor() { stop(); }
 
 void FleetSupervisor::stop() {
   {
-    std::lock_guard lock(stop_mutex_);
+    MutexLock lock(stop_mutex_);
     if (stopping_) return;
     stopping_ = true;
   }
@@ -25,9 +25,17 @@ void FleetSupervisor::stop() {
 void FleetSupervisor::run() {
   for (;;) {
     {
-      std::unique_lock lock(stop_mutex_);
-      stop_cv_.wait_for(lock, std::chrono::nanoseconds(options_.probe_interval),
-                        [this] { return stopping_; });
+      MutexLock lock(stop_mutex_);
+      // Park for one probe interval, waking early when stop() signals.
+      const auto deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::nanoseconds(options_.probe_interval);
+      while (!stopping_) {
+        if (stop_cv_.wait_until(stop_mutex_, deadline) ==
+            std::cv_status::timeout) {
+          break;
+        }
+      }
       if (stopping_) return;
     }
     probe_once();
@@ -35,7 +43,7 @@ void FleetSupervisor::run() {
 }
 
 void FleetSupervisor::probe_once() {
-  std::lock_guard sweep(sweep_mutex_);
+  MutexLock sweep(sweep_mutex_);
   for (std::size_t i = 0; i < consecutive_failures_.size(); ++i) {
     const Status alive = fleet_->heartbeat(i);
     probes_.fetch_add(1, std::memory_order_relaxed);

@@ -18,13 +18,12 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "net/proxy_fleet.hpp"
 
 namespace xsearch::net {
@@ -70,16 +69,16 @@ class FleetSupervisor {
   const Options options_;
 
   /// Serializes probe sweeps and guards `consecutive_failures_`.
-  std::mutex sweep_mutex_;
-  std::vector<std::uint32_t> consecutive_failures_;
+  Mutex sweep_mutex_;
+  std::vector<std::uint32_t> consecutive_failures_ XS_GUARDED_BY(sweep_mutex_);
 
   std::atomic<std::uint64_t> probes_{0};
   std::atomic<std::uint64_t> probe_failures_{0};
   std::atomic<std::uint64_t> auto_respawns_{0};
 
-  std::mutex stop_mutex_;
-  std::condition_variable stop_cv_;
-  bool stopping_ = false;
+  Mutex stop_mutex_;
+  CondVar stop_cv_;
+  bool stopping_ XS_GUARDED_BY(stop_mutex_) = false;
   std::thread probe_thread_;
 };
 

@@ -11,7 +11,7 @@ Result<std::unique_ptr<HttpFrontend>> HttpFrontend::start(
       new HttpFrontend(proxy, authority, std::move(listener).value()));
   // Attest the enclave up front so misconfiguration fails fast.
   {
-    std::lock_guard lock(frontend->broker_mutex_);
+    MutexLock lock(frontend->broker_mutex_);
     XS_RETURN_IF_ERROR(frontend->broker_->connect());
   }
   return frontend;
@@ -37,7 +37,7 @@ void HttpFrontend::stop() {
   listener_.release();
   std::vector<std::thread> workers;
   {
-    std::lock_guard lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     workers.swap(workers_);
     // Unblock workers parked in recv on a keep-alive connection.
     for (const auto& stream : streams_) stream->shutdown_both();
@@ -53,7 +53,7 @@ void HttpFrontend::accept_loop() {
     auto accepted = listener_.accept();
     if (!accepted) break;
     auto stream = std::make_shared<TcpStream>(std::move(accepted).value());
-    std::lock_guard lock(workers_mutex_);
+    MutexLock lock(workers_mutex_);
     streams_.push_back(stream);
     workers_.emplace_back([this, stream] { serve_connection(stream); });
   }
@@ -89,7 +89,7 @@ Bytes HttpFrontend::handle_request(const HttpRequest& request) {
   }
 
   Result<std::vector<engine::SearchResult>> results = [&] {
-    std::lock_guard lock(broker_mutex_);
+    MutexLock lock(broker_mutex_);
     return broker_->search(*query);
   }();
   if (!results) {

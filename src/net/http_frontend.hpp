@@ -13,10 +13,10 @@
 
 #include <atomic>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "net/http.hpp"
 #include "net/socket.hpp"
 #include "sgx/attestation.hpp"
@@ -61,16 +61,16 @@ class HttpFrontend {
 
   // One attested broker shared by all frontend threads, serialized: the
   // SecureChannel record counters require ordered use.
-  std::mutex broker_mutex_;
-  std::unique_ptr<core::ClientBroker> broker_;
+  Mutex broker_mutex_;
+  std::unique_ptr<core::ClientBroker> broker_ XS_PT_GUARDED_BY(broker_mutex_);
 
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
   std::thread accept_thread_;
-  std::mutex workers_mutex_;
-  std::vector<std::thread> workers_;
+  Mutex workers_mutex_;
+  std::vector<std::thread> workers_ XS_GUARDED_BY(workers_mutex_);
   // Live connection streams, so stop() can unblock workers parked in recv.
-  std::vector<std::shared_ptr<TcpStream>> streams_;
+  std::vector<std::shared_ptr<TcpStream>> streams_ XS_GUARDED_BY(workers_mutex_);
 };
 
 }  // namespace xsearch::net

@@ -30,6 +30,10 @@ Result<std::unique_ptr<ProxyFleet>> ProxyFleet::create(
   }
   auto fleet = std::unique_ptr<ProxyFleet>(
       new ProxyFleet(engine, authority, std::move(options)));
+  // Construction is single-threaded, but worker slots and the ring are
+  // guarded state: hold the writer lock (uncontended here) so the fill and
+  // ring build satisfy the same machine-checked discipline as respawn.
+  WriterLock lock(fleet->mutex_);
   for (std::size_t i = 0; i < fleet->options_.workers; ++i) {
     auto proxy = core::XSearchProxy::create(engine, authority,
                                             fleet->worker_options(i));
@@ -39,7 +43,7 @@ Result<std::unique_ptr<ProxyFleet>> ProxyFleet::create(
     worker->proxy = std::move(proxy).value();
     fleet->workers_.push_back(std::move(worker));
   }
-  fleet->rebuild_ring_locked();  // single-threaded here: no lock needed yet
+  fleet->rebuild_ring_locked();
   return fleet;
 }
 
@@ -104,19 +108,19 @@ std::size_t ProxyFleet::owner_locked(std::uint64_t session_id) const {
 }
 
 std::size_t ProxyFleet::owner_of(std::uint64_t session_id) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return owner_locked(session_id);
 }
 
 std::size_t ProxyFleet::live_workers() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   std::size_t live = 0;
   for (const auto& worker : workers_) live += worker->live ? 1 : 0;
   return live;
 }
 
 ProxyFleet::WorkerStats ProxyFleet::worker_stats(std::size_t index) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   WorkerStats out;
   if (index >= workers_.size()) return out;
   const Worker& worker = *workers_[index];
@@ -142,19 +146,19 @@ ProxyFleet::FleetStats ProxyFleet::fleet_stats() const {
 }
 
 std::size_t ProxyFleet::worker_history_depth(std::size_t index) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (index >= workers_.size()) return 0;
   return workers_[index]->proxy->history_size();
 }
 
 Status ProxyFleet::heartbeat(std::size_t index) {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
   return workers_[index]->proxy->heartbeat();
 }
 
 Status ProxyFleet::kill_worker(std::size_t index) {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
   workers_[index]->proxy->crash_enclave();
   return Status::ok();
@@ -165,7 +169,7 @@ sgx::Measurement ProxyFleet::measurement() const {
   // worker 0's measurement is the fleet's. Respawn preserves it: a fresh
   // proxy re-measures the same code. Copied out under the lock — a
   // reference would dangle if respawn replaced the worker.
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return workers_.front()->proxy->measurement();
 }
 
@@ -178,12 +182,12 @@ Result<core::HandshakeResponse> ProxyFleet::handshake(
   for (std::size_t attempt = 0; attempt < kHandshakeIdAttempts; ++attempt) {
     std::uint64_t session_id = proposed_session_id;
     if (session_id == 0) {
-      std::lock_guard rng_lock(rng_mutex_);
+      MutexLock rng_lock(rng_mutex_);
       session_id = session_id_rng_.next();
     }
     if (session_id == 0) continue;
 
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     const std::size_t owner = owner_locked(session_id);
     if (owner >= workers_.size()) {
       return unavailable("fleet: no live workers");
@@ -203,7 +207,7 @@ Result<core::HandshakeResponse> ProxyFleet::handshake(
 
 Result<Bytes> ProxyFleet::handle_query_record(std::uint64_t session_id,
                                               ByteSpan record) {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   const std::size_t owner = owner_locked(session_id);
   if (owner >= workers_.size()) {
     return unavailable("fleet: no live workers");
@@ -217,7 +221,7 @@ Result<Bytes> ProxyFleet::handle_query_record(std::uint64_t session_id,
 
 Status ProxyFleet::drain(std::size_t index) {
   {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
     if (!workers_[index]->live) return Status::ok();  // idempotent
     std::size_t live = 0;
@@ -235,7 +239,7 @@ Status ProxyFleet::drain(std::size_t index) {
   // healthy workers (the drained worker's failure domain is its own arc),
   // while the lock still keeps a concurrent respawn from destroying the
   // proxy mid-seal.
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   Worker& worker = *workers_[index];
   if (!worker.live && !worker.proxy->checkpoint_path().empty()) {
     (void)worker.proxy->checkpoint_now();
@@ -246,7 +250,7 @@ Status ProxyFleet::drain(std::size_t index) {
 Status ProxyFleet::respawn(std::size_t index) {
   core::XSearchProxy::Options options;
   {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
     workers_[index]->respawns += 1;
     options = worker_options(index);
@@ -265,7 +269,7 @@ Status ProxyFleet::respawn(std::size_t index) {
   respawns_total_.fetch_add(1, std::memory_order_relaxed);
   std::unique_ptr<core::XSearchProxy> retired;
   {
-    std::unique_lock lock(mutex_);
+    WriterLock lock(mutex_);
     retired = std::move(workers_[index]->proxy);  // destroyed after unlock
     workers_[index]->proxy = std::move(proxy).value();
     workers_[index]->live = true;

@@ -45,10 +45,9 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
 #include "engine/search_engine.hpp"
@@ -161,7 +160,13 @@ class ProxyFleet : public core::ProxyHandler {
 
   // --- introspection --------------------------------------------------------
 
-  [[nodiscard]] std::size_t worker_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t worker_count() const {
+    // The slot count is fixed after create() (respawn replaces slots, never
+    // adds them), but the vector is guarded, so take the shared lock —
+    // uncontended in practice and provably consistent.
+    ReaderLock lock(mutex_);
+    return workers_.size();
+  }
   [[nodiscard]] std::size_t live_workers() const;
   [[nodiscard]] WorkerStats worker_stats(std::size_t index) const;
   [[nodiscard]] FleetStats fleet_stats() const;
@@ -186,11 +191,13 @@ class ProxyFleet : public core::ProxyHandler {
                       const sgx::AttestationAuthority& authority,
                       Options options);
 
-  [[nodiscard]] core::XSearchProxy::Options worker_options(
-      std::size_t index) const;
+  /// Derives worker `index`'s per-slot proxy options. Reads the worker's
+  /// respawn count, so the caller holds `mutex_` (either mode).
+  [[nodiscard]] core::XSearchProxy::Options worker_options(std::size_t index)
+      const XS_REQUIRES_SHARED(mutex_);
 
   /// Rebuilds ring_ from the live workers. Caller holds `mutex_` exclusive.
-  void rebuild_ring_locked();
+  void rebuild_ring_locked() XS_REQUIRES(mutex_);
 
   /// Folds a (re)started worker's restore outcome into the fleet counters.
   /// `initial_spawn` exempts checkpoint-less workers from the miss count.
@@ -198,7 +205,8 @@ class ProxyFleet : public core::ProxyHandler {
 
   /// Ring lookup. Caller holds `mutex_` (either mode). Returns
   /// workers_.size() when the ring is empty.
-  [[nodiscard]] std::size_t owner_locked(std::uint64_t session_id) const;
+  [[nodiscard]] std::size_t owner_locked(std::uint64_t session_id) const
+      XS_REQUIRES_SHARED(mutex_);
 
   const engine::SearchEngine* engine_;
   const sgx::AttestationAuthority* authority_;
@@ -207,15 +215,18 @@ class ProxyFleet : public core::ProxyHandler {
   // Guards the ring and worker slots. Routing holds it shared for the
   // duration of the worker call, so drain/respawn (exclusive) waits out
   // in-flight requests instead of destroying a proxy under them.
-  mutable std::shared_mutex mutex_;
-  std::vector<std::unique_ptr<Worker>> workers_;
+  mutable SharedMutex mutex_;
+  // Worker slots: the vector (and each Worker's live/respawns fields, which
+  // the analysis cannot tie to a guard owned by another object) follow the
+  // same rule — reads under a shared hold of mutex_, writes under exclusive.
+  std::vector<std::unique_ptr<Worker>> workers_ XS_GUARDED_BY(mutex_);
   /// (point on the 64-bit ring, worker index), sorted by point.
-  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_;
+  std::vector<std::pair<std::uint64_t, std::uint32_t>> ring_ XS_GUARDED_BY(mutex_);
   /// Session-id source for handshakes (ids are routing metadata, so a
   /// deterministic stream is fine — uniqueness per worker is enforced by
   /// the worker's table refusing duplicate proposals).
-  std::mutex rng_mutex_;
-  Rng session_id_rng_;
+  Mutex rng_mutex_;
+  Rng session_id_rng_ XS_GUARDED_BY(rng_mutex_);
 
   std::atomic<std::uint64_t> respawns_total_{0};
   std::atomic<std::uint64_t> auto_respawns_{0};

@@ -49,19 +49,19 @@ void ProxyServer::stop() {
   listener_.release();
   {
     // Unblock workers parked in recv on live client connections.
-    std::lock_guard lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     for (const auto& [id, stream] : live_) stream->shutdown_both();
   }
   // Drains queued connection tasks (each sees stopping_, reaps, returns)
   // and joins the workers. Idempotent.
   pool_.shutdown();
-  std::lock_guard lock(connections_mutex_);
+  MutexLock lock(connections_mutex_);
   live_.clear();
 }
 
 void ProxyServer::reap(std::uint64_t connection_id) {
   {
-    std::lock_guard lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     if (live_.erase(connection_id) == 0) return;  // already cleared by stop()
   }
   reaped_.fetch_add(1, std::memory_order_relaxed);
@@ -75,7 +75,7 @@ void ProxyServer::accept_loop() {
     auto stream = std::make_shared<TcpStream>(std::move(accepted).value());
     std::uint64_t id = 0;
     {
-      std::lock_guard lock(connections_mutex_);
+      MutexLock lock(connections_mutex_);
       id = next_connection_id_++;
       live_.emplace(id, stream);
     }

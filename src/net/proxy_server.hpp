@@ -19,10 +19,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <unordered_map>
 
+#include "common/mutex.hpp"
 #include "common/thread_pool.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
@@ -75,7 +75,7 @@ class ProxyServer {
   }
   /// Connections currently registered (live or awaiting a worker).
   [[nodiscard]] std::size_t active_connections() const {
-    std::lock_guard lock(connections_mutex_);
+    MutexLock lock(connections_mutex_);
     return live_.size();
   }
 
@@ -96,9 +96,10 @@ class ProxyServer {
   // Live connection registry: lets stop() unblock workers parked in recv,
   // and is the quantity `active_connections` reports. Entries are reaped by
   // the worker when its connection closes.
-  mutable std::mutex connections_mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<TcpStream>> live_;
-  std::uint64_t next_connection_id_ = 1;
+  mutable Mutex connections_mutex_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<TcpStream>> live_
+      XS_GUARDED_BY(connections_mutex_);
+  std::uint64_t next_connection_id_ XS_GUARDED_BY(connections_mutex_) = 1;
 
   ThreadPool pool_;
   std::thread accept_thread_;

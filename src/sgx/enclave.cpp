@@ -1,7 +1,6 @@
 #include "sgx/enclave.hpp"
 
 #include <cstring>
-#include <mutex>
 
 #include "crypto/hmac.hpp"
 
@@ -23,12 +22,12 @@ EnclaveRuntime::EnclaveRuntime(Config config)
 }
 
 void EnclaveRuntime::register_ecall(std::string name, Handler handler) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   ecalls_[std::move(name)] = std::move(handler);
 }
 
 void EnclaveRuntime::register_ocall(std::string name, Handler handler) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   ocalls_[std::move(name)] = std::move(handler);
 }
 
@@ -40,7 +39,7 @@ Result<Bytes> EnclaveRuntime::ecall(std::string_view name, ByteSpan input) {
   }
   Handler handler;
   {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     const auto it = ecalls_.find(name);  // transparent: no temporary string
     if (it == ecalls_.end()) {
       return not_found("unknown ecall: " + std::string(name));
@@ -56,7 +55,7 @@ Result<Bytes> EnclaveRuntime::ecall(std::string_view name, ByteSpan input) {
 Result<Bytes> EnclaveRuntime::ocall(std::string_view name, ByteSpan input) {
   Handler handler;
   {
-    std::shared_lock lock(mutex_);
+    ReaderLock lock(mutex_);
     const auto it = ocalls_.find(name);  // transparent: no temporary string
     if (it == ocalls_.end()) {
       return not_found("unknown ocall: " + std::string(name));

@@ -20,13 +20,13 @@
 
 #include <functional>
 #include <memory>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 
 #include "common/bytes.hpp"
 #include "common/hash.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/sha256.hpp"
@@ -113,9 +113,11 @@ class EnclaveRuntime {
   using HandlerMap =
       std::unordered_map<std::string, Handler, StringHash, std::equal_to<>>;
 
-  mutable std::shared_mutex mutex_;
-  HandlerMap ecalls_;
-  HandlerMap ocalls_;
+  // Written only by register_* (exclusive); dispatch reads take a shared
+  // lock and copy the handler out before invoking it outside the lock.
+  mutable SharedMutex mutex_;
+  HandlerMap ecalls_ XS_GUARDED_BY(mutex_);
+  HandlerMap ocalls_ XS_GUARDED_BY(mutex_);
   std::atomic<bool> crashed_{false};
   std::atomic<std::uint64_t> ecall_count_{0};
   std::atomic<std::uint64_t> ocall_count_{0};

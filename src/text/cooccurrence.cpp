@@ -29,6 +29,7 @@ void CooccurrenceMatrix::add_query(std::string_view query) {
       bump(ids[j], ids[i]);
     }
   }
+  MutexLock lock(sampling_mutex_);
   sampling_dirty_ = true;
 }
 
@@ -67,12 +68,19 @@ void CooccurrenceMatrix::rebuild_sampling_table() const {
 
 std::string CooccurrenceMatrix::sample_term(Rng& rng) const {
   if (unigram_.empty()) return {};
-  if (sampling_dirty_) rebuild_sampling_table();
-  const std::uint64_t target = rng.uniform(sample_cumulative_.back()) + 1;
-  const auto it =
-      std::lower_bound(sample_cumulative_.begin(), sample_cumulative_.end(), target);
-  const auto idx = static_cast<std::size_t>(it - sample_cumulative_.begin());
-  return vocab_->term(sample_terms_[idx]);
+  TermId picked;
+  {
+    // Shared-generator hot path: PEAS batch lanes sample concurrently, and
+    // any of them may observe the cache dirty and rebuild it.
+    MutexLock lock(sampling_mutex_);
+    if (sampling_dirty_) rebuild_sampling_table();
+    const std::uint64_t target = rng.uniform(sample_cumulative_.back()) + 1;
+    const auto it = std::lower_bound(sample_cumulative_.begin(),
+                                     sample_cumulative_.end(), target);
+    const auto idx = static_cast<std::size_t>(it - sample_cumulative_.begin());
+    picked = sample_terms_[idx];
+  }
+  return vocab_->term(picked);
 }
 
 std::string CooccurrenceMatrix::sample_neighbour(std::string_view term, Rng& rng) const {

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "text/vocabulary.hpp"
 
@@ -47,18 +48,24 @@ class CooccurrenceMatrix {
   [[nodiscard]] std::string generate_fake_query(std::size_t length, Rng& rng) const;
 
  private:
-  void rebuild_sampling_table() const;
+  void rebuild_sampling_table() const XS_REQUIRES(sampling_mutex_);
 
   Vocabulary* vocab_;
   // neighbours_[t] = (other term, count) pairs; sampling does a linear
-  // weighted pick, which is fine for query-sized neighbour lists.
+  // weighted pick, which is fine for query-sized neighbour lists. Both maps
+  // are written only by add_query (construction-time, single-threaded) and
+  // read concurrently afterwards, so they carry no lock.
   std::unordered_map<TermId, std::vector<std::pair<TermId, std::uint64_t>>> neighbours_;
   std::unordered_map<TermId, std::uint64_t> unigram_;
 
-  // Lazily rebuilt cumulative table for global unigram sampling.
-  mutable std::vector<TermId> sample_terms_;
-  mutable std::vector<std::uint64_t> sample_cumulative_;
-  mutable bool sampling_dirty_ = true;
+  // Lazily rebuilt cumulative table for global unigram sampling. Unlike the
+  // maps above this cache is mutated from const readers, which PEAS batch
+  // lanes call concurrently on a shared generator — hence its own lock.
+  mutable Mutex sampling_mutex_;
+  mutable std::vector<TermId> sample_terms_ XS_GUARDED_BY(sampling_mutex_);
+  mutable std::vector<std::uint64_t> sample_cumulative_
+      XS_GUARDED_BY(sampling_mutex_);
+  mutable bool sampling_dirty_ XS_GUARDED_BY(sampling_mutex_) = true;
 };
 
 }  // namespace xsearch::text

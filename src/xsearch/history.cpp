@@ -1,7 +1,6 @@
 #include "xsearch/history.hpp"
 
 #include <cassert>
-#include <mutex>
 #include <unordered_map>
 #include <utility>
 
@@ -17,7 +16,7 @@ QueryHistory::~QueryHistory() {
 }
 
 void QueryHistory::add(std::string_view query) {
-  std::unique_lock lock(mutex_);
+  WriterLock lock(mutex_);
   std::string incoming(query);
 
   if (count_ < capacity_) {
@@ -48,7 +47,7 @@ void QueryHistory::add(std::string_view query) {
 }
 
 std::vector<std::string> QueryHistory::sample(std::size_t k, Rng& rng) const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   std::vector<std::string> out;
   if (count_ == 0 || k == 0) return out;
   out.reserve(k);
@@ -80,7 +79,7 @@ std::vector<std::string> QueryHistory::sample(std::size_t k, Rng& rng) const {
 }
 
 std::vector<std::string> QueryHistory::snapshot() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   std::vector<std::string> out;
   out.reserve(count_);
   if (count_ < capacity_) {
@@ -96,12 +95,12 @@ std::vector<std::string> QueryHistory::snapshot() const {
 }
 
 std::size_t QueryHistory::size() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return count_;
 }
 
 std::size_t QueryHistory::memory_bytes() const {
-  std::shared_lock lock(mutex_);
+  ReaderLock lock(mutex_);
   return bytes_;
 }
 

@@ -16,11 +16,11 @@
 #pragma once
 
 #include <cstddef>
-#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "sgx/epc.hpp"
 
@@ -64,15 +64,15 @@ class QueryHistory {
   const std::size_t capacity_;
   sgx::EpcAccountant* epc_;
 
-  mutable std::shared_mutex mutex_;
-  std::vector<std::string> ring_;
+  mutable SharedMutex mutex_;
+  std::vector<std::string> ring_ XS_GUARDED_BY(mutex_);
   // Exact bytes charged for each slot. std::string assignment may keep or
   // swap buffers, so the amount to release on eviction must be remembered,
   // not recomputed from the slot's current capacity.
-  std::vector<std::size_t> charged_;
-  std::size_t head_ = 0;   // next insert position
-  std::size_t count_ = 0;  // live entries
-  std::size_t bytes_ = 0;  // current accounting total
+  std::vector<std::size_t> charged_ XS_GUARDED_BY(mutex_);
+  std::size_t head_ XS_GUARDED_BY(mutex_) = 0;   // next insert position
+  std::size_t count_ XS_GUARDED_BY(mutex_) = 0;  // live entries
+  std::size_t bytes_ XS_GUARDED_BY(mutex_) = 0;  // current accounting total
 };
 
 }  // namespace xsearch::core

@@ -21,10 +21,10 @@
 #include <atomic>
 #include <filesystem>
 #include <memory>
-#include <mutex>
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "crypto/random.hpp"
 #include "crypto/secure_channel.hpp"
@@ -209,6 +209,13 @@ class XSearchProxy : public ProxyHandler {
   /// kill-and-recover bench.
   void crash_enclave() { enclave_->crash(); }
 
+  /// Host-side handle to the enclave runtime. The ocall table is *host*
+  /// state — the untrusted side owns its stubs and may legitimately replace
+  /// them (which is exactly what the fault-injection tests do to model host
+  /// failures). Trusted state behind the boundary is reachable only via
+  /// `ecall`, so handing out a mutable runtime does not widen the TCB.
+  [[nodiscard]] sgx::EnclaveRuntime& host_enclave() { return *enclave_; }
+
   /// Checkpoint/restore lifecycle counters.
   struct CheckpointStats {
     bool enabled = false;            // Options::checkpoint_dir set
@@ -277,7 +284,7 @@ class XSearchProxy : public ProxyHandler {
   void maybe_checkpoint();
 
   /// Seal + persist. Caller holds `checkpoint_mutex_`.
-  [[nodiscard]] Status checkpoint_locked();
+  [[nodiscard]] Status checkpoint_locked() XS_REQUIRES(checkpoint_mutex_);
 
   /// One query's trusted work — obfuscate, engine round trip, filter —
   /// shared by the single-query and batch paths. The caller holds the
@@ -310,8 +317,8 @@ class XSearchProxy : public ProxyHandler {
   // only. The steady-state query path never touches it: each session draws
   // from its own RNG streams held in the session table, so concurrent
   // sessions obfuscate and seal without any shared RNG lock.
-  std::mutex handshake_mutex_;
-  crypto::SecureRandom secure_rng_;
+  Mutex handshake_mutex_;
+  crypto::SecureRandom secure_rng_ XS_GUARDED_BY(handshake_mutex_);
 
   // Bounded session subsystem: per-session channel locking + RNG streams,
   // LRU + idle-TTL eviction, EPC accounting (see session_table.hpp for the
@@ -324,7 +331,7 @@ class XSearchProxy : public ProxyHandler {
   // side, polled by the host to decide when a periodic checkpoint is due).
   std::atomic<std::uint64_t> queries_since_checkpoint_{0};
   // Serializes checkpoint writes; periodic polls skip when contended.
-  std::mutex checkpoint_mutex_;
+  Mutex checkpoint_mutex_;
   std::atomic<std::uint64_t> checkpoints_written_{0};
   std::atomic<std::uint64_t> checkpoint_write_failures_{0};
   bool restore_attempted_ = false;  // set during single-threaded construction
@@ -337,8 +344,8 @@ class XSearchProxy : public ProxyHandler {
   // serialize on one lock (each shard's critical sections are O(1) map
   // bookkeeping; the engine search itself runs outside any lock).
   struct SocketShard {
-    std::mutex mutex;
-    std::unordered_map<std::uint64_t, Bytes> buffers;
+    Mutex mutex;
+    std::unordered_map<std::uint64_t, Bytes> buffers XS_GUARDED_BY(mutex);
   };
   static constexpr std::size_t kSocketShards = 8;
   [[nodiscard]] SocketShard& socket_shard(std::uint64_t sock) {

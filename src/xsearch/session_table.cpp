@@ -44,15 +44,15 @@ struct SessionTable::Session {
         rng(fork_seed(base_seed, id, base_generation)),
         secure_rng(fork_chacha_seed(base_seed, id, base_generation)) {}
 
-  std::mutex mutex;
-  crypto::SecureChannel channel;
+  Mutex mutex;
+  crypto::SecureChannel channel XS_GUARDED_BY(mutex);
   // Stream generation this session's RNG forks were derived with (0 for a
   // fresh session, the restored count for a resumed one). Checkpoints seal
   // generation + obfuscations so generations accumulate across crashes
   // instead of regressing to an already-spent stream.
   const std::uint64_t generation;
-  Rng rng;
-  crypto::SecureRandom secure_rng;
+  Rng rng XS_GUARDED_BY(mutex);
+  crypto::SecureRandom secure_rng XS_GUARDED_BY(mutex);
   // Obfuscations performed on this session; atomic because the count is
   // bumped under the session lock but snapshotted (for checkpoints) under
   // only the shard lock.
@@ -64,13 +64,22 @@ struct SessionTable::Session {
 SessionTable::LockedSession::LockedSession(std::shared_ptr<Session> session)
     : session_(std::move(session)), lock_(session_->mutex) {}
 
-crypto::SecureChannel& SessionTable::LockedSession::channel() {
+// The three accessors below hand out fields guarded by the per-session
+// mutex. The capability IS held — LockedSession owns it through `lock_` for
+// its whole lifetime — but a movable lock handle crossing an object
+// boundary is not expressible as a scoped capability, so the analysis is
+// waived here (and the per-session discipline stays covered by TSan).
+crypto::SecureChannel& SessionTable::LockedSession::channel()
+    XS_NO_THREAD_SAFETY_ANALYSIS {
   return session_->channel;
 }
 
-Rng& SessionTable::LockedSession::rng() { return session_->rng; }
+Rng& SessionTable::LockedSession::rng() XS_NO_THREAD_SAFETY_ANALYSIS {
+  return session_->rng;
+}
 
-crypto::SecureRandom& SessionTable::LockedSession::secure_rng() {
+crypto::SecureRandom& SessionTable::LockedSession::secure_rng()
+    XS_NO_THREAD_SAFETY_ANALYSIS {
   return session_->secure_rng;
 }
 
@@ -98,6 +107,7 @@ SessionTable::SessionTable(Options options, sgx::EpcAccountant* epc, Clock clock
         return o;
       }()),
       epc_(epc),
+      // tcb-lint: allow(trusted-wall-clock) default Clock for hosts that inject none; expiry uses relative deltas only, so a lying host clock can at worst evict early (availability, not privacy)
       now_(clock ? std::move(clock) : Clock([] { return wall_now(); })) {
   shards_.reserve(options_.shards);
   // Quotas sum to exactly Options::capacity: the division remainder goes
@@ -127,7 +137,7 @@ void SessionTable::remove_locked(
       it->second->generation +
       it->second->obfuscations.load(std::memory_order_relaxed);
   if (spent > 0) {
-    std::lock_guard generations_lock(retained_generations_mutex_);
+    MutexLock generations_lock(retained_generations_mutex_);
     retained_generations_[it->first] = spent;
   }
   shard.lru.erase(it->second->lru_it);
@@ -171,7 +181,7 @@ std::uint64_t SessionTable::insert(crypto::SecureChannel channel,
       if (gen_it != resume_generations_.end()) generation = gen_it->second;
     }
     {
-      std::lock_guard generations_lock(retained_generations_mutex_);
+      MutexLock generations_lock(retained_generations_mutex_);
       const auto gen_it = retained_generations_.find(id);
       if (gen_it != retained_generations_.end()) {
         generation = std::max(generation, gen_it->second);
@@ -181,7 +191,7 @@ std::uint64_t SessionTable::insert(crypto::SecureChannel channel,
                                              options_.rng_seed, generation);
 
     Shard& shard = shard_for(id);
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     evict_expired_locked(shard, now);
     if (shard.sessions.contains(id)) {
       // Occupied either way (a proposed id may have landed ahead of the
@@ -189,7 +199,13 @@ std::uint64_t SessionTable::insert(crypto::SecureChannel channel,
       // a silent emplace no-op here would orphan an LRU entry and corrupt
       // the table's accounting.
       if (proposed_id != 0) return 0;
-      channel = std::move(session->channel);  // reclaim for the retry
+      {
+        // The session was never published, so its lock is uncontended and
+        // taking it under the shard lock cannot invert the documented
+        // ordering against any other thread.
+        MutexLock reclaim(session->mutex);
+        channel = std::move(session->channel);  // reclaim for the retry
+      }
       continue;
     }
     session->last_used = now;
@@ -221,7 +237,7 @@ SessionTable::LockedSession SessionTable::acquire(std::uint64_t session_id) {
   Shard& shard = shard_for(session_id);
   std::shared_ptr<Session> session;
   {
-    std::lock_guard lock(shard.mutex);
+    MutexLock lock(shard.mutex);
     evict_expired_locked(shard, now);
     const auto it = shard.sessions.find(session_id);
     if (it == shard.sessions.end()) {
@@ -239,7 +255,7 @@ SessionTable::LockedSession SessionTable::acquire(std::uint64_t session_id) {
 
 bool SessionTable::erase(std::uint64_t session_id) {
   Shard& shard = shard_for(session_id);
-  std::lock_guard lock(shard.mutex);
+  MutexLock lock(shard.mutex);
   const auto it = shard.sessions.find(session_id);
   if (it == shard.sessions.end()) return false;
   remove_locked(shard, it);
@@ -251,7 +267,7 @@ std::size_t SessionTable::sweep_expired() {
   const Nanos now = now_();
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     total += evict_expired_locked(*shard, now);
   }
   return total;
@@ -274,13 +290,13 @@ SessionTable::checkpoint_generations() const {
   //     draws made since).
   std::unordered_map<std::uint64_t, std::uint64_t> merged(resume_generations_);
   {
-    std::lock_guard generations_lock(retained_generations_mutex_);
+    MutexLock generations_lock(retained_generations_mutex_);
     for (const auto& [id, generation] : retained_generations_) {
       merged[id] = generation;
     }
   }
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (const auto& [id, session] : shard->sessions) {
       merged[id] = session->generation +
                    session->obfuscations.load(std::memory_order_relaxed);

@@ -45,6 +45,7 @@
 #include <vector>
 
 #include "common/clock.hpp"
+#include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "crypto/random.hpp"
 #include "crypto/secure_channel.hpp"
@@ -132,7 +133,7 @@ class SessionTable {
     explicit LockedSession(std::shared_ptr<Session> session);
 
     std::shared_ptr<Session> session_;
-    std::unique_lock<std::mutex> lock_;
+    std::unique_lock<Mutex> lock_;
   };
 
   /// Registers an established channel and returns its session id. May evict
@@ -182,9 +183,10 @@ class SessionTable {
  private:
   struct Shard {
     std::size_t capacity = 0;  // this shard's share of Options::capacity
-    std::mutex mutex;
-    std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions;
-    std::list<std::uint64_t> lru;  // front = most recently used
+    Mutex mutex;
+    std::unordered_map<std::uint64_t, std::shared_ptr<Session>> sessions
+        XS_GUARDED_BY(mutex);
+    std::list<std::uint64_t> lru XS_GUARDED_BY(mutex);  // front = most recent
   };
 
   [[nodiscard]] Shard& shard_for(std::uint64_t session_id) {
@@ -197,10 +199,12 @@ class SessionTable {
   /// Removes the session `it` points at. Caller holds the shard mutex.
   void remove_locked(Shard& shard,
                      std::unordered_map<std::uint64_t,
-                                        std::shared_ptr<Session>>::iterator it);
+                                        std::shared_ptr<Session>>::iterator it)
+      XS_REQUIRES(shard.mutex);
   /// Evicts idle-expired sessions from the shard's cold end. Caller holds
   /// the shard mutex. Returns the number evicted.
-  std::size_t evict_expired_locked(Shard& shard, Nanos now);
+  std::size_t evict_expired_locked(Shard& shard, Nanos now)
+      XS_REQUIRES(shard.mutex);
 
   const Options options_;
   sgx::EpcAccountant* epc_;
@@ -217,8 +221,9 @@ class SessionTable {
   // restart (the checkpoint round-trips the entries that matter). Locking
   // order: a shard mutex may be held when taking this mutex, never the
   // reverse.
-  mutable std::mutex retained_generations_mutex_;
-  std::unordered_map<std::uint64_t, std::uint64_t> retained_generations_;
+  mutable Mutex retained_generations_mutex_;
+  std::unordered_map<std::uint64_t, std::uint64_t> retained_generations_
+      XS_GUARDED_BY(retained_generations_mutex_);
 
   std::vector<std::unique_ptr<Shard>> shards_;
 

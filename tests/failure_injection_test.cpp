@@ -57,12 +57,10 @@ class FaultTest : public ::testing::Test {
     return options;
   }
 
-  /// The enclave runtime is only exposed const from the proxy; fault
-  /// injection legitimately models the *untrusted host* re-registering its
-  /// own ocall handlers, so the const_cast mirrors the host's powers.
-  sgx::EnclaveRuntime& host_enclave() {
-    return const_cast<sgx::EnclaveRuntime&>(proxy_.enclave());
-  }
+  /// Fault injection models the *untrusted host* re-registering its own
+  /// ocall handlers, which the proxy exposes first-class (no const_cast —
+  /// the boundary lint bans casting away the enclave's constness).
+  sgx::EnclaveRuntime& host_enclave() { return proxy_.host_enclave(); }
 
   dataset::QueryLog log_;
   engine::Corpus corpus_;

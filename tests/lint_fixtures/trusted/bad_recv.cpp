@@ -1,0 +1,7 @@
+// Fixture: a "trusted" translation unit calling host recv() directly.
+// tools_tcb_lint_test expects tcb_lint to flag this line (trusted-host-io).
+#include <sys/socket.h>
+
+long fixture_read_from_host(int fd, void* buf, unsigned long len) {
+  return ::recv(fd, buf, len, 0);
+}

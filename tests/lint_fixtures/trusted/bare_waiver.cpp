@@ -1,0 +1,7 @@
+// Fixture: a waiver with no written reason. tools_tcb_lint_test expects
+// tcb_lint to reject it — a bare escape hatch is itself a finding.
+#include <sys/socket.h>
+
+long fixture_bare_waiver(int fd, void* buf, unsigned long len) {
+  return ::recv(fd, buf, len, 0);  // tcb-lint: allow(trusted-host-io)
+}

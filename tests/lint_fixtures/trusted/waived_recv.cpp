@@ -1,0 +1,9 @@
+// Fixture: the same host call as bad_recv.cpp, but carrying a written
+// waiver. tools_tcb_lint_test expects tcb_lint to pass this file and count
+// exactly one waiver.
+#include <sys/socket.h>
+
+long fixture_waived_read(int fd, void* buf, unsigned long len) {
+  // tcb-lint: allow(trusted-host-io) fixture: demonstrates the per-line waiver syntax the real tree uses
+  return ::recv(fd, buf, len, 0);
+}

@@ -1,0 +1,32 @@
+// Thread-safety-analysis negative fixture: MUST FAIL to compile under
+//   clang++ -Isrc -Wthread-safety -Werror=thread-safety
+// and is exactly the bug class the annotations exist to catch — the
+// SessionTable pattern (a guarded field inside a shard) accessed with the
+// lock acquisition deleted. The static-analysis CI job compiles this file
+// expecting failure (mirroring PR 4's perf-gate self-test): if it ever
+// compiles clean, the analysis has silently stopped checking anything.
+//
+// Never built by CMake (the test glob is tests/*.cpp, non-recursive).
+#include "common/mutex.hpp"
+
+namespace {
+
+// Mirrors xsearch::core::SessionTable::Shard: a mutex and state it guards.
+struct Shard {
+  xsearch::Mutex mutex;
+  int sessions XS_GUARDED_BY(mutex) = 0;
+};
+
+int broken_insert(Shard& shard) {
+  // BUG (intentional): the `MutexLock lock(shard.mutex);` line was removed.
+  // -Werror=thread-safety must reject this write to a guarded field.
+  shard.sessions += 1;
+  return shard.sessions;
+}
+
+}  // namespace
+
+int main() {
+  Shard shard;
+  return broken_insert(shard);
+}

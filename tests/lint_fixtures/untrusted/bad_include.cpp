@@ -1,0 +1,7 @@
+// Fixture: an "untrusted" translation unit including an enclave-private
+// header. tools_tcb_lint_test expects tcb_lint to flag the include
+// (untrusted-enclave-header). Never compiled — the header path does not
+// even need to resolve here, only to be spelled.
+#include "xsearch/history.hpp"
+
+int fixture_untrusted_peek() { return 0; }

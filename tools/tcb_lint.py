@@ -1,0 +1,326 @@
+#!/usr/bin/env python3
+"""TCB-boundary lint for the X-Search tree.
+
+Enforces the trusted/untrusted split that the paper's security argument
+rests on (small TCB behind a 2-ecall/4-ocall boundary). The rules live in
+tools/tcb_boundary.toml; this script is a disciplined line-level pass over
+the sources named there — no compiler needed, so it runs identically on a
+dev box and in CI. When a compile_commands.json is supplied (any CMake
+preset exports one) it is used to warn about trusted translation units the
+build does not actually compile, which is how dead trusted code would
+otherwise dodge both this lint and the thread-safety build.
+
+Waivers:
+  * per line:  // tcb-lint: allow(<rule>) <written reason>
+    (on the offending line or the line directly above it)
+  * per file:  [[exempt]] entries in the TOML, with a reason
+Both are counted and listed; a waiver without a reason is itself a finding.
+
+Exit status: 0 when every finding is waived, 1 otherwise, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h"}
+WAIVER_RE = re.compile(r"//\s*tcb-lint:\s*allow\(([\w-]+)\)\s*(.*)")
+INCLUDE_RE = re.compile(r'#include\s*"([^"]+)"')
+BOUNDARY_RE = re.compile(r'\b(?:register_)?(ecall|ocall)\s*\(\s*"([^"]+)"')
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    snippet: str
+
+
+@dataclass
+class Waiver:
+    path: str
+    where: str  # "line N" or "config"
+    rule: str
+    reason: str
+
+
+@dataclass
+class Rule:
+    name: str
+    applies_to: str
+    kind: str
+    message: str
+    patterns: list[re.Pattern] = field(default_factory=list)
+    headers: list[str] = field(default_factory=list)
+    context: re.Pattern | None = None
+    window: int = 0
+
+
+def load_rules(config: dict) -> list[Rule]:
+    rules = []
+    for raw in config.get("rules", []):
+        rule = Rule(
+            name=raw["name"],
+            applies_to=raw["applies_to"],
+            kind=raw["kind"],
+            message=raw["message"],
+        )
+        if rule.kind == "pattern":
+            rule.patterns = [re.compile(p) for p in raw["patterns"]]
+        elif rule.kind == "include":
+            rule.headers = list(raw["headers"])
+        elif rule.kind == "context":
+            rule.patterns = [re.compile(raw["pattern"])]
+            rule.context = re.compile(raw["context"])
+            rule.window = int(raw.get("window", 20))
+        elif rule.kind != "boundary":
+            raise SystemExit(f"tcb_lint: unknown rule kind {rule.kind!r}")
+        rules.append(rule)
+    return rules
+
+
+def list_sources(root: Path, dirs: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for d in dirs:
+        base = root / d
+        if not base.exists():
+            continue
+        out.extend(
+            p for p in sorted(base.rglob("*")) if p.suffix in SOURCE_SUFFIXES
+        )
+    return out
+
+
+def line_waiver(lines: list[str], idx: int) -> tuple[str, str] | None:
+    """Waiver on the offending line, or alone on the line above it."""
+    m = WAIVER_RE.search(lines[idx])
+    if m:
+        return m.group(1), m.group(2).strip()
+    if idx > 0:
+        prev = lines[idx - 1].strip()
+        m = WAIVER_RE.search(prev)
+        if m and prev.startswith("//"):
+            return m.group(1), m.group(2).strip()
+    return None
+
+
+def strip_line_comment(line: str) -> str:
+    """Drop // comments so prose about ::recv or <fstream> never trips a rule."""
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+class Linter:
+    def __init__(self, root: Path, config: dict):
+        self.root = root
+        self.rules = load_rules(config)
+        modules = config.get("modules", {})
+        self.scopes = {
+            "trusted": modules.get("trusted", []),
+            "untrusted": modules.get("untrusted", []),
+            "tests": modules.get("tests", []),
+        }
+        boundary = config.get("boundary", {})
+        self.registered = {
+            "ecall": set(boundary.get("ecalls", [])),
+            "ocall": set(boundary.get("ocalls", [])),
+        }
+        self.exempt: dict[tuple[str, str], str] = {}
+        for entry in config.get("exempt", []):
+            self.exempt[(entry["file"], entry["rule"])] = entry["reason"]
+        self.findings: list[Finding] = []
+        self.waivers: list[Waiver] = []
+        self.used_exempts: set[tuple[str, str]] = set()
+
+    def scope_of(self, rel: str) -> str | None:
+        for scope in ("trusted", "untrusted", "tests"):
+            for d in self.scopes[scope]:
+                if rel == d or rel.startswith(d.rstrip("/") + "/"):
+                    return scope
+        return None
+
+    def rules_for(self, scope: str) -> list[Rule]:
+        return [
+            r
+            for r in self.rules
+            if r.applies_to == "all" or r.applies_to == scope
+        ]
+
+    def report(self, rel: str, lines: list[str], idx: int, rule: Rule,
+               message: str | None = None) -> None:
+        exempt_reason = self.exempt.get((rel, rule.name))
+        if exempt_reason is not None:
+            if (rel, rule.name) not in self.used_exempts:
+                self.used_exempts.add((rel, rule.name))
+                self.waivers.append(Waiver(rel, "config", rule.name, exempt_reason))
+            return
+        waiver = line_waiver(lines, idx)
+        if waiver is not None:
+            waived_rule, reason = waiver
+            if waived_rule != rule.name:
+                self.findings.append(Finding(
+                    rel, idx + 1, rule.name,
+                    f"waiver names rule {waived_rule!r} but the finding is "
+                    f"{rule.name!r}", lines[idx].strip()))
+            elif not reason:
+                self.findings.append(Finding(
+                    rel, idx + 1, rule.name,
+                    "waiver has no written reason (required)",
+                    lines[idx].strip()))
+            else:
+                self.waivers.append(
+                    Waiver(rel, f"line {idx + 1}", rule.name, reason))
+            return
+        self.findings.append(Finding(
+            rel, idx + 1, rule.name, message or rule.message,
+            lines[idx].strip()))
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        scope = self.scope_of(rel)
+        if scope is None:
+            return
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        for rule in self.rules_for(scope):
+            if rule.kind == "pattern":
+                for idx, line in enumerate(lines):
+                    code = strip_line_comment(line)
+                    if any(p.search(code) for p in rule.patterns):
+                        self.report(rel, lines, idx, rule)
+            elif rule.kind == "include":
+                for idx, line in enumerate(lines):
+                    m = INCLUDE_RE.search(strip_line_comment(line))
+                    if m and m.group(1) in rule.headers:
+                        self.report(rel, lines, idx, rule)
+            elif rule.kind == "boundary":
+                for idx, line in enumerate(lines):
+                    for m in BOUNDARY_RE.finditer(strip_line_comment(line)):
+                        side, name = m.group(1), m.group(2)
+                        if name not in self.registered[side]:
+                            self.report(
+                                rel, lines, idx, rule,
+                                f"{side}(\"{name}\") is not a registered "
+                                f"{side} ({sorted(self.registered[side])})")
+            elif rule.kind == "context":
+                for idx, line in enumerate(lines):
+                    if not any(p.search(strip_line_comment(line))
+                               for p in rule.patterns):
+                        continue
+                    lo = max(0, idx - rule.window)
+                    nearby = "\n".join(lines[lo:idx + 1])
+                    if rule.context and not rule.context.search(nearby):
+                        self.report(rel, lines, idx, rule)
+
+    def run(self, only: list[str] | None) -> None:
+        files = list_sources(
+            self.root, self.scopes["trusted"] + self.scopes["untrusted"]
+            + self.scopes["tests"])
+        if only:
+            wanted = {Path(o).as_posix() for o in only}
+            files = [
+                f for f in files
+                if f.relative_to(self.root).as_posix() in wanted
+            ]
+            if not files:
+                raise SystemExit(f"tcb_lint: --only matched no files: {only}")
+        for f in files:
+            self.lint_file(f)
+
+
+def check_compile_coverage(root: Path, compile_commands: Path,
+                           trusted_dirs: list[str]) -> list[str]:
+    """Trusted .cpp files the build never compiles (dead trusted code)."""
+    try:
+        entries = json.loads(compile_commands.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"could not read {compile_commands}: {err}"]
+    compiled = set()
+    for entry in entries:
+        p = Path(entry["file"])
+        if not p.is_absolute():
+            p = Path(entry.get("directory", ".")) / p
+        try:
+            compiled.add(p.resolve().relative_to(root.resolve()).as_posix())
+        except ValueError:
+            continue
+    warnings = []
+    for f in list_sources(root, trusted_dirs):
+        rel = f.relative_to(root).as_posix()
+        if f.suffix == ".cpp" and rel not in compiled:
+            warnings.append(f"trusted TU not in compile_commands.json: {rel}")
+    return warnings
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--config", default="tools/tcb_boundary.toml")
+    parser.add_argument("--root", default=".",
+                        help="repo root the config paths are relative to")
+    parser.add_argument("--compile-commands", default=None,
+                        help="optional compile_commands.json for coverage warnings")
+    parser.add_argument("--only", action="append", default=None,
+                        help="restrict to these repo-relative files (repeatable)")
+    parser.add_argument("--summary-file", default=None,
+                        help="append a markdown summary (e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    config_path = Path(args.config)
+    if not config_path.is_absolute():
+        config_path = root / config_path
+    try:
+        config = tomllib.loads(config_path.read_text())
+    except (OSError, tomllib.TOMLDecodeError) as err:
+        print(f"tcb_lint: cannot load config {config_path}: {err}",
+              file=sys.stderr)
+        return 2
+
+    linter = Linter(root, config)
+    linter.run(args.only)
+
+    warnings: list[str] = []
+    if args.compile_commands:
+        warnings = check_compile_coverage(
+            root, Path(args.compile_commands),
+            linter.scopes["trusted"])
+
+    for f in linter.findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}\n    {f.snippet}")
+    for w in warnings:
+        print(f"warning: {w}")
+    print(f"tcb_lint: {len(linter.findings)} finding(s), "
+          f"{len(linter.waivers)} waiver(s)")
+    for w in linter.waivers:
+        print(f"  waived [{w.rule}] {w.path} ({w.where}): {w.reason}")
+
+    if args.summary_file:
+        with open(args.summary_file, "a", encoding="utf-8") as out:
+            out.write("### TCB boundary lint\n\n")
+            out.write(f"- findings: **{len(linter.findings)}**\n")
+            out.write(f"- waivers: **{len(linter.waivers)}** "
+                      "(each carries a written reason)\n\n")
+            if linter.findings:
+                out.write("| file | line | rule | message |\n|---|---|---|---|\n")
+                for f in linter.findings:
+                    out.write(f"| {f.path} | {f.line} | {f.rule} | {f.message} |\n")
+                out.write("\n")
+            if linter.waivers:
+                out.write("<details><summary>waivers</summary>\n\n")
+                out.write("| file | where | rule | reason |\n|---|---|---|---|\n")
+                for w in linter.waivers:
+                    out.write(f"| {w.path} | {w.where} | {w.rule} | {w.reason} |\n")
+                out.write("\n</details>\n")
+
+    return 1 if linter.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
