@@ -40,8 +40,9 @@ void BM_HmacSha256(benchmark::State& state) {
 BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
 
 void BM_AeadSeal(benchmark::State& state) {
-  AeadKey key{};
-  key.fill(0x42);
+  AeadKey::Raw raw{};
+  raw.fill(0x42);
+  const AeadKey key = AeadKey::absorb(raw);
   const Bytes plaintext(static_cast<std::size_t>(state.range(0)), 0xcd);
   std::uint64_t counter = 0;
   for (auto _ : state) {
@@ -54,8 +55,9 @@ void BM_AeadSeal(benchmark::State& state) {
 BENCHMARK(BM_AeadSeal)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_AeadOpen(benchmark::State& state) {
-  AeadKey key{};
-  key.fill(0x42);
+  AeadKey::Raw raw{};
+  raw.fill(0x42);
+  const AeadKey key = AeadKey::absorb(raw);
   const Bytes plaintext(static_cast<std::size_t>(state.range(0)), 0xcd);
   const Bytes sealed = aead_seal(key, make_nonce(1, 7), {}, plaintext);
   for (auto _ : state) {
@@ -67,11 +69,11 @@ void BM_AeadOpen(benchmark::State& state) {
 BENCHMARK(BM_AeadOpen)->Arg(64)->Arg(1024)->Arg(16384);
 
 void BM_X25519SharedSecret(benchmark::State& state) {
-  X25519Key a{}, b{};
+  X25519Secret::Raw a{}, b{};
   a.fill(1);
   b.fill(2);
-  const auto alice = x25519_keypair_from_seed(a);
-  const auto bob = x25519_keypair_from_seed(b);
+  const auto alice = x25519_keypair_from_seed(X25519Secret::absorb(a));
+  const auto bob = x25519_keypair_from_seed(X25519Secret::absorb(b));
   for (auto _ : state) {
     benchmark::DoNotOptimize(x25519(alice.private_key, bob.public_key));
   }
@@ -79,16 +81,12 @@ void BM_X25519SharedSecret(benchmark::State& state) {
 BENCHMARK(BM_X25519SharedSecret);
 
 void BM_SecureChannelRoundTrip(benchmark::State& state) {
-  ChaChaKey seed{};
+  ChaChaKey::Raw seed{};
   seed.fill(3);
-  SecureRandom rng(seed);
-  X25519Key s{}, ec{}, es{};
-  rng.fill(s);
-  rng.fill(ec);
-  rng.fill(es);
-  const auto server_static = x25519_keypair_from_seed(s);
-  const auto client_eph = x25519_keypair_from_seed(ec);
-  const auto server_eph = x25519_keypair_from_seed(es);
+  SecureRandom rng(ChaChaKey::absorb(seed));
+  const auto server_static = x25519_keypair_from_seed(rng.key());
+  const auto client_eph = x25519_keypair_from_seed(rng.key());
+  const auto server_eph = x25519_keypair_from_seed(rng.key());
   auto client = SecureChannel::initiator(client_eph, server_static.public_key,
                                          server_eph.public_key);
   auto server =
@@ -107,19 +105,16 @@ void BM_SecureChannelRoundTrip(benchmark::State& state) {
 BENCHMARK(BM_SecureChannelRoundTrip);
 
 void BM_HandshakeKeyDerivation(benchmark::State& state) {
-  ChaChaKey seed{};
+  ChaChaKey::Raw seed{};
   seed.fill(4);
-  SecureRandom rng(seed);
-  X25519Key s{}, es{};
-  rng.fill(s);
-  rng.fill(es);
-  const auto server_static = x25519_keypair_from_seed(s);
-  const auto server_eph = x25519_keypair_from_seed(es);
+  SecureRandom rng(ChaChaKey::absorb(seed));
+  const auto server_static = x25519_keypair_from_seed(rng.key());
+  const auto server_eph = x25519_keypair_from_seed(rng.key());
   std::uint8_t i = 0;
   for (auto _ : state) {
-    X25519Key ec{};
+    X25519Secret::Raw ec{};
     ec.fill(++i);
-    const auto client_eph = x25519_keypair_from_seed(ec);
+    const auto client_eph = x25519_keypair_from_seed(X25519Secret::absorb(ec));
     benchmark::DoNotOptimize(SecureChannel::initiator(
         client_eph, server_static.public_key, server_eph.public_key));
   }

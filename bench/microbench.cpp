@@ -273,13 +273,16 @@ int main(int argc, char** argv) {
 
   // ---- seal_open ----------------------------------------------------------
   {
-    crypto::X25519Key seed{};
+    crypto::X25519Secret::Raw seed{};
     seed[0] = 1;
-    const auto server_static = crypto::x25519_keypair_from_seed(seed);
+    const auto server_static =
+        crypto::x25519_keypair_from_seed(crypto::X25519Secret(seed));
     seed[0] = 2;
-    const auto server_eph = crypto::x25519_keypair_from_seed(seed);
+    const auto server_eph =
+        crypto::x25519_keypair_from_seed(crypto::X25519Secret(seed));
     seed[0] = 3;
-    const auto client_eph = crypto::x25519_keypair_from_seed(seed);
+    const auto client_eph =
+        crypto::x25519_keypair_from_seed(crypto::X25519Secret(seed));
     crypto::SecureChannel client = crypto::SecureChannel::initiator(
         client_eph, server_static.public_key, server_eph.public_key);
     crypto::SecureChannel server = crypto::SecureChannel::responder(

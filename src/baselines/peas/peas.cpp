@@ -15,11 +15,14 @@ constexpr char kEnvelopeInfo[] = "peas-envelope-v1";
 constexpr std::uint32_t kNonceRequest = 0x50455152;   // "PEQR"
 constexpr std::uint32_t kNonceResponse = 0x50455250;  // "PERP"
 
-crypto::AeadKey derive_envelope_key(const crypto::X25519Key& shared) {
-  const Bytes okm = crypto::hkdf(/*salt=*/{}, shared, to_bytes(kEnvelopeInfo),
-                                 crypto::kAeadKeySize);
-  crypto::AeadKey key;
-  std::memcpy(key.data(), okm.data(), key.size());
+crypto::AeadKey derive_envelope_key(crypto::X25519Key shared) {
+  // By value on purpose: guaranteed copy elision makes the call-site prvalue
+  // this very parameter, so the wipe below reaches the only copy of the DH
+  // shared secret (rule: wipe lingering secret temporaries).
+  const crypto::AeadKey key =
+      crypto::hkdf(/*salt=*/{}, shared, to_bytes(kEnvelopeInfo), crypto::kAeadKeySize)
+          .slice<crypto::kAeadKeySize>();
+  secure_wipe(shared);
   return key;
 }
 
@@ -50,10 +53,8 @@ std::vector<std::string> FakeQueryGenerator::generate_k(std::string_view referen
 
 PeasIssuer::PeasIssuer(const engine::SearchEngine* engine, std::uint64_t seed)
     : engine_(engine) {
-  crypto::X25519Key key_seed{};
-  store_le64(key_seed.data(), seed);
-  key_seed[31] = 0x15;  // issuer domain separation
-  keys_ = crypto::x25519_keypair_from_seed(key_seed);
+  keys_ = crypto::x25519_keypair_from_seed(
+      crypto::domain_seed(seed, /*tag=*/0x15));  // issuer domain separation
 }
 
 Result<Bytes> PeasIssuer::handle(ByteSpan envelope) {
@@ -106,12 +107,7 @@ PeasClient::PeasClient(std::uint32_t client_id, PeasReceiver& receiver,
       fakes_(&fakes),
       k_(k),
       rng_(seed),
-      secure_rng_([&] {
-        crypto::ChaChaKey s{};
-        store_le64(s.data(), seed);
-        s[31] = 0x9e;
-        return s;
-      }()) {}
+      secure_rng_(crypto::domain_seed(seed, /*tag=*/0x9e)) {}
 
 std::vector<std::string> PeasClient::protect(std::string_view query) {
   std::vector<std::string> sub_queries = fakes_->generate_k(query, k_, rng_);
@@ -123,9 +119,7 @@ std::vector<std::string> PeasClient::protect(std::string_view query) {
 
 Bytes PeasClient::encrypt_to_issuer(const std::vector<std::string>& sub_queries,
                                     std::uint32_t top_k_each) {
-  crypto::X25519Key eph_seed{};
-  secure_rng_.fill(eph_seed);
-  const auto ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+  const auto ephemeral = crypto::x25519_keypair_from_seed(secure_rng_.key());
   const crypto::AeadKey key =
       derive_envelope_key(crypto::x25519(ephemeral.private_key, issuer_public_key_));
 

@@ -13,11 +13,14 @@ constexpr char kCircuitInfo[] = "tor-circuit-key-v1";
 constexpr std::uint32_t kNonceForward = 0x544f5246;   // "TORF"
 constexpr std::uint32_t kNonceBackward = 0x544f5242;  // "TORB"
 
-crypto::AeadKey derive_circuit_key(const crypto::X25519Key& shared) {
-  const Bytes okm =
-      crypto::hkdf(/*salt=*/{}, shared, to_bytes(kCircuitInfo), crypto::kAeadKeySize);
-  crypto::AeadKey key;
-  std::memcpy(key.data(), okm.data(), key.size());
+crypto::AeadKey derive_circuit_key(crypto::X25519Key shared) {
+  // By value on purpose: guaranteed copy elision makes the call-site prvalue
+  // this very parameter, so the wipe below reaches the only copy of the DH
+  // shared secret (rule: wipe lingering secret temporaries).
+  const crypto::AeadKey key =
+      crypto::hkdf(/*salt=*/{}, shared, to_bytes(kCircuitInfo), crypto::kAeadKeySize)
+          .slice<crypto::kAeadKeySize>();
+  secure_wipe(shared);
   return key;
 }
 
@@ -26,10 +29,8 @@ crypto::AeadKey derive_circuit_key(const crypto::X25519Key& shared) {
 // --- TorRelay ----------------------------------------------------------------
 
 TorRelay::TorRelay(std::uint64_t seed) {
-  crypto::X25519Key key_seed{};
-  store_le64(key_seed.data(), seed);
-  key_seed[31] = 0x70;  // relay domain separation
-  keys_ = crypto::x25519_keypair_from_seed(key_seed);
+  keys_ = crypto::x25519_keypair_from_seed(
+      crypto::domain_seed(seed, /*tag=*/0x70));  // relay domain separation
 }
 
 void TorRelay::establish_circuit(CircuitId circuit,
@@ -66,18 +67,13 @@ Result<Bytes> TorRelay::wrap(CircuitId circuit, ByteSpan payload) {
 
 TorCircuit::TorCircuit(CircuitId id, std::vector<TorRelay*> path, std::uint64_t seed)
     : id_(id), path_(std::move(path)) {
-  crypto::ChaChaKey rng_seed{};
-  store_le64(rng_seed.data(), seed);
-  rng_seed[31] = 0xc2;
-  crypto::SecureRandom rng(rng_seed);
+  crypto::SecureRandom rng(crypto::domain_seed(seed, /*tag=*/0xc2));
 
   layer_keys_.reserve(path_.size());
   forward_counters_.assign(path_.size(), 0);
   backward_counters_.assign(path_.size(), 0);
   for (TorRelay* relay : path_) {
-    crypto::X25519Key eph_seed{};
-    rng.fill(eph_seed);
-    const auto ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+    const auto ephemeral = crypto::x25519_keypair_from_seed(rng.key());
     relay->establish_circuit(id_, ephemeral.public_key);
     layer_keys_.push_back(
         derive_circuit_key(crypto::x25519(ephemeral.private_key, relay->public_key())));

@@ -43,4 +43,13 @@ bool constant_time_equal(ByteSpan a, ByteSpan b) {
   return diff == 0;
 }
 
+void secure_wipe(void* p, std::size_t n) {
+  if (p == nullptr || n == 0) return;
+  // secret-lint: allow(secret-memset) this IS secure_wipe: this memset plus the asm barrier below is the primitive every other wipe routes through
+  std::memset(p, 0, n);
+  // The barrier tells the compiler `p`'s contents are observed, so the
+  // memset above survives dead-store elimination at -O2.
+  asm volatile("" : : "r"(p) : "memory");
+}
+
 }  // namespace xsearch

@@ -87,4 +87,15 @@ inline void append(Bytes& dst, ByteSpan src) {
 /// never on the contents. Used for MAC/tag verification.
 [[nodiscard]] bool constant_time_equal(ByteSpan a, ByteSpan b);
 
+/// Zeroes `n` bytes at `p` through a compiler barrier, so the store cannot
+/// be dead-store-eliminated even when the buffer is about to go out of
+/// scope. This is the one sanctioned way to destroy key material; see
+/// common/secret.hpp for the types that call it automatically.
+void secure_wipe(void* p, std::size_t n);
+
+/// Convenience overload for contiguous byte containers (std::array, Bytes).
+inline void secure_wipe(std::span<std::uint8_t> buffer) {
+  secure_wipe(buffer.data(), buffer.size());
+}
+
 }  // namespace xsearch

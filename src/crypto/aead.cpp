@@ -8,9 +8,12 @@ namespace {
 
 /// Poly1305 key = first 32 bytes of the ChaCha20 keystream at counter 0.
 [[nodiscard]] Poly1305Key derive_mac_key(const AeadKey& key, const AeadNonce& nonce) {
-  const auto block = chacha20_block(key, nonce, 0);
-  Poly1305Key mac_key;
-  std::memcpy(mac_key.data(), block.data(), mac_key.size());
+  auto block = chacha20_block(key, nonce, 0);
+  Poly1305Key::Raw raw;
+  std::memcpy(raw.data(), block.data(), raw.size());
+  const Poly1305Key mac_key = Poly1305Key::absorb(raw);
+  // The whole keystream block is MAC-key material; wipe the staging copy.
+  secure_wipe(block);
   return mac_key;
 }
 

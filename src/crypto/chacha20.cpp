@@ -18,12 +18,13 @@ using State = std::array<std::uint32_t, 16>;
 
 [[nodiscard]] State make_state(const ChaChaKey& key, const ChaChaNonce& nonce,
                                std::uint32_t counter) {
+  const auto key_bytes = key.expose(SecretSink::kCipherCore);
   State s;
   s[0] = 0x61707865;  // "expa"
   s[1] = 0x3320646e;  // "nd 3"
   s[2] = 0x79622d32;  // "2-by"
   s[3] = 0x6b206574;  // "te k"
-  for (int i = 0; i < 8; ++i) s[static_cast<std::size_t>(4 + i)] = xsearch::load_le32(key.data() + 4 * i);
+  for (int i = 0; i < 8; ++i) s[static_cast<std::size_t>(4 + i)] = xsearch::load_le32(key_bytes.data() + 4 * i);
   s[12] = counter;
   for (int i = 0; i < 3; ++i) s[static_cast<std::size_t>(13 + i)] = xsearch::load_le32(nonce.data() + 4 * i);
   return s;
@@ -51,7 +52,10 @@ void core(const State& input, std::array<std::uint8_t, 64>& out) {
 std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key, const ChaChaNonce& nonce,
                                             std::uint32_t counter) {
   std::array<std::uint8_t, 64> out;
-  core(make_state(key, nonce, counter), out);
+  State state = make_state(key, nonce, counter);
+  core(state, out);
+  // The state words embed the key; don't leave them on the stack.
+  secure_wipe(state.data(), sizeof(state));
   return out;
 }
 
@@ -67,6 +71,9 @@ void chacha20_xor_inplace(const ChaChaKey& key, const ChaChaNonce& nonce,
     for (std::size_t i = 0; i < n; ++i) data[offset + i] ^= keystream[i];
     offset += n;
   }
+  // Key schedule and unconsumed keystream are key-equivalent material.
+  secure_wipe(state.data(), sizeof(state));
+  secure_wipe(keystream);
 }
 
 Bytes chacha20_xor(const ChaChaKey& key, const ChaChaNonce& nonce, std::uint32_t counter,

@@ -8,13 +8,16 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace xsearch::crypto {
 
 inline constexpr std::size_t kChaChaKeySize = 32;
 inline constexpr std::size_t kChaChaNonceSize = 12;
 
-using ChaChaKey = std::array<std::uint8_t, kChaChaKeySize>;
+// Keys are Secret: zeroized on destroy/move, no ==/<<, raw bytes only via
+// expose(<sink>). Nonces are public wire data and stay plain.
+using ChaChaKey = Secret<kChaChaKeySize>;
 using ChaChaNonce = std::array<std::uint8_t, kChaChaNonceSize>;
 
 /// XORs `data` with the ChaCha20 keystream for (key, nonce) starting at

@@ -17,21 +17,23 @@ struct KeyPairKeys {
   AeadKey response;
 };
 
-[[nodiscard]] KeyPairKeys derive_keys(const X25519Key& shared) {
+// Takes the DH result by value: the call-site temporary is elided into the
+// parameter, so the wipe below reaches the only copy of the shared secret.
+[[nodiscard]] KeyPairKeys derive_keys(X25519Key shared) {
   KeyPairKeys keys;
-  const Bytes req = hkdf(/*salt=*/{}, shared, to_bytes(kInfoRequest), kAeadKeySize);
-  const Bytes rsp = hkdf(/*salt=*/{}, shared, to_bytes(kInfoResponse), kAeadKeySize);
-  std::memcpy(keys.request.data(), req.data(), keys.request.size());
-  std::memcpy(keys.response.data(), rsp.data(), keys.response.size());
+  keys.request =
+      hkdf(/*salt=*/{}, shared, to_bytes(kInfoRequest), kAeadKeySize).slice<kAeadKeySize>();
+  keys.response =
+      hkdf(/*salt=*/{}, shared, to_bytes(kInfoResponse), kAeadKeySize).slice<kAeadKeySize>();
+  // secret-flow rule: the DH shared secret is KDF input only.
+  secure_wipe(shared);
   return keys;
 }
 }  // namespace
 
 Bytes envelope_seal(const X25519Key& recipient_pub, SecureRandom& rng, ByteSpan aad,
                     ByteSpan plaintext, AeadKey* response_key) {
-  X25519Key eph_seed{};
-  rng.fill(eph_seed);
-  const auto ephemeral = x25519_keypair_from_seed(eph_seed);
+  const auto ephemeral = x25519_keypair_from_seed(rng.key());
   const KeyPairKeys keys = derive_keys(x25519(ephemeral.private_key, recipient_pub));
   if (response_key != nullptr) *response_key = keys.response;
 

@@ -31,14 +31,23 @@ Sha256Digest hmac_sha256(ByteSpan key, ByteSpan data) {
   Sha256 outer;
   outer.update(opad);
   outer.update(inner_digest);
-  return outer.finalize();
+  const Sha256Digest mac = outer.finalize();
+
+  // secret-flow rule: key-derived scratch (block_key and the ipad/opad
+  // schedules, each an XOR of the key) must not outlive the computation.
+  secure_wipe(block_key);
+  secure_wipe(ipad);
+  secure_wipe(opad);
+  return mac;
 }
 
 Sha256Digest hkdf_extract(ByteSpan salt, ByteSpan ikm) { return hmac_sha256(salt, ikm); }
 
-Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length) {
+SecretBytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length) {
   assert(length <= 255 * kSha256DigestSize);
   Bytes okm;
+  // Reserved up front so the SecretBytes adoption below owns the only
+  // allocation the key material ever touched (no realloc leaves a copy).
   okm.reserve(length);
   Sha256Digest t{};
   std::size_t t_len = 0;
@@ -50,16 +59,22 @@ Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length) {
     append(block, info);
     block.push_back(counter++);
     t = hmac_sha256(prk, block);
+    // The block embeds the previous chaining value T(i-1).
+    secure_wipe(block);
     t_len = t.size();
     const std::size_t take = std::min(t.size(), length - okm.size());
     okm.insert(okm.end(), t.begin(), t.begin() + static_cast<std::ptrdiff_t>(take));
   }
-  return okm;
+  secure_wipe(t);
+  return SecretBytes(std::move(okm));
 }
 
-Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length) {
-  const Sha256Digest prk = hkdf_extract(salt, ikm);
-  return hkdf_expand(prk, info, length);
+SecretBytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length) {
+  Sha256Digest prk = hkdf_extract(salt, ikm);
+  SecretBytes okm = hkdf_expand(prk, info, length);
+  // The PRK alone reconstructs every derived key; wipe it on the way out.
+  secure_wipe(prk);
+  return okm;
 }
 
 }  // namespace xsearch::crypto

@@ -6,6 +6,7 @@
 #pragma once
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "crypto/sha256.hpp"
 
 namespace xsearch::crypto {
@@ -17,10 +18,12 @@ namespace xsearch::crypto {
 [[nodiscard]] Sha256Digest hkdf_extract(ByteSpan salt, ByteSpan ikm);
 
 /// HKDF-Expand: derives `length` bytes (<= 255*32) from a PRK and context
-/// string `info`.
-[[nodiscard]] Bytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length);
+/// string `info`. The output is keying material by definition, so it comes
+/// back as SecretBytes (zeroized, sliceable into fixed-size keys).
+[[nodiscard]] SecretBytes hkdf_expand(ByteSpan prk, ByteSpan info, std::size_t length);
 
 /// One-shot HKDF (extract + expand).
-[[nodiscard]] Bytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info, std::size_t length);
+[[nodiscard]] SecretBytes hkdf(ByteSpan salt, ByteSpan ikm, ByteSpan info,
+                               std::size_t length);
 
 }  // namespace xsearch::crypto

@@ -7,11 +7,12 @@ namespace xsearch::crypto {
 // 26-bit limb implementation (after poly1305-donna): the accumulator and
 // multiplier are held in five 26-bit limbs so products fit in 64 bits.
 Poly1305Tag poly1305(const Poly1305Key& key, ByteSpan data) {
+  const auto key_bytes = key.expose(SecretSink::kCipherCore);
   // r is clamped per the RFC.
-  const std::uint32_t t0 = load_le32(key.data() + 0);
-  const std::uint32_t t1 = load_le32(key.data() + 4);
-  const std::uint32_t t2 = load_le32(key.data() + 8);
-  const std::uint32_t t3 = load_le32(key.data() + 12);
+  const std::uint32_t t0 = load_le32(key_bytes.data() + 0);
+  const std::uint32_t t1 = load_le32(key_bytes.data() + 4);
+  const std::uint32_t t2 = load_le32(key_bytes.data() + 8);
+  const std::uint32_t t3 = load_le32(key_bytes.data() + 12);
 
   const std::uint32_t r0 = t0 & 0x3ffffff;
   const std::uint32_t r1 = ((t0 >> 26) | (t1 << 6)) & 0x3ffff03;
@@ -123,14 +124,14 @@ Poly1305Tag poly1305(const Poly1305Key& key, ByteSpan data) {
   const std::uint32_t f3 = (h3 >> 18) | (h4 << 8);
 
   // Add s = key[16..32) with carry.
-  std::uint64_t acc = static_cast<std::uint64_t>(f0) + load_le32(key.data() + 16);
+  std::uint64_t acc = static_cast<std::uint64_t>(f0) + load_le32(key_bytes.data() + 16);
   Poly1305Tag tag;
   store_le32(tag.data() + 0, static_cast<std::uint32_t>(acc));
-  acc = (acc >> 32) + static_cast<std::uint64_t>(f1) + load_le32(key.data() + 20);
+  acc = (acc >> 32) + static_cast<std::uint64_t>(f1) + load_le32(key_bytes.data() + 20);
   store_le32(tag.data() + 4, static_cast<std::uint32_t>(acc));
-  acc = (acc >> 32) + static_cast<std::uint64_t>(f2) + load_le32(key.data() + 24);
+  acc = (acc >> 32) + static_cast<std::uint64_t>(f2) + load_le32(key_bytes.data() + 24);
   store_le32(tag.data() + 8, static_cast<std::uint32_t>(acc));
-  acc = (acc >> 32) + static_cast<std::uint64_t>(f3) + load_le32(key.data() + 28);
+  acc = (acc >> 32) + static_cast<std::uint64_t>(f3) + load_le32(key_bytes.data() + 28);
   store_le32(tag.data() + 12, static_cast<std::uint32_t>(acc));
   return tag;
 }

@@ -5,13 +5,16 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace xsearch::crypto {
 
 inline constexpr std::size_t kPoly1305KeySize = 32;
 inline constexpr std::size_t kPoly1305TagSize = 16;
 
-using Poly1305Key = std::array<std::uint8_t, kPoly1305KeySize>;
+// The one-time key is Secret (it is keystream under the AEAD key); the tag
+// is public wire data and stays plain.
+using Poly1305Key = Secret<kPoly1305KeySize>;
 using Poly1305Tag = std::array<std::uint8_t, kPoly1305TagSize>;
 
 /// Computes the Poly1305 tag of `data` under a (one-time!) 32-byte key.

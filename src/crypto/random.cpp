@@ -8,10 +8,12 @@ namespace xsearch::crypto {
 SecureRandom::SecureRandom() {
   // tcb-lint: allow(trusted-insecure-rng) this IS SecureRandom's entropy ingress: the one sanctioned std::random_device use, stirred into the pool exactly once at seeding
   std::random_device rd;
-  for (std::size_t i = 0; i < key_.size(); i += 4) {
+  ChaChaKey::Raw raw{};
+  for (std::size_t i = 0; i < raw.size(); i += 4) {
     const std::uint32_t word = rd();
-    std::memcpy(key_.data() + i, &word, 4);
+    std::memcpy(raw.data() + i, &word, 4);
   }
+  key_ = ChaChaKey::absorb(raw);
 }
 
 SecureRandom::SecureRandom(const ChaChaKey& seed) : key_(seed) {}
@@ -25,9 +27,11 @@ void SecureRandom::fill(std::span<std::uint8_t> out) {
       store_le64(n.data(), counter_++);
       return n;
     }();
-    const auto block = chacha20_block(key_, nonce, 0);
+    auto block = chacha20_block(key_, nonce, 0);
     const std::size_t n = std::min<std::size_t>(block.size(), out.size() - offset);
     std::memcpy(out.data() + offset, block.data(), n);
+    // Unconsumed tail is future output under key_; wipe the whole block.
+    secure_wipe(block);
     offset += n;
   }
 }
@@ -39,9 +43,9 @@ Bytes SecureRandom::bytes(std::size_t n) {
 }
 
 ChaChaKey SecureRandom::key() {
-  ChaChaKey out;
-  fill(out);
-  return out;
+  ChaChaKey::Raw raw;
+  fill(raw);
+  return ChaChaKey::absorb(raw);
 }
 
 }  // namespace xsearch::crypto

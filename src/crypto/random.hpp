@@ -27,12 +27,23 @@ class SecureRandom {
   /// Returns `n` pseudo-random bytes.
   [[nodiscard]] Bytes bytes(std::size_t n);
 
-  /// Returns a random 32-byte key/seed.
+  /// Returns a random 32-byte key/seed, already secret-typed.
   [[nodiscard]] ChaChaKey key();
 
  private:
-  ChaChaKey key_{};
+  ChaChaKey key_;
   std::uint64_t counter_ = 0;
 };
+
+/// Deterministic, domain-separated 32-byte seed: the 64-bit configuration
+/// seed in bytes 0-7 (LE) and a per-component tag in byte 31, so every
+/// component seeded from one simulation seed draws a disjoint ChaCha
+/// stream. The staging buffer is absorbed (wiped) before returning.
+[[nodiscard]] inline ChaChaKey domain_seed(std::uint64_t seed, std::uint8_t tag) {
+  ChaChaKey::Raw raw{};
+  store_le64(raw.data(), seed);
+  raw[31] = tag;
+  return ChaChaKey::absorb(raw);
+}
 
 }  // namespace xsearch::crypto

@@ -20,12 +20,13 @@ SecureChannel::SecureChannel(ChannelRole role, ByteSpan ss_ee, ByteSpan ss_es,
   append(ikm, ss_es);
 
   const Bytes salt = to_bytes(kHkdfSalt);
-  const Bytes okm = hkdf(salt, ikm, transcript, 2 * kAeadKeySize);
+  const SecretBytes okm = hkdf(salt, ikm, transcript, 2 * kAeadKeySize);
+  // secret-flow rule: KDF input keying material (the concatenated DH
+  // results) must be wiped as soon as the keys are derived.
+  secure_wipe(ikm);
 
-  AeadKey initiator_key;
-  AeadKey responder_key;
-  std::memcpy(initiator_key.data(), okm.data(), kAeadKeySize);
-  std::memcpy(responder_key.data(), okm.data() + kAeadKeySize, kAeadKeySize);
+  const AeadKey initiator_key = okm.slice<kAeadKeySize>(0);
+  const AeadKey responder_key = okm.slice<kAeadKeySize>(kAeadKeySize);
 
   if (role == ChannelRole::kInitiator) {
     send_key_ = initiator_key;
@@ -42,25 +43,35 @@ SecureChannel::SecureChannel(ChannelRole role, ByteSpan ss_ee, ByteSpan ss_es,
 SecureChannel SecureChannel::initiator(const X25519KeyPair& local_ephemeral,
                                        const X25519Key& responder_static_pub,
                                        const X25519Key& responder_ephemeral_pub) {
-  const X25519Key ss_ee = x25519(local_ephemeral.private_key, responder_ephemeral_pub);
-  const X25519Key ss_es = x25519(local_ephemeral.private_key, responder_static_pub);
+  X25519Key ss_ee = x25519(local_ephemeral.private_key, responder_ephemeral_pub);
+  X25519Key ss_es = x25519(local_ephemeral.private_key, responder_static_pub);
   Bytes transcript;
   append(transcript, local_ephemeral.public_key);
   append(transcript, responder_ephemeral_pub);
   append(transcript, responder_static_pub);
-  return SecureChannel(ChannelRole::kInitiator, ss_ee, ss_es, transcript);
+  SecureChannel channel(ChannelRole::kInitiator, ss_ee, ss_es, transcript);
+  // secret-flow rule: DH shared-secret temporaries must not linger on the
+  // stack once mixed into the session keys (a known pre-Secret leak here).
+  secure_wipe(ss_ee);
+  secure_wipe(ss_es);
+  return channel;
 }
 
 SecureChannel SecureChannel::responder(const X25519KeyPair& local_static,
                                        const X25519KeyPair& local_ephemeral,
                                        const X25519Key& initiator_ephemeral_pub) {
-  const X25519Key ss_ee = x25519(local_ephemeral.private_key, initiator_ephemeral_pub);
-  const X25519Key ss_es = x25519(local_static.private_key, initiator_ephemeral_pub);
+  X25519Key ss_ee = x25519(local_ephemeral.private_key, initiator_ephemeral_pub);
+  X25519Key ss_es = x25519(local_static.private_key, initiator_ephemeral_pub);
   Bytes transcript;
   append(transcript, initiator_ephemeral_pub);
   append(transcript, local_ephemeral.public_key);
   append(transcript, local_static.public_key);
-  return SecureChannel(ChannelRole::kResponder, ss_ee, ss_es, transcript);
+  SecureChannel channel(ChannelRole::kResponder, ss_ee, ss_es, transcript);
+  // secret-flow rule: DH shared-secret temporaries must not linger on the
+  // stack once mixed into the session keys (a known pre-Secret leak here).
+  secure_wipe(ss_ee);
+  secure_wipe(ss_es);
+  return channel;
 }
 
 Bytes SecureChannel::seal(ByteSpan plaintext) {

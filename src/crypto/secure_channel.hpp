@@ -50,8 +50,8 @@ class SecureChannel {
   SecureChannel(ChannelRole role, ByteSpan ss_ee, ByteSpan ss_es,
                 ByteSpan transcript);
 
-  AeadKey send_key_{};
-  AeadKey recv_key_{};
+  AeadKey send_key_;
+  AeadKey recv_key_;
   std::uint64_t send_counter_ = 0;
   std::uint64_t recv_counter_ = 0;
   Bytes session_id_;

@@ -185,8 +185,10 @@ void fe_cswap(Fe& f, Fe& g, std::uint64_t bit) {
 
 }  // namespace
 
-X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
-  X25519Key e = scalar;
+X25519Key x25519(const X25519Secret& scalar, const X25519Key& point) {
+  const auto scalar_bytes = scalar.expose(SecretSink::kCipherCore);
+  std::array<std::uint8_t, kX25519KeySize> e;
+  std::memcpy(e.data(), scalar_bytes.data(), e.size());
   e[0] &= 248;
   e[31] &= 127;
   e[31] |= 64;
@@ -239,21 +241,24 @@ X25519Key x25519(const X25519Key& scalar, const X25519Key& point) {
 
   X25519Key result;
   fe_to_bytes(result.data(), out);
+  // secret-flow rule: the clamped scalar copy must not outlive the ladder
+  // (this stack copy was a known pre-Secret leak).
+  secure_wipe(e);
   return result;
 }
 
-X25519Key x25519_public_key(const X25519Key& private_key) {
+X25519Key x25519_public_key(const X25519Secret& private_key) {
   X25519Key base{};
   base[0] = 9;
   return x25519(private_key, base);
 }
 
-X25519KeyPair x25519_keypair_from_seed(const X25519Key& seed) {
+X25519KeyPair x25519_keypair_from_seed(const X25519Secret& seed) {
+  // The stored private key keeps the raw seed bits; clamping happens inside
+  // the ladder on every use, so clamp-equivalent seeds still agree on the
+  // public key.
   X25519KeyPair kp;
   kp.private_key = seed;
-  kp.private_key[0] &= 248;
-  kp.private_key[31] &= 127;
-  kp.private_key[31] |= 64;
   kp.public_key = x25519_public_key(kp.private_key);
   return kp;
 }

@@ -9,27 +9,34 @@
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 
 namespace xsearch::crypto {
 
 inline constexpr std::size_t kX25519KeySize = 32;
 
+/// Public points / public keys: plain bytes on purpose — they cross the
+/// wire in the clear and being plain documents that.
 using X25519Key = std::array<std::uint8_t, kX25519KeySize>;
 
+/// Private scalars and key seeds: Secret (zeroized, no ==/<<, expose-only).
+using X25519Secret = Secret<kX25519KeySize>;
+
 /// Scalar multiplication: out = scalar * point (u-coordinate only).
-/// The scalar is clamped per RFC 7748 before use.
-[[nodiscard]] X25519Key x25519(const X25519Key& scalar, const X25519Key& point);
+/// The scalar is clamped per RFC 7748 before use. The result is a DH
+/// shared secret; callers feed it to a KDF and secure_wipe it.
+[[nodiscard]] X25519Key x25519(const X25519Secret& scalar, const X25519Key& point);
 
 /// Computes the public key for a private scalar (scalar * base point 9).
-[[nodiscard]] X25519Key x25519_public_key(const X25519Key& private_key);
+[[nodiscard]] X25519Key x25519_public_key(const X25519Secret& private_key);
 
-/// An X25519 key pair.
+/// An X25519 key pair. Only the private half is secret-typed.
 struct X25519KeyPair {
-  X25519Key private_key;
-  X25519Key public_key;
+  X25519Secret private_key;
+  X25519Key public_key{};
 };
 
 /// Derives a key pair deterministically from 32 bytes of seed material.
-[[nodiscard]] X25519KeyPair x25519_keypair_from_seed(const X25519Key& seed);
+[[nodiscard]] X25519KeyPair x25519_keypair_from_seed(const X25519Secret& seed);
 
 }  // namespace xsearch::crypto

@@ -14,12 +14,7 @@ RemoteBroker::RemoteBroker(std::string host, std::uint16_t port,
       port_(port),
       authority_(&authority),
       expected_measurement_(expected_measurement),
-      rng_([&] {
-        crypto::ChaChaKey s{};
-        store_le64(s.data(), seed);
-        s[31] = 0xb0;
-        return s;
-      }()) {}
+      rng_(crypto::domain_seed(seed, /*tag=*/0xb0)) {}  // remote-broker domain separation
 
 Status RemoteBroker::connect() {
   if (channel_.has_value()) return Status::ok();
@@ -28,9 +23,7 @@ Status RemoteBroker::connect() {
   if (!stream) return stream.status();
   stream_.emplace(std::move(stream).value());
 
-  crypto::X25519Key eph_seed{};
-  rng_.fill(eph_seed);
-  const auto ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+  const auto ephemeral = crypto::x25519_keypair_from_seed(rng_.key());
 
   XS_RETURN_IF_ERROR(write_frame(*stream_, FrameType::kHello, ephemeral.public_key));
   auto reply = read_frame(*stream_);

@@ -47,13 +47,15 @@ Quote AttestationAuthority::issue(const Measurement& measurement,
   Quote quote;
   quote.measurement = measurement;
   quote.report_data.assign(report_data.begin(), report_data.end());
-  quote.mac = crypto::hmac_sha256(root_key_, mac_input(measurement, report_data));
+  quote.mac = crypto::hmac_sha256(root_key_.expose(SecretSink::kCipherCore),
+                                  mac_input(measurement, report_data));
   return quote;
 }
 
 bool AttestationAuthority::verify(const Quote& quote) const {
   const auto expected =
-      crypto::hmac_sha256(root_key_, mac_input(quote.measurement, quote.report_data));
+      crypto::hmac_sha256(root_key_.expose(SecretSink::kCipherCore),
+                          mac_input(quote.measurement, quote.report_data));
   return constant_time_equal(expected, quote.mac);
 }
 

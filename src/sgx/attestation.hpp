@@ -12,6 +12,7 @@
 #pragma once
 
 #include "common/bytes.hpp"
+#include "common/secret.hpp"
 #include "common/status.hpp"
 #include "crypto/sha256.hpp"
 #include "crypto/x25519.hpp"
@@ -32,8 +33,10 @@ struct Quote {
 /// Combined quoting-enclave + attestation-service role.
 class AttestationAuthority {
  public:
-  /// `root_key` stands in for Intel's EPID group keys.
-  explicit AttestationAuthority(Bytes root_key) : root_key_(std::move(root_key)) {}
+  /// `root_key` stands in for Intel's EPID group keys. The buffer is
+  /// adopted into a SecretBytes (zeroized on destruction, never printable).
+  explicit AttestationAuthority(Bytes root_key)
+      : root_key_(SecretBytes(std::move(root_key))) {}
 
   /// Issues a quote for an enclave (QE side).
   [[nodiscard]] Quote issue(const Measurement& measurement, ByteSpan report_data) const;
@@ -46,7 +49,7 @@ class AttestationAuthority {
                                       const Measurement& expected) const;
 
  private:
-  Bytes root_key_;
+  SecretBytes root_key_;
 };
 
 /// Convenience: quote an enclave binding its X25519 channel public key.

@@ -15,10 +15,11 @@ EnclaveRuntime::EnclaveRuntime(Config config)
     : measurement_(crypto::Sha256::hash(config.code_identity)),
       epc_(config.usable_epc_bytes) {
   // Sealing key: HKDF(measurement) — the simulation analogue of the
-  // MRENCLAVE-policy EGETKEY derivation.
-  const Bytes okm = crypto::hkdf(/*salt=*/{}, measurement_,
-                                 to_bytes(kSealingInfo), crypto::kAeadKeySize);
-  std::memcpy(sealing_key_.data(), okm.data(), sealing_key_.size());
+  // MRENCLAVE-policy EGETKEY derivation. slice() keeps the key secret-typed
+  // end to end (no raw staging buffer exists).
+  sealing_key_ = crypto::hkdf(/*salt=*/{}, measurement_, to_bytes(kSealingInfo),
+                              crypto::kAeadKeySize)
+                     .slice<crypto::kAeadKeySize>();
 }
 
 void EnclaveRuntime::register_ecall(std::string name, Handler handler) {

@@ -44,19 +44,12 @@ ClientBroker::ClientBroker(ProxyHandler& proxy,
     : proxy_(&proxy),
       authority_(&authority),
       expected_measurement_(expected_measurement),
-      rng_([&] {
-        crypto::ChaChaKey s{};
-        store_le64(s.data(), seed);
-        s[31] = 0xc1;  // client domain separation
-        return s;
-      }()) {}
+      rng_(crypto::domain_seed(seed, /*tag=*/0xc1)) {}  // client domain separation
 
 Status ClientBroker::connect() {
   if (channel_.has_value()) return Status::ok();
 
-  crypto::X25519Key eph_seed{};
-  rng_.fill(eph_seed);
-  const auto ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+  const auto ephemeral = crypto::x25519_keypair_from_seed(rng_.key());
 
   auto response = proxy_->handshake(ephemeral.public_key);
   if (!response) return response.status();

@@ -1,5 +1,6 @@
 #include "xsearch/engine_gateway.hpp"
 
+#include "crypto/random.hpp"
 #include "xsearch/wire.hpp"
 
 namespace xsearch::core {
@@ -11,10 +12,8 @@ constexpr char kLinkAad[] = "xsearch-engine-link-v1";
 SecureEngineGateway::SecureEngineGateway(const engine::SearchEngine* engine,
                                          std::uint64_t seed)
     : engine_(engine) {
-  crypto::X25519Key key_seed{};
-  store_le64(key_seed.data(), seed);
-  key_seed[31] = 0x71;  // gateway domain separation
-  keys_ = crypto::x25519_keypair_from_seed(key_seed);
+  keys_ = crypto::x25519_keypair_from_seed(
+      crypto::domain_seed(seed, /*tag=*/0x71));  // gateway domain separation
 }
 
 Result<Bytes> SecureEngineGateway::handle(ByteSpan envelope) const {

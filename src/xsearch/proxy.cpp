@@ -92,12 +92,7 @@ XSearchProxy::XSearchProxy(const engine::SearchEngine* engine,
       authority_(&authority),
       options_(options),
       filter_(options.filter_scoring),
-      secure_rng_([&] {
-        crypto::ChaChaKey seed{};
-        store_le64(seed.data(), options.seed);
-        seed[31] = 0x42;
-        return seed;
-      }()) {
+      secure_rng_(crypto::domain_seed(options.seed, /*tag=*/0x42)) {
   assert((engine_ != nullptr || !options_.contact_engine) &&
          "engine required unless contact_engine is disabled");
   assert(!options_.engine_tls_public_key.has_value() &&
@@ -112,12 +107,7 @@ XSearchProxy::XSearchProxy(const SecureEngineGateway& gateway,
       authority_(&authority),
       options_(options),
       filter_(options.filter_scoring),
-      secure_rng_([&] {
-        crypto::ChaChaKey seed{};
-        store_le64(seed.data(), options.seed);
-        seed[31] = 0x42;
-        return seed;
-      }()) {
+      secure_rng_(crypto::domain_seed(options.seed, /*tag=*/0x42)) {
   if (!options_.engine_tls_public_key.has_value()) {
     options_.engine_tls_public_key = gateway.public_key();
   }
@@ -134,11 +124,12 @@ Status XSearchProxy::install_boundary() {
 
   // Enclave-private key material and query table. Construction is
   // single-threaded, but the DRBG is guarded uniformly so the analysis has
-  // one rule to check (the lock is free of contention here).
-  crypto::X25519Key seed{};
+  // one rule to check (the lock is free of contention here). The seed stays
+  // secret-typed from DRBG to key pair — no raw staging buffer.
+  crypto::X25519Secret seed;
   {
     MutexLock lock(handshake_mutex_);
-    secure_rng_.fill(seed);
+    seed = secure_rng_.key();
   }
   static_keys_ = crypto::x25519_keypair_from_seed(seed);
   history_ = std::make_unique<QueryHistory>(options_.history_capacity, &enclave_->epc());
@@ -370,13 +361,12 @@ Result<Bytes> XSearchProxy::trusted_handshake(ByteSpan payload) {
   crypto::X25519Key client_pub;
   std::memcpy(client_pub.data(), payload.data(), client_pub.size());
 
-  crypto::X25519Key eph_seed{};
-  crypto::X25519KeyPair ephemeral;
+  crypto::X25519Secret eph_seed;
   {
     MutexLock lock(handshake_mutex_);
-    secure_rng_.fill(eph_seed);
+    eph_seed = secure_rng_.key();
   }
-  ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+  const crypto::X25519KeyPair ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
 
   // The table is bounded: this may evict the least-recently-used session
   // (whose client will be told "unknown session" and must re-handshake).

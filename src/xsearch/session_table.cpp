@@ -23,12 +23,12 @@ namespace {
 [[nodiscard]] crypto::ChaChaKey fork_chacha_seed(std::uint64_t base_seed,
                                                  std::uint64_t id,
                                                  std::uint64_t generation) {
-  crypto::ChaChaKey seed{};
-  store_le64(seed.data(), base_seed);
-  store_le64(seed.data() + 8, id);
-  store_le64(seed.data() + 16, generation);
-  seed[31] = 0x53;  // 'S' for session
-  return seed;
+  crypto::ChaChaKey::Raw raw{};
+  store_le64(raw.data(), base_seed);
+  store_le64(raw.data() + 8, id);
+  store_le64(raw.data() + 16, generation);
+  raw[31] = 0x53;  // 'S' for session
+  return crypto::ChaChaKey::absorb(raw);
 }
 
 }  // namespace

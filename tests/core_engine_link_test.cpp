@@ -18,15 +18,15 @@ namespace {
 // ---- envelope primitive ---------------------------------------------------------
 
 crypto::SecureRandom seeded_rng(std::uint8_t tag) {
-  crypto::ChaChaKey seed{};
-  seed.fill(tag);
-  return crypto::SecureRandom(seed);
+  crypto::ChaChaKey::Raw raw{};
+  raw.fill(tag);
+  return crypto::SecureRandom(crypto::ChaChaKey::absorb(raw));
 }
 
 crypto::X25519KeyPair recipient_keys(std::uint8_t tag) {
-  crypto::X25519Key seed{};
-  seed.fill(tag);
-  return crypto::x25519_keypair_from_seed(seed);
+  crypto::X25519Secret::Raw raw{};
+  raw.fill(tag);
+  return crypto::x25519_keypair_from_seed(crypto::X25519Secret::absorb(raw));
 }
 
 TEST(Envelope, SealOpenRoundTrip) {
@@ -39,7 +39,7 @@ TEST(Envelope, SealOpenRoundTrip) {
   const auto opened = crypto::envelope_open(recipient, to_bytes("aad"), envelope);
   ASSERT_TRUE(opened.is_ok());
   EXPECT_EQ(to_string(opened.value().plaintext), "payload");
-  EXPECT_EQ(opened.value().response_key, response_key);
+  EXPECT_TRUE(constant_time_equal(opened.value().response_key, response_key));
 }
 
 TEST(Envelope, ReplyRoundTrip) {

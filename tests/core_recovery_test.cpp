@@ -201,9 +201,9 @@ TEST_F(RecoveryTest, ResumedSessionDoesNotReplayDecoyStream) {
     eph_seed[0] = 0x22;
     crypto::X25519Key client_seed{};
     client_seed[0] = 0x33;
-    const auto statics = crypto::x25519_keypair_from_seed(static_seed);
-    const auto eph = crypto::x25519_keypair_from_seed(eph_seed);
-    const auto client = crypto::x25519_keypair_from_seed(client_seed);
+    const auto statics = crypto::x25519_keypair_from_seed(crypto::X25519Secret(static_seed));
+    const auto eph = crypto::x25519_keypair_from_seed(crypto::X25519Secret(eph_seed));
+    const auto client = crypto::x25519_keypair_from_seed(crypto::X25519Secret(client_seed));
     return crypto::SecureChannel::responder(statics, eph, client.public_key);
   };
   constexpr std::uint64_t kSessionId = 777;

@@ -39,9 +39,9 @@ ChannelPair make_channel_pair(std::uint8_t tag) {
   client_eph_seed[0] = tag;
   client_eph_seed[1] = 0xc3;
 
-  const auto statics = crypto::x25519_keypair_from_seed(static_seed);
-  const auto server_eph = crypto::x25519_keypair_from_seed(server_eph_seed);
-  const auto client_eph = crypto::x25519_keypair_from_seed(client_eph_seed);
+  const auto statics = crypto::x25519_keypair_from_seed(crypto::X25519Secret(static_seed));
+  const auto server_eph = crypto::x25519_keypair_from_seed(crypto::X25519Secret(server_eph_seed));
+  const auto client_eph = crypto::x25519_keypair_from_seed(crypto::X25519Secret(client_eph_seed));
 
   return ChannelPair{
       .client = crypto::SecureChannel::initiator(client_eph, statics.public_key,
@@ -271,7 +271,7 @@ TEST(ProxySessions, OneSessionHammeredFromManyThreads) {
   // Manual handshake so the session id is visible to the hammer threads.
   crypto::X25519Key eph_seed{};
   eph_seed[0] = 0x77;
-  const auto ephemeral = crypto::x25519_keypair_from_seed(eph_seed);
+  const auto ephemeral = crypto::x25519_keypair_from_seed(crypto::X25519Secret(eph_seed));
   auto handshake = proxy.handshake(ephemeral.public_key);
   ASSERT_TRUE(handshake.is_ok()) << handshake.status().to_string();
   auto static_pub = sgx::verify_and_extract_channel_key(

@@ -11,9 +11,9 @@ namespace {
 
 AeadKey key_from_hex(std::string_view hex) {
   const Bytes b = hex_decode(hex);
-  AeadKey k{};
-  std::memcpy(k.data(), b.data(), k.size());
-  return k;
+  AeadKey::Raw raw{};
+  std::memcpy(raw.data(), b.data(), raw.size());
+  return AeadKey::absorb(raw);
 }
 
 AeadNonce nonce_from_hex(std::string_view hex) {

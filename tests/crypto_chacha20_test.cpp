@@ -11,9 +11,9 @@ namespace {
 
 ChaChaKey key_from_hex(std::string_view hex) {
   const Bytes b = hex_decode(hex);
-  ChaChaKey k{};
-  std::memcpy(k.data(), b.data(), k.size());
-  return k;
+  ChaChaKey::Raw raw{};
+  std::memcpy(raw.data(), b.data(), raw.size());
+  return ChaChaKey::absorb(raw);
 }
 
 ChaChaNonce nonce_from_hex(std::string_view hex) {

@@ -64,8 +64,8 @@ TEST(Hkdf, Rfc5869Case1) {
   const Bytes ikm(22, 0x0b);
   const Bytes salt = hex_decode("000102030405060708090a0b0c");
   const Bytes info = hex_decode("f0f1f2f3f4f5f6f7f8f9");
-  const Bytes okm = hkdf(salt, ikm, info, 42);
-  EXPECT_EQ(hex_encode(okm),
+  const SecretBytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(hex_encode(okm.expose(SecretSink::kTestVector)),
             "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
             "34007208d5b887185865");
 }
@@ -75,8 +75,8 @@ TEST(Hkdf, Rfc5869Case2LongInputs) {
   for (int i = 0x00; i <= 0x4f; ++i) ikm.push_back(static_cast<std::uint8_t>(i));
   for (int i = 0x60; i <= 0xaf; ++i) salt.push_back(static_cast<std::uint8_t>(i));
   for (int i = 0xb0; i <= 0xff; ++i) info.push_back(static_cast<std::uint8_t>(i));
-  const Bytes okm = hkdf(salt, ikm, info, 82);
-  EXPECT_EQ(hex_encode(okm),
+  const SecretBytes okm = hkdf(salt, ikm, info, 82);
+  EXPECT_EQ(hex_encode(okm.expose(SecretSink::kTestVector)),
             "b11e398dc80327a1c8e7f78c596a49344f012eda2d4efad8a050cc4c19afa97c"
             "59045a99cac7827271cb41c65e590e09da3275600c2f09b8367793a9aca3db71"
             "cc30c58179ec3e87c14c01d5c1f3434f1d87");
@@ -84,8 +84,8 @@ TEST(Hkdf, Rfc5869Case2LongInputs) {
 
 TEST(Hkdf, Rfc5869Case3ZeroSaltInfo) {
   const Bytes ikm(22, 0x0b);
-  const Bytes okm = hkdf({}, ikm, {}, 42);
-  EXPECT_EQ(hex_encode(okm),
+  const SecretBytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(hex_encode(okm.expose(SecretSink::kTestVector)),
             "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
             "9d201395faa4b61a96c8");
 }
@@ -97,9 +97,9 @@ TEST(Hkdf, ExpandLengthExact) {
 }
 
 TEST(Hkdf, InfoSeparatesKeys) {
-  const Bytes a = hkdf(to_bytes("s"), to_bytes("ikm"), to_bytes("client"), 32);
-  const Bytes b = hkdf(to_bytes("s"), to_bytes("ikm"), to_bytes("server"), 32);
-  EXPECT_NE(a, b);
+  const SecretBytes a = hkdf(to_bytes("s"), to_bytes("ikm"), to_bytes("client"), 32);
+  const SecretBytes b = hkdf(to_bytes("s"), to_bytes("ikm"), to_bytes("server"), 32);
+  EXPECT_FALSE(constant_time_equal(a, b.expose(SecretSink::kTestVector)));
 }
 
 }  // namespace

@@ -11,9 +11,9 @@ namespace {
 
 Poly1305Key key_from_hex(std::string_view hex) {
   const Bytes b = hex_decode(hex);
-  Poly1305Key k{};
-  std::memcpy(k.data(), b.data(), k.size());
-  return k;
+  Poly1305Key::Raw raw{};
+  std::memcpy(raw.data(), b.data(), raw.size());
+  return Poly1305Key::absorb(raw);
 }
 
 // RFC 8439 §2.5.2 test vector.

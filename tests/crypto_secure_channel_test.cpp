@@ -14,17 +14,13 @@ struct ChannelPair {
 };
 
 ChannelPair make_pair(std::uint8_t seed = 1) {
-  ChaChaKey rng_seed{};
-  rng_seed.fill(seed);
-  SecureRandom rng(rng_seed);
+  ChaChaKey::Raw raw{};
+  raw.fill(seed);
+  SecureRandom rng(ChaChaKey::absorb(raw));
 
-  X25519Key s{}, e_c{}, e_s{};
-  rng.fill(s);
-  rng.fill(e_c);
-  rng.fill(e_s);
-  const auto server_static = x25519_keypair_from_seed(s);
-  const auto client_eph = x25519_keypair_from_seed(e_c);
-  const auto server_eph = x25519_keypair_from_seed(e_s);
+  const auto server_static = x25519_keypair_from_seed(rng.key());
+  const auto client_eph = x25519_keypair_from_seed(rng.key());
+  const auto server_eph = x25519_keypair_from_seed(rng.key());
 
   return ChannelPair{
       SecureChannel::initiator(client_eph, server_static.public_key,
@@ -105,18 +101,13 @@ TEST(SecureChannel, DirectionsUseDistinctKeys) {
 TEST(SecureChannel, WrongStaticKeyBreaksChannel) {
   // A MITM who substitutes the server static key produces different session
   // keys, so records do not authenticate.
-  ChaChaKey seed{};
-  seed.fill(7);
-  SecureRandom rng(seed);
-  X25519Key s1{}, s2{}, ec{}, es{};
-  rng.fill(s1);
-  rng.fill(s2);
-  rng.fill(ec);
-  rng.fill(es);
-  const auto real_static = x25519_keypair_from_seed(s1);
-  const auto fake_static = x25519_keypair_from_seed(s2);
-  const auto client_eph = x25519_keypair_from_seed(ec);
-  const auto server_eph = x25519_keypair_from_seed(es);
+  ChaChaKey::Raw raw{};
+  raw.fill(7);
+  SecureRandom rng(ChaChaKey::absorb(raw));
+  const auto real_static = x25519_keypair_from_seed(rng.key());
+  const auto fake_static = x25519_keypair_from_seed(rng.key());
+  const auto client_eph = x25519_keypair_from_seed(rng.key());
+  const auto server_eph = x25519_keypair_from_seed(rng.key());
 
   auto client = SecureChannel::initiator(client_eph, fake_static.public_key,
                                          server_eph.public_key);

@@ -16,9 +16,15 @@ X25519Key key_from_hex(std::string_view hex) {
   return k;
 }
 
+// Scalars are secret-typed; points stay plain (they cross the wire anyway).
+X25519Secret secret_from_hex(std::string_view hex) {
+  X25519Secret::Raw raw = key_from_hex(hex);
+  return X25519Secret::absorb(raw);
+}
+
 // RFC 7748 §5.2 test vector 1.
 TEST(X25519, Rfc7748Vector1) {
-  const auto scalar = key_from_hex(
+  const auto scalar = secret_from_hex(
       "a546e36bf0527c9d3b16154b82465edd62144c0ac1fc5a18506a2244ba449ac4");
   const auto point = key_from_hex(
       "e6db6867583030db3594c1a424b15f7c726624ec26b3353b10a903a6d0ab1c4c");
@@ -28,7 +34,7 @@ TEST(X25519, Rfc7748Vector1) {
 
 // RFC 7748 §5.2 test vector 2.
 TEST(X25519, Rfc7748Vector2) {
-  const auto scalar = key_from_hex(
+  const auto scalar = secret_from_hex(
       "4b66e9d4d1b4673c5ad22691957d6af5c11b6421e0ea01d42ca4169e7918ba0d");
   const auto point = key_from_hex(
       "e5210f12786811d3f4b7959d0538ae2c31dbe7106fc03c3efc4cd549c715a493");
@@ -40,7 +46,7 @@ TEST(X25519, Rfc7748Vector2) {
 TEST(X25519, IteratedOnce) {
   const auto k = key_from_hex(
       "0900000000000000000000000000000000000000000000000000000000000000");
-  EXPECT_EQ(hex_encode(x25519(k, k)),
+  EXPECT_EQ(hex_encode(x25519(X25519Secret(k), k)),
             "422c8e7a6227d7bca1350b3e2bb7279f7897b87bb6854b783c60e80311ae3079");
 }
 
@@ -50,7 +56,7 @@ TEST(X25519, IteratedThousandTimes) {
       "0900000000000000000000000000000000000000000000000000000000000000");
   auto u = k;
   for (int i = 0; i < 1000; ++i) {
-    const auto next = x25519(k, u);
+    const auto next = x25519(X25519Secret(k), u);
     u = k;
     k = next;
   }
@@ -60,9 +66,9 @@ TEST(X25519, IteratedThousandTimes) {
 
 // RFC 7748 §6.1 Diffie–Hellman vectors.
 TEST(X25519, Rfc7748DiffieHellman) {
-  const auto alice_priv = key_from_hex(
+  const auto alice_priv = secret_from_hex(
       "77076d0a7318a57d3c16c17251b26645df4c2f87ebc0992ab177fba51db92c2a");
-  const auto bob_priv = key_from_hex(
+  const auto bob_priv = secret_from_hex(
       "5dab087e624a8a4b79e17f8b83800ee66f3bb1292618b6fd1c2f8b27ff88e0eb");
 
   const auto alice_pub = x25519_public_key(alice_priv);
@@ -86,8 +92,8 @@ TEST(X25519, SharedSecretAgreementRandomKeys) {
     X25519Key seed_b{};
     seed_a.fill(i);
     seed_b.fill(static_cast<std::uint8_t>(i + 100));
-    const auto a = x25519_keypair_from_seed(seed_a);
-    const auto b = x25519_keypair_from_seed(seed_b);
+    const auto a = x25519_keypair_from_seed(X25519Secret(seed_a));
+    const auto b = x25519_keypair_from_seed(X25519Secret(seed_b));
     EXPECT_EQ(x25519(a.private_key, b.public_key), x25519(b.private_key, a.public_key));
   }
 }
@@ -96,27 +102,27 @@ TEST(X25519, ClampingMakesSeedsEquivalent) {
   // Seeds that differ only in clamped bits produce identical key pairs.
   X25519Key seed{};
   seed.fill(0x42);
-  auto kp1 = x25519_keypair_from_seed(seed);
+  auto kp1 = x25519_keypair_from_seed(X25519Secret(seed));
   X25519Key seed2 = seed;
   seed2[0] |= 7;     // low bits cleared by clamping
   seed2[31] |= 128;  // top bit cleared by clamping
-  auto kp2 = x25519_keypair_from_seed(seed2);
+  auto kp2 = x25519_keypair_from_seed(X25519Secret(seed2));
   EXPECT_EQ(kp1.public_key, kp2.public_key);
 }
 
 TEST(X25519, PublicKeyDeterministic) {
   X25519Key seed{};
   seed.fill(9);
-  EXPECT_EQ(x25519_keypair_from_seed(seed).public_key,
-            x25519_keypair_from_seed(seed).public_key);
+  EXPECT_EQ(x25519_keypair_from_seed(X25519Secret(seed)).public_key,
+            x25519_keypair_from_seed(X25519Secret(seed)).public_key);
 }
 
 TEST(X25519, DifferentSeedsDifferentPublicKeys) {
   X25519Key s1{}, s2{};
   s1.fill(1);
   s2.fill(2);
-  EXPECT_NE(x25519_keypair_from_seed(s1).public_key,
-            x25519_keypair_from_seed(s2).public_key);
+  EXPECT_NE(x25519_keypair_from_seed(X25519Secret(s1)).public_key,
+            x25519_keypair_from_seed(X25519Secret(s2)).public_key);
 }
 
 }  // namespace

@@ -1,0 +1,12 @@
+// Fixture: "trusted" code leaking a secret identifier into a log statement
+// and exposing through an unregistered / wrong-scope sink tag.
+// tools_secret_lint_test expects secret_lint to flag all three lines.
+// Never compiled — only the shapes matter.
+
+void fixture_leaks(int session_key_) {
+  XS_LOG_INFO("handshake key is " << session_key_);        // secret-in-message
+  auto v = secret.expose(SecretSink::kBogusSink);           // unregistered tag
+  auto w = secret.expose(SecretSink::kTestVector);          // tests-only sink
+  (void)v;
+  (void)w;
+}

@@ -1,0 +1,7 @@
+// Fixture: a waiver with no written reason. tools_secret_lint_test expects
+// secret_lint to reject it — a bare escape hatch is itself a finding.
+
+bool fixture_bare_waiver(unsigned char root_key_) {
+  if (root_key_ != 0) return true;  // secret-lint: allow(secret-branch)
+  return false;
+}

@@ -1,0 +1,9 @@
+// Fixture: a branch on a secret identifier carrying a written waiver.
+// tools_secret_lint_test expects secret_lint to pass this file and count
+// exactly one waiver.
+
+bool fixture_waived_branch(unsigned char private_key) {
+  // secret-lint: allow(secret-branch) fixture: demonstrates the per-line waiver syntax the real tree uses
+  if (private_key != 0) return true;
+  return false;
+}

@@ -1,0 +1,39 @@
+// Secret-flow negative fixture: MUST FAIL to compile under
+//   clang++ -fsyntax-only -Isrc -std=c++20
+// and is exactly the bug class the Secret<N> wrapper exists to catch:
+// key material flowing into operations that copy, compare, or print it.
+// The static-analysis CI job compiles this file expecting failure
+// (mirroring the tsa_negative.cpp self-test): if it ever compiles clean,
+// the wrapper has silently stopped guarding anything.
+//
+// Never built by CMake (the test glob is tests/*.cpp, non-recursive).
+#include <iostream>
+#include <string>
+
+#include "crypto/chacha20.hpp"
+
+namespace {
+
+void leak_everywhere(const xsearch::crypto::ChaChaKey& key,
+                     const xsearch::crypto::ChaChaKey& other) {
+  // BUG (intentional): logging a key. operator<< is explicitly deleted.
+  std::cout << key;
+
+  // BUG (intentional): variable-time equality. operator== is deleted;
+  // the only sanctioned comparison is constant_time_equal(key, other).
+  if (key == other) return;
+
+  // BUG (intentional): copying key bytes into an unwiped std::string.
+  // Secret<N> has no begin()/end()/data() — bytes are reachable only
+  // through expose(<sink tag>).
+  const std::string copy(key.begin(), key.end());
+  (void)copy;
+}
+
+}  // namespace
+
+int main() {
+  const xsearch::crypto::ChaChaKey a, b;
+  leak_everywhere(a, b);
+  return 0;
+}

@@ -33,8 +33,9 @@ class AeadProperty : public ::testing::TestWithParam<std::tuple<std::size_t, int
 
 TEST_P(AeadProperty, SealOpenIsIdentity) {
   Rng rng(seed());
-  AeadKey key{};
-  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  AeadKey::Raw raw{};
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.next());
+  const AeadKey key = AeadKey::absorb(raw);
   const Bytes plaintext = random_bytes(rng, size());
   const Bytes aad = random_bytes(rng, rng.uniform(64));
   const AeadNonce nonce = make_nonce(static_cast<std::uint32_t>(rng.next()), rng.next());
@@ -48,8 +49,9 @@ TEST_P(AeadProperty, SealOpenIsIdentity) {
 
 TEST_P(AeadProperty, AnySingleBitFlipIsRejected) {
   Rng rng(seed() ^ 0xf11b);
-  AeadKey key{};
-  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  AeadKey::Raw raw{};
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.next());
+  const AeadKey key = AeadKey::absorb(raw);
   const Bytes plaintext = random_bytes(rng, size());
   const AeadNonce nonce = make_nonce(1, 1);
   const Bytes sealed = aead_seal(key, nonce, {}, plaintext);
@@ -69,8 +71,9 @@ TEST_P(AeadProperty, CiphertextLooksUncorrelated) {
   // Weak PRF sanity: byte-histogram of the ciphertext is near-uniform.
   Rng rng(seed() ^ 0xc0de);
   if (size() < 1024) GTEST_SKIP() << "needs enough material";
-  AeadKey key{};
-  for (auto& b : key) b = static_cast<std::uint8_t>(rng.next());
+  AeadKey::Raw raw{};
+  for (auto& b : raw) b = static_cast<std::uint8_t>(rng.next());
+  const AeadKey key = AeadKey::absorb(raw);
   const Bytes plaintext(size(), 0x00);  // worst case: all zeros
   const Bytes sealed = aead_seal(key, make_nonce(2, 2), {}, plaintext);
   int histogram[256] = {};
@@ -113,21 +116,21 @@ class X25519Property : public ::testing::TestWithParam<int> {};
 
 TEST_P(X25519Property, DiffieHellmanCommutes) {
   Rng rng(static_cast<std::uint64_t>(GetParam()));
-  X25519Key sa{}, sb{};
+  X25519Secret::Raw sa{}, sb{};
   for (auto& b : sa) b = static_cast<std::uint8_t>(rng.next());
   for (auto& b : sb) b = static_cast<std::uint8_t>(rng.next());
-  const auto a = x25519_keypair_from_seed(sa);
-  const auto b = x25519_keypair_from_seed(sb);
+  const auto a = x25519_keypair_from_seed(X25519Secret::absorb(sa));
+  const auto b = x25519_keypair_from_seed(X25519Secret::absorb(sb));
   EXPECT_EQ(x25519(a.private_key, b.public_key), x25519(b.private_key, a.public_key));
 }
 
 TEST_P(X25519Property, SharedSecretNotTrivial) {
   Rng rng(static_cast<std::uint64_t>(GetParam()) ^ 0x5ec);
-  X25519Key sa{}, sb{};
+  X25519Secret::Raw sa{}, sb{};
   for (auto& b : sa) b = static_cast<std::uint8_t>(rng.next());
   for (auto& b : sb) b = static_cast<std::uint8_t>(rng.next());
-  const auto a = x25519_keypair_from_seed(sa);
-  const auto b = x25519_keypair_from_seed(sb);
+  const auto a = x25519_keypair_from_seed(X25519Secret::absorb(sa));
+  const auto b = x25519_keypair_from_seed(X25519Secret::absorb(sb));
   const auto shared = x25519(a.private_key, b.public_key);
   const X25519Key zero{};
   EXPECT_NE(shared, zero);
@@ -143,16 +146,12 @@ class ChannelSequence : public ::testing::TestWithParam<int> {};
 
 TEST_P(ChannelSequence, InterleavedBidirectionalTraffic) {
   Rng rng(static_cast<std::uint64_t>(GetParam()));
-  ChaChaKey seed{};
+  ChaChaKey::Raw seed{};
   for (auto& b : seed) b = static_cast<std::uint8_t>(rng.next());
-  SecureRandom srng(seed);
-  X25519Key s{}, ec{}, es{};
-  srng.fill(s);
-  srng.fill(ec);
-  srng.fill(es);
-  const auto server_static = x25519_keypair_from_seed(s);
-  const auto client_eph = x25519_keypair_from_seed(ec);
-  const auto server_eph = x25519_keypair_from_seed(es);
+  SecureRandom srng(ChaChaKey::absorb(seed));
+  const auto server_static = x25519_keypair_from_seed(srng.key());
+  const auto client_eph = x25519_keypair_from_seed(srng.key());
+  const auto server_eph = x25519_keypair_from_seed(srng.key());
   auto client = SecureChannel::initiator(client_eph, server_static.public_key,
                                          server_eph.public_key);
   auto server =
@@ -180,9 +179,11 @@ class HkdfProperty : public ::testing::TestWithParam<std::size_t> {};
 
 TEST_P(HkdfProperty, DistinctInfoDistinctOutput) {
   const Bytes ikm(32, static_cast<std::uint8_t>(GetParam()));
-  const Bytes a = hkdf({}, ikm, to_bytes("context-a"), GetParam() + 1);
-  const Bytes b = hkdf({}, ikm, to_bytes("context-b"), GetParam() + 1);
-  EXPECT_NE(a, b);
+  const SecretBytes a = hkdf({}, ikm, to_bytes("context-a"), GetParam() + 1);
+  const SecretBytes b = hkdf({}, ikm, to_bytes("context-b"), GetParam() + 1);
+  if (a.size() > 0) {
+    EXPECT_FALSE(constant_time_equal(a, b.expose(SecretSink::kTestVector)));
+  }
   EXPECT_EQ(a.size(), GetParam() + 1);
 }
 
@@ -190,9 +191,11 @@ TEST_P(HkdfProperty, PrefixConsistency) {
   // hkdf(n) is a prefix of hkdf(n + 32) for the same inputs.
   const Bytes ikm(32, static_cast<std::uint8_t>(GetParam() * 3 + 1));
   const std::size_t n = GetParam() + 1;
-  const Bytes small = hkdf({}, ikm, to_bytes("ctx"), n);
-  const Bytes large = hkdf({}, ikm, to_bytes("ctx"), n + 32);
-  EXPECT_TRUE(std::equal(small.begin(), small.end(), large.begin()));
+  const SecretBytes small = hkdf({}, ikm, to_bytes("ctx"), n);
+  const SecretBytes large = hkdf({}, ikm, to_bytes("ctx"), n + 32);
+  const auto small_view = small.expose(SecretSink::kTestVector);
+  const auto large_view = large.expose(SecretSink::kTestVector);
+  EXPECT_TRUE(std::equal(small_view.begin(), small_view.end(), large_view.begin()));
 }
 
 INSTANTIATE_TEST_SUITE_P(Lengths, HkdfProperty,

@@ -1,0 +1,351 @@
+#!/usr/bin/env python3
+"""Secret-flow lint for the X-Search tree.
+
+The Secret<N>/SecretBytes wrappers (src/common/secret.hpp) make key bytes
+unreachable except through expose(<sink tag>), and the compiler already
+rejects ==, <<, and implicit conversions on them. This script checks the
+residue the type system cannot: that every expose() names a registered sink
+tag valid for its scope, that secret-bearing identifiers never flow into
+log/Status/exception text, branch conditions, array subscripts or hash-map
+keys, and that nothing wipes a secret with a bare memset instead of
+secure_wipe(). The policy lives in tools/secret_policy.toml; like
+tcb_lint.py this is a line-level pass over the sources named there, so it
+runs identically on a dev box and in CI.
+
+The lint also emits the full exposure table (site -> sink -> reason) so CI
+reviewers audit the exact places raw key bytes become visible.
+
+Waivers:
+  * per line:  // secret-lint: allow(<rule>) <written reason>
+    (on the offending line or the line directly above it)
+  * per file:  [[exempt]] entries in the TOML, with a reason
+Both are counted and listed; a waiver without a reason is itself a finding.
+
+Exit status: 0 when every finding is waived, 1 otherwise, 2 on bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+import tomllib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h"}
+WAIVER_RE = re.compile(r"//\s*secret-lint:\s*allow\(([\w-]+)\)\s*(.*)")
+EXPOSE_RE = re.compile(r"(?:\.|->)\s*expose\s*\(\s*([^)]*)\)")
+SINK_TAG_RE = re.compile(r"(?:SecretSink::)?(k\w+)\s*$")
+STRING_RE = re.compile(r'"(?:[^"\\]|\\.)*"')
+
+
+@dataclass
+class Finding:
+    path: str
+    line: int
+    rule: str
+    message: str
+    snippet: str
+
+
+@dataclass
+class Waiver:
+    path: str
+    where: str  # "line N" or "config"
+    rule: str
+    reason: str
+
+
+@dataclass
+class Exposure:
+    path: str
+    line: int
+    sink: str
+    reason: str
+
+
+@dataclass
+class Rule:
+    name: str
+    applies_to: str
+    kind: str
+    message: str
+    patterns: list[re.Pattern] = field(default_factory=list)
+    trigger: re.Pattern | None = None
+    exclude: re.Pattern | None = None
+    subscript_only: bool = False
+
+
+def load_rules(config: dict) -> list[Rule]:
+    rules = []
+    for raw in config.get("rules", []):
+        rule = Rule(
+            name=raw["name"],
+            applies_to=raw["applies_to"],
+            kind=raw["kind"],
+            message=raw["message"],
+        )
+        if rule.kind == "pattern":
+            rule.patterns = [re.compile(p) for p in raw["patterns"]]
+        elif rule.kind == "taint":
+            rule.trigger = re.compile(raw["trigger"])
+            if "exclude" in raw:
+                rule.exclude = re.compile(raw["exclude"])
+            rule.subscript_only = bool(raw.get("subscript_only", False))
+        elif rule.kind != "expose":
+            raise SystemExit(f"secret_lint: unknown rule kind {rule.kind!r}")
+        rules.append(rule)
+    return rules
+
+
+def list_sources(root: Path, dirs: list[str]) -> list[Path]:
+    out: list[Path] = []
+    for d in dirs:
+        base = root / d
+        if not base.exists():
+            continue
+        out.extend(
+            p for p in sorted(base.rglob("*")) if p.suffix in SOURCE_SUFFIXES
+        )
+    return out
+
+
+def line_waiver(lines: list[str], idx: int) -> tuple[str, str] | None:
+    """Waiver on the offending line, or alone on the line above it."""
+    m = WAIVER_RE.search(lines[idx])
+    if m:
+        return m.group(1), m.group(2).strip()
+    if idx > 0:
+        prev = lines[idx - 1].strip()
+        m = WAIVER_RE.search(prev)
+        if m and prev.startswith("//"):
+            return m.group(1), m.group(2).strip()
+    return None
+
+
+def strip_line_comment(line: str) -> str:
+    """Drop // comments so prose about keys never trips a rule."""
+    cut = line.find("//")
+    return line if cut < 0 else line[:cut]
+
+
+def strip_strings(code: str) -> str:
+    """Blank out string-literal contents: "query too long" is not a taint."""
+    return STRING_RE.sub('""', code)
+
+
+class Linter:
+    def __init__(self, root: Path, config: dict):
+        self.root = root
+        self.rules = load_rules(config)
+        modules = config.get("modules", {})
+        self.scopes = {
+            "trusted": modules.get("trusted", []),
+            "untrusted": modules.get("untrusted", []),
+            "tests": modules.get("tests", []),
+        }
+        idents = config.get("secrets", {}).get("identifiers", [])
+        self.secret_re = (
+            re.compile(r"\b(?:" + "|".join(idents) + r")\b") if idents else None
+        )
+        self.sinks: dict[str, dict] = {
+            s["name"]: s for s in config.get("sinks", [])
+        }
+        self.exempt: dict[tuple[str, str], str] = {}
+        for entry in config.get("exempt", []):
+            self.exempt[(entry["file"], entry["rule"])] = entry["reason"]
+        self.findings: list[Finding] = []
+        self.waivers: list[Waiver] = []
+        self.exposures: list[Exposure] = []
+        self.used_exempts: set[tuple[str, str]] = set()
+
+    def scope_of(self, rel: str) -> str | None:
+        for scope in ("trusted", "untrusted", "tests"):
+            for d in self.scopes[scope]:
+                if rel == d or rel.startswith(d.rstrip("/") + "/"):
+                    return scope
+        return None
+
+    def rules_for(self, scope: str) -> list[Rule]:
+        return [
+            r
+            for r in self.rules
+            if r.applies_to == "all" or r.applies_to == scope
+        ]
+
+    def report(self, rel: str, lines: list[str], idx: int, rule: Rule,
+               message: str | None = None) -> None:
+        exempt_reason = self.exempt.get((rel, rule.name))
+        if exempt_reason is not None:
+            if (rel, rule.name) not in self.used_exempts:
+                self.used_exempts.add((rel, rule.name))
+                self.waivers.append(Waiver(rel, "config", rule.name, exempt_reason))
+            return
+        waiver = line_waiver(lines, idx)
+        if waiver is not None:
+            waived_rule, reason = waiver
+            if waived_rule != rule.name:
+                self.findings.append(Finding(
+                    rel, idx + 1, rule.name,
+                    f"waiver names rule {waived_rule!r} but the finding is "
+                    f"{rule.name!r}", lines[idx].strip()))
+            elif not reason:
+                self.findings.append(Finding(
+                    rel, idx + 1, rule.name,
+                    "waiver has no written reason (required)",
+                    lines[idx].strip()))
+            else:
+                self.waivers.append(
+                    Waiver(rel, f"line {idx + 1}", rule.name, reason))
+            return
+        self.findings.append(Finding(
+            rel, idx + 1, rule.name, message or rule.message,
+            lines[idx].strip()))
+
+    def check_expose(self, rel: str, scope: str, lines: list[str], idx: int,
+                     rule: Rule) -> None:
+        code = strip_line_comment(lines[idx])
+        for m in EXPOSE_RE.finditer(code):
+            tag = SINK_TAG_RE.search(m.group(1).strip())
+            if not tag:
+                self.report(rel, lines, idx, rule,
+                            f"expose({m.group(1).strip()!r}) does not name a "
+                            "SecretSink::k... tag")
+                continue
+            name = tag.group(1)
+            sink = self.sinks.get(name)
+            if sink is None:
+                self.report(rel, lines, idx, rule,
+                            f"SecretSink::{name} is not a registered sink "
+                            f"({sorted(self.sinks)})")
+                continue
+            if scope not in sink.get("scopes", []):
+                self.report(rel, lines, idx, rule,
+                            f"SecretSink::{name} is not allowed in {scope} "
+                            f"code (scopes: {sink.get('scopes', [])})")
+                continue
+            self.exposures.append(
+                Exposure(rel, idx + 1, name, sink.get("reason", "")))
+
+    def check_taint(self, rel: str, lines: list[str], idx: int,
+                    rule: Rule) -> None:
+        if self.secret_re is None or rule.trigger is None:
+            return
+        code = strip_strings(strip_line_comment(lines[idx]))
+        if not rule.trigger.search(code):
+            return
+        if rule.subscript_only:
+            hit = any(
+                self.secret_re.search(code[m.start() + 1:m.end() - 1])
+                for m in rule.trigger.finditer(code)
+            )
+            if not hit:
+                return
+        elif not self.secret_re.search(code):
+            return
+        if rule.exclude is not None and rule.exclude.search(code):
+            return
+        self.report(rel, lines, idx, rule)
+
+    def lint_file(self, path: Path) -> None:
+        rel = path.relative_to(self.root).as_posix()
+        scope = self.scope_of(rel)
+        if scope is None:
+            return
+        lines = path.read_text(encoding="utf-8", errors="replace").splitlines()
+        for rule in self.rules_for(scope):
+            if rule.kind == "pattern":
+                for idx, line in enumerate(lines):
+                    code = strip_line_comment(line)
+                    if any(p.search(code) for p in rule.patterns):
+                        self.report(rel, lines, idx, rule)
+            elif rule.kind == "expose":
+                for idx in range(len(lines)):
+                    self.check_expose(rel, scope, lines, idx, rule)
+            elif rule.kind == "taint":
+                for idx in range(len(lines)):
+                    self.check_taint(rel, lines, idx, rule)
+
+    def run(self, only: list[str] | None) -> None:
+        files = list_sources(
+            self.root, self.scopes["trusted"] + self.scopes["untrusted"]
+            + self.scopes["tests"])
+        if only:
+            wanted = {Path(o).as_posix() for o in only}
+            files = [
+                f for f in files
+                if f.relative_to(self.root).as_posix() in wanted
+            ]
+            if not files:
+                raise SystemExit(f"secret_lint: --only matched no files: {only}")
+        for f in files:
+            self.lint_file(f)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--config", default="tools/secret_policy.toml")
+    parser.add_argument("--root", default=".",
+                        help="repo root the config paths are relative to")
+    parser.add_argument("--only", action="append", default=None,
+                        help="restrict to these repo-relative files (repeatable)")
+    parser.add_argument("--summary-file", default=None,
+                        help="append a markdown summary (e.g. $GITHUB_STEP_SUMMARY)")
+    args = parser.parse_args()
+
+    root = Path(args.root).resolve()
+    config_path = Path(args.config)
+    if not config_path.is_absolute():
+        config_path = root / config_path
+    try:
+        config = tomllib.loads(config_path.read_text())
+    except (OSError, tomllib.TOMLDecodeError) as err:
+        print(f"secret_lint: cannot load config {config_path}: {err}",
+              file=sys.stderr)
+        return 2
+
+    linter = Linter(root, config)
+    linter.run(args.only)
+
+    for f in linter.findings:
+        print(f"{f.path}:{f.line}: [{f.rule}] {f.message}\n    {f.snippet}")
+    print(f"secret_lint: {len(linter.findings)} finding(s), "
+          f"{len(linter.waivers)} waiver(s), "
+          f"{len(linter.exposures)} exposure site(s)")
+    for w in linter.waivers:
+        print(f"  waived [{w.rule}] {w.path} ({w.where}): {w.reason}")
+    for e in linter.exposures:
+        print(f"  expose [{e.sink}] {e.path}:{e.line}")
+
+    if args.summary_file:
+        with open(args.summary_file, "a", encoding="utf-8") as out:
+            out.write("### Secret-flow lint\n\n")
+            out.write(f"- findings: **{len(linter.findings)}**\n")
+            out.write(f"- waivers: **{len(linter.waivers)}** "
+                      "(each carries a written reason)\n")
+            out.write(f"- exposure sites: **{len(linter.exposures)}**\n\n")
+            if linter.findings:
+                out.write("| file | line | rule | message |\n|---|---|---|---|\n")
+                for f in linter.findings:
+                    out.write(f"| {f.path} | {f.line} | {f.rule} | {f.message} |\n")
+                out.write("\n")
+            if linter.exposures:
+                out.write("<details><summary>exposure table "
+                          "(site &rarr; sink &rarr; reason)</summary>\n\n")
+                out.write("| site | sink | reason |\n|---|---|---|\n")
+                for e in linter.exposures:
+                    out.write(f"| {e.path}:{e.line} | {e.sink} | {e.reason} |\n")
+                out.write("\n</details>\n\n")
+            if linter.waivers:
+                out.write("<details><summary>waivers</summary>\n\n")
+                out.write("| file | where | rule | reason |\n|---|---|---|---|\n")
+                for w in linter.waivers:
+                    out.write(f"| {w.path} | {w.where} | {w.rule} | {w.reason} |\n")
+                out.write("\n</details>\n")
+
+    return 1 if linter.findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
