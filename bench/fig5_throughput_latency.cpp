@@ -49,6 +49,14 @@
 // restores the history) vs cold (no checkpoints, the respawn reopens the
 // paper's cold-start obfuscation window). See run_recovery_sweep below.
 //
+// The special name "xsearch-degraded" is the brownout mode: a 2-worker
+// fleet with a live engine whose calls are degraded mid-run through the
+// proxies' host-side fault hook (FaultPlan::engine_call — injected latency
+// + failures). The per-proxy engine circuit breaker trips, sheds the
+// engine path fast, and half-open probes restore it once the fault window
+// closes. Measured per phase (healthy / degraded / recovered): goodput,
+// failed searches (shed), and p99 latency. See run_degraded_sweep below.
+//
 // Besides the stdout table, every run writes machine-readable JSON (default
 // BENCH_fig5.json, or pass --json=PATH) with one object per measured row,
 // uploaded by the CI release-bench job so perf numbers accumulate per PR.
@@ -56,8 +64,10 @@
 // Run: ./build/bench/fig5_throughput_latency [--json=PATH] [--mode=NAME]
 //      [mechanism...]
 //      (default: xsearch peas tor; any registered name, xsearch-remote,
-//      xsearch-sessions, xsearch-fleet or xsearch-recovery; --mode=NAME is
-//      shorthand for appending NAME to the mechanism list)
+//      xsearch-sessions, xsearch-fleet, xsearch-recovery or
+//      xsearch-degraded; --mode=NAME is shorthand for appending NAME to the
+//      mechanism list)
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
@@ -76,6 +86,7 @@
 #include "api/xsearch_options.hpp"
 #include "bench_common.hpp"
 #include "loadgen/loadgen.hpp"
+#include "net/chaos.hpp"
 #include "net/fleet_supervisor.hpp"
 #include "net/proxy_fleet.hpp"
 #include "net/proxy_server.hpp"
@@ -458,6 +469,169 @@ void run_recovery_sweep(const api::ClientConfig& base_config) {
               "restored-checkpoint depth\n");
 }
 
+/// Brownout sweep: a 2-worker fleet with a live engine, 2 closed-loop TCP
+/// sessions with end-to-end request budgets, and a mid-run window where
+/// FaultPlan::engine_call degrades every engine round trip (injected delay
+/// + a failure rate past the breaker's trip ratio). The per-proxy engine
+/// circuit breaker converts the brownout into fast typed failures instead
+/// of budget-burning slow ones, then half-open probes re-close it once the
+/// window ends. Reported per phase: goodput (successful qps), failed
+/// searches, and the client-observed p99.
+void run_degraded_sweep(const api::ClientConfig& base_config,
+                        const engine::SearchEngine& engine) {
+  constexpr std::size_t kClientSessions = 2;
+  constexpr auto kPhaseWindow = std::chrono::milliseconds(300);
+  constexpr const char* kPhaseNames[] = {"healthy", "degraded", "recovered"};
+
+  api::ClientConfig config = base_config;
+  config.contact_engine = true;  // the engine path is the subject here
+
+  // Engine-path fault plan, gated on the degraded phase below: 60% of
+  // engine calls fail (past the 50% trip ratio), the rest eat a 2ms stall.
+  net::FaultPlan::Options plan_options;
+  plan_options.seed = 42;
+  plan_options.fault_ops = 1'000'000;  // never exhausts inside the window
+  plan_options.delay_p = plan_options.partial_p = plan_options.drop_p = 0.0;
+  plan_options.reset_p = plan_options.garbage_p = 0.0;
+  plan_options.engine_delay_p = 0.3;
+  plan_options.engine_delay = 2 * kMilli;
+  plan_options.engine_fail_p = 0.6;
+  auto plan = std::make_shared<net::FaultPlan>(plan_options);
+  auto degraded = std::make_shared<std::atomic<bool>>(false);
+
+  xsearch::sgx::AttestationAuthority authority(
+      xsearch::to_bytes("fig5-degraded-root"));
+  net::ProxyFleet::Options fleet_options =
+      api::fleet_options(config, {.workers = 2, .virtual_nodes = 64});
+  fleet_options.proxy.contact_engine = true;
+  fleet_options.proxy.engine_fault_hook = [plan, degraded]() -> Status {
+    if (!degraded->load(std::memory_order_relaxed)) return {};
+    return plan->engine_call();
+  };
+  fleet_options.proxy.engine_breaker_enabled = true;
+  fleet_options.proxy.engine_breaker.window = 32;
+  fleet_options.proxy.engine_breaker.min_samples = 8;
+  fleet_options.proxy.engine_breaker.failure_ratio = 0.5;
+  fleet_options.proxy.engine_breaker.open_cooldown = 50 * kMilli;
+  fleet_options.proxy.engine_breaker.half_open_probes = 2;
+  auto fleet = net::ProxyFleet::create(&engine, authority, fleet_options);
+  if (!fleet.is_ok()) {
+    std::fprintf(stderr, "xsearch-degraded: %s\n",
+                 fleet.status().to_string().c_str());
+    return;
+  }
+  auto server = net::ProxyServer::start(*fleet.value());
+  if (!server.is_ok()) {
+    std::fprintf(stderr, "xsearch-degraded server: %s\n",
+                 server.status().to_string().c_str());
+    return;
+  }
+
+  std::atomic<int> phase{0};
+  std::atomic<bool> go{false};
+  std::atomic<bool> stop{false};
+  std::atomic<std::size_t> ready{0};
+  std::array<std::atomic<std::uint64_t>, 3> completed{};
+  std::array<std::atomic<std::uint64_t>, 3> failed{};
+  // Client-observed per-phase latencies, one slab per session (merged after
+  // the join, so the measuring threads never share a vector).
+  std::vector<std::array<std::vector<double>, 3>> latencies(kClientSessions);
+  std::vector<std::thread> threads;
+  threads.reserve(kClientSessions);
+  for (std::size_t s = 0; s < kClientSessions; ++s) {
+    threads.emplace_back([&, s] {
+      net::RemoteBroker::Options broker_options;
+      broker_options.request_budget = 500 * kMilli;
+      broker_options.connect_budget = kSecond;
+      broker_options.retry.max_attempts = 2;
+      broker_options.retry.initial_backoff = kMilli;
+      broker_options.retry.max_backoff = 10 * kMilli;
+      net::RemoteBroker broker("127.0.0.1", server.value()->port(), authority,
+                               fleet.value()->measurement(), 6100 + 19 * s,
+                               broker_options);
+      const bool connected = broker.connect().is_ok();
+      ready.fetch_add(1, std::memory_order_release);
+      if (!connected) return;
+      while (!go.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int p = phase.load(std::memory_order_relaxed);
+        const auto idx = static_cast<std::size_t>(p);
+        const auto t0 = std::chrono::steady_clock::now();
+        const bool ok = broker.search("brownout probe").is_ok();
+        const double ms =
+            1e3 *
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        latencies[s][idx].push_back(ms);
+        (ok ? completed : failed)[idx].fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  while (ready.load(std::memory_order_acquire) < kClientSessions)
+    std::this_thread::yield();
+
+  std::array<double, 3> phase_secs{};
+  const auto run_phase = [&](int index, auto&& mid) {
+    const auto t0 = std::chrono::steady_clock::now();
+    phase.store(index, std::memory_order_relaxed);
+    mid();
+    std::this_thread::sleep_for(kPhaseWindow);
+    phase_secs[static_cast<std::size_t>(index)] =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  };
+
+  go.store(true, std::memory_order_release);
+  run_phase(0, [] {});
+  run_phase(1, [&] { degraded->store(true, std::memory_order_relaxed); });
+  run_phase(2, [&] { degraded->store(false, std::memory_order_relaxed); });
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : threads) t.join();
+
+  for (int p = 0; p < 3; ++p) {
+    const auto idx = static_cast<std::size_t>(p);
+    std::vector<double> merged;
+    for (std::size_t s = 0; s < kClientSessions; ++s) {
+      merged.insert(merged.end(), latencies[s][idx].begin(),
+                    latencies[s][idx].end());
+    }
+    std::sort(merged.begin(), merged.end());
+    const double p99 =
+        merged.empty() ? 0.0 : merged[merged.size() * 99 / 100];
+    const double goodput =
+        static_cast<double>(completed[idx].load()) / phase_secs[idx];
+    std::printf("%-16s %13s %12.1f %10s %10s %10.3f %8llu\n",
+                "xsearch-degraded", kPhaseNames[idx], goodput, "-", "-", p99,
+                static_cast<unsigned long long>(failed[idx].load()));
+    JsonRow row;
+    row.system = "xsearch-degraded";
+    row.achieved_rps = goodput;
+    row.p99_ms = p99;
+    row.dropped = failed[idx].load();
+    row.workers = 2;
+    row.mode = "engine-chaos";
+    row.phase = kPhaseNames[idx];
+    g_rows.push_back(row);
+  }
+  std::uint64_t trips = 0;
+  std::uint64_t rejected = 0;
+  for (std::size_t w = 0; w < fleet.value()->worker_count(); ++w) {
+    const auto proxy = fleet.value()->worker_proxy(w);
+    if (proxy == nullptr) continue;
+    const auto stats = proxy->engine_breaker_stats();
+    trips += stats.trips;
+    rejected += stats.rejected;
+  }
+  std::printf("# xsearch-degraded: engine_faults=%llu breaker_trips=%llu "
+              "breaker_rejected=%llu\n",
+              static_cast<unsigned long long>(plan->faults_injected()),
+              static_cast<unsigned long long>(trips),
+              static_cast<unsigned long long>(rejected));
+  server.value()->stop();
+  std::printf("# *brownout: dropped column is failed searches in the phase; "
+              "p99 is client-observed\n");
+}
+
 loadgen::LoadConfig config_for(double rps) {
   loadgen::LoadConfig config;
   config.target_rps = rps;
@@ -562,6 +736,10 @@ int main(int argc, char** argv) {
     }
     if (name == "xsearch-recovery") {
       run_recovery_sweep(config);
+      continue;
+    }
+    if (name == "xsearch-degraded") {
+      run_degraded_sweep(config, *bed->engine);
       continue;
     }
 

@@ -417,6 +417,18 @@ net::FleetSupervisor::Options supervisor_options(const ClientConfig& config) {
   net::FleetSupervisor::Options options;
   options.probe_interval = config.recovery.probe_interval;
   options.failure_threshold = config.recovery.failure_threshold;
+  options.probe_budget = config.recovery.probe_budget;
+  return options;
+}
+
+net::RemoteBroker::Options remote_broker_options(const ClientConfig& config) {
+  net::RemoteBroker::Options options;
+  options.request_budget = config.robustness.request_budget;
+  options.connect_budget = config.robustness.connect_budget;
+  options.retry.max_attempts = config.robustness.retry_attempts;
+  options.retry.initial_backoff = config.robustness.retry_initial_backoff;
+  options.retry.max_backoff = config.robustness.retry_max_backoff;
+  options.breaker_enabled = config.robustness.breaker_enabled;
   return options;
 }
 

@@ -42,6 +42,32 @@ struct RecoveryConfig {
   Nanos probe_interval = 20 * kMilli;
   /// Consecutive heartbeat failures before a worker is auto-respawned.
   std::uint32_t failure_threshold = 3;
+  /// Deadline for one heartbeat probe; a probe overrunning it means the
+  /// worker is HUNG (not crashed) and counts as a failure. 0 = probe
+  /// without a deadline (a hung worker then wedges the probe loop).
+  Nanos probe_budget = kSecond;
+};
+
+/// End-to-end robustness knobs for the remote X-Search transport: request
+/// deadlines, budgeted retries with backoff, and a client-side circuit
+/// breaker. All default to the historical behavior (no deadline, retry
+/// exactly once, breaker off); in-process mechanisms ignore the transport
+/// knobs but share the retry attempt cap.
+struct RobustnessConfig {
+  /// End-to-end budget per search/batch call, covering every attempt,
+  /// backoff pause and socket operation; also carried on the wire so the
+  /// server sheds work it cannot finish in time. 0 = unbounded.
+  Nanos request_budget = 0;
+  /// Budget for TCP connect + attested handshake (0 = unbounded).
+  Nanos connect_budget = 0;
+  /// Total attempts per call, including the first (1 = never retry).
+  std::uint32_t retry_attempts = 2;
+  /// Backoff curve between attempts (capped decorrelated jitter).
+  Nanos retry_initial_backoff = kMilli;
+  Nanos retry_max_backoff = 50 * kMilli;
+  /// Client-side circuit breaker: while open, calls fail fast with
+  /// UPSTREAM_DOWN and never touch the wire.
+  bool breaker_enabled = false;
 };
 
 /// Mechanism-agnostic client configuration. Every knob that several
@@ -91,6 +117,8 @@ struct ClientConfig {
   std::size_t batch_coalesce = 1;
   /// Crash-recovery configuration (checkpointing + fleet supervision).
   RecoveryConfig recovery;
+  /// Deadlines, retries and circuit breaking (remote transport mostly).
+  RobustnessConfig robustness;
 };
 
 /// What a mechanism exposes to whom — the §2 taxonomy, made introspectable.

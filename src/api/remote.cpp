@@ -6,6 +6,7 @@
 #include <utility>
 #include <vector>
 
+#include "api/xsearch_options.hpp"
 #include "net/remote_broker.hpp"
 #include "xsearch/wire.hpp"
 
@@ -44,7 +45,7 @@ class RemoteAdapter final : public PrivateSearchClient {
   [[nodiscard]] Status do_connect() override {
     if (!broker_.has_value()) {
       broker_.emplace(host_, port_, *authority_, expected_measurement_,
-                      config().seed);
+                      config().seed, remote_broker_options(config()));
     }
     return broker_->connect();
   }

@@ -9,6 +9,7 @@
 #include "api/client.hpp"
 #include "net/fleet_supervisor.hpp"
 #include "net/proxy_fleet.hpp"
+#include "net/remote_broker.hpp"
 #include "xsearch/proxy.hpp"
 
 namespace xsearch::api {
@@ -39,6 +40,12 @@ struct FleetConfig {
 /// ClientConfig::recovery → net::FleetSupervisor::Options, so a deployment
 /// configures probing and checkpointing from the one RecoveryConfig.
 [[nodiscard]] net::FleetSupervisor::Options supervisor_options(
+    const ClientConfig& config);
+
+/// ClientConfig::robustness → net::RemoteBroker::Options (deadlines,
+/// budgeted retries, client-side breaker), the transport half of the
+/// robustness config. The remote adapter applies this per broker.
+[[nodiscard]] net::RemoteBroker::Options remote_broker_options(
     const ClientConfig& config);
 
 }  // namespace xsearch::api

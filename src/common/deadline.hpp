@@ -1,0 +1,85 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+#include "common/clock.hpp"
+
+namespace xsearch {
+
+/// An absolute point on the steady clock by which an operation must finish.
+///
+/// Deadlines — not per-call timeouts — are what propagates through a request
+/// path: each hop computes `remaining()` against the same absolute point, so
+/// time spent queueing in one layer shrinks the budget of every layer below
+/// it. A default-constructed Deadline is infinite (never expires), which is
+/// also the wire meaning of a zero budget field.
+///
+/// The wire carries deadlines as a *remaining budget* in milliseconds
+/// (u32, 0 = no deadline) rather than an absolute time: the two endpoints do
+/// not share a clock. Re-anchoring on receipt loses the network transit time;
+/// that error is one-way latency, small against the multi-millisecond budgets
+/// this is designed for.
+class Deadline {
+ public:
+  /// Infinite: never expires.
+  constexpr Deadline() = default;
+
+  /// Expires `budget` from now. A non-positive budget is already expired.
+  [[nodiscard]] static Deadline after(Nanos budget) {
+    return Deadline(wall_now() + budget);
+  }
+
+  /// Expires at the absolute steady-clock instant `at`.
+  [[nodiscard]] static Deadline at(Nanos when) { return Deadline(when); }
+
+  [[nodiscard]] static constexpr Deadline infinite() { return Deadline(); }
+
+  [[nodiscard]] constexpr bool is_infinite() const {
+    return at_ == kInfinitePoint;
+  }
+
+  /// Remaining budget, clamped to >= 0. Infinite deadlines report the max
+  /// representable budget.
+  [[nodiscard]] Nanos remaining() const {
+    if (is_infinite()) return kInfinitePoint;
+    const Nanos left = at_ - wall_now();
+    return left > 0 ? left : 0;
+  }
+
+  [[nodiscard]] bool expired() const {
+    return !is_infinite() && wall_now() >= at_;
+  }
+
+  /// The earlier of two deadlines (infinite is the identity).
+  [[nodiscard]] constexpr Deadline min(const Deadline& other) const {
+    return at_ <= other.at_ ? *this : other;
+  }
+
+  /// Remaining budget as the wire's u32 millisecond field. 0 means "no
+  /// deadline", so a live-but-nearly-expired deadline rounds up to 1 ms
+  /// rather than silently becoming infinite; budgets beyond ~49 days clamp.
+  [[nodiscard]] std::uint32_t budget_millis() const {
+    if (is_infinite()) return 0;
+    const Nanos left = remaining();
+    if (left <= 0) return 1;  // expired stays a (tiny) deadline on the wire
+    const Nanos millis = (left + kMilli - 1) / kMilli;
+    constexpr Nanos kMax = std::numeric_limits<std::uint32_t>::max();
+    return static_cast<std::uint32_t>(millis < kMax ? millis : kMax);
+  }
+
+  /// Inverse of budget_millis(): re-anchor a wire budget on the local clock.
+  [[nodiscard]] static Deadline from_budget_millis(std::uint32_t millis) {
+    if (millis == 0) return infinite();
+    return after(static_cast<Nanos>(millis) * kMilli);
+  }
+
+ private:
+  static constexpr Nanos kInfinitePoint = std::numeric_limits<Nanos>::max();
+
+  explicit constexpr Deadline(Nanos at) : at_(at) {}
+
+  Nanos at_ = kInfinitePoint;
+};
+
+}  // namespace xsearch

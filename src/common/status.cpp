@@ -14,8 +14,29 @@ std::string_view status_code_name(StatusCode code) {
     case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kOverloaded: return "OVERLOADED";
+    case StatusCode::kUpstreamDown: return "UPSTREAM_DOWN";
   }
   return "UNKNOWN";
+}
+
+StatusCode status_code_from_wire(std::uint8_t raw) {
+  switch (static_cast<StatusCode>(raw)) {
+    case StatusCode::kOk:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kFailedPrecondition:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kPermissionDenied:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kDataLoss:
+    case StatusCode::kInternal:
+    case StatusCode::kOverloaded:
+    case StatusCode::kUpstreamDown:
+      return static_cast<StatusCode>(raw);
+  }
+  return StatusCode::kInternal;
 }
 
 std::string Status::to_string() const {

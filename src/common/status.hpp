@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cassert>
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -26,6 +27,13 @@ enum class StatusCode {
   kDeadlineExceeded,
   kDataLoss,
   kInternal,
+  // Typed load-shedding / dependency-health statuses (failure-domain layer):
+  // kOverloaded  - the callee refused the work to protect itself (queue full,
+  //                queued past its deadline); retry later, with backoff.
+  // kUpstreamDown - the callee's own dependency is unreachable or its circuit
+  //                breaker is open; retrying the callee soon will not help.
+  kOverloaded,
+  kUpstreamDown,
 };
 
 /// Human-readable name of a status code, e.g. "INVALID_ARGUMENT".
@@ -83,6 +91,16 @@ class [[nodiscard]] Status {
 [[nodiscard]] inline Status internal_error(std::string msg) {
   return {StatusCode::kInternal, std::move(msg)};
 }
+[[nodiscard]] inline Status overloaded(std::string msg) {
+  return {StatusCode::kOverloaded, std::move(msg)};
+}
+[[nodiscard]] inline Status upstream_down(std::string msg) {
+  return {StatusCode::kUpstreamDown, std::move(msg)};
+}
+
+/// Decodes a wire byte back into a StatusCode; unknown bytes (a newer peer's
+/// codes) degrade to kInternal rather than being misread as something typed.
+[[nodiscard]] StatusCode status_code_from_wire(std::uint8_t raw);
 
 /// Either a value of type T or an error Status. Accessing `value()` on an
 /// error result is a programming error (checked by assertion).

@@ -1,0 +1,166 @@
+#include "net/chaos.hpp"
+
+#include <chrono>
+#include <thread>
+
+namespace xsearch::net {
+
+FaultPlan::FaultPlan(Options options)
+    : options_(options),
+      rng_(options.seed),
+      faults_left_(options.fault_ops) {}
+
+FaultPlan::Decision FaultPlan::next(bool reading) {
+  MutexLock lock(mutex_);
+  Decision decision;
+  decision.salt = rng_.next();
+  if (faults_left_ == 0) return decision;
+
+  const double u = rng_.uniform_double();
+  double edge = options_.delay_p;
+  if (u < edge) {
+    decision.action = FaultAction::kDelay;
+    decision.delay = options_.max_delay > 0
+                         ? static_cast<Nanos>(rng_.uniform(
+                               static_cast<std::uint64_t>(options_.max_delay)))
+                         : 0;
+  } else if (u < (edge += options_.partial_p)) {
+    decision.action = FaultAction::kPartialThenReset;
+  } else if (u < (edge += options_.drop_p)) {
+    // A "dropped" read has no meaning at the exact-read seam; the nearest
+    // real-world event is the connection dying under the reader.
+    decision.action = reading ? FaultAction::kReset : FaultAction::kDrop;
+  } else if (u < (edge += options_.reset_p)) {
+    decision.action = FaultAction::kReset;
+  } else if (u < (edge += options_.garbage_p)) {
+    decision.action = FaultAction::kGarbage;
+  }
+  if (decision.action != FaultAction::kPass) {
+    --faults_left_;
+    ++injected_;
+  }
+  return decision;
+}
+
+Status FaultPlan::engine_call() {
+  Nanos delay = 0;
+  bool fail = false;
+  {
+    MutexLock lock(mutex_);
+    if (faults_left_ > 0) {
+      if (options_.engine_delay_p > 0 &&
+          rng_.uniform_double() < options_.engine_delay_p) {
+        delay = options_.engine_delay;
+      }
+      if (options_.engine_fail_p > 0 &&
+          rng_.uniform_double() < options_.engine_fail_p) {
+        fail = true;
+      }
+      if (delay > 0 || fail) {
+        --faults_left_;
+        ++injected_;
+      }
+    }
+  }
+  if (delay > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+  }
+  if (fail) return unavailable("chaos: injected engine fault");
+  return Status::ok();
+}
+
+bool FaultPlan::exhausted() const {
+  MutexLock lock(mutex_);
+  return faults_left_ == 0;
+}
+
+std::uint64_t FaultPlan::faults_injected() const {
+  MutexLock lock(mutex_);
+  return injected_;
+}
+
+void ChaosSocket::bounded_sleep(Nanos delay, const Deadline& deadline) {
+  Nanos sleep = delay;
+  if (!deadline.is_infinite()) {
+    const Nanos cap = deadline.remaining() + kMilli;
+    if (sleep > cap) sleep = cap;
+  }
+  if (sleep > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(sleep));
+  }
+}
+
+Status ChaosSocket::write_all(ByteSpan data, const Deadline& deadline) {
+  const FaultPlan::Decision decision = plan_->next(/*reading=*/false);
+  switch (decision.action) {
+    case FaultAction::kPass:
+      return stream_.write_all(data, deadline);
+    case FaultAction::kDelay:
+      bounded_sleep(decision.delay, deadline);
+      if (deadline.expired()) {
+        return deadline_exceeded("chaos: write stalled past deadline");
+      }
+      return stream_.write_all(data, deadline);
+    case FaultAction::kPartialThenReset: {
+      if (data.size() > 1) {
+        (void)stream_.write_all(data.first(data.size() / 2), deadline);
+      }
+      stream_.shutdown_both();
+      return unavailable("chaos: connection reset mid-write");
+    }
+    case FaultAction::kDrop:
+      // Bytes vanish in flight; the writer believes they were delivered.
+      // Only a read deadline on the response can surface this.
+      return Status::ok();
+    case FaultAction::kReset:
+      stream_.shutdown_both();
+      return unavailable("chaos: connection reset");
+    case FaultAction::kGarbage: {
+      Bytes corrupted(data.begin(), data.end());
+      if (!corrupted.empty()) {
+        corrupted[decision.salt % corrupted.size()] ^= 0xff;
+        corrupted[(decision.salt >> 16) % corrupted.size()] ^= 0x55;
+      }
+      return stream_.write_all(corrupted, deadline);
+    }
+  }
+  return internal_error("chaos: unknown fault action");
+}
+
+Result<Bytes> ChaosSocket::read_exact(std::size_t n, const Deadline& deadline) {
+  const FaultPlan::Decision decision = plan_->next(/*reading=*/true);
+  switch (decision.action) {
+    case FaultAction::kPass:
+      return stream_.read_exact(n, deadline);
+    case FaultAction::kDelay:
+      bounded_sleep(decision.delay, deadline);
+      if (deadline.expired()) {
+        return deadline_exceeded("chaos: read stalled past deadline");
+      }
+      return stream_.read_exact(n, deadline);
+    case FaultAction::kPartialThenReset: {
+      if (n > 1) {
+        (void)stream_.read_exact(n / 2, deadline);
+      }
+      stream_.shutdown_both();
+      return unavailable("chaos: connection reset mid-read");
+    }
+    case FaultAction::kDrop:  // never drawn for reads; keep the switch total
+    case FaultAction::kReset:
+      stream_.shutdown_both();
+      return unavailable("chaos: connection reset");
+    case FaultAction::kGarbage: {
+      auto bytes = stream_.read_exact(n, deadline);
+      if (!bytes) return bytes.status();
+      Bytes corrupted = std::move(bytes).value();
+      if (!corrupted.empty()) {
+        corrupted[decision.salt % corrupted.size()] ^= 0xff;
+        corrupted[(decision.salt >> 16) % corrupted.size()] ^= 0x55;
+      }
+      return corrupted;
+    }
+  }
+  return internal_error("chaos: unknown fault action");
+}
+
+}  // namespace xsearch::net

@@ -11,6 +11,16 @@
 // sealed history, so its decoy quality resumes at the last checkpoint
 // instead of the cold-start window the paper's threat model cares about.
 //
+// Probes carry their own deadline (`probe_budget`): the heartbeat ecall is
+// a synchronous blocking call, so a worker that HANGS (wedged enclave, not
+// a crashed one) would otherwise block the probe loop forever and the
+// supervisor would never notice any other worker dying. Each probe runs on
+// a dedicated prober thread; when it overruns its budget the supervisor
+// abandons that prober (it retires itself when the stuck ecall eventually
+// returns), counts a timeout failure, and — at the threshold — drains the
+// worker WITHOUT the final checkpoint (a seal ecall on a wedged enclave
+// could block forever too) before respawning it.
+//
 // The supervisor is untrusted host machinery: it sees only ecall success/
 // failure and moves sealed blobs around. Nothing it does (or maliciously
 // fails to do) weakens the enclave's guarantees — a supervisor that never
@@ -19,6 +29,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 #include <thread>
 #include <vector>
 
@@ -35,11 +46,17 @@ class FleetSupervisor {
     Nanos probe_interval = 20 * kMilli;
     /// Consecutive heartbeat failures before a worker is respawned.
     std::uint32_t failure_threshold = 3;
+    /// Deadline for one heartbeat probe: a probe still running past it
+    /// counts as a failure (the worker is hung, not merely crashed) and
+    /// the sweep moves on. 0 = probe inline without a deadline (legacy;
+    /// a hung worker then wedges the probe loop).
+    Nanos probe_budget = kSecond;
   };
 
   struct Stats {
     std::uint64_t probes = 0;          // heartbeats sent
-    std::uint64_t probe_failures = 0;  // heartbeats failed
+    std::uint64_t probe_failures = 0;  // heartbeats failed (incl. timeouts)
+    std::uint64_t probe_timeouts = 0;  // probes that overran probe_budget
     std::uint64_t auto_respawns = 0;   // workers this supervisor revived
   };
 
@@ -51,7 +68,10 @@ class FleetSupervisor {
   FleetSupervisor(const FleetSupervisor&) = delete;
   FleetSupervisor& operator=(const FleetSupervisor&) = delete;
 
-  /// Stops the probe thread. Idempotent; the destructor calls it.
+  /// Stops the probe thread and joins every prober, including abandoned
+  /// ones — so a probe stuck in a PERMANENTLY wedged ecall blocks stop()
+  /// until the hang releases (tests release the hang first). Idempotent;
+  /// the destructor calls it.
   void stop();
 
   [[nodiscard]] Stats stats() const;
@@ -63,17 +83,44 @@ class FleetSupervisor {
   void probe_once();
 
  private:
+  /// Mailbox between a sweep and its prober thread. Shared ownership: an
+  /// abandoned prober keeps its task alive after the sweep moved on.
+  struct ProbeTask {
+    Mutex mutex;
+    CondVar cv;
+    bool has_job XS_GUARDED_BY(mutex) = false;
+    bool done XS_GUARDED_BY(mutex) = false;
+    bool abandoned XS_GUARDED_BY(mutex) = false;
+    bool shutdown XS_GUARDED_BY(mutex) = false;
+    std::size_t worker XS_GUARDED_BY(mutex) = 0;
+    Status result XS_GUARDED_BY(mutex);
+  };
+
   void run();
+  /// One deadline-bounded heartbeat. Sets `timed_out` when the probe
+  /// overran `probe_budget` (the returned status is DEADLINE_EXCEEDED).
+  [[nodiscard]] Status probe_worker(std::size_t index, bool& timed_out)
+      XS_REQUIRES(sweep_mutex_);
+  /// Spawns the prober thread lazily (and again after an abandonment).
+  void ensure_prober() XS_REQUIRES(sweep_mutex_);
+  void prober_main(std::shared_ptr<ProbeTask> task);
 
   ProxyFleet* fleet_;
   const Options options_;
 
-  /// Serializes probe sweeps and guards `consecutive_failures_`.
+  /// Serializes probe sweeps and guards the per-worker failure counters
+  /// plus the prober-thread machinery.
   Mutex sweep_mutex_;
   std::vector<std::uint32_t> consecutive_failures_ XS_GUARDED_BY(sweep_mutex_);
+  std::shared_ptr<ProbeTask> probe_task_ XS_GUARDED_BY(sweep_mutex_);
+  std::thread prober_thread_ XS_GUARDED_BY(sweep_mutex_);
+  /// Probers whose heartbeat overran the budget: each exits on its own
+  /// when the stuck ecall returns; stop() joins them.
+  std::vector<std::thread> abandoned_probers_ XS_GUARDED_BY(sweep_mutex_);
 
   std::atomic<std::uint64_t> probes_{0};
   std::atomic<std::uint64_t> probe_failures_{0};
+  std::atomic<std::uint64_t> probe_timeouts_{0};
   std::atomic<std::uint64_t> auto_respawns_{0};
 
   Mutex stop_mutex_;

@@ -2,31 +2,80 @@
 
 namespace xsearch::net {
 
-Status write_frame(TcpStream& stream, FrameType type, ByteSpan payload) {
+Status write_frame(ByteStream& stream, FrameType type, ByteSpan payload,
+                   const FrameWriteOptions& options) {
   if (payload.size() > kMaxFramePayload) {
     return invalid_argument("frame payload too large");
   }
-  Bytes header(5);
-  store_be32(header.data(), static_cast<std::uint32_t>(payload.size() + 1));
-  header[4] = static_cast<std::uint8_t>(type);
-  XS_RETURN_IF_ERROR(stream.write_all(header));
-  return stream.write_all(payload);
+  const auto length = static_cast<std::uint32_t>(payload.size() + 1);
+  Bytes header;
+  if (options.carry_budget) {
+    header.resize(9);
+    store_be32(header.data(), kFrameV2Bit | length);
+    store_be32(header.data() + 4, options.budget_millis);
+    header[8] = static_cast<std::uint8_t>(type);
+  } else {
+    header.resize(5);
+    store_be32(header.data(), length);
+    header[4] = static_cast<std::uint8_t>(type);
+  }
+  XS_RETURN_IF_ERROR(stream.write_all(header, options.io_deadline));
+  return stream.write_all(payload, options.io_deadline);
 }
 
-Result<Frame> read_frame(TcpStream& stream) {
-  auto header = stream.read_exact(4);
+Result<Frame> read_frame(ByteStream& stream, const FrameReadOptions& options) {
+  auto header = stream.read_exact(4, options.io_deadline);
   if (!header) return header.status();
-  const std::uint32_t length = load_be32(header.value().data());
+  const std::uint32_t raw = load_be32(header.value().data());
+  const bool v2 = (raw & kFrameV2Bit) != 0;
+  const std::uint32_t length = raw & ~kFrameV2Bit;
   if (length == 0 || length > kMaxFramePayload + 1) {
     return data_loss("frame length out of range");
   }
-  auto body = stream.read_exact(length);
-  if (!body) return body.status();
+
+  // The frame has started: from here the (optional) body budget applies on
+  // top of the caller's overall deadline.
+  const Deadline body_deadline =
+      options.body_budget > 0
+          ? options.io_deadline.min(Deadline::after(options.body_budget))
+          : options.io_deadline;
 
   Frame frame;
+  frame.v2 = v2;
+  if (v2) {
+    auto budget = stream.read_exact(4, body_deadline);
+    if (!budget) return budget.status();
+    frame.budget_millis = load_be32(budget.value().data());
+  }
+  auto body = stream.read_exact(length, body_deadline);
+  if (!body) return body.status();
+
   frame.type = static_cast<FrameType>(body.value()[0]);
   frame.payload.assign(body.value().begin() + 1, body.value().end());
   return frame;
+}
+
+Bytes encode_error_status(const Status& status) {
+  Bytes payload;
+  payload.reserve(1 + status.message().size());
+  payload.push_back(static_cast<std::uint8_t>(status.code()));
+  for (const char c : status.message()) {
+    payload.push_back(static_cast<std::uint8_t>(c));
+  }
+  return payload;
+}
+
+Status decode_error_status(ByteSpan payload) {
+  if (payload.empty()) {
+    return internal_error("malformed error-status frame");
+  }
+  const StatusCode code = status_code_from_wire(payload[0]);
+  std::string message(reinterpret_cast<const char*>(payload.data()) + 1,
+                      payload.size() - 1);
+  if (code == StatusCode::kOk) {
+    return internal_error("error-status frame carried OK: " + message);
+  }
+  return Status(code, std::move(message));
 }
 
 }  // namespace xsearch::net

@@ -1,15 +1,29 @@
-// Length-prefixed message framing over a TcpStream.
+// Length-prefixed message framing over a ByteStream.
 //
 // Every message on the client↔proxy wire is `u32_be length || type byte ||
 // payload`. The framing layer is deliberately dumb: all confidentiality and
 // integrity comes from the SecureChannel records *inside* the frames, so a
 // network attacker tampering with frames only produces authentication
 // failures at the enclave boundary.
+//
+// Version 2 frames carry the request's remaining deadline budget. The top
+// bit of the length word (free: payloads are capped at 4 MiB) marks a v2
+// frame, which inserts a `u32_be budget_millis` between length and type:
+//
+//   v1:  u32_be length          || type || payload
+//   v2:  u32_be (V2 | length)   || u32_be budget_millis || type || payload
+//
+// budget_millis is *remaining budget*, not an absolute time (the endpoints
+// share no clock); 0 means "no deadline". v1 frames read as "no deadline",
+// so old peers interoperate unchanged, and a receiver answers in the version
+// the sender spoke (negotiation is per-connection, keyed off the first
+// frame received — see ProxyServer).
 #pragma once
 
 #include <cstdint>
 
 #include "common/bytes.hpp"
+#include "common/deadline.hpp"
 #include "common/status.hpp"
 #include "net/socket.hpp"
 
@@ -24,21 +38,59 @@ enum class FrameType : std::uint8_t {
   kBatchQuery = 0x03,     // session id + encrypted batch record (many
                           // queries, ONE seal/open for the whole batch)
   kBatchReply = 0x83,     // encrypted batch response record
+  kErrorStatus = 0x7e,    // u8 status code || human-readable message (v2)
   kError = 0x7f,          // human-readable error string
 };
 
 struct Frame {
   FrameType type = FrameType::kError;
   Bytes payload;
+  /// Remaining request budget carried by a v2 frame; 0 = no deadline.
+  std::uint32_t budget_millis = 0;
+  /// Whether the peer sent this frame with the v2 marker.
+  bool v2 = false;
 };
 
 /// Hard cap keeps a malicious peer from forcing giant allocations.
 inline constexpr std::size_t kMaxFramePayload = 4u * 1024 * 1024;
 
-/// Writes one frame.
-[[nodiscard]] Status write_frame(TcpStream& stream, FrameType type, ByteSpan payload);
+/// Length-word top bit marking a v2 (budget-carrying) frame.
+inline constexpr std::uint32_t kFrameV2Bit = 0x8000'0000u;
 
-/// Reads one frame; DATA_LOSS on malformed/oversized input or mid-frame EOF.
-[[nodiscard]] Result<Frame> read_frame(TcpStream& stream);
+struct FrameWriteOptions {
+  /// Deadline for the socket writes themselves (infinite by default).
+  Deadline io_deadline;
+  /// Emit a v2 frame carrying `budget_millis`. Off by default: a frame
+  /// written without options is byte-identical to the historical protocol.
+  bool carry_budget = false;
+  std::uint32_t budget_millis = 0;
+};
+
+struct FrameReadOptions {
+  /// How long to wait for the frame to start (and, absent a body budget,
+  /// for the whole frame). Infinite by default — servers idle here between
+  /// requests on a healthy connection.
+  Deadline io_deadline;
+  /// Once the length word has arrived, extra bound on reading the rest of
+  /// the frame (0 = none). This is the anti-slowloris knob: an idle peer is
+  /// fine, a peer that *starts* a frame must finish it promptly.
+  Nanos body_budget = 0;
+};
+
+/// Writes one frame.
+[[nodiscard]] Status write_frame(ByteStream& stream, FrameType type,
+                                 ByteSpan payload,
+                                 const FrameWriteOptions& options = {});
+
+/// Reads one frame (either version); DATA_LOSS on malformed/oversized input
+/// or mid-frame EOF, DEADLINE_EXCEEDED past the read options' deadlines.
+[[nodiscard]] Result<Frame> read_frame(ByteStream& stream,
+                                       const FrameReadOptions& options = {});
+
+/// Payload helpers for kErrorStatus frames (`u8 code || message`).
+[[nodiscard]] Bytes encode_error_status(const Status& status);
+/// The carried Status; malformed payloads (or a carried OK) decode to
+/// kInternal so an error frame can never read as success.
+[[nodiscard]] Status decode_error_status(ByteSpan payload);
 
 }  // namespace xsearch::net

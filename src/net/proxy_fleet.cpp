@@ -129,6 +129,7 @@ ProxyFleet::WorkerStats ProxyFleet::worker_stats(std::size_t index) const {
   out.respawns = worker.respawns;
   out.sessions = worker.proxy->session_stats();
   out.checkpoint = worker.proxy->checkpoint_stats();
+  out.engine_breaker = worker.proxy->engine_breaker_stats();
   return out;
 }
 
@@ -142,6 +143,15 @@ ProxyFleet::FleetStats ProxyFleet::fleet_stats() const {
   out.warm_start_ratio =
       total == 0 ? 1.0
                  : static_cast<double>(out.restore_hits) / static_cast<double>(total);
+  ReaderLock lock(mutex_);
+  for (const auto& worker : workers_) {
+    const auto breaker = worker->proxy->engine_breaker_stats();
+    if (breaker.state != CircuitBreaker::State::kClosed) {
+      ++out.engine_breakers_tripped_now;
+    }
+    out.engine_breaker_rejected += breaker.rejected;
+    out.engine_breaker_trips += breaker.trips;
+  }
   return out;
 }
 
@@ -152,9 +162,15 @@ std::size_t ProxyFleet::worker_history_depth(std::size_t index) const {
 }
 
 Status ProxyFleet::heartbeat(std::size_t index) {
-  ReaderLock lock(mutex_);
-  if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
-  return workers_[index]->proxy->heartbeat();
+  std::shared_ptr<core::XSearchProxy> proxy;
+  {
+    ReaderLock lock(mutex_);
+    if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
+    proxy = workers_[index]->proxy;
+  }
+  // Probe outside the fleet lock: a hung (not crashed) enclave blocks only
+  // this probe, never routing or the drain/respawn writer path.
+  return proxy->heartbeat();
 }
 
 Status ProxyFleet::kill_worker(std::size_t index) {
@@ -162,6 +178,13 @@ Status ProxyFleet::kill_worker(std::size_t index) {
   if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
   workers_[index]->proxy->crash_enclave();
   return Status::ok();
+}
+
+std::shared_ptr<core::XSearchProxy> ProxyFleet::worker_proxy(
+    std::size_t index) const {
+  ReaderLock lock(mutex_);
+  if (index >= workers_.size()) return nullptr;
+  return workers_[index]->proxy;
 }
 
 sgx::Measurement ProxyFleet::measurement() const {
@@ -187,14 +210,18 @@ Result<core::HandshakeResponse> ProxyFleet::handshake(
     }
     if (session_id == 0) continue;
 
-    ReaderLock lock(mutex_);
-    const std::size_t owner = owner_locked(session_id);
-    if (owner >= workers_.size()) {
-      return unavailable("fleet: no live workers");
+    std::shared_ptr<core::XSearchProxy> proxy;
+    {
+      ReaderLock lock(mutex_);
+      const std::size_t owner = owner_locked(session_id);
+      if (owner >= workers_.size()) {
+        return unavailable("fleet: no live workers");
+      }
+      Worker& worker = *workers_[owner];
+      worker.routed.fetch_add(1, std::memory_order_relaxed);
+      proxy = worker.proxy;
     }
-    Worker& worker = *workers_[owner];
-    worker.routed.fetch_add(1, std::memory_order_relaxed);
-    auto response = worker.proxy->handshake(client_ephemeral_pub, session_id);
+    auto response = proxy->handshake(client_ephemeral_pub, session_id);
     if (response.is_ok() ||
         response.status().code() != StatusCode::kFailedPrecondition ||
         proposed_session_id != 0) {
@@ -207,19 +234,33 @@ Result<core::HandshakeResponse> ProxyFleet::handshake(
 
 Result<Bytes> ProxyFleet::handle_query_record(std::uint64_t session_id,
                                               ByteSpan record) {
-  ReaderLock lock(mutex_);
-  const std::size_t owner = owner_locked(session_id);
-  if (owner >= workers_.size()) {
-    return unavailable("fleet: no live workers");
-  }
-  Worker& worker = *workers_[owner];
-  worker.routed.fetch_add(1, std::memory_order_relaxed);
-  // The shared lock is held through the proxy call: respawn (exclusive)
-  // must wait out in-flight requests before destroying the old proxy.
-  return worker.proxy->handle_query_record(session_id, record);
+  return handle_query_record(session_id, record, Deadline());
 }
 
-Status ProxyFleet::drain(std::size_t index) {
+Result<Bytes> ProxyFleet::handle_query_record(std::uint64_t session_id,
+                                              ByteSpan record,
+                                              const Deadline& deadline) {
+  std::shared_ptr<core::XSearchProxy> proxy;
+  {
+    ReaderLock lock(mutex_);
+    const std::size_t owner = owner_locked(session_id);
+    if (owner >= workers_.size()) {
+      return unavailable("fleet: no live workers");
+    }
+    Worker& worker = *workers_[owner];
+    worker.routed.fetch_add(1, std::memory_order_relaxed);
+    proxy = worker.proxy;
+  }
+  // The call runs WITHOUT the fleet lock: shared ownership pins the proxy,
+  // so respawn can swap the slot under in-flight requests (the retired
+  // proxy dies when the last one returns), and a hung worker stalls only
+  // its own arc's requests instead of wedging the router.
+  return proxy->handle_query_record(session_id, record, deadline);
+}
+
+Status ProxyFleet::drain(std::size_t index) { return drain(index, /*seal_final=*/true); }
+
+Status ProxyFleet::drain(std::size_t index, bool seal_final) {
   {
     WriterLock lock(mutex_);
     if (index >= workers_.size()) return invalid_argument("fleet: no such worker");
@@ -234,16 +275,21 @@ Status ProxyFleet::drain(std::size_t index) {
   }
   // Graceful exit: seal what the worker learned so its successor restores
   // a full window. Best effort — a crashed enclave fails the seal ecall,
-  // leaving the last *periodic* checkpoint as the recovery point. Runs
-  // under the SHARED lock: the seal + file write must not stall queries on
-  // healthy workers (the drained worker's failure domain is its own arc),
-  // while the lock still keeps a concurrent respawn from destroying the
-  // proxy mid-seal.
-  ReaderLock lock(mutex_);
-  Worker& worker = *workers_[index];
-  if (!worker.live && !worker.proxy->checkpoint_path().empty()) {
-    (void)worker.proxy->checkpoint_now();
+  // leaving the last *periodic* checkpoint as the recovery point; a HUNG
+  // enclave (probe timeout) is drained with `seal_final = false`, because
+  // the seal ecall itself could block forever. The seal runs outside the
+  // fleet lock (shared ownership pins the proxy across a concurrent
+  // respawn), so it cannot stall queries on healthy workers.
+  if (!seal_final) return Status::ok();
+  std::shared_ptr<core::XSearchProxy> proxy;
+  {
+    ReaderLock lock(mutex_);
+    Worker& worker = *workers_[index];
+    if (!worker.live && !worker.proxy->checkpoint_path().empty()) {
+      proxy = worker.proxy;
+    }
   }
+  if (proxy != nullptr) (void)proxy->checkpoint_now();
   return Status::ok();
 }
 
@@ -267,7 +313,7 @@ Status ProxyFleet::respawn(std::size_t index) {
   // checkpoint on disk this respawn was warm, otherwise cold.
   account_restore(*proxy.value(), /*initial_spawn=*/false);
   respawns_total_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_ptr<core::XSearchProxy> retired;
+  std::shared_ptr<core::XSearchProxy> retired;
   {
     WriterLock lock(mutex_);
     retired = std::move(workers_[index]->proxy);  // destroyed after unlock

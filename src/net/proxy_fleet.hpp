@@ -47,6 +47,8 @@
 #include <memory>
 #include <vector>
 
+#include "common/circuit_breaker.hpp"
+#include "common/deadline.hpp"
 #include "common/mutex.hpp"
 #include "common/rng.hpp"
 #include "common/status.hpp"
@@ -80,6 +82,8 @@ class ProxyFleet : public core::ProxyHandler {
     std::uint64_t respawns = 0;
     core::SessionTable::Stats sessions;
     core::XSearchProxy::CheckpointStats checkpoint;
+    /// Worker's proxy→engine circuit breaker (zeroed when disabled).
+    CircuitBreaker::Stats engine_breaker;
   };
 
   /// Fleet-wide recovery counters. A worker start is a restore *hit* when
@@ -96,6 +100,11 @@ class ProxyFleet : public core::ProxyHandler {
     /// restore_hits / (restore_hits + restore_misses); 1.0 when no
     /// restart has happened yet (nothing was ever cold).
     double warm_start_ratio = 1.0;
+    /// Engine-breaker health across the fleet: workers whose proxy→engine
+    /// breaker is currently NOT closed, and lifetime fast-fail/trip totals.
+    std::size_t engine_breakers_tripped_now = 0;
+    std::uint64_t engine_breaker_rejected = 0;
+    std::uint64_t engine_breaker_trips = 0;
   };
 
   /// Builds `options.workers` proxies over the shared `engine` (which may
@@ -120,8 +129,14 @@ class ProxyFleet : public core::ProxyHandler {
   /// Routes one record to the session's ring owner. A session whose owner
   /// was drained maps to the successor worker, which reports NOT_FOUND —
   /// the broker's re-attest-and-retry path finishes the migration.
+  /// The worker call runs WITHOUT the fleet lock (the worker is pinned by
+  /// shared ownership), so a hung enclave stalls only its own arc's
+  /// requests — routing, drain and respawn stay responsive.
   [[nodiscard]] Result<Bytes> handle_query_record(std::uint64_t session_id,
                                                   ByteSpan record) override;
+  [[nodiscard]] Result<Bytes> handle_query_record(
+      std::uint64_t session_id, ByteSpan record,
+      const Deadline& deadline) override;
 
   [[nodiscard]] sgx::Measurement measurement() const override;
 
@@ -134,6 +149,12 @@ class ProxyFleet : public core::ProxyHandler {
   /// way out (best effort — a crashed enclave cannot, and that is what
   /// the periodic interval is for).
   [[nodiscard]] Status drain(std::size_t index);
+
+  /// `drain` with control over the final checkpoint. The supervisor passes
+  /// `seal_final = false` when it drains a worker that timed out (hung, not
+  /// crashed): a checkpoint ecall on a wedged enclave could block forever,
+  /// and the periodic checkpoint is the designated recovery point anyway.
+  [[nodiscard]] Status drain(std::size_t index, bool seal_final);
 
   /// Replaces worker `index` with a freshly keyed proxy and restores its
   /// ring arc. The replacement restores the worker's sealed checkpoint
@@ -149,7 +170,9 @@ class ProxyFleet : public core::ProxyHandler {
 
   /// Probes worker `index`'s enclave with a heartbeat ecall. UNAVAILABLE
   /// once the enclave crashed; the supervisor respawns after a threshold
-  /// of consecutive failures.
+  /// of consecutive failures. Runs without the fleet lock held, so a
+  /// probe into a HUNG (not crashed) enclave blocks only its caller —
+  /// the supervisor bounds that with its own probe deadline.
   [[nodiscard]] Status heartbeat(std::size_t index);
 
   /// Host-side fault injection: crashes worker `index`'s enclave (every
@@ -157,6 +180,13 @@ class ProxyFleet : public core::ProxyHandler {
   /// fig5 kill-and-recover bench use this; the supervisor is what brings
   /// the worker back.
   [[nodiscard]] Status kill_worker(std::size_t index);
+
+  /// Host-side handle to worker `index`'s proxy, for fault injection the
+  /// crash model cannot express (e.g. wedging an ecall handler to model a
+  /// HUNG enclave). Shared ownership: the handle stays valid across a
+  /// respawn of the slot — it then refers to the retired proxy.
+  [[nodiscard]] std::shared_ptr<core::XSearchProxy> worker_proxy(
+      std::size_t index) const;
 
   // --- introspection --------------------------------------------------------
 
@@ -181,7 +211,11 @@ class ProxyFleet : public core::ProxyHandler {
 
  private:
   struct Worker {
-    std::unique_ptr<core::XSearchProxy> proxy;
+    /// Shared ownership: routing copies the pointer under the fleet lock,
+    /// releases the lock, then calls. A respawn can swap the slot while
+    /// calls are in flight on the retired proxy — it is destroyed when the
+    /// last in-flight call returns, never under a caller.
+    std::shared_ptr<core::XSearchProxy> proxy;
     bool live = true;
     std::uint64_t respawns = 0;
     std::atomic<std::uint64_t> routed{0};

@@ -34,6 +34,7 @@ ProxyServer::ProxyServer(core::ProxyHandler& proxy, TcpListener listener,
                          Options options)
     : proxy_(&proxy),
       listener_(std::move(listener)),
+      options_(options),
       pool_(resolve_workers(options.workers),
             std::max<std::size_t>(1, options.max_pending_connections)) {
   accept_thread_ = std::thread([this] { accept_loop(); });
@@ -79,7 +80,30 @@ void ProxyServer::accept_loop() {
       id = next_connection_id_++;
       live_.emplace(id, stream);
     }
-    const bool queued = pool_.try_submit([this, id, stream] {
+    const Deadline queue_deadline = options_.queue_timeout > 0
+                                        ? Deadline::after(options_.queue_timeout)
+                                        : Deadline();
+    const bool queued = pool_.try_submit([this, id, stream, queue_deadline] {
+      if (queue_deadline.expired() &&
+          !stopping_.load(std::memory_order_relaxed)) {
+        // The connection waited in the pending queue past its deadline: its
+        // client has almost certainly timed out and retried elsewhere.
+        // Serving it now would burn a worker on abandoned work, so shed it
+        // (typed, so a live client can tell overload from a dead proxy).
+        FrameWriteOptions write_options;
+        if (options_.io_budget > 0) {
+          write_options.io_deadline = Deadline::after(options_.io_budget);
+        }
+        (void)write_frame(
+            *stream, FrameType::kErrorStatus,
+            encode_error_status(
+                overloaded("server busy: connection expired in accept queue")),
+            write_options);
+        reap(id);
+        queue_expired_.fetch_add(1, std::memory_order_relaxed);
+        shed_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
       serve_connection(*stream);
       reap(id);
     });
@@ -95,14 +119,47 @@ void ProxyServer::accept_loop() {
 }
 
 void ProxyServer::serve_connection(TcpStream& stream) {
+  // Once the peer sends any v2 frame it understands typed errors; until
+  // then every error keeps the legacy kError text shape, byte for byte.
+  bool peer_v2 = false;
+
+  // Reply/error writes are bounded by the request's remaining budget (if
+  // any) and the server's own io_budget, so one stalled reader cannot
+  // wedge a worker.
+  const auto write_deadline = [this](const Deadline& request) {
+    return options_.io_budget > 0
+               ? request.min(Deadline::after(options_.io_budget))
+               : request;
+  };
+  const auto send_error = [&](const Status& status, const Deadline& request) {
+    FrameWriteOptions write_options;
+    write_options.io_deadline = write_deadline(request);
+    if (peer_v2) {
+      return write_frame(stream, FrameType::kErrorStatus,
+                         encode_error_status(status), write_options);
+    }
+    return write_frame(stream, FrameType::kError, to_bytes(status.to_string()),
+                       write_options);
+  };
+
   while (!stopping_.load(std::memory_order_relaxed)) {
-    auto frame = read_frame(stream);
-    if (!frame) return;  // clean close or broken peer
+    // Waiting for the next frame is unbounded (idle sessions are legal);
+    // once a header arrives the body must finish within io_budget.
+    FrameReadOptions read_options;
+    read_options.body_budget = options_.io_budget;
+    auto frame = read_frame(stream, read_options);
+    if (!frame) return;  // clean close, broken peer, or slow-writer bound
+    if (frame.value().v2) peer_v2 = true;
+
+    // The client's remaining end-to-end budget, carried on v2 frames.
+    const Deadline request_deadline =
+        frame.value().v2 ? Deadline::from_budget_millis(frame.value().budget_millis)
+                         : Deadline();
 
     switch (frame.value().type) {
       case FrameType::kHello: {
         if (frame.value().payload.size() != crypto::kX25519KeySize) {
-          (void)write_frame(stream, FrameType::kError, to_bytes("bad hello"));
+          (void)send_error(invalid_argument("bad hello"), request_deadline);
           return;
         }
         crypto::X25519Key client_pub;
@@ -110,8 +167,7 @@ void ProxyServer::serve_connection(TcpStream& stream) {
                     client_pub.size());
         auto response = proxy_->handshake(client_pub);
         if (!response) {
-          (void)write_frame(stream, FrameType::kError,
-                            to_bytes(response.status().to_string()));
+          (void)send_error(response.status(), request_deadline);
           return;
         }
         Bytes payload;
@@ -120,7 +176,12 @@ void ProxyServer::serve_connection(TcpStream& stream) {
         core::wire::put_u32(payload, static_cast<std::uint32_t>(quote.size()));
         append(payload, quote);
         append(payload, response.value().server_ephemeral_pub);
-        if (!write_frame(stream, FrameType::kHelloReply, payload).is_ok()) return;
+        FrameWriteOptions write_options;
+        write_options.io_deadline = write_deadline(request_deadline);
+        if (!write_frame(stream, FrameType::kHelloReply, payload, write_options)
+                 .is_ok()) {
+          return;
+        }
         break;
       }
 
@@ -136,27 +197,34 @@ void ProxyServer::serve_connection(TcpStream& stream) {
         std::size_t offset = 0;
         auto session = core::wire::get_u64(frame.value().payload, offset);
         if (!session) {
-          (void)write_frame(stream, FrameType::kError, to_bytes("bad query frame"));
+          (void)send_error(invalid_argument("bad query frame"), request_deadline);
           return;
         }
         auto response = proxy_->handle_query_record(
-            session.value(), ByteSpan(frame.value().payload).subspan(offset));
+            session.value(), ByteSpan(frame.value().payload).subspan(offset),
+            request_deadline);
         if (!response) {
-          if (!write_frame(stream, FrameType::kError,
-                           to_bytes(response.status().to_string()))
-                   .is_ok()) {
-            return;
+          Status status = response.status();
+          if (peer_v2 && status.code() == StatusCode::kUnavailable) {
+            // On the query path UNAVAILABLE means the handler's own
+            // dependency (fleet worker, enclave) is the problem — tell the
+            // client so it stops retrying a proxy that cannot help it.
+            status = upstream_down(status.message());
           }
+          if (!send_error(status, request_deadline).is_ok()) return;
           break;
         }
-        if (!write_frame(stream, reply_type, response.value()).is_ok()) {
+        FrameWriteOptions write_options;
+        write_options.io_deadline = write_deadline(request_deadline);
+        if (!write_frame(stream, reply_type, response.value(), write_options)
+                 .is_ok()) {
           return;
         }
         break;
       }
 
       default:
-        (void)write_frame(stream, FrameType::kError, to_bytes("unexpected frame"));
+        (void)send_error(invalid_argument("unexpected frame"), request_deadline);
         return;
     }
   }

@@ -13,7 +13,16 @@
 // reaped as soon as the connection finishes — server memory is O(live
 // connections), not O(connections ever served). When all workers are busy
 // and the pending queue is full, new connections are shed with a "server
-// busy" error rather than queued without bound.
+// busy" error rather than queued without bound; queued connections whose
+// wait exceeded `queue_timeout` are shed (typed OVERLOADED) when a worker
+// finally picks them up, instead of serving requests whose clients gave up.
+//
+// Deadline handling: v2 frames carry the client's remaining budget; the
+// server converts it to a local Deadline, refuses already-expired requests
+// before the handler runs (typed DEADLINE_EXCEEDED, exactly-once safe), and
+// bounds reply writes by it. Clients that ever sent a v2 frame get typed
+// kErrorStatus replies (OVERLOADED/UPSTREAM_DOWN/...); v1 peers keep the
+// legacy kError text frames, byte for byte.
 #pragma once
 
 #include <atomic>
@@ -38,10 +47,17 @@ class ProxyServer {
     std::size_t workers = 0;
     /// Accepted connections that may wait for a free worker; beyond this
     /// the server sheds new connections with a "server busy" error.
-    /// Queued connections wait without a timeout (blocking I/O, no event
-    /// loop), so size `workers` for the expected number of concurrently
-    /// *live* sessions and keep this queue small if clients must fail fast.
+    /// Size `workers` for the expected number of concurrently *live*
+    /// sessions and keep this queue small if clients must fail fast.
     std::size_t max_pending_connections = 128;
+    /// How long a queued connection may wait for a worker before being
+    /// shed with a typed OVERLOADED error instead of served (its client
+    /// has likely timed out already). 0 = wait forever (historical).
+    Nanos queue_timeout = 0;
+    /// Budget for reading a frame's body once its header arrived (slow-
+    /// writer bound) and for writing replies. 0 = unbounded. Waiting for
+    /// the NEXT frame is always unbounded — idle connections are legal.
+    Nanos io_budget = 0;
   };
 
   /// Binds loopback:`port` (0 = ephemeral) and starts the accept loop.
@@ -73,6 +89,11 @@ class ProxyServer {
   [[nodiscard]] std::uint64_t connections_shed() const {
     return shed_.load(std::memory_order_relaxed);
   }
+  /// Queued connections shed because their wait exceeded `queue_timeout`
+  /// (also counted in `connections_shed`).
+  [[nodiscard]] std::uint64_t queue_expired() const {
+    return queue_expired_.load(std::memory_order_relaxed);
+  }
   /// Connections currently registered (live or awaiting a worker).
   [[nodiscard]] std::size_t active_connections() const {
     MutexLock lock(connections_mutex_);
@@ -88,10 +109,12 @@ class ProxyServer {
 
   core::ProxyHandler* proxy_;
   TcpListener listener_;
+  Options options_;
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> connections_{0};
   std::atomic<std::uint64_t> reaped_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> queue_expired_{0};
 
   // Live connection registry: lets stop() unblock workers parked in recv,
   // and is the quantity `active_connections` reports. Entries are reaped by

@@ -1,6 +1,8 @@
 #include "net/remote_broker.hpp"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "xsearch/wire.hpp"
 
@@ -10,26 +12,61 @@ RemoteBroker::RemoteBroker(std::string host, std::uint16_t port,
                            const sgx::AttestationAuthority& authority,
                            const sgx::Measurement& expected_measurement,
                            std::uint64_t seed)
+    : RemoteBroker(std::move(host), port, authority, expected_measurement, seed,
+                   Options{}) {}
+
+RemoteBroker::RemoteBroker(std::string host, std::uint16_t port,
+                           const sgx::AttestationAuthority& authority,
+                           const sgx::Measurement& expected_measurement,
+                           std::uint64_t seed, Options options)
     : host_(std::move(host)),
       port_(port),
       authority_(&authority),
       expected_measurement_(expected_measurement),
-      rng_(crypto::domain_seed(seed, /*tag=*/0xb0)) {}  // remote-broker domain separation
+      rng_(crypto::domain_seed(seed, /*tag=*/0xb0)),  // remote-broker domain separation
+      options_(std::move(options)),
+      retry_budget_(options_.retry_budget),
+      jitter_rng_(seed) {  // backoff jitter needs no crypto strength
+  if (options_.breaker_enabled) {
+    breaker_ = std::make_unique<CircuitBreaker>(options_.breaker);
+  }
+}
 
-Status RemoteBroker::connect() {
+Status RemoteBroker::connect() { return connect_within(request_deadline()); }
+
+Status RemoteBroker::connect_within(const Deadline& deadline) {
   if (channel_.has_value()) return Status::ok();
+
+  // The handshake gets its own (tighter) budget on top of the request's:
+  // a stalled attestation should fail fast, not eat the whole deadline.
+  Deadline effective = deadline;
+  if (options_.connect_budget > 0) {
+    effective = effective.min(Deadline::after(options_.connect_budget));
+  }
 
   auto stream = TcpStream::connect(host_, port_);
   if (!stream) return stream.status();
-  stream_.emplace(std::move(stream).value());
+  if (options_.wrap_stream) {
+    stream_ = options_.wrap_stream(std::move(stream).value());
+  } else {
+    stream_ = std::make_unique<TcpStream>(std::move(stream).value());
+  }
 
   const auto ephemeral = crypto::x25519_keypair_from_seed(rng_.key());
 
-  XS_RETURN_IF_ERROR(write_frame(*stream_, FrameType::kHello, ephemeral.public_key));
-  auto reply = read_frame(*stream_);
+  FrameWriteOptions write_options;
+  write_options.io_deadline = effective;
+  XS_RETURN_IF_ERROR(write_frame(*stream_, FrameType::kHello,
+                                 ephemeral.public_key, write_options));
+  FrameReadOptions read_options;
+  read_options.io_deadline = effective;
+  auto reply = read_frame(*stream_, read_options);
   if (!reply) return reply.status();
   if (reply.value().type == FrameType::kError) {
     return unavailable("proxy: " + to_string(reply.value().payload));
+  }
+  if (reply.value().type == FrameType::kErrorStatus) {
+    return decode_error_status(reply.value().payload);
   }
   if (reply.value().type != FrameType::kHelloReply) {
     return data_loss("unexpected frame type in handshake");
@@ -68,32 +105,93 @@ void RemoteBroker::reset_session() {
   session_id_ = 0;
 }
 
-Result<std::vector<engine::SearchResult>> RemoteBroker::search(std::string_view query) {
-  bool retryable = false;
-  bool delivered = false;
-  auto first = search_once(query, retryable, delivered);
-  if (first.is_ok() || !retryable) return first;
-  // The session died under us (bounded-table eviction, idle expiry, broken
-  // or shed connection) or the channel desynced: one fresh attested
-  // handshake, one retry. If the first frame had already been delivered,
-  // the retry may re-execute the query on the proxy (at-least-once).
+void RemoteBroker::record_breaker_outcome(const Status& status) {
+  if (breaker_ == nullptr) return;
+  if (status.is_ok()) {
+    breaker_->record_success();
+    return;
+  }
+  switch (status.code()) {
+    // Transport/dependency health signals: the proxy (or its engine) is
+    // unreachable, shedding, or too slow. These trip the breaker.
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kDataLoss:
+    case StatusCode::kOverloaded:
+    case StatusCode::kUpstreamDown:
+      breaker_->record_failure();
+      break;
+    default:
+      // Deterministic verdicts (bad argument, auth failure, unknown
+      // session) say nothing about proxy health.
+      break;
+  }
+}
+
+bool RemoteBroker::prepare_retry(RetryState& retry, const Deadline& deadline,
+                                 bool retryable, bool delivered) {
+  if (!retryable || !retry.should_retry() || deadline.expired()) return false;
+  if (!retry_budget_.try_spend()) {
+    // Bucket empty: a persistently failing proxy degrades this connection
+    // to one attempt per request instead of multiplying load.
+    ++retries_budget_denied_;
+    return false;
+  }
   if (delivered) ++at_least_once_retries_;
   reset_session();
   ++reconnects_;
-  retryable = false;
-  delivered = false;
-  return search_once(query, retryable, delivered);
+  Nanos pause = retry.next_backoff(jitter_rng_);
+  if (!deadline.is_infinite() && pause > deadline.remaining()) {
+    pause = deadline.remaining();
+  }
+  if (pause > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(pause));
+  }
+  return true;
+}
+
+Result<std::vector<engine::SearchResult>> RemoteBroker::search(std::string_view query) {
+  const Deadline deadline = request_deadline();
+  retry_budget_.record_request();
+  RetryState retry(options_.retry);
+  for (;;) {
+    if (breaker_ != nullptr && !breaker_->allow()) {
+      // Fast fail: no connect, no frame, no wire bytes while open.
+      return upstream_down("broker: circuit breaker open");
+    }
+    bool retryable = false;
+    bool delivered = false;
+    auto attempt = search_once(query, deadline, retryable, delivered);
+    retry.note_attempt();
+    record_breaker_outcome(attempt.status());
+    if (attempt.is_ok()) return attempt;
+    // The session died under us (bounded-table eviction, idle expiry,
+    // broken or shed connection) or the channel desynced: fresh attested
+    // handshake, bounded retries with jittered backoff. If the frame had
+    // already been delivered, the retry may re-execute the query on the
+    // proxy (at-least-once, counted).
+    if (!prepare_retry(retry, deadline, retryable, delivered)) return attempt;
+  }
 }
 
 Result<core::wire::ClientMessage> RemoteBroker::round_trip(
-    FrameType type, FrameType reply_type, ByteSpan message, bool& retryable,
-    bool& delivered) {
-  XS_RETURN_IF_ERROR(connect());
+    FrameType type, FrameType reply_type, ByteSpan message,
+    const Deadline& deadline, bool& retryable, bool& delivered) {
+  XS_RETURN_IF_ERROR(connect_within(deadline));
 
   Bytes payload;
   core::wire::put_u64(payload, session_id_);
   append(payload, channel_->seal(message));
-  if (auto written = write_frame(*stream_, type, payload); !written.is_ok()) {
+  FrameWriteOptions write_options;
+  write_options.io_deadline = deadline;
+  if (!deadline.is_infinite()) {
+    // Carry the REMAINING budget (not the original) so every hop downstream
+    // sees how much time the request really has left.
+    write_options.carry_budget = true;
+    write_options.budget_millis = deadline.budget_millis();
+  }
+  if (auto written = write_frame(*stream_, type, payload, write_options);
+      !written.is_ok()) {
     // The frame never reached the transport: retrying cannot duplicate
     // work on the proxy.
     retryable = true;
@@ -102,7 +200,9 @@ Result<core::wire::ClientMessage> RemoteBroker::round_trip(
   delivered = true;
   ++frames_sent_;
 
-  auto reply = read_frame(*stream_);
+  FrameReadOptions read_options;
+  read_options.io_deadline = deadline;
+  auto reply = read_frame(*stream_, read_options);
   if (!reply) {
     retryable = true;
     return reply.status();
@@ -115,6 +215,14 @@ Result<core::wire::ClientMessage> RemoteBroker::round_trip(
     retryable = true;
     delivered = false;
     return unavailable("proxy: " + to_string(reply.value().payload));
+  }
+  if (reply.value().type == FrameType::kErrorStatus) {
+    // Same exactly-once refusal, but typed: deadline shed, overload shed,
+    // breaker open, unknown session — the caller (and its breaker) can
+    // tell them apart.
+    retryable = true;
+    delivered = false;
+    return decode_error_status(reply.value().payload);
   }
   if (reply.value().type != reply_type) {
     retryable = true;
@@ -130,9 +238,11 @@ Result<core::wire::ClientMessage> RemoteBroker::round_trip(
 }
 
 Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
-    std::string_view query, bool& retryable, bool& delivered) {
-  auto message = round_trip(FrameType::kQuery, FrameType::kQueryReply,
-                            core::wire::frame_query(query), retryable, delivered);
+    std::string_view query, const Deadline& deadline, bool& retryable,
+    bool& delivered) {
+  auto message =
+      round_trip(FrameType::kQuery, FrameType::kQueryReply,
+                 core::wire::frame_query(query), deadline, retryable, delivered);
   if (!message) return message.status();
   ++queries_sent_;
   if (message.value().type == core::wire::ClientMessageType::kError) {
@@ -146,30 +256,36 @@ Result<std::vector<engine::SearchResult>> RemoteBroker::search_once(
 
 Result<std::vector<core::BatchOutcome>> RemoteBroker::search_batch(
     const std::vector<std::string>& queries) {
-  bool retryable = false;
-  bool delivered = false;
-  auto first = search_batch_once(queries, retryable, delivered);
-  if (first.is_ok() || !retryable) return first;
-  // A parsed reply with per-item failures is NOT retryable (those verdicts
-  // are final and a blind batch re-send would duplicate the successful
-  // items); only transport/session-level failures reach here. A batch that
-  // never hit the wire retries exactly-once; one that did is the counted
-  // at-least-once case — the reply was lost, so the whole frame (the
-  // smallest unit the proxy can execute) must be re-sent.
-  if (delivered) ++at_least_once_retries_;
-  reset_session();
-  ++reconnects_;
-  retryable = false;
-  delivered = false;
-  return search_batch_once(queries, retryable, delivered);
+  const Deadline deadline = request_deadline();
+  retry_budget_.record_request();
+  RetryState retry(options_.retry);
+  for (;;) {
+    if (breaker_ != nullptr && !breaker_->allow()) {
+      return upstream_down("broker: circuit breaker open");
+    }
+    bool retryable = false;
+    bool delivered = false;
+    auto attempt = search_batch_once(queries, deadline, retryable, delivered);
+    retry.note_attempt();
+    record_breaker_outcome(attempt.status());
+    if (attempt.is_ok()) return attempt;
+    // A parsed reply with per-item failures is NOT retryable (those
+    // verdicts are final and a blind batch re-send would duplicate the
+    // successful items); only transport/session-level failures reach here.
+    // A batch that never hit the wire retries exactly-once; one that did is
+    // the counted at-least-once case — the reply was lost, so the whole
+    // frame (the smallest unit the proxy can execute) must be re-sent.
+    if (!prepare_retry(retry, deadline, retryable, delivered)) return attempt;
+  }
 }
 
 Result<std::vector<core::BatchOutcome>> RemoteBroker::search_batch_once(
-    const std::vector<std::string>& queries, bool& retryable, bool& delivered) {
+    const std::vector<std::string>& queries, const Deadline& deadline,
+    bool& retryable, bool& delivered) {
   XS_RETURN_IF_ERROR(core::check_batch_request_size(queries.size()));
   auto message = round_trip(FrameType::kBatchQuery, FrameType::kBatchReply,
-                            core::wire::frame_query_batch(queries), retryable,
-                            delivered);
+                            core::wire::frame_query_batch(queries), deadline,
+                            retryable, delivered);
   if (!message) return message.status();
   queries_sent_ += queries.size();
   return core::decode_batch_reply(std::move(message).value(), queries.size());

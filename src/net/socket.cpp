@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -42,13 +43,42 @@ Result<TcpStream> TcpStream::connect(const std::string& host, std::uint16_t port
   return TcpStream(std::move(fd));
 }
 
-Status TcpStream::write_all(ByteSpan data) {
+Status TcpStream::arm_timeout(int option, const Deadline& deadline,
+                              bool& armed) {
+  if (deadline.is_infinite() && !armed) return Status::ok();
+  timeval tv{};
+  if (!deadline.is_infinite()) {
+    const Nanos remaining = deadline.remaining();
+    tv.tv_sec = static_cast<time_t>(remaining / kSecond);
+    tv.tv_usec = static_cast<suseconds_t>((remaining % kSecond) / kMicro);
+    // A zero timeval means "block forever" to the kernel; a live-but-tiny
+    // deadline must still time out, so round it up to the granularity floor.
+    if (tv.tv_sec == 0 && tv.tv_usec == 0) tv.tv_usec = 1;
+  }
+  if (::setsockopt(fd_.get(), SOL_SOCKET, option, &tv, sizeof tv) != 0) {
+    return unavailable(errno_message("setsockopt(timeout)"));
+  }
+  armed = !deadline.is_infinite();
+  return Status::ok();
+}
+
+Status TcpStream::write_all(ByteSpan data, const Deadline& deadline) {
   std::size_t sent = 0;
   while (sent < data.size()) {
+    if (deadline.expired()) {
+      return deadline_exceeded("send: deadline exceeded");
+    }
+    // Re-armed with the *remaining* budget each iteration: a peer draining
+    // one byte per timeout window cannot stretch the call past its deadline
+    // by more than one window.
+    XS_RETURN_IF_ERROR(arm_timeout(SO_SNDTIMEO, deadline, send_timeout_armed_));
     const ssize_t n =
         ::send(fd_.get(), data.data() + sent, data.size() - sent, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return deadline_exceeded("send: deadline exceeded");
+      }
       return unavailable(errno_message("send"));
     }
     sent += static_cast<std::size_t>(n);
@@ -56,13 +86,20 @@ Status TcpStream::write_all(ByteSpan data) {
   return Status::ok();
 }
 
-Result<Bytes> TcpStream::read_exact(std::size_t n) {
+Result<Bytes> TcpStream::read_exact(std::size_t n, const Deadline& deadline) {
   Bytes out(n);
   std::size_t got = 0;
   while (got < n) {
+    if (deadline.expired()) {
+      return deadline_exceeded("recv: deadline exceeded");
+    }
+    XS_RETURN_IF_ERROR(arm_timeout(SO_RCVTIMEO, deadline, recv_timeout_armed_));
     const ssize_t r = ::recv(fd_.get(), out.data() + got, n - got, 0);
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return deadline_exceeded("recv: deadline exceeded");
+      }
       return unavailable(errno_message("recv"));
     }
     if (r == 0) return data_loss("peer closed mid-message");

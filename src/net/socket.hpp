@@ -1,10 +1,21 @@
-// RAII TCP sockets (IPv4, blocking I/O).
+// RAII TCP sockets (IPv4, blocking I/O with per-call deadlines).
 //
 // The deployment frontend of the X-Search proxy: the paper's prototype was
 // exercised over the network by third-party HTTP clients and wrk2; this
 // module provides the equivalent transport for this reproduction — a
 // listener plus connected streams with exact-read/exact-write helpers, all
 // file descriptors owned RAII-style.
+//
+// Every I/O helper takes a `Deadline`: a finite deadline is enforced with
+// SO_RCVTIMEO/SO_SNDTIMEO (re-armed with the remaining budget on every
+// iteration of a partial read/write, so a peer trickling one byte per
+// timeout cannot stretch the call), and expiry surfaces as
+// kDeadlineExceeded. The default Deadline is infinite, which preserves the
+// historical blocking behaviour.
+//
+// `ByteStream` is the seam the frame layer reads/writes through; the chaos
+// harness (net/chaos.hpp) wraps a TcpStream behind the same interface to
+// inject deterministic wire faults.
 #pragma once
 
 #include <atomic>
@@ -12,6 +23,7 @@
 #include <string>
 
 #include "common/bytes.hpp"
+#include "common/deadline.hpp"
 #include "common/status.hpp"
 
 namespace xsearch::net {
@@ -51,23 +63,59 @@ class FileDescriptor {
   int fd_ = -1;
 };
 
+/// Abstract byte transport: what the frame layer needs from a connection.
+/// Implemented by TcpStream (the real socket) and ChaosSocket (the
+/// deterministic fault-injection wrapper in net/chaos.hpp).
+class ByteStream {
+ public:
+  virtual ~ByteStream() = default;
+
+  /// Writes the whole buffer before `deadline` or fails.
+  [[nodiscard]] virtual Status write_all(ByteSpan data,
+                                         const Deadline& deadline) = 0;
+
+  /// Reads exactly `n` bytes before `deadline` or fails (peer close
+  /// mid-read is DATA_LOSS; deadline expiry is DEADLINE_EXCEEDED).
+  [[nodiscard]] virtual Result<Bytes> read_exact(std::size_t n,
+                                                 const Deadline& deadline) = 0;
+
+  /// Shuts down both directions: any thread blocked on this stream wakes
+  /// up with EOF.
+  virtual void shutdown_both() = 0;
+
+  [[nodiscard]] virtual bool valid() const = 0;
+
+  // Deadline-free conveniences (infinite deadline = historical blocking I/O).
+  [[nodiscard]] Status write_all(ByteSpan data) {
+    return write_all(data, Deadline());
+  }
+  [[nodiscard]] Result<Bytes> read_exact(std::size_t n) {
+    return read_exact(n, Deadline());
+  }
+};
+
 /// A connected TCP stream.
-class TcpStream {
+class TcpStream : public ByteStream {
  public:
   TcpStream() = default;
   explicit TcpStream(FileDescriptor fd) : fd_(std::move(fd)) {}
+
+  TcpStream(TcpStream&&) noexcept = default;
+  TcpStream& operator=(TcpStream&&) noexcept = default;
 
   /// Connects to host:port (numeric IPv4 host, e.g. "127.0.0.1").
   [[nodiscard]] static Result<TcpStream> connect(const std::string& host,
                                                  std::uint16_t port);
 
-  /// Writes the whole buffer or fails.
-  [[nodiscard]] Status write_all(ByteSpan data);
+  using ByteStream::read_exact;
+  using ByteStream::write_all;
 
-  /// Reads exactly `n` bytes or fails (peer close mid-read is DATA_LOSS).
-  [[nodiscard]] Result<Bytes> read_exact(std::size_t n);
+  [[nodiscard]] Status write_all(ByteSpan data,
+                                 const Deadline& deadline) override;
+  [[nodiscard]] Result<Bytes> read_exact(std::size_t n,
+                                         const Deadline& deadline) override;
 
-  [[nodiscard]] bool valid() const { return fd_.valid(); }
+  [[nodiscard]] bool valid() const override { return fd_.valid(); }
 
   /// Half-closes the write side (signals EOF to the peer).
   void shutdown_write();
@@ -75,10 +123,17 @@ class TcpStream {
   /// Shuts down both directions: any thread blocked reading this stream
   /// wakes up with EOF. Used by servers to unblock connection workers on
   /// shutdown.
-  void shutdown_both();
+  void shutdown_both() override;
 
  private:
+  /// Arms SO_RCVTIMEO/SO_SNDTIMEO for the remaining budget (or disarms for
+  /// an infinite deadline, skipping the syscall when already disarmed).
+  [[nodiscard]] Status arm_timeout(int option, const Deadline& deadline,
+                                   bool& armed);
+
   FileDescriptor fd_;
+  bool recv_timeout_armed_ = false;
+  bool send_timeout_armed_ = false;
 };
 
 /// A listening TCP socket bound to 127.0.0.1.

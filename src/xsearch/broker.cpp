@@ -1,5 +1,8 @@
 #include "xsearch/broker.hpp"
 
+#include <chrono>
+#include <thread>
+
 #include "xsearch/wire.hpp"
 
 namespace xsearch::core {
@@ -40,11 +43,13 @@ Result<std::vector<BatchOutcome>> decode_batch_reply(wire::ClientMessage message
 ClientBroker::ClientBroker(ProxyHandler& proxy,
                            const sgx::AttestationAuthority& authority,
                            const sgx::Measurement& expected_measurement,
-                           std::uint64_t seed)
+                           std::uint64_t seed, RetryPolicy retry_policy)
     : proxy_(&proxy),
       authority_(&authority),
       expected_measurement_(expected_measurement),
-      rng_(crypto::domain_seed(seed, /*tag=*/0xc1)) {}  // client domain separation
+      rng_(crypto::domain_seed(seed, /*tag=*/0xc1)),  // client domain separation
+      retry_policy_(retry_policy),
+      jitter_rng_(seed) {}  // backoff jitter needs no crypto strength
 
 Status ClientBroker::connect() {
   if (channel_.has_value()) return Status::ok();
@@ -66,18 +71,30 @@ Status ClientBroker::connect() {
   return Status::ok();
 }
 
-Result<std::vector<engine::SearchResult>> ClientBroker::search(std::string_view query) {
-  auto first = search_once(query);
-  if (first.is_ok() || first.status().code() != StatusCode::kNotFound) {
-    return first;
-  }
+void ClientBroker::prepare_reattempt(RetryState& retry) {
   // NOT_FOUND is uniquely the proxy's "unknown session": the bounded table
   // evicted or idle-expired us, and the dead channel is desynced anyway.
-  // Re-attest through a fresh handshake and retry exactly once.
+  // Re-attest through a fresh handshake on the next attempt.
   channel_.reset();
   session_id_ = 0;
   ++reconnects_;
-  return search_once(query);
+  const Nanos pause = retry.next_backoff(jitter_rng_);
+  if (pause > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(pause));
+  }
+}
+
+Result<std::vector<engine::SearchResult>> ClientBroker::search(std::string_view query) {
+  RetryState retry(retry_policy_);
+  for (;;) {
+    auto attempt = search_once(query);
+    retry.note_attempt();
+    if (attempt.is_ok() || attempt.status().code() != StatusCode::kNotFound ||
+        !retry.should_retry()) {
+      return attempt;
+    }
+    prepare_reattempt(retry);
+  }
 }
 
 Result<std::vector<engine::SearchResult>> ClientBroker::search_once(
@@ -106,15 +123,18 @@ Result<std::vector<engine::SearchResult>> ClientBroker::search_once(
 
 Result<std::vector<BatchOutcome>> ClientBroker::search_batch(
     const std::vector<std::string>& queries) {
-  auto first = search_batch_once(queries);
-  if (first.is_ok() || first.status().code() != StatusCode::kNotFound) {
-    return first;
+  // Same recovery as search(): unknown session — re-attest and retry under
+  // the policy's attempt cap.
+  RetryState retry(retry_policy_);
+  for (;;) {
+    auto attempt = search_batch_once(queries);
+    retry.note_attempt();
+    if (attempt.is_ok() || attempt.status().code() != StatusCode::kNotFound ||
+        !retry.should_retry()) {
+      return attempt;
+    }
+    prepare_reattempt(retry);
   }
-  // Same recovery as search(): unknown session — re-attest once and retry.
-  channel_.reset();
-  session_id_ = 0;
-  ++reconnects_;
-  return search_batch_once(queries);
 }
 
 Result<std::vector<BatchOutcome>> ClientBroker::search_batch_once(

@@ -13,6 +13,8 @@
 #include <string_view>
 #include <vector>
 
+#include "common/retry.hpp"
+#include "common/rng.hpp"
 #include "common/status.hpp"
 #include "crypto/random.hpp"
 #include "crypto/secure_channel.hpp"
@@ -43,8 +45,12 @@ struct BatchOutcome {
 class ClientBroker {
  public:
   /// `expected_measurement` pins the enclave code the client trusts.
+  /// `retry_policy` bounds the evicted-session recovery loop; the default
+  /// (two attempts) preserves the historical retry-exactly-once behavior,
+  /// now with jittered backoff between attempts.
   ClientBroker(ProxyHandler& proxy, const sgx::AttestationAuthority& authority,
-               const sgx::Measurement& expected_measurement, std::uint64_t seed);
+               const sgx::Measurement& expected_measurement, std::uint64_t seed,
+               RetryPolicy retry_policy = {});
 
   /// Attests the proxy and establishes the secure channel. Idempotent;
   /// `search` calls it lazily.
@@ -53,15 +59,17 @@ class ClientBroker {
   /// End-to-end private search: encrypt the query, let the enclave
   /// obfuscate/execute/filter, decrypt the result list. When the proxy's
   /// bounded session table evicted or expired our session (NOT_FOUND),
-  /// transparently re-attests and retries the query exactly once.
+  /// transparently re-attests and retries the query, with backoff, up to
+  /// the retry policy's attempt cap. NOT_FOUND is the only retried code:
+  /// it uniquely means "unknown session — the record was never opened".
   [[nodiscard]] Result<std::vector<engine::SearchResult>> search(
       std::string_view query);
 
   /// Many private searches in ONE sealed record each way (one AEAD
   /// seal/open per batch instead of per query). Batch size is bounded by
   /// wire::kMaxBatchQueries. Whole-batch transport failures are the
-  /// returned status; per-query failures are per-item. Retries once on an
-  /// evicted/expired session, like `search`.
+  /// returned status; per-query failures are per-item. Retries an
+  /// evicted/expired session under the same policy as `search`.
   [[nodiscard]] Result<std::vector<BatchOutcome>> search_batch(
       const std::vector<std::string>& queries);
 
@@ -79,11 +87,15 @@ class ClientBroker {
       std::string_view query);
   [[nodiscard]] Result<std::vector<BatchOutcome>> search_batch_once(
       const std::vector<std::string>& queries);
+  /// Resets the dead session and sleeps out the next backoff pause.
+  void prepare_reattempt(RetryState& retry);
 
   ProxyHandler* proxy_;
   const sgx::AttestationAuthority* authority_;
   sgx::Measurement expected_measurement_;
   crypto::SecureRandom rng_;
+  RetryPolicy retry_policy_;
+  Rng jitter_rng_;
 
   std::optional<crypto::SecureChannel> channel_;
   std::uint64_t session_id_ = 0;

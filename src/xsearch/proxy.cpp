@@ -25,6 +25,24 @@ constexpr char kCodeIdentity[] =
     "xsearch-enclave v1.0: history+obfuscation+filtering, "
     "ecalls{init,request} ocalls{sock_connect,send,recv,close}";
 
+// Host-side per-request deadline context. The simulated ecall runs
+// synchronously on the calling thread, so a thread_local set around the
+// ecall is visible to the ocall bodies it triggers — exactly how a real SGX
+// host tracks per-ecall context. Trusted code never reads it (or any
+// clock); the deadline is host input, enforced host-side only: before the
+// ecall (handle_query_record) and before the engine call (`send` ocall).
+thread_local Deadline t_host_request_deadline;  // NOLINT(cert-err58-cpp)
+
+class HostDeadlineScope {
+ public:
+  explicit HostDeadlineScope(const Deadline& deadline) {
+    t_host_request_deadline = deadline;
+  }
+  ~HostDeadlineScope() { t_host_request_deadline = Deadline(); }
+  HostDeadlineScope(const HostDeadlineScope&) = delete;
+  HostDeadlineScope& operator=(const HostDeadlineScope&) = delete;
+};
+
 }  // namespace
 
 Bytes XSearchProxy::code_identity() { return to_bytes(kCodeIdentity); }
@@ -117,6 +135,9 @@ XSearchProxy::XSearchProxy(const SecureEngineGateway& gateway,
 }
 
 Status XSearchProxy::install_boundary() {
+  if (options_.engine_breaker_enabled) {
+    engine_breaker_ = std::make_unique<CircuitBreaker>(options_.engine_breaker);
+  }
   sgx::EnclaveRuntime::Config config;
   config.code_identity = code_identity();
   config.usable_epc_bytes = options_.usable_epc_bytes;
@@ -164,21 +185,51 @@ Status XSearchProxy::install_boundary() {
     if (!sock) return sock.status();
     const ByteSpan body = payload.subspan(offset);
 
+    // Failure-domain checks, all host-side (this lambda is the untrusted
+    // half of the boundary): a request whose budget is already spent, or
+    // whose engine dependency the breaker has declared down, fails here
+    // without touching the engine.
+    if (engine_breaker_ != nullptr && !engine_breaker_->allow()) {
+      return upstream_down("engine: circuit breaker open");
+    }
+    if (options_.engine_fault_hook) {
+      // Injected chaos (latency and/or failure) stands in for a degraded
+      // engine; its failures feed the breaker like real ones.
+      const Status injected = options_.engine_fault_hook();
+      if (!injected.is_ok()) {
+        if (engine_breaker_ != nullptr) engine_breaker_->record_failure();
+        return injected;
+      }
+    }
+    if (t_host_request_deadline.expired()) {
+      // The engine (real or injected-slow) would answer too late anyway;
+      // an engine path that burns whole budgets counts against the breaker.
+      if (engine_breaker_ != nullptr) engine_breaker_->record_failure();
+      return deadline_exceeded("engine: request budget exhausted");
+    }
+
     // The untrusted host relays the request and parks the response in the
     // socket buffer until the enclave recv()s it. With the encrypted engine
     // link the host only ever sees envelope ciphertext here.
     Bytes response;
     if (gateway_ != nullptr) {
       auto sealed = gateway_->handle(body);
-      if (!sealed) return sealed.status();
+      if (!sealed) {
+        if (engine_breaker_ != nullptr) engine_breaker_->record_failure();
+        return sealed.status();
+      }
       response = std::move(sealed).value();
     } else {
       auto request = wire::parse_engine_request(body);
       if (!request) return request.status();
-      if (engine_ == nullptr) return unavailable("no engine connected");
+      if (engine_ == nullptr) {
+        if (engine_breaker_ != nullptr) engine_breaker_->record_failure();
+        return unavailable("no engine connected");
+      }
       response = wire::serialize_results(engine_->search_or(
           request.value().sub_queries, request.value().top_k_each));
     }
+    if (engine_breaker_ != nullptr) engine_breaker_->record_success();
     SocketShard& shard = socket_shard(sock.value());
     MutexLock lock(shard.mutex);
     const auto it = shard.buffers.find(sock.value());
@@ -563,10 +614,24 @@ Result<XSearchProxy::HandshakeResponse> XSearchProxy::handshake(
 
 Result<Bytes> XSearchProxy::handle_query_record(std::uint64_t session_id,
                                                 ByteSpan record) {
+  return handle_query_record(session_id, record, Deadline());
+}
+
+Result<Bytes> XSearchProxy::handle_query_record(std::uint64_t session_id,
+                                                ByteSpan record,
+                                                const Deadline& deadline) {
+  if (deadline.expired()) {
+    // Refused before the ecall: the record was never opened, so the channel
+    // stays consistent from the proxy's view and a client retry (after its
+    // session reset) is exactly-once safe.
+    return deadline_exceeded("proxy: request budget exhausted before the ecall");
+  }
   Bytes payload;
   payload.push_back(kTagQuery);
   wire::put_u64(payload, session_id);
   append(payload, record);
+  // Host-side context for the engine ocall's own budget check.
+  const HostDeadlineScope scope(deadline);
   auto response = enclave_->ecall("request", payload);
   // Periodic checkpoint poll, host side: the trusted counter says how many
   // queries (including batch items, which the host cannot see inside the

@@ -24,6 +24,8 @@
 #include <optional>
 
 #include "common/bytes.hpp"
+#include "common/circuit_breaker.hpp"
+#include "common/deadline.hpp"
 #include "common/mutex.hpp"
 #include "common/status.hpp"
 #include "crypto/random.hpp"
@@ -77,6 +79,16 @@ class ProxyHandler {
   [[nodiscard]] virtual Result<Bytes> handle_query_record(
       std::uint64_t session_id, ByteSpan record) = 0;
 
+  /// Deadline-aware variant: the request must finish before `deadline` or
+  /// fail DEADLINE_EXCEEDED. Handlers that enforce budgets override this;
+  /// the default ignores the deadline (legacy behaviour). A refusal *before*
+  /// any trusted work is exactly-once safe — the record was never opened.
+  [[nodiscard]] virtual Result<Bytes> handle_query_record(
+      std::uint64_t session_id, ByteSpan record, const Deadline& deadline) {
+    (void)deadline;
+    return handle_query_record(session_id, record);
+  }
+
   /// The enclave code identity clients pin during attestation. By value:
   /// a fleet's workers can be respawned concurrently, so a reference into
   /// a worker's enclave could dangle.
@@ -121,6 +133,18 @@ class XSearchProxy : public ProxyHandler {
     /// every `checkpoint_interval_queries` queries. The host only ever
     /// handles the sealed blob.
     std::filesystem::path checkpoint_dir;
+    /// Host-side circuit breaker on the proxy→engine path. The breaker
+    /// lives in the `send` ocall *body* — untrusted host code — so trusted
+    /// logic never reads a clock: after a rolling window of engine failures
+    /// (including deadline expiries) it fast-fails the round trip with
+    /// UPSTREAM_DOWN instead of hammering a dead engine. State is surfaced
+    /// via engine_breaker_stats() and the fleet's FleetStats.
+    bool engine_breaker_enabled = false;
+    CircuitBreaker::Options engine_breaker;
+    /// Host-side fault injection on the engine path, called in the `send`
+    /// ocall body before the engine is contacted; a non-OK status fails the
+    /// round trip. Used by the chaos harness and the fig5 degraded bench.
+    std::function<Status()> engine_fault_hook;
     /// Queries between periodic checkpoints (0 = only explicit
     /// `checkpoint_now` calls write). Ignored without `checkpoint_dir`.
     /// The seal + write runs synchronously on the query thread that
@@ -190,6 +214,14 @@ class XSearchProxy : public ProxyHandler {
   [[nodiscard]] Result<Bytes> handle_query_record(std::uint64_t session_id,
                                                   ByteSpan record) override;
 
+  /// Deadline-aware variant: refuses with DEADLINE_EXCEEDED *before* the
+  /// ecall when the budget is spent (exactly-once safe — the record was
+  /// never opened), and exposes the deadline to the host-side engine path
+  /// (checked again before the engine call in the `send` ocall body).
+  [[nodiscard]] Result<Bytes> handle_query_record(
+      std::uint64_t session_id, ByteSpan record,
+      const Deadline& deadline) override;
+
   // --- recovery -------------------------------------------------------------
 
   /// Liveness probe: one cheap `request` ecall into the enclave. Fails
@@ -247,6 +279,13 @@ class XSearchProxy : public ProxyHandler {
   /// expired and the EPC bytes its live sessions hold).
   [[nodiscard]] SessionTable::Stats session_stats() const {
     return sessions_->stats();
+  }
+
+  /// Proxy→engine circuit breaker state (closed/zeroes when the breaker is
+  /// disabled). Host-side state — see Options::engine_breaker_enabled.
+  [[nodiscard]] CircuitBreaker::Stats engine_breaker_stats() const {
+    if (engine_breaker_ == nullptr) return {};
+    return engine_breaker_->stats();
   }
 
   /// Outcome of the `init` ecall performed at construction. The raw
@@ -338,6 +377,11 @@ class XSearchProxy : public ProxyHandler {
   bool restore_hit_ = false;
   std::size_t restored_entries_ = 0;
   std::size_t restored_sessions_ = 0;
+
+  // ---- untrusted host state: engine-path circuit breaker ----
+  // Owned by the host half of the proxy and touched only from the `send`
+  // ocall body and stats accessors; null when disabled.
+  std::unique_ptr<CircuitBreaker> engine_breaker_;
 
   // ---- untrusted host state: the "sockets" behind the ocalls ----
   // Sharded by socket id so concurrent sessions' engine round trips do not

@@ -1,0 +1,98 @@
+// RetryPolicy/RetryState/RetryBudget unit tests: attempt accounting, the
+// decorrelated-jitter backoff bounds, and the token bucket that damps retry
+// storms.
+#include "common/retry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/clock.hpp"
+#include "common/rng.hpp"
+
+namespace xsearch {
+namespace {
+
+TEST(RetryState, DefaultPolicyRetriesExactlyOnce) {
+  RetryState retry{RetryPolicy{}};  // max_attempts = 2
+  EXPECT_TRUE(retry.should_retry());
+  retry.note_attempt();  // first attempt failed
+  EXPECT_TRUE(retry.should_retry());
+  retry.note_attempt();  // the one retry failed too
+  EXPECT_FALSE(retry.should_retry());
+  EXPECT_EQ(retry.attempts(), 2u);
+}
+
+TEST(RetryState, SingleAttemptPolicyNeverRetries) {
+  RetryPolicy policy;
+  policy.max_attempts = 1;
+  RetryState retry(policy);
+  retry.note_attempt();
+  EXPECT_FALSE(retry.should_retry());
+}
+
+TEST(RetryState, BackoffStaysWithinPolicyBounds) {
+  RetryPolicy policy;
+  policy.initial_backoff = kMilli;
+  policy.max_backoff = 8 * kMilli;
+  RetryState retry(policy);
+  Rng rng(42);
+  // First sleep is drawn from [initial, 3 * initial]; every later sleep from
+  // [initial, 3 * previous] — all capped at max_backoff.
+  Nanos previous = policy.initial_backoff;
+  for (int i = 0; i < 200; ++i) {
+    const Nanos sleep = retry.next_backoff(rng);
+    EXPECT_GE(sleep, policy.initial_backoff);
+    EXPECT_LE(sleep, policy.max_backoff);
+    Nanos hi = previous * 3;
+    if (hi > policy.max_backoff) hi = policy.max_backoff;
+    EXPECT_LE(sleep, hi < policy.initial_backoff ? policy.initial_backoff : hi);
+    previous = sleep;
+  }
+}
+
+TEST(RetryState, BackoffIsDeterministicPerSeed) {
+  RetryPolicy policy;
+  RetryState a(policy);
+  RetryState b(policy);
+  Rng rng_a(7);
+  Rng rng_b(7);
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next_backoff(rng_a), b.next_backoff(rng_b));
+  }
+}
+
+TEST(RetryBudget, StartsFullAndRefusesWhenDrained) {
+  RetryBudget budget;  // capacity 10, starts full
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(budget.try_spend()) << "spend " << i;
+  }
+  EXPECT_FALSE(budget.try_spend());  // bucket empty: storm damping kicks in
+}
+
+TEST(RetryBudget, RequestsEarnBackFractionalTokens) {
+  RetryBudget::Options options;
+  options.capacity = 2.0;
+  options.deposit_per_request = 0.5;
+  RetryBudget budget(options);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());
+  // One request deposits half a token — not yet enough for a retry.
+  budget.record_request();
+  EXPECT_FALSE(budget.try_spend());
+  budget.record_request();
+  EXPECT_TRUE(budget.try_spend());
+}
+
+TEST(RetryBudget, DepositsClampAtCapacity) {
+  RetryBudget::Options options;
+  options.capacity = 1.0;
+  options.deposit_per_request = 0.5;
+  RetryBudget budget(options);
+  for (int i = 0; i < 100; ++i) budget.record_request();
+  EXPECT_DOUBLE_EQ(budget.tokens(), 1.0);
+  EXPECT_TRUE(budget.try_spend());
+  EXPECT_FALSE(budget.try_spend());  // capacity 1 means one retry in reserve
+}
+
+}  // namespace
+}  // namespace xsearch

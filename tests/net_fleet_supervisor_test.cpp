@@ -8,8 +8,10 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <memory>
 #include <string>
 
+#include "common/mutex.hpp"
 #include "net/proxy_fleet.hpp"
 #include "sgx/attestation.hpp"
 #include "test_util.hpp"
@@ -146,6 +148,63 @@ TEST_F(FleetSupervisorTest, DrainSealsFinalCheckpointForRollingRestart) {
   EXPECT_EQ(fleet.value()->worker_history_depth(target), 6u);
   EXPECT_GE(fleet.value()->fleet_stats().restore_hits, 1u);
   EXPECT_TRUE(broker.search("after rolling restart").is_ok());
+}
+
+TEST_F(FleetSupervisorTest, HungWorkerProbeTimesOutAndIsRespawned) {
+  // A HUNG enclave (wedged ecall, not a crashed one) used to block the
+  // probe loop forever. The probe deadline turns it into a detectable
+  // failure: timeout-counted probes, a drain WITHOUT the final seal, and a
+  // respawn — while the healthy worker keeps answering.
+  auto fleet = ProxyFleet::create(nullptr, authority_,
+                                  fleet_options(2, /*checkpointing=*/false));
+  ASSERT_TRUE(fleet.is_ok());
+
+  // Wedge worker 0's `request` ecall (heartbeats route through it): every
+  // probe parks until the gate releases. Host-side fault injection via the
+  // same re-register seam the failure-injection tests use.
+  struct HangGate {
+    Mutex mutex;
+    CondVar cv;
+    bool released = false;
+  };
+  auto gate = std::make_shared<HangGate>();
+  auto victim = fleet.value()->worker_proxy(0);
+  ASSERT_NE(victim, nullptr);
+  victim->host_enclave().register_ecall(
+      "request", [gate](ByteSpan) -> Result<Bytes> {
+        MutexLock lock(gate->mutex);
+        while (!gate->released) gate->cv.wait(gate->mutex);
+        return unavailable("wedged enclave released");
+      });
+
+  auto options = fast_probe();
+  options.probe_budget = 20 * kMilli;
+  FleetSupervisor supervisor(*fleet.value(), options);
+
+  EXPECT_TRUE(
+      eventually([&] { return fleet.value()->fleet_stats().auto_respawns >= 1; }));
+  EXPECT_TRUE(
+      eventually([&] { return supervisor.stats().probe_timeouts >= 2; }));
+
+  // The replacement answers probes; the healthy worker was never starved
+  // behind the hung probe.
+  EXPECT_TRUE(eventually([&] { return fleet.value()->heartbeat(0).is_ok(); }));
+  EXPECT_TRUE(fleet.value()->heartbeat(1).is_ok());
+  EXPECT_TRUE(fleet.value()->worker_stats(0).live);
+  EXPECT_EQ(fleet.value()->live_workers(), 2u);
+
+  // Release the wedged ecall BEFORE stopping: stop() joins the abandoned
+  // prober, which is still parked inside it.
+  {
+    MutexLock lock(gate->mutex);
+    gate->released = true;
+    gate->cv.notify_all();
+  }
+  supervisor.stop();
+  const auto stats = supervisor.stats();
+  EXPECT_GE(stats.probe_timeouts, 2u);
+  EXPECT_GE(stats.probe_failures, stats.probe_timeouts);
+  EXPECT_GE(stats.auto_respawns, 1u);
 }
 
 TEST_F(FleetSupervisorTest, FleetRestartOverExistingCheckpointsIsWarm) {

@@ -10,6 +10,7 @@
 #include <atomic>
 #include <chrono>
 #include <functional>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -93,6 +94,45 @@ TEST(ProxyServerPool, ShedsConnectionsBeyondWorkersPlusQueue) {
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   EXPECT_EQ(reply.value().type, FrameType::kError);
   EXPECT_EQ(to_string(reply.value().payload), "server busy");
+
+  server.value()->stop();
+}
+
+TEST(ProxyServerPool, QueuedConnectionPastTimeoutIsShedTyped) {
+  sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
+  core::XSearchProxy proxy(nullptr, authority, saturation_options());
+  ProxyServer::Options options;
+  options.workers = 1;
+  options.max_pending_connections = 1;
+  options.queue_timeout = 30 * kMilli;
+  auto server = ProxyServer::start(proxy, 0, options);
+  ASSERT_TRUE(server.is_ok());
+
+  // Occupy the single worker for the connection's lifetime.
+  std::optional<RemoteBroker> occupant;
+  occupant.emplace("127.0.0.1", server.value()->port(), authority,
+                   proxy.measurement(), 1);
+  ASSERT_TRUE(occupant->search("hold the worker").is_ok());
+
+  // Second connection parks in the pending queue...
+  auto queued = TcpStream::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(queued.is_ok());
+  ASSERT_TRUE(eventually([&] { return server.value()->connections_served() == 2; }));
+
+  // ...well past its queue deadline (its client would have given up).
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+
+  // The worker frees up and picks the queued connection: instead of serving
+  // abandoned work it sheds it with a typed OVERLOADED error.
+  occupant.reset();
+  auto reply = read_frame(queued.value());
+  ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
+  EXPECT_EQ(reply.value().type, FrameType::kErrorStatus);
+  const Status shed_status = decode_error_status(reply.value().payload);
+  EXPECT_EQ(shed_status.code(), StatusCode::kOverloaded);
+  EXPECT_NE(shed_status.message().find("expired"), std::string::npos);
+  EXPECT_TRUE(eventually([&] { return server.value()->queue_expired() == 1; }));
+  EXPECT_EQ(server.value()->connections_shed(), 1u);
 
   server.value()->stop();
 }
