@@ -53,16 +53,43 @@ int main() {
               static_cast<unsigned long long>(epc.page_faults()));
 
   // --- Boundary transitions ----------------------------------------------------------
-  genuine.register_ocall("host_log", [](ByteSpan) -> Result<Bytes> { return Bytes{}; });
-  genuine.register_ecall("work", [&genuine](ByteSpan in) -> Result<Bytes> {
-    (void)genuine.ocall("host_log", in);  // trusted code calling out
+  // The boundary is *typed*: handlers key on the EcallId/OcallId enums of
+  // sgx/boundary.hpp, so dispatch is an array index and an unknown name is
+  // unrepresentable at a call site.
+  genuine.register_ocall(sgx::OcallId::kSend,
+                         [](ByteSpan) -> Result<Bytes> { return Bytes{}; });
+  genuine.register_ecall(sgx::EcallId::kRequest,
+                         [&genuine](ByteSpan in) -> Result<Bytes> {
+    (void)genuine.ocall(sgx::OcallId::kSend, in);  // trusted code calling out
     return Bytes{};
   });
-  for (int i = 0; i < 5; ++i) (void)genuine.ecall("work", to_bytes("x"));
+  for (int i = 0; i < 5; ++i) {
+    (void)genuine.ecall(sgx::EcallId::kRequest, to_bytes("x"));
+  }
   const auto stats = genuine.transition_stats();
   std::printf("after 5 requests: %llu ecalls, %llu ocalls — every crossing costs\n"
               "~8us on hardware, which is why X-Search keeps the interface narrow.\n",
               static_cast<unsigned long long>(stats.ecalls),
               static_cast<unsigned long long>(stats.ocalls));
+
+  // --- Switchless (exitless) requests ------------------------------------------------
+  // Persistent trusted workers (entered via ONE long-running run_workers
+  // ecall each) drain a job ring in untrusted memory, so steady-state
+  // requests stop paying the crossing entirely.
+  sgx::SwitchlessOptions switchless;
+  switchless.workers = 1;
+  genuine.start_switchless(switchless);
+  const auto before = genuine.transition_stats();
+  for (int i = 0; i < 5; ++i) {
+    (void)genuine.submit(sgx::EcallId::kRequest, to_bytes("x"));
+  }
+  const auto after = genuine.transition_stats();
+  const auto ring = genuine.ring_stats();
+  genuine.stop_switchless();
+  std::printf("switchless: 5 more requests cost %llu new ecalls "
+              "(%llu rode the ring, %llu fell back).\n",
+              static_cast<unsigned long long>(after.ecalls - before.ecalls),
+              static_cast<unsigned long long>(ring.jobs_switchless),
+              static_cast<unsigned long long>(ring.fallback_ecalls));
   return 0;
 }

@@ -1,0 +1,167 @@
+// The switchless job ring: a bounded MPMC ring of fixed-size job slots that
+// models the shared-memory request queue of an exitless ecall design (the
+// `rpc_queue`-in-untrusted-memory idiom; cf. Intel's switchless calls).
+//
+// The ring lives in *untrusted* memory on purpose — that is what makes it
+// exitless: host submitter threads enqueue without an enclave transition and
+// persistent trusted workers (parked inside one long-running `run_workers`
+// ecall each) dequeue without one. This does not grow the TCB: every payload
+// crossing the ring is already AEAD-sealed end-to-end by the client channel,
+// the slot carries only a one-byte typed EcallId (no code pointers, no
+// format strings), and the trusted worker re-validates slot bounds and the
+// job's cancellation state on pickup before touching anything. A host that
+// corrupts the ring can lose or garble its *own* requests — which it could
+// always do — not read or forge plaintext.
+//
+// Slot protocol is the classic bounded MPMC sequence ring (Vyukov): each
+// slot carries a sequence atomic; a producer claims `enqueue_pos` by CAS
+// when `seq == pos`, fills the slot, then publishes with `seq = pos + 1`;
+// a consumer claims `dequeue_pos` when `seq == pos + 1` and recycles the
+// slot with `seq = pos + depth`. The sequence stores are the only
+// synchronization the payload fields need.
+//
+// Job completion is a separate heap block shared between the submitter and
+// whichever worker picks the job up, because their lifetimes race: a
+// submitter that sheds an expired job (or gives up and falls back to the
+// 2-ecall path) walks away immediately, possibly before any worker has seen
+// the slot. The `state` atomic arbitrates exactly-once execution: the
+// submitter cancels with a kPending->kCancelled CAS, the worker claims with
+// kPending->kPicked; whoever wins the CAS owns the outcome. Once a job is
+// kPicked the submitter must wait for kDone — results land under the
+// completion's mutex so the TSan-checked CondVar handoff is airtight.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/deadline.hpp"
+#include "common/mutex.hpp"
+#include "common/status.hpp"
+#include "sgx/boundary.hpp"
+
+namespace xsearch::sgx {
+
+/// Shared completion record for one switchless job. See file comment for
+/// the kPending -> {kPicked -> kDone | kCancelled} state machine.
+struct JobCompletion {
+  enum State : std::uint32_t {
+    kPending = 0,    // in the ring, nobody committed to it yet
+    kPicked = 1,     // a trusted worker owns it; submitter must await kDone
+    kCancelled = 2,  // submitter shed it (deadline/patience); worker drops it
+    kDone = 3,       // status/output are valid
+  };
+
+  std::atomic<std::uint32_t> state{kPending};
+
+  // Result handoff. Written by the worker under `mutex` *before* the state
+  // store to kDone (also under `mutex`, so the submitter's CondVar wait
+  // cannot miss the wakeup), read by the submitter after observing kDone.
+  Mutex mutex;
+  CondVar done_cv;
+  Status status XS_GUARDED_BY(mutex) = Status::ok();
+  Bytes output XS_GUARDED_BY(mutex);
+};
+
+/// One job's payload as it rides the ring (and as a worker receives it).
+struct Job {
+  EcallId id = EcallId::kRequest;
+  Bytes input;
+  Deadline deadline;
+  std::shared_ptr<JobCompletion> completion;
+};
+
+/// One ring slot. The non-atomic payload is published by the `seq` stores
+/// (release on fill, acquire on claim) per the Vyukov protocol.
+struct JobSlot {
+  std::atomic<std::size_t> seq{0};
+  Job job;
+};
+
+/// Bounded MPMC job ring. Depth is rounded up to a power of two so the
+/// position-to-slot map is a mask, not a modulo.
+class JobRing {
+ public:
+  explicit JobRing(std::size_t depth) {
+    std::size_t rounded = 1;
+    while (rounded < depth) rounded <<= 1;
+    slots_ = std::make_unique<JobSlot[]>(rounded);
+    for (std::size_t i = 0; i < rounded; ++i) {
+      slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+    depth_ = rounded;
+    mask_ = rounded - 1;
+  }
+
+  JobRing(const JobRing&) = delete;
+  JobRing& operator=(const JobRing&) = delete;
+
+  [[nodiscard]] std::size_t depth() const { return depth_; }
+
+  /// Enqueues a job; returns false when the ring is full (backpressure —
+  /// the caller falls back to a plain ecall).
+  [[nodiscard]] bool try_enqueue(EcallId id, Bytes input, Deadline deadline,
+                                 std::shared_ptr<JobCompletion> completion) {
+    std::size_t pos = enqueue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      JobSlot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos);
+      if (diff == 0) {
+        if (enqueue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          slot.job.id = id;
+          slot.job.input = std::move(input);
+          slot.job.deadline = deadline;
+          slot.job.completion = std::move(completion);
+          slot.seq.store(pos + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // the slot one lap back is still unconsumed: full
+      } else {
+        pos = enqueue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+  /// Dequeues the oldest job into `out`; returns false when empty. The
+  /// slot's payload is moved out and the slot recycled before returning,
+  /// so the ring never pins job memory past pickup.
+  [[nodiscard]] bool try_dequeue(Job& out) {
+    std::size_t pos = dequeue_pos_.load(std::memory_order_relaxed);
+    for (;;) {
+      JobSlot& slot = slots_[pos & mask_];
+      const std::size_t seq = slot.seq.load(std::memory_order_acquire);
+      const auto diff = static_cast<std::intptr_t>(seq) -
+                        static_cast<std::intptr_t>(pos + 1);
+      if (diff == 0) {
+        if (dequeue_pos_.compare_exchange_weak(pos, pos + 1,
+                                               std::memory_order_relaxed)) {
+          out = std::move(slot.job);
+          slot.seq.store(pos + mask_ + 1, std::memory_order_release);
+          return true;
+        }
+      } else if (diff < 0) {
+        return false;  // empty
+      } else {
+        pos = dequeue_pos_.load(std::memory_order_relaxed);
+      }
+    }
+  }
+
+ private:
+  std::unique_ptr<JobSlot[]> slots_;
+  std::size_t depth_ = 0;
+  std::size_t mask_ = 0;
+  // Producer and consumer cursors on separate cache lines so submitter CAS
+  // traffic does not false-share with worker CAS traffic.
+  alignas(64) std::atomic<std::size_t> enqueue_pos_{0};
+  alignas(64) std::atomic<std::size_t> dequeue_pos_{0};
+};
+
+}  // namespace xsearch::sgx

@@ -22,26 +22,16 @@ constexpr std::uint8_t kTagCheckpoint = 4;
 constexpr char kCheckpointFileName[] = "history.ckpt";
 
 constexpr char kCodeIdentity[] =
-    "xsearch-enclave v1.0: history+obfuscation+filtering, "
-    "ecalls{init,request} ocalls{sock_connect,send,recv,close}";
+    "xsearch-enclave v1.1: history+obfuscation+filtering, "
+    "ecalls{init,request,run_workers} ocalls{sock_connect,send,recv,close}";
 
-// Host-side per-request deadline context. The simulated ecall runs
-// synchronously on the calling thread, so a thread_local set around the
-// ecall is visible to the ocall bodies it triggers — exactly how a real SGX
-// host tracks per-ecall context. Trusted code never reads it (or any
-// clock); the deadline is host input, enforced host-side only: before the
-// ecall (handle_query_record) and before the engine call (`send` ocall).
-thread_local Deadline t_host_request_deadline;  // NOLINT(cert-err58-cpp)
-
-class HostDeadlineScope {
- public:
-  explicit HostDeadlineScope(const Deadline& deadline) {
-    t_host_request_deadline = deadline;
-  }
-  ~HostDeadlineScope() { t_host_request_deadline = Deadline(); }
-  HostDeadlineScope(const HostDeadlineScope&) = delete;
-  HostDeadlineScope& operator=(const HostDeadlineScope&) = delete;
-};
+// Per-request deadline context now lives in sgx::host_request_deadline():
+// with the switchless ring, the thread *executing* trusted code (and thus
+// triggering the ocalls) may be an in-enclave worker rather than the
+// submitter, so the runtime — which knows which thread runs the job —
+// owns the thread_local. Trusted code never reads it (or any clock); the
+// deadline is host input, enforced host-side only: before submission
+// (EnclaveRuntime::submit) and before the engine call (`send` ocall).
 
 }  // namespace
 
@@ -63,6 +53,16 @@ Status XSearchProxy::Options::validate() const {
   if (session_capacity == 0) {
     return invalid_argument("options.session_capacity must be >= 1: the "
                             "proxy could never hold a client session");
+  }
+  if (switchless.enabled && switchless.ring_depth == 0) {
+    return invalid_argument("options.switchless.ring_depth must be >= 1: a "
+                            "zero-depth ring could never carry a job");
+  }
+  if (switchless.enabled &&
+      (switchless.workers == 0 || switchless.workers > switchless.ring_depth)) {
+    return invalid_argument(
+        "options.switchless.workers must be in [1, ring_depth]: more "
+        "workers than slots just spin on an empty ring");
   }
   return Status::ok();
 }
@@ -162,11 +162,14 @@ Status XSearchProxy::install_boundary() {
                             .rng_seed = options_.seed},
       &enclave_->epc());
 
-  // The paper's narrowed enclave interface.
-  enclave_->register_ecall("init", [this](ByteSpan p) { return ecall_init(p); });
-  enclave_->register_ecall("request", [this](ByteSpan p) { return ecall_request(p); });
+  // The paper's narrowed enclave interface, keyed by the typed boundary
+  // table (sgx/boundary.hpp) — no string dispatch anywhere on the path.
+  enclave_->register_ecall(sgx::EcallId::kInit,
+                           [this](ByteSpan p) { return ecall_init(p); });
+  enclave_->register_ecall(sgx::EcallId::kRequest,
+                           [this](ByteSpan p) { return ecall_request(p); });
 
-  enclave_->register_ocall("sock_connect", [this](ByteSpan) -> Result<Bytes> {
+  enclave_->register_ocall(sgx::OcallId::kSockConnect, [this](ByteSpan) -> Result<Bytes> {
     const std::uint64_t id =
         next_socket_id_.fetch_add(1, std::memory_order_relaxed);
     {
@@ -179,7 +182,7 @@ Status XSearchProxy::install_boundary() {
     return out;
   });
 
-  enclave_->register_ocall("send", [this](ByteSpan payload) -> Result<Bytes> {
+  enclave_->register_ocall(sgx::OcallId::kSend, [this](ByteSpan payload) -> Result<Bytes> {
     std::size_t offset = 0;
     auto sock = wire::get_u64(payload, offset);
     if (!sock) return sock.status();
@@ -201,7 +204,7 @@ Status XSearchProxy::install_boundary() {
         return injected;
       }
     }
-    if (t_host_request_deadline.expired()) {
+    if (sgx::host_request_deadline().expired()) {
       // The engine (real or injected-slow) would answer too late anyway;
       // an engine path that burns whole budgets counts against the breaker.
       if (engine_breaker_ != nullptr) engine_breaker_->record_failure();
@@ -238,7 +241,7 @@ Status XSearchProxy::install_boundary() {
     return Bytes{};
   });
 
-  enclave_->register_ocall("recv", [this](ByteSpan payload) -> Result<Bytes> {
+  enclave_->register_ocall(sgx::OcallId::kRecv, [this](ByteSpan payload) -> Result<Bytes> {
     std::size_t offset = 0;
     auto sock = wire::get_u64(payload, offset);
     if (!sock) return sock.status();
@@ -251,7 +254,7 @@ Status XSearchProxy::install_boundary() {
     return std::move(it->second);
   });
 
-  enclave_->register_ocall("close", [this](ByteSpan payload) -> Result<Bytes> {
+  enclave_->register_ocall(sgx::OcallId::kClose, [this](ByteSpan payload) -> Result<Bytes> {
     std::size_t offset = 0;
     auto sock = wire::get_u64(payload, offset);
     if (!sock) return sock.status();
@@ -272,7 +275,15 @@ Status XSearchProxy::install_boundary() {
   Bytes init_payload;
   wire::put_u32(init_payload, static_cast<std::uint32_t>(options_.k));
   wire::put_u32(init_payload, options_.results_per_subquery);
-  return enclave_->ecall("init", init_payload).status();
+  const Status inited = enclave_->ecall(sgx::EcallId::kInit, init_payload).status();
+  if (!inited.is_ok()) return inited;
+
+  // Exitless path: park persistent trusted workers in the enclave AFTER the
+  // trusted state is configured. Each worker is one long-running ecall.
+  if (options_.switchless.enabled) {
+    enclave_->start_switchless(options_.switchless);
+  }
+  return Status::ok();
 }
 
 std::filesystem::path XSearchProxy::checkpoint_path() const {
@@ -333,7 +344,7 @@ Status XSearchProxy::checkpoint_locked() {
   // `request` ecall); the host persists the opaque blob it gets back.
   Bytes payload;
   payload.push_back(kTagCheckpoint);
-  auto sealed = enclave_->ecall("request", payload);
+  auto sealed = enclave_->ecall(sgx::EcallId::kRequest, payload);
   if (!sealed) {
     checkpoint_write_failures_.fetch_add(1, std::memory_order_relaxed);
     return sealed.status();
@@ -348,9 +359,12 @@ Status XSearchProxy::checkpoint_locked() {
 }
 
 Status XSearchProxy::heartbeat() {
+  // Deliberately a *plain* ecall even when switchless is on: the probe must
+  // measure an enclave transition (what a supervisor keys respawns on), not
+  // the ring's health.
   Bytes payload;
   payload.push_back(kTagHeartbeat);
-  return enclave_->ecall("request", payload).status();
+  return enclave_->ecall(sgx::EcallId::kRequest, payload).status();
 }
 
 XSearchProxy::CheckpointStats XSearchProxy::checkpoint_stats() const {
@@ -533,7 +547,8 @@ Result<std::vector<engine::SearchResult>> XSearchProxy::run_trusted_query(
 Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(
     const ObfuscatedQuery& obfuscated, crypto::SecureRandom& session_rng) {
   // sock_connect
-  auto sock_raw = enclave_->ocall("sock_connect", to_bytes("search.example:443"));
+  auto sock_raw =
+      enclave_->ocall(sgx::OcallId::kSockConnect, to_bytes("search.example:443"));
   if (!sock_raw) return sock_raw.status();
   std::size_t offset = 0;
   auto sock = wire::get_u64(sock_raw.value(), offset);
@@ -558,20 +573,20 @@ Result<std::vector<engine::SearchResult>> XSearchProxy::query_engine(
   } else {
     append(send_payload, request_bytes);
   }
-  if (auto sent = enclave_->ocall("send", send_payload); !sent) {
+  if (auto sent = enclave_->ocall(sgx::OcallId::kSend, send_payload); !sent) {
     return sent.status();
   }
 
   // recv
   Bytes recv_payload;
   wire::put_u64(recv_payload, sock.value());
-  auto response = enclave_->ocall("recv", recv_payload);
+  auto response = enclave_->ocall(sgx::OcallId::kRecv, recv_payload);
   if (!response) return response.status();
 
   // close
   Bytes close_payload;
   wire::put_u64(close_payload, sock.value());
-  (void)enclave_->ocall("close", close_payload);
+  (void)enclave_->ocall(sgx::OcallId::kClose, close_payload);
 
   if (options_.engine_tls_public_key.has_value()) {
     auto plain = crypto::envelope_reply_open(
@@ -589,7 +604,8 @@ Result<XSearchProxy::HandshakeResponse> XSearchProxy::handshake(
   payload.push_back(kTagHandshake);
   append(payload, client_ephemeral_pub);
   if (proposed_session_id != 0) wire::put_u64(payload, proposed_session_id);
-  auto raw = enclave_->ecall("request", payload);
+  // Handshakes are rare and order-sensitive; they keep the ecall path.
+  auto raw = enclave_->ecall(sgx::EcallId::kRequest, payload);
   if (!raw) return raw.status();
 
   std::size_t offset = 0;
@@ -630,14 +646,31 @@ Result<Bytes> XSearchProxy::handle_query_record(std::uint64_t session_id,
   payload.push_back(kTagQuery);
   wire::put_u64(payload, session_id);
   append(payload, record);
-  // Host-side context for the engine ocall's own budget check.
-  const HostDeadlineScope scope(deadline);
-  auto response = enclave_->ecall("request", payload);
+  // The exitless path: with switchless configured this enqueues into the
+  // job ring (no transition); when the ring is full or the workers parked,
+  // submit() degrades to the plain request ecall. The deadline rides along
+  // for the engine ocall's budget check on whichever thread executes the
+  // trusted handler. With switchless off entirely, this is the historical
+  // one-ecall-per-request path and every RingStats counter stays zero.
+  auto response = [&]() -> Result<Bytes> {
+    if (options_.switchless.enabled) {
+      return enclave_->submit(sgx::EcallId::kRequest, payload, deadline);
+    }
+    sgx::HostDeadlineScope scope(deadline);
+    return enclave_->ecall(sgx::EcallId::kRequest, payload);
+  }();
   // Periodic checkpoint poll, host side: the trusted counter says how many
   // queries (including batch items, which the host cannot see inside the
   // sealed record) ran since the last seal.
   if (response.is_ok()) maybe_checkpoint();
   return response;
+}
+
+XSearchProxy::~XSearchProxy() {
+  // Member destruction runs in reverse declaration order, which would tear
+  // down the session/history tables while in-enclave workers may still be
+  // executing trusted handlers over them. Join the workers first.
+  if (enclave_ != nullptr) enclave_->stop_switchless();
 }
 
 }  // namespace xsearch::core

@@ -75,7 +75,7 @@ TEST_F(FaultTest, BaselineWorks) {
 }
 
 TEST_F(FaultTest, FailingConnectSurfacesAsProxyError) {
-  host_enclave().register_ocall("sock_connect", [](ByteSpan) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kSockConnect, [](ByteSpan) -> Result<Bytes> {
     return unavailable("connection refused");
   });
   const auto results = broker_.search(log_.records()[1].text);
@@ -84,14 +84,14 @@ TEST_F(FaultTest, FailingConnectSurfacesAsProxyError) {
 }
 
 TEST_F(FaultTest, FailingSendSurfacesAsProxyError) {
-  host_enclave().register_ocall("send", [](ByteSpan) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kSend, [](ByteSpan) -> Result<Bytes> {
     return unavailable("network down");
   });
   EXPECT_FALSE(broker_.search(log_.records()[2].text).is_ok());
 }
 
 TEST_F(FaultTest, GarbageRecvRejectedByEnclaveParser) {
-  host_enclave().register_ocall("recv", [](ByteSpan) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kRecv, [](ByteSpan) -> Result<Bytes> {
     return Bytes(37, 0x5a);  // not a results serialization
   });
   const auto results = broker_.search(log_.records()[3].text);
@@ -99,7 +99,7 @@ TEST_F(FaultTest, GarbageRecvRejectedByEnclaveParser) {
 }
 
 TEST_F(FaultTest, TruncatedRecvRejected) {
-  host_enclave().register_ocall("recv", [this](ByteSpan) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kRecv, [this](ByteSpan) -> Result<Bytes> {
     std::vector<engine::SearchResult> fake(2);
     fake[0].title = "a";
     fake[1].title = "b";
@@ -115,7 +115,7 @@ TEST_F(FaultTest, HostCannotForgeResultsSilently) {
   // TCB and unauthenticated in the paper's design) — but only well-formed
   // ones, and they still pass through Algorithm 2 filtering. Verify the
   // substituted off-topic results are filtered out rather than delivered.
-  host_enclave().register_ocall("recv", [](ByteSpan) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kRecv, [](ByteSpan) -> Result<Bytes> {
     std::vector<engine::SearchResult> forged(1);
     forged[0].title = "totally unrelated propaganda";
     forged[0].description = "unrelated words entirely";
@@ -138,7 +138,7 @@ TEST_F(FaultTest, HostCannotForgeResultsSilently) {
 }
 
 TEST_F(FaultTest, RecoveryAfterTransientFault) {
-  host_enclave().register_ocall("send", [](ByteSpan) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kSend, [](ByteSpan) -> Result<Bytes> {
     return unavailable("blip");
   });
   EXPECT_FALSE(broker_.search(log_.records()[6].text).is_ok());
@@ -150,7 +150,7 @@ TEST_F(FaultTest, RecoveryAfterTransientFault) {
   ClientBroker fresh_broker(fresh_proxy, authority_, fresh_proxy.measurement(), 2);
   EXPECT_TRUE(fresh_broker.search(log_.records()[7].text).is_ok());
   // And on the original proxy too:
-  host_enclave().register_ocall("send", [this](ByteSpan payload) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kSend, [this](ByteSpan payload) -> Result<Bytes> {
     // Re-implement the normal host handler against the engine.
     std::size_t offset = 0;
     auto sock = wire::get_u64(payload, offset);
@@ -175,7 +175,7 @@ TEST_F(FaultTest, DroppedOcallSocketsDoNotKillTheEnclave) {
   // supervisor keys respawns on — keeps succeeding. Distinguishing "host
   // sabotages ocalls" from "enclave is gone" is what keeps the supervisor
   // from respawning (and EPC-wiping) a worker over an engine outage.
-  host_enclave().register_ocall("sock_connect", [](ByteSpan) -> Result<Bytes> {
+  host_enclave().register_ocall(sgx::OcallId::kSockConnect, [](ByteSpan) -> Result<Bytes> {
     return unavailable("host dropped the socket table");
   });
   EXPECT_FALSE(broker_.search(log_.records()[9].text).is_ok());

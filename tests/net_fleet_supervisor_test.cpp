@@ -171,7 +171,7 @@ TEST_F(FleetSupervisorTest, HungWorkerProbeTimesOutAndIsRespawned) {
   auto victim = fleet.value()->worker_proxy(0);
   ASSERT_NE(victim, nullptr);
   victim->host_enclave().register_ecall(
-      "request", [gate](ByteSpan) -> Result<Bytes> {
+      sgx::EcallId::kRequest, [gate](ByteSpan) -> Result<Bytes> {
         MutexLock lock(gate->mutex);
         while (!gate->released) gate->cv.wait(gate->mutex);
         return unavailable("wedged enclave released");

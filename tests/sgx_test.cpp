@@ -97,47 +97,71 @@ TEST(Enclave, MeasurementIsCodeHash) {
 
 TEST(Enclave, EcallDispatchAndCount) {
   EnclaveRuntime enclave(test_config());
-  enclave.register_ecall("echo", [](ByteSpan in) -> Result<Bytes> {
+  enclave.register_ecall(EcallId::kRequest, [](ByteSpan in) -> Result<Bytes> {
     return Bytes(in.begin(), in.end());
   });
-  const auto out = enclave.ecall("echo", to_bytes("ping"));
+  const auto out = enclave.ecall(EcallId::kRequest, to_bytes("ping"));
   ASSERT_TRUE(out.is_ok());
   EXPECT_EQ(to_string(out.value()), "ping");
   EXPECT_EQ(enclave.transition_stats().ecalls, 1u);
   EXPECT_EQ(enclave.transition_stats().ocalls, 0u);
 }
 
-TEST(Enclave, UnknownEcallFails) {
+TEST(Enclave, UnregisteredEcallFails) {
+  // The typed table makes unknown *names* unrepresentable; an id whose slot
+  // was never registered still fails closed.
   EnclaveRuntime enclave(test_config());
-  EXPECT_EQ(enclave.ecall("nope", {}).status().code(), StatusCode::kNotFound);
+  const auto status = enclave.ecall(EcallId::kInit, {}).status();
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_NE(status.message().find("init"), std::string::npos);
 }
 
 TEST(Enclave, OcallDispatchAndCount) {
   EnclaveRuntime enclave(test_config());
-  enclave.register_ocall("host_add", [](ByteSpan in) -> Result<Bytes> {
+  enclave.register_ocall(OcallId::kSend, [](ByteSpan in) -> Result<Bytes> {
     Bytes out(in.begin(), in.end());
     for (auto& b : out) b = static_cast<std::uint8_t>(b + 1);
     return out;
   });
-  const auto out = enclave.ocall("host_add", Bytes{1, 2});
+  const auto out = enclave.ocall(OcallId::kSend, Bytes{1, 2});
   ASSERT_TRUE(out.is_ok());
   EXPECT_EQ(out.value(), (Bytes{2, 3}));
   EXPECT_EQ(enclave.transition_stats().ocalls, 1u);
 }
 
+TEST(Enclave, UnregisteredOcallFails) {
+  EnclaveRuntime enclave(test_config());
+  EXPECT_EQ(enclave.ocall(OcallId::kClose, {}).status().code(),
+            StatusCode::kNotFound);
+}
+
 TEST(Enclave, NestedOcallFromEcall) {
   EnclaveRuntime enclave(test_config());
-  enclave.register_ocall("host", [](ByteSpan) -> Result<Bytes> {
+  enclave.register_ocall(OcallId::kRecv, [](ByteSpan) -> Result<Bytes> {
     return to_bytes("host-data");
   });
-  enclave.register_ecall("work", [&enclave](ByteSpan) -> Result<Bytes> {
-    return enclave.ocall("host", {});
+  enclave.register_ecall(EcallId::kRequest, [&enclave](ByteSpan) -> Result<Bytes> {
+    return enclave.ocall(OcallId::kRecv, {});
   });
-  const auto out = enclave.ecall("work", {});
+  const auto out = enclave.ecall(EcallId::kRequest, {});
   ASSERT_TRUE(out.is_ok());
   EXPECT_EQ(to_string(out.value()), "host-data");
   EXPECT_EQ(enclave.transition_stats().ecalls, 1u);
   EXPECT_EQ(enclave.transition_stats().ocalls, 1u);
+}
+
+TEST(Enclave, BoundaryNameTableMatchesEnums) {
+  // The pinned name surface (tools/tcb_boundary.toml) maps 1:1 to the
+  // enums; spot-check the accessors the lint and wire paths rely on.
+  EXPECT_EQ(ecall_name(EcallId::kInit), "init");
+  EXPECT_EQ(ecall_name(EcallId::kRequest), "request");
+  EXPECT_EQ(ecall_name(EcallId::kRunWorkers), "run_workers");
+  EXPECT_EQ(ocall_name(OcallId::kSockConnect), "sock_connect");
+  EXPECT_EQ(ocall_name(OcallId::kSend), "send");
+  EXPECT_EQ(ocall_name(OcallId::kRecv), "recv");
+  EXPECT_EQ(ocall_name(OcallId::kClose), "close");
+  EXPECT_EQ(kEcallNames.size(), kEcallCount);
+  EXPECT_EQ(kOcallNames.size(), kOcallCount);
 }
 
 TEST(Enclave, SealUnsealRoundTrip) {

@@ -33,6 +33,21 @@ SOURCE_SUFFIXES = {".cpp", ".cc", ".cxx", ".hpp", ".h"}
 WAIVER_RE = re.compile(r"//\s*tcb-lint:\s*allow\(([\w-]+)\)\s*(.*)")
 INCLUDE_RE = re.compile(r'#include\s*"([^"]+)"')
 BOUNDARY_RE = re.compile(r'\b(?:register_)?(ecall|ocall)\s*\(\s*"([^"]+)"')
+# Typed boundary calls: ecall(EcallId::kRequest, ...), submit(EcallId::kX),
+# register_ocall(sgx::OcallId::kSend, ...). The enumerator is snake_cased
+# (kSockConnect -> sock_connect) and checked against the same [boundary]
+# allowlist as the legacy string form.
+ENUM_BOUNDARY_RE = re.compile(
+    r'\b(?:register_)?(ecall|ocall|submit)\s*\(\s*'
+    r'(?:[\w:]+::)?(?:EcallId|OcallId)::k(\w+)')
+# The name arrays of the boundary header, checked 1:1 against [boundary].
+NAME_ARRAY_RE = re.compile(
+    r'k(Ecall|Ocall)Names\s*=\s*\{([^}]*)\}', re.DOTALL)
+
+
+def enum_to_name(enumerator: str) -> str:
+    """kSockConnect -> sock_connect (the boundary.hpp name convention)."""
+    return re.sub(r"(?<!^)(?=[A-Z])", "_", enumerator).lower()
 
 
 @dataclass
@@ -133,6 +148,11 @@ class Linter:
             "ecall": set(boundary.get("ecalls", [])),
             "ocall": set(boundary.get("ocalls", [])),
         }
+        self.boundary_names = {
+            "ecall": list(boundary.get("ecalls", [])),
+            "ocall": list(boundary.get("ocalls", [])),
+        }
+        self.boundary_header = boundary.get("header")
         self.exempt: dict[tuple[str, str], str] = {}
         for entry in config.get("exempt", []):
             self.exempt[(entry["file"], entry["rule"])] = entry["reason"]
@@ -202,13 +222,24 @@ class Linter:
                         self.report(rel, lines, idx, rule)
             elif rule.kind == "boundary":
                 for idx, line in enumerate(lines):
-                    for m in BOUNDARY_RE.finditer(strip_line_comment(line)):
+                    code = strip_line_comment(line)
+                    for m in BOUNDARY_RE.finditer(code):
                         side, name = m.group(1), m.group(2)
                         if name not in self.registered[side]:
                             self.report(
                                 rel, lines, idx, rule,
                                 f"{side}(\"{name}\") is not a registered "
                                 f"{side} ({sorted(self.registered[side])})")
+                    for m in ENUM_BOUNDARY_RE.finditer(code):
+                        side = "ecall" if m.group(1) in ("ecall", "submit") \
+                            else "ocall"
+                        name = enum_to_name(m.group(2))
+                        if name not in self.registered[side]:
+                            self.report(
+                                rel, lines, idx, rule,
+                                f"k{m.group(2)} ({side} \"{name}\") is not in "
+                                f"the pinned {side} surface "
+                                f"({sorted(self.registered[side])})")
             elif rule.kind == "context":
                 for idx, line in enumerate(lines):
                     if not any(p.search(strip_line_comment(line))
@@ -233,6 +264,38 @@ class Linter:
                 raise SystemExit(f"tcb_lint: --only matched no files: {only}")
         for f in files:
             self.lint_file(f)
+        if self.boundary_header and not only:
+            self.check_boundary_header()
+
+    def check_boundary_header(self) -> None:
+        """The typed-id header's name arrays must match [boundary] exactly.
+
+        Order matters: entry i of the TOML list is the name of enum value i,
+        so a reorder (not just an add/remove) is drift and fails the lint.
+        """
+        path = self.root / self.boundary_header
+        rel = self.boundary_header
+        if not path.exists():
+            self.findings.append(Finding(
+                rel, 1, "boundary-allowlist",
+                "[boundary].header names a file that does not exist", rel))
+            return
+        text = path.read_text(encoding="utf-8", errors="replace")
+        found = {m.group(1).lower(): re.findall(r'"([^"]+)"', m.group(2))
+                 for m in NAME_ARRAY_RE.finditer(text)}
+        for side in ("ecall", "ocall"):
+            names = found.get(side)
+            if names is None:
+                self.findings.append(Finding(
+                    rel, 1, "boundary-allowlist",
+                    f"could not find k{side.capitalize()}Names in the "
+                    "boundary header", rel))
+            elif names != self.boundary_names[side]:
+                self.findings.append(Finding(
+                    rel, 1, "boundary-allowlist",
+                    f"{side} surface drift: header declares {names} but "
+                    f"[boundary] pins {self.boundary_names[side]} "
+                    "(order-sensitive — entry i names enum value i)", rel))
 
 
 def check_compile_coverage(root: Path, compile_commands: Path,
