@@ -55,6 +55,16 @@
 // restores the history) vs cold (no checkpoints, the respawn reopens the
 // paper's cold-start obfuscation window). See run_recovery_sweep below.
 //
+// The special name "xsearch-idle-sweep" is the connection-scaling mode:
+// N mostly-idle attested sessions (N in {1k,10k,50k}, clamped to the fd
+// rlimit) held concurrently against the same saturation ProxyHandler
+// behind two server architectures — the epoll reactor (ProxyServer) and a
+// thread-per-connection baseline resurrected in this bench. Reported per
+// leg: RSS growth per held session and the p50/p99 wakeup-to-reply time of
+// a query sent on an already-idle session. A leg that cannot reach N
+// (thread spawn failure, refused connections) is marked "cannot". See
+// run_idle_sweep below.
+//
 // The special name "xsearch-degraded" is the brownout mode: a 2-worker
 // fleet with a live engine whose calls are degraded mid-run through the
 // proxies' host-side fault hook (FaultPlan::engine_call — injected latency
@@ -71,14 +81,18 @@
 //      [mechanism...]
 //      (default: xsearch peas tor; any registered name, xsearch-remote,
 //      xsearch-sessions, xsearch-switchless, xsearch-fleet,
-//      xsearch-recovery or xsearch-degraded; --mode=NAME is shorthand for
-//      appending NAME to the mechanism list)
+//      xsearch-recovery, xsearch-degraded or xsearch-idle-sweep;
+//      --mode=NAME is shorthand for appending NAME to the mechanism list)
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <filesystem>
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -91,16 +105,19 @@
 #include "api/remote.hpp"
 #include "api/xsearch_options.hpp"
 #include "bench_common.hpp"
+#include "crypto/x25519.hpp"
 #include "loadgen/loadgen.hpp"
 #include "net/chaos.hpp"
 #include "net/fleet_supervisor.hpp"
 #include "net/proxy_fleet.hpp"
 #include "net/proxy_server.hpp"
 #include "net/remote_broker.hpp"
+#include "net/frame.hpp"
 #include "netsim/netsim.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/broker.hpp"
 #include "xsearch/proxy.hpp"
+#include "xsearch/wire.hpp"
 
 namespace {
 
@@ -123,9 +140,11 @@ struct JsonRow {
   std::size_t sessions = 0;
   std::size_t workers = 0;
   std::size_t batch = 0;
-  std::string mode;   // "warm" / "cold"
-  std::string phase;  // "pre-kill" / "recovery" / "post-recovery"
+  std::string mode;   // "warm" / "cold" (recovery) or "reactor" / "threads"
+  std::string phase;  // "pre-kill" / ... (recovery) or "ok" / "cannot" (idle)
   std::size_t history_depth = 0;
+  /// xsearch-idle-sweep only: resident-memory growth per held session.
+  double rss_kb = 0.0;
 };
 
 std::vector<JsonRow> g_rows;
@@ -163,11 +182,12 @@ bool write_json(const std::string& path) {
                  "\"achieved_rps\": %.1f, \"mean_ms\": %.3f, \"p50_ms\": %.3f, "
                  "\"p99_ms\": %.3f, \"dropped\": %llu, \"sessions\": %zu, "
                  "\"workers\": %zu, \"batch\": %zu, \"mode\": \"%s\", "
-                 "\"phase\": \"%s\", \"history_depth\": %zu}%s\n",
+                 "\"phase\": \"%s\", \"history_depth\": %zu, "
+                 "\"rss_kb_per_session\": %.2f}%s\n",
                  json_escape(r.system).c_str(), r.offered_rps, r.achieved_rps, r.mean_ms,
                  r.p50_ms, r.p99_ms, static_cast<unsigned long long>(r.dropped),
                  r.sessions, r.workers, r.batch, json_escape(r.mode).c_str(),
-                 json_escape(r.phase).c_str(), r.history_depth,
+                 json_escape(r.phase).c_str(), r.history_depth, r.rss_kb,
                  i + 1 < g_rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
@@ -725,6 +745,346 @@ void run_degraded_sweep(const api::ClientConfig& base_config,
               "p99 is client-observed\n");
 }
 
+// ---- idle-session sweep -----------------------------------------------------
+
+/// Current VmRSS in kB from /proc/self/status (0 if unreadable).
+std::size_t vm_rss_kb() {
+  std::FILE* f = std::fopen("/proc/self/status", "r");
+  if (f == nullptr) return 0;
+  char line[256];
+  std::size_t kb = 0;
+  while (std::fgets(line, sizeof line, f) != nullptr) {
+    if (std::sscanf(line, "VmRSS: %zu", &kb) == 1) break;
+  }
+  std::fclose(f);
+  return kb;
+}
+
+/// Minimal thread-per-connection frame server over the same ProxyHandler —
+/// the pre-reactor architecture, resurrected as the idle sweep's baseline
+/// leg. One blocking thread per accepted connection, parked in read_frame()
+/// while its session idles: the per-session cost is a whole thread (stack +
+/// kernel task) instead of the reactor's buffer-and-table-entry.
+class ThreadPerConnectionServer {
+ public:
+  static std::unique_ptr<ThreadPerConnectionServer> start(
+      core::ProxyHandler& proxy) {
+    auto listener = net::TcpListener::bind(0);
+    if (!listener) return nullptr;
+    return std::unique_ptr<ThreadPerConnectionServer>(
+        new ThreadPerConnectionServer(proxy, std::move(listener).value()));
+  }
+
+  ~ThreadPerConnectionServer() { stop(); }
+
+  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] bool spawn_failed() const {
+    return spawn_failed_.load(std::memory_order_relaxed);
+  }
+
+  void stop() {
+    if (stopping_.exchange(true)) return;
+    listener_.close();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    std::vector<std::shared_ptr<net::TcpStream>> live;
+    std::vector<std::thread> threads;
+    {
+      MutexLock lock(mutex_);
+      live.swap(live_);
+      threads.swap(threads_);
+    }
+    for (const auto& stream : live) stream->shutdown_both();
+    for (auto& t : threads) {
+      if (t.joinable()) t.join();
+    }
+    listener_.release();
+  }
+
+ private:
+  ThreadPerConnectionServer(core::ProxyHandler& proxy,
+                            net::TcpListener listener)
+      : proxy_(&proxy), listener_(std::move(listener)) {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+  }
+
+  void accept_loop() {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      auto accepted = listener_.accept();
+      if (!accepted) break;  // listener closed
+      auto stream =
+          std::make_shared<net::TcpStream>(std::move(accepted).value());
+      try {
+        std::thread worker([this, stream] { serve(*stream); });
+        MutexLock lock(mutex_);
+        live_.push_back(stream);
+        threads_.push_back(std::move(worker));
+      } catch (const std::system_error&) {
+        // The architecture's hard wall: no thread, no connection.
+        spawn_failed_.store(true, std::memory_order_relaxed);
+        (void)net::write_frame(
+            *stream, net::FrameType::kErrorStatus,
+            net::encode_error_status(
+                overloaded("thread-per-connection: cannot spawn")));
+        stream->shutdown_both();
+      }
+    }
+  }
+
+  void serve(net::TcpStream& stream) {
+    bool peer_v2 = false;
+    const auto send_error = [&](const Status& status) {
+      if (peer_v2) {
+        return net::write_frame(stream, net::FrameType::kErrorStatus,
+                                net::encode_error_status(status));
+      }
+      return net::write_frame(stream, net::FrameType::kError,
+                              to_bytes(status.to_string()));
+    };
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      auto frame = net::read_frame(stream);
+      if (!frame) return;  // clean close or broken peer
+      if (frame.value().v2) peer_v2 = true;
+      switch (frame.value().type) {
+        case net::FrameType::kHello: {
+          if (frame.value().payload.size() != crypto::kX25519KeySize) {
+            (void)send_error(invalid_argument("bad hello"));
+            return;
+          }
+          crypto::X25519Key client_pub;
+          std::memcpy(client_pub.data(), frame.value().payload.data(),
+                      client_pub.size());
+          auto response = proxy_->handshake(client_pub);
+          if (!response) {
+            (void)send_error(response.status());
+            return;
+          }
+          Bytes payload;
+          core::wire::put_u64(payload, response.value().session_id);
+          const Bytes quote = response.value().quote.serialize();
+          core::wire::put_u32(payload,
+                              static_cast<std::uint32_t>(quote.size()));
+          append(payload, quote);
+          append(payload, response.value().server_ephemeral_pub);
+          if (!net::write_frame(stream, net::FrameType::kHelloReply, payload)
+                   .is_ok()) {
+            return;
+          }
+          break;
+        }
+        case net::FrameType::kQuery:
+        case net::FrameType::kBatchQuery: {
+          const net::FrameType reply_type =
+              frame.value().type == net::FrameType::kQuery
+                  ? net::FrameType::kQueryReply
+                  : net::FrameType::kBatchReply;
+          std::size_t offset = 0;
+          const auto session =
+              core::wire::get_u64(frame.value().payload, offset);
+          if (!session) {
+            (void)send_error(invalid_argument("bad query frame"));
+            return;
+          }
+          auto response = proxy_->handle_query_record(
+              session.value(),
+              ByteSpan(frame.value().payload).subspan(offset));
+          if (!response) {
+            if (!send_error(response.status()).is_ok()) return;
+            break;
+          }
+          if (!net::write_frame(stream, reply_type, response.value())
+                   .is_ok()) {
+            return;
+          }
+          break;
+        }
+        default:
+          (void)send_error(invalid_argument("unexpected frame"));
+          return;
+      }
+    }
+  }
+
+  core::ProxyHandler* proxy_;
+  net::TcpListener listener_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> spawn_failed_{false};
+  std::thread accept_thread_;
+  Mutex mutex_;
+  std::vector<std::shared_ptr<net::TcpStream>> live_ XS_GUARDED_BY(mutex_);
+  std::vector<std::thread> threads_ XS_GUARDED_BY(mutex_);
+};
+
+/// One idle-sweep leg: hold `sessions` attested, mostly-idle connections
+/// against `port`, then measure RSS growth per session and wakeup-to-reply
+/// on a sample of the held population.
+/// Returns the leg's RSS growth per held session (kB).
+double run_idle_leg(const xsearch::sgx::AttestationAuthority& authority,
+                    const sgx::Measurement& measurement, std::uint16_t port,
+                    std::size_t sessions, const char* mode,
+                    const std::function<bool()>& architecture_failed) {
+  const std::size_t rss_before = vm_rss_kb();
+
+  std::vector<std::unique_ptr<net::RemoteBroker>> brokers;
+  brokers.reserve(sessions);
+  std::uint64_t connect_failures = 0;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    auto broker = std::make_unique<net::RemoteBroker>(
+        "127.0.0.1", port, authority, measurement, 8'000'000 + s);
+    if (broker->connect().is_ok()) {
+      brokers.push_back(std::move(broker));
+    } else if (++connect_failures > 64) {
+      break;  // systematic refusal: the leg cannot hold this population
+    }
+  }
+  const std::size_t held = brokers.size();
+  const std::size_t rss_after = vm_rss_kb();
+  const double rss_kb_per_session =
+      held == 0 || rss_after <= rss_before
+          ? 0.0
+          : static_cast<double>(rss_after - rss_before) /
+                static_cast<double>(held);
+
+  // Wakeup-to-reply: one query per sampled session, sent while the whole
+  // population sits idle — the number a mostly-idle client actually feels.
+  std::vector<double> wake_ms;
+  std::uint64_t query_failures = 0;
+  const std::size_t sample = std::min<std::size_t>(1000, held);
+  if (sample > 0) {
+    const std::size_t stride = held / sample;
+    wake_ms.reserve(sample);
+    for (std::size_t i = 0; i < sample; ++i) {
+      auto& broker = *brokers[i * stride];
+      const auto t0 = std::chrono::steady_clock::now();
+      const bool ok = broker.search("idle wakeup probe").is_ok();
+      const double ms =
+          1e3 *
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      if (ok) {
+        wake_ms.push_back(ms);
+      } else {
+        ++query_failures;
+      }
+    }
+  }
+  std::sort(wake_ms.begin(), wake_ms.end());
+  const double p50 = wake_ms.empty() ? 0.0 : wake_ms[wake_ms.size() / 2];
+  const double p99 =
+      wake_ms.empty() ? 0.0 : wake_ms[wake_ms.size() * 99 / 100];
+
+  const bool complete = held == sessions && query_failures == 0 &&
+                        !architecture_failed();
+  const std::uint64_t dropped = connect_failures + query_failures;
+  std::printf("%-16s %6zu/%-6zu %8s %10.3f %10.3f %7.1fkB %8llu%s\n",
+              "xsearch-idle", held, sessions, mode, p50, p99,
+              rss_kb_per_session, static_cast<unsigned long long>(dropped),
+              complete ? "" : "  CANNOT");
+  JsonRow row;
+  row.system = "xsearch-idle";
+  row.sessions = held;
+  row.p50_ms = p50;
+  row.p99_ms = p99;
+  row.dropped = dropped;
+  row.mode = mode;
+  row.phase = complete ? "ok" : "cannot";
+  row.rss_kb = rss_kb_per_session;
+  g_rows.push_back(row);
+  return rss_kb_per_session;
+}
+
+/// Connection-scaling sweep: the reactor data plane vs thread-per-
+/// connection, each holding N mostly-idle attested sessions in one
+/// process (2 fds per session: client end + server end). The reactor's
+/// idle session costs a receive buffer and a table entry; the baseline's
+/// costs a parked thread — RSS per session and the ability to reach N at
+/// all are the figures of merit (the paper's tens-of-thousands-of-users
+/// claim, measured architecturally).
+void run_idle_sweep(const api::ClientConfig& base_config) {
+  // Lift the soft fd limit to the hard cap and size the targets to fit.
+  rlimit nofile{};
+  if (::getrlimit(RLIMIT_NOFILE, &nofile) == 0 &&
+      nofile.rlim_cur < nofile.rlim_max) {
+    rlimit raised = nofile;
+    raised.rlim_cur = nofile.rlim_max;
+    (void)::setrlimit(RLIMIT_NOFILE, &raised);
+  }
+  (void)::getrlimit(RLIMIT_NOFILE, &nofile);
+  const std::size_t fd_budget =
+      nofile.rlim_cur == RLIM_INFINITY
+          ? (1u << 20)
+          : static_cast<std::size_t>(nofile.rlim_cur);
+  const std::size_t session_budget =
+      fd_budget > 400 ? (fd_budget - 200) / 2 : 100;
+
+  std::vector<std::size_t> targets;
+  for (const std::size_t want : {1'000u, 10'000u, 50'000u}) {
+    const std::size_t n = std::min<std::size_t>(want, session_budget);
+    if (n < want) {
+      std::printf("# xsearch-idle: target %zu clamped to %zu "
+                  "(RLIMIT_NOFILE=%zu, 2 fds/session in-process)\n",
+                  want, n, fd_budget);
+    }
+    if (targets.empty() || targets.back() != n) targets.push_back(n);
+  }
+
+  api::ClientConfig config = base_config;
+  // Every held session lives in the enclave's session table concurrently.
+  config.session_capacity = targets.back() + 64;
+
+  std::printf("%-16s %13s %8s %10s %10s %9s %8s\n", "system", "held/target",
+              "arch", "p50_ms", "p99_ms", "rss/sess", "dropped");
+  for (const std::size_t sessions : targets) {
+    double reactor_rss = 0.0;
+    double threads_rss = 0.0;
+    for (const bool reactor : {true, false}) {
+      xsearch::sgx::AttestationAuthority authority(
+          xsearch::to_bytes("fig5-idle-root"));
+      core::XSearchProxy::Options options = api::xsearch_proxy_options(config);
+      options.contact_engine = false;  // saturation mode
+      auto proxy = core::XSearchProxy::create(nullptr, authority, options);
+      if (!proxy.is_ok()) {
+        std::fprintf(stderr, "xsearch-idle proxy: %s\n",
+                     proxy.status().to_string().c_str());
+        return;
+      }
+      if (reactor) {
+        net::ProxyServer::Options server_options;
+        server_options.workers = 2;  // per *request*, not per connection
+        auto server =
+            net::ProxyServer::start(*proxy.value(), 0, server_options);
+        if (!server.is_ok()) {
+          std::fprintf(stderr, "xsearch-idle server: %s\n",
+                       server.status().to_string().c_str());
+          return;
+        }
+        reactor_rss = run_idle_leg(authority, proxy.value()->measurement(),
+                                   server.value()->port(), sessions, "reactor",
+                                   [] { return false; });
+        server.value()->stop();
+      } else {
+        auto server = ThreadPerConnectionServer::start(*proxy.value());
+        if (server == nullptr) {
+          std::fprintf(stderr, "xsearch-idle threaded server: bind failed\n");
+          return;
+        }
+        threads_rss = run_idle_leg(authority, proxy.value()->measurement(),
+                                   server->port(), sessions, "threads",
+                                   [&server] { return server->spawn_failed(); });
+        server->stop();
+      }
+    }
+    // Both legs pay the same client-side cost (one RemoteBroker + one
+    // enclave session each), so the difference is the server's idle cost:
+    // a parked thread vs a receive buffer + connection entry.
+    std::printf("# xsearch-idle %zu: threads leg pays +%.1fkB/session over "
+                "the reactor (the parked per-connection thread)\n",
+                sessions, threads_rss - reactor_rss);
+  }
+  std::printf("# *idle sweep: rss/sess is RSS growth per held session "
+              "(client+server in-process); CANNOT = leg could not hold or "
+              "serve the population\n");
+}
+
 loadgen::LoadConfig config_for(double rps) {
   loadgen::LoadConfig config;
   config.target_rps = rps;
@@ -837,6 +1197,10 @@ int main(int argc, char** argv) {
     }
     if (name == "xsearch-degraded") {
       run_degraded_sweep(config, *bed->engine);
+      continue;
+    }
+    if (name == "xsearch-idle-sweep") {
+      run_idle_sweep(config);
       continue;
     }
 

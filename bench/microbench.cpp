@@ -17,6 +17,7 @@
 // release-bench job so numbers accumulate per PR.
 //
 // Run: ./build/bench/microbench [out.json]
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <string>
@@ -27,6 +28,8 @@
 #include "bench_common.hpp"
 #include "common/rng.hpp"
 #include "crypto/secure_channel.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
 #include "sgx/enclave.hpp"
 #include "crypto/x25519.hpp"
 #include "text/sparse_vector.hpp"
@@ -144,6 +147,39 @@ FilterWorkload make_filter_workload(Rng& rng) {
   }
   return w;
 }
+
+// ---- replay stream: serves a prepared wire image forever ------------------
+//
+// Backs the frame/parse_copy stage: read_frame() pulls the length word,
+// budget word and body as separate read_exact calls, each of which this
+// stream answers with a freshly allocated copy — exactly the per-field
+// allocation profile the blocking connection loop paid per frame.
+class ReplayStream final : public net::ByteStream {
+ public:
+  explicit ReplayStream(Bytes wire) : wire_(std::move(wire)) {}
+
+  [[nodiscard]] Status write_all(ByteSpan, const Deadline&) override {
+    return Status::ok();
+  }
+  [[nodiscard]] Result<Bytes> read_exact(std::size_t n,
+                                         const Deadline&) override {
+    Bytes out;
+    out.reserve(n);
+    while (out.size() < n) {
+      const std::size_t take = std::min(n - out.size(), wire_.size() - pos_);
+      out.insert(out.end(), wire_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                 wire_.begin() + static_cast<std::ptrdiff_t>(pos_ + take));
+      pos_ = (pos_ + take) % wire_.size();
+    }
+    return out;
+  }
+  void shutdown_both() override {}
+  [[nodiscard]] bool valid() const override { return true; }
+
+ private:
+  Bytes wire_;
+  std::size_t pos_ = 0;
+};
 
 struct StageResult {
   std::string name;
@@ -300,6 +336,65 @@ int main(int argc, char** argv) {
       }
     }
     report("seal_open/4KiB", us_per_op(t0, Clock::now(), iters));
+  }
+
+  // ---- frame parse: blocking copy path vs zero-copy cursor ----------------
+  //
+  // The same 512-byte kQuery frame, decoded two ways. parse_copy is the
+  // historical read_frame() shape: one read_exact per wire field, each
+  // allocating and copying (served here from an in-memory replay stream, so
+  // the delta is pure decode cost — no syscalls on either side). parse_cursor
+  // is the reactor's FrameCursor over an already-buffered wire image: header
+  // fields are decoded in place and the payload comes back as a span into
+  // the buffer, zero allocations per frame.
+  {
+    const Bytes payload(512, 0x5a);
+    auto header = net::encode_frame_header(net::FrameType::kQuery, payload.size());
+    if (!header.is_ok()) {
+      std::fprintf(stderr, "encode_frame_header failed\n");
+      return 1;
+    }
+    Bytes wire = std::move(header).value();
+    append(wire, payload);
+
+    const std::size_t iters = 200'000;
+    {
+      ReplayStream stream(wire);
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < iters; ++i) {
+        auto frame = net::read_frame(stream);
+        if (!frame.is_ok() || frame.value().payload.size() != payload.size()) {
+          std::fprintf(stderr, "frame/parse_copy: bad frame\n");
+          return 1;
+        }
+      }
+      report("frame/parse_copy", us_per_op(t0, Clock::now(), iters));
+    }
+    {
+      // A receive buffer holding several frames, walked the way a reactor
+      // connection walks its rbuf: parse at the cursor, consume frame_bytes.
+      Bytes rbuf;
+      for (std::size_t i = 0; i < 16; ++i) append(rbuf, wire);
+      std::size_t offset = 0;
+      std::uint64_t sink = 0;
+      const auto t0 = Clock::now();
+      for (std::size_t i = 0; i < iters; ++i) {
+        const auto step = net::FrameCursor::parse(
+            ByteSpan(rbuf).subspan(offset, rbuf.size() - offset));
+        if (step.state != net::FrameCursor::State::kFrame) {
+          std::fprintf(stderr, "frame/parse_cursor: bad frame\n");
+          return 1;
+        }
+        sink += step.frame.payload.size();
+        offset += step.frame.frame_bytes;
+        if (offset == rbuf.size()) offset = 0;
+      }
+      report("frame/parse_cursor", us_per_op(t0, Clock::now(), iters));
+      if (sink != iters * payload.size()) {
+        std::fprintf(stderr, "frame/parse_cursor: payload size drifted\n");
+        return 1;
+      }
+    }
   }
 
   // ---- boundary: 2-ecall path vs switchless job ring ----------------------

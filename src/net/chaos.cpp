@@ -94,18 +94,18 @@ Status ChaosSocket::write_all(ByteSpan data, const Deadline& deadline) {
   const FaultPlan::Decision decision = plan_->next(/*reading=*/false);
   switch (decision.action) {
     case FaultAction::kPass:
-      return stream_.write_all(data, deadline);
+      return inner_->write_all(data, deadline);
     case FaultAction::kDelay:
       bounded_sleep(decision.delay, deadline);
       if (deadline.expired()) {
         return deadline_exceeded("chaos: write stalled past deadline");
       }
-      return stream_.write_all(data, deadline);
+      return inner_->write_all(data, deadline);
     case FaultAction::kPartialThenReset: {
       if (data.size() > 1) {
-        (void)stream_.write_all(data.first(data.size() / 2), deadline);
+        (void)inner_->write_all(data.first(data.size() / 2), deadline);
       }
-      stream_.shutdown_both();
+      inner_->shutdown_both();
       return unavailable("chaos: connection reset mid-write");
     }
     case FaultAction::kDrop:
@@ -113,7 +113,7 @@ Status ChaosSocket::write_all(ByteSpan data, const Deadline& deadline) {
       // Only a read deadline on the response can surface this.
       return Status::ok();
     case FaultAction::kReset:
-      stream_.shutdown_both();
+      inner_->shutdown_both();
       return unavailable("chaos: connection reset");
     case FaultAction::kGarbage: {
       Bytes corrupted(data.begin(), data.end());
@@ -121,7 +121,7 @@ Status ChaosSocket::write_all(ByteSpan data, const Deadline& deadline) {
         corrupted[decision.salt % corrupted.size()] ^= 0xff;
         corrupted[(decision.salt >> 16) % corrupted.size()] ^= 0x55;
       }
-      return stream_.write_all(corrupted, deadline);
+      return inner_->write_all(corrupted, deadline);
     }
   }
   return internal_error("chaos: unknown fault action");
@@ -131,26 +131,26 @@ Result<Bytes> ChaosSocket::read_exact(std::size_t n, const Deadline& deadline) {
   const FaultPlan::Decision decision = plan_->next(/*reading=*/true);
   switch (decision.action) {
     case FaultAction::kPass:
-      return stream_.read_exact(n, deadline);
+      return inner_->read_exact(n, deadline);
     case FaultAction::kDelay:
       bounded_sleep(decision.delay, deadline);
       if (deadline.expired()) {
         return deadline_exceeded("chaos: read stalled past deadline");
       }
-      return stream_.read_exact(n, deadline);
+      return inner_->read_exact(n, deadline);
     case FaultAction::kPartialThenReset: {
       if (n > 1) {
-        (void)stream_.read_exact(n / 2, deadline);
+        (void)inner_->read_exact(n / 2, deadline);
       }
-      stream_.shutdown_both();
+      inner_->shutdown_both();
       return unavailable("chaos: connection reset mid-read");
     }
     case FaultAction::kDrop:  // never drawn for reads; keep the switch total
     case FaultAction::kReset:
-      stream_.shutdown_both();
+      inner_->shutdown_both();
       return unavailable("chaos: connection reset");
     case FaultAction::kGarbage: {
-      auto bytes = stream_.read_exact(n, deadline);
+      auto bytes = inner_->read_exact(n, deadline);
       if (!bytes) return bytes.status();
       Bytes corrupted = std::move(bytes).value();
       if (!corrupted.empty()) {

@@ -85,11 +85,27 @@ class FaultPlan {
   std::uint64_t injected_ XS_GUARDED_BY(mutex_) = 0;
 };
 
-/// A ByteStream that subjects a real TcpStream to a FaultPlan.
+/// A ByteStream that subjects another ByteStream to a FaultPlan.
+///
+/// The wrapped transport is usually a blocking TcpStream (a chaos client
+/// talking to a server), but any ByteStream works — the fault decisions
+/// are drawn per *operation*, independent of how the underlying transport
+/// moves bytes, so the plan composes unchanged with servers that read
+/// those bytes through nonblocking readiness loops (net/reactor.hpp): a
+/// kPartialThenReset write, say, surfaces there as a short read followed
+/// by EOF mid-frame.
 class ChaosSocket final : public ByteStream {
  public:
+  /// Wraps any transport (ownership taken).
+  ChaosSocket(std::unique_ptr<ByteStream> inner,
+              std::shared_ptr<FaultPlan> plan)
+      : inner_(std::move(inner)), plan_(std::move(plan)) {}
+
+  /// Convenience for the common case: a connected TcpStream.
   ChaosSocket(TcpStream stream, std::shared_ptr<FaultPlan> plan)
-      : stream_(std::move(stream)), plan_(std::move(plan)) {}
+      : ChaosSocket(std::unique_ptr<ByteStream>(
+                        std::make_unique<TcpStream>(std::move(stream))),
+                    std::move(plan)) {}
 
   using ByteStream::read_exact;
   using ByteStream::write_all;
@@ -98,15 +114,17 @@ class ChaosSocket final : public ByteStream {
                                  const Deadline& deadline) override;
   [[nodiscard]] Result<Bytes> read_exact(std::size_t n,
                                          const Deadline& deadline) override;
-  void shutdown_both() override { stream_.shutdown_both(); }
-  [[nodiscard]] bool valid() const override { return stream_.valid(); }
+  void shutdown_both() override { inner_->shutdown_both(); }
+  [[nodiscard]] bool valid() const override {
+    return inner_ != nullptr && inner_->valid();
+  }
 
  private:
   /// Sleeps for `delay`, bounded by the deadline (plus one scheduling
   /// quantum) so an injected stall cannot oversleep far past it.
   static void bounded_sleep(Nanos delay, const Deadline& deadline);
 
-  TcpStream stream_;
+  std::unique_ptr<ByteStream> inner_;
   std::shared_ptr<FaultPlan> plan_;
 };
 

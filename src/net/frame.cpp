@@ -2,12 +2,49 @@
 
 namespace xsearch::net {
 
-Status write_frame(ByteStream& stream, FrameType type, ByteSpan payload,
-                   const FrameWriteOptions& options) {
-  if (payload.size() > kMaxFramePayload) {
+FrameCursor::Step FrameCursor::parse(ByteSpan buffered) {
+  Step step;
+  if (buffered.size() < 4) {
+    step.state = State::kNeedHeader;
+    step.need = 4;
+    return step;
+  }
+  const std::uint32_t raw = load_be32(buffered.data());
+  const bool v2 = (raw & kFrameV2Bit) != 0;
+  const std::uint32_t length = raw & ~kFrameV2Bit;
+  if (length == 0 || length > kMaxFramePayload + 1) {
+    step.state = State::kError;
+    step.error = data_loss("frame length out of range");
+    return step;
+  }
+  const std::size_t header_bytes = v2 ? 8 : 4;
+  const std::size_t total = header_bytes + length;
+  if (buffered.size() < header_bytes) {
+    step.state = State::kNeedHeader;
+    step.need = header_bytes;
+    return step;
+  }
+  if (buffered.size() < total) {
+    step.state = State::kNeedBody;
+    step.need = total;
+    return step;
+  }
+
+  step.state = State::kFrame;
+  step.frame.v2 = v2;
+  if (v2) step.frame.budget_millis = load_be32(buffered.data() + 4);
+  step.frame.type = static_cast<FrameType>(buffered[header_bytes]);
+  step.frame.payload = buffered.subspan(header_bytes + 1, length - 1);
+  step.frame.frame_bytes = total;
+  return step;
+}
+
+Result<Bytes> encode_frame_header(FrameType type, std::size_t payload_size,
+                                  const FrameWriteOptions& options) {
+  if (payload_size > kMaxFramePayload) {
     return invalid_argument("frame payload too large");
   }
-  const auto length = static_cast<std::uint32_t>(payload.size() + 1);
+  const auto length = static_cast<std::uint32_t>(payload_size + 1);
   Bytes header;
   if (options.carry_budget) {
     header.resize(9);
@@ -19,40 +56,52 @@ Status write_frame(ByteStream& stream, FrameType type, ByteSpan payload,
     store_be32(header.data(), length);
     header[4] = static_cast<std::uint8_t>(type);
   }
-  XS_RETURN_IF_ERROR(stream.write_all(header, options.io_deadline));
+  return header;
+}
+
+Status write_frame(ByteStream& stream, FrameType type, ByteSpan payload,
+                   const FrameWriteOptions& options) {
+  auto header = encode_frame_header(type, payload.size(), options);
+  if (!header) return header.status();
+  XS_RETURN_IF_ERROR(stream.write_all(header.value(), options.io_deadline));
   return stream.write_all(payload, options.io_deadline);
 }
 
 Result<Frame> read_frame(ByteStream& stream, const FrameReadOptions& options) {
-  auto header = stream.read_exact(4, options.io_deadline);
-  if (!header) return header.status();
-  const std::uint32_t raw = load_be32(header.value().data());
-  const bool v2 = (raw & kFrameV2Bit) != 0;
-  const std::uint32_t length = raw & ~kFrameV2Bit;
-  if (length == 0 || length > kMaxFramePayload + 1) {
-    return data_loss("frame length out of range");
+  // Blocking shim over the incremental parser: one parse logic for both the
+  // reactor's zero-copy path and the clients' exact-read path.
+  Bytes buffer;
+  Deadline deadline = options.io_deadline;
+  bool body_bounded = false;
+  for (;;) {
+    const auto step = FrameCursor::parse(buffer);
+    switch (step.state) {
+      case FrameCursor::State::kError:
+        return step.error;
+      case FrameCursor::State::kFrame: {
+        Frame frame;
+        frame.type = step.frame.type;
+        frame.budget_millis = step.frame.budget_millis;
+        frame.v2 = step.frame.v2;
+        frame.payload.assign(step.frame.payload.begin(),
+                             step.frame.payload.end());
+        return frame;
+      }
+      case FrameCursor::State::kNeedHeader:
+      case FrameCursor::State::kNeedBody: {
+        // Once the length word is in, the frame has started: the (optional)
+        // body budget applies on top of the caller's overall deadline.
+        if (buffer.size() >= 4 && !body_bounded && options.body_budget > 0) {
+          body_bounded = true;
+          deadline = deadline.min(Deadline::after(options.body_budget));
+        }
+        auto chunk = stream.read_exact(step.need - buffer.size(), deadline);
+        if (!chunk) return chunk.status();
+        append(buffer, chunk.value());
+        break;
+      }
+    }
   }
-
-  // The frame has started: from here the (optional) body budget applies on
-  // top of the caller's overall deadline.
-  const Deadline body_deadline =
-      options.body_budget > 0
-          ? options.io_deadline.min(Deadline::after(options.body_budget))
-          : options.io_deadline;
-
-  Frame frame;
-  frame.v2 = v2;
-  if (v2) {
-    auto budget = stream.read_exact(4, body_deadline);
-    if (!budget) return budget.status();
-    frame.budget_millis = load_be32(budget.value().data());
-  }
-  auto body = stream.read_exact(length, body_deadline);
-  if (!body) return body.status();
-
-  frame.type = static_cast<FrameType>(body.value()[0]);
-  frame.payload.assign(body.value().begin() + 1, body.value().end());
-  return frame;
 }
 
 Bytes encode_error_status(const Status& status) {

@@ -77,6 +77,58 @@ struct FrameReadOptions {
   Nanos body_budget = 0;
 };
 
+/// Incremental, zero-copy frame parser over a connection's receive buffer.
+///
+/// Where `read_frame` pulls fresh `Bytes` out of a stream field by field,
+/// the cursor examines whatever bytes the reactor has buffered and either
+/// reports how many more are needed or yields a `View` whose payload is a
+/// span *into the caller's buffer* — no allocation, no copy (the PR 3
+/// tokenizer idiom applied to the wire). The caller owns buffer lifetime:
+/// a View is valid only until the buffer is mutated or the parsed prefix
+/// (`frame_bytes`) is consumed.
+class FrameCursor {
+ public:
+  /// A parsed frame borrowed from the buffer.
+  struct View {
+    FrameType type = FrameType::kError;
+    ByteSpan payload;                  // view into the parsed buffer
+    std::uint32_t budget_millis = 0;   // v2 deadline budget (0 = none)
+    bool v2 = false;
+    std::size_t frame_bytes = 0;       // total wire size; consume this much
+  };
+
+  enum class State : std::uint8_t {
+    kNeedHeader,  // length word (or v2 budget word) incomplete
+    kNeedBody,    // length known, body incomplete
+    kFrame,       // `frame` holds one complete frame
+    kError,       // malformed input; the connection is unrecoverable
+  };
+
+  struct Step {
+    State state = State::kNeedHeader;
+    View frame;            // valid when state == kFrame
+    /// Total buffered bytes required before the next parse can progress
+    /// (valid for kNeedHeader/kNeedBody; a read-size hint, not a promise
+    /// the frame completes there).
+    std::size_t need = 0;
+    Status error = Status::ok();  // valid when state == kError
+  };
+
+  /// Examines `buffered` (the unconsumed front of a receive buffer) and
+  /// parses at most one frame. Pure and stateless: re-invoke with a longer
+  /// prefix after reading more, or with the remainder after consuming
+  /// `frame_bytes`.
+  [[nodiscard]] static Step parse(ByteSpan buffered);
+};
+
+/// Serializes a frame header (length word, optional budget word, type
+/// byte) for `payload_size` payload bytes. The write side of FrameCursor:
+/// queue the header and the payload as separate buffers and a vectored
+/// write sends both without gluing them into a fresh allocation.
+[[nodiscard]] Result<Bytes> encode_frame_header(
+    FrameType type, std::size_t payload_size,
+    const FrameWriteOptions& options = {});
+
 /// Writes one frame.
 [[nodiscard]] Status write_frame(ByteStream& stream, FrameType type,
                                  ByteSpan payload,

@@ -5,6 +5,11 @@
 // forwards the query through an internal attested broker into the enclave,
 // and renders the filtered results as JSON.
 //
+// Connections are served by the same net::Reactor event loops as the
+// framed proxy frontend — requests are assembled incrementally out of each
+// connection's receive buffer and handled on dispatch workers — so the
+// frontend no longer keeps its own thread-per-connection registry.
+//
 // Privacy note, mirrored from the paper's deployment: a client that speaks
 // plain HTTP forgoes the client→proxy channel encryption (it would use TLS
 // in production); unlinkability from the *search engine* and query
@@ -13,17 +18,17 @@
 
 #include <atomic>
 #include <memory>
-#include <thread>
-#include <vector>
 
 #include "common/mutex.hpp"
 #include "net/http.hpp"
-#include "net/socket.hpp"
+#include "net/reactor.hpp"
 #include "sgx/attestation.hpp"
 #include "xsearch/broker.hpp"
 #include "xsearch/proxy.hpp"
 
 namespace xsearch::net {
+
+class HttpProtocol;  // per-connection HTTP state machine (defined in .cpp)
 
 class HttpFrontend {
  public:
@@ -39,7 +44,7 @@ class HttpFrontend {
   HttpFrontend(const HttpFrontend&) = delete;
   HttpFrontend& operator=(const HttpFrontend&) = delete;
 
-  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::uint16_t port() const { return reactor_->port(); }
 
   void stop();
 
@@ -48,29 +53,23 @@ class HttpFrontend {
   }
 
  private:
-  HttpFrontend(core::ProxyHandler& proxy, const sgx::AttestationAuthority& authority,
-               TcpListener listener);
+  friend class HttpProtocol;
 
-  void accept_loop();
-  void serve_connection(const std::shared_ptr<TcpStream>& stream);
+  HttpFrontend(core::ProxyHandler& proxy,
+               const sgx::AttestationAuthority& authority);
+
   [[nodiscard]] Bytes handle_request(const HttpRequest& request);
 
   core::ProxyHandler* proxy_;
   const sgx::AttestationAuthority* authority_;
-  TcpListener listener_;
 
-  // One attested broker shared by all frontend threads, serialized: the
+  // One attested broker shared by all dispatch workers, serialized: the
   // SecureChannel record counters require ordered use.
   Mutex broker_mutex_;
   std::unique_ptr<core::ClientBroker> broker_ XS_PT_GUARDED_BY(broker_mutex_);
 
-  std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> requests_{0};
-  std::thread accept_thread_;
-  Mutex workers_mutex_;
-  std::vector<std::thread> workers_ XS_GUARDED_BY(workers_mutex_);
-  // Live connection streams, so stop() can unblock workers parked in recv.
-  std::vector<std::shared_ptr<TcpStream>> streams_ XS_GUARDED_BY(workers_mutex_);
+  std::unique_ptr<Reactor> reactor_;
 };
 
 }  // namespace xsearch::net

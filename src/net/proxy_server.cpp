@@ -2,17 +2,189 @@
 
 #include <algorithm>
 #include <cstring>
+#include <utility>
 
+#include "net/frame.hpp"
 #include "xsearch/wire.hpp"
 
 namespace xsearch::net {
 
 namespace {
 
-std::size_t resolve_workers(std::size_t requested) {
-  if (requested > 0) return requested;
-  return std::max<std::size_t>(8, std::thread::hardware_concurrency());
-}
+/// Per-connection protocol: incremental frame parsing on the loop thread,
+/// enclave/handler work on dispatch workers. Job bytes are
+/// `[type byte][frame payload]` — the single copy out of the recv buffer.
+class FrameProtocol final : public ConnectionProtocol {
+ public:
+  explicit FrameProtocol(core::ProxyHandler* proxy) : proxy_(proxy) {}
+
+  Action on_input(ByteSpan buffered) override {
+    Action action;
+    const FrameCursor::Step step = FrameCursor::parse(buffered);
+    switch (step.state) {
+      case FrameCursor::State::kError:
+        // Malformed length word: unrecoverable, mirror the historical
+        // silent close (read_frame's DATA_LOSS never produced a reply).
+        action.close = true;
+        return action;
+      case FrameCursor::State::kNeedHeader:
+      case FrameCursor::State::kNeedBody:
+        action.need = step.need;
+        // Once the length word is in, the frame has started: the reactor's
+        // io budget bounds finishing it (anti-slowloris, as before).
+        action.mid_message = buffered.size() >= 4;
+        return action;
+      case FrameCursor::State::kFrame:
+        break;
+    }
+
+    const FrameCursor::View& frame = step.frame;
+    action.consumed = frame.frame_bytes;
+    if (frame.v2) peer_v2_ = true;
+    const Deadline request_deadline =
+        frame.v2 ? Deadline::from_budget_millis(frame.budget_millis)
+                 : Deadline();
+
+    switch (frame.type) {
+      case FrameType::kHello:
+        if (frame.payload.size() != crypto::kX25519KeySize) {
+          action.reply = encode_error(invalid_argument("bad hello"));
+          action.close = true;
+          return action;
+        }
+        break;
+      case FrameType::kQuery:
+      case FrameType::kBatchQuery:
+        if (frame.payload.size() < 8) {
+          action.reply = encode_error(invalid_argument("bad query frame"));
+          action.close = true;
+          return action;
+        }
+        break;
+      default:
+        action.reply = encode_error(invalid_argument("unexpected frame"));
+        action.close = true;
+        return action;
+    }
+
+    action.dispatch = true;
+    action.deadline = request_deadline;
+    action.job.reserve(1 + frame.payload.size());
+    action.job.push_back(static_cast<std::uint8_t>(frame.type));
+    append(action.job, frame.payload);
+    return action;
+  }
+
+  JobResult run_job(ByteSpan job, const Deadline& deadline) override {
+    JobResult result;
+    const auto type = static_cast<FrameType>(job[0]);
+    const ByteSpan payload = job.subspan(1);
+
+    switch (type) {
+      case FrameType::kHello: {
+        crypto::X25519Key client_pub;
+        std::memcpy(client_pub.data(), payload.data(), client_pub.size());
+        auto response = proxy_->handshake(client_pub);
+        if (!response) {
+          result.reply.push_back(encode_error(response.status()));
+          result.close = true;
+          return result;
+        }
+        Bytes body;
+        core::wire::put_u64(body, response.value().session_id);
+        const Bytes quote = response.value().quote.serialize();
+        core::wire::put_u32(body, static_cast<std::uint32_t>(quote.size()));
+        append(body, quote);
+        append(body, response.value().server_ephemeral_pub);
+        push_frame(result.reply, FrameType::kHelloReply, std::move(body));
+        return result;
+      }
+
+      case FrameType::kQuery:
+      case FrameType::kBatchQuery: {
+        // Identical host-side handling: the frame carries session id + one
+        // sealed record; whether that record holds one query or a batch is
+        // decided inside the enclave. Only the reply type mirrors the
+        // request's.
+        const FrameType reply_type = type == FrameType::kQuery
+                                         ? FrameType::kQueryReply
+                                         : FrameType::kBatchReply;
+        std::size_t offset = 0;
+        auto session = core::wire::get_u64(payload, offset);
+        if (!session) {
+          result.reply.push_back(encode_error(invalid_argument("bad query frame")));
+          result.close = true;
+          return result;
+        }
+        auto response = proxy_->handle_query_record(
+            session.value(), payload.subspan(offset), deadline);
+        if (!response) {
+          Status status = response.status();
+          if (peer_v2_ && status.code() == StatusCode::kUnavailable) {
+            // On the query path UNAVAILABLE means the handler's own
+            // dependency (fleet worker, enclave) is the problem — tell the
+            // client so it stops retrying a proxy that cannot help it.
+            status = upstream_down(status.message());
+          }
+          result.reply.push_back(encode_error(status));
+          return result;  // connection keeps serving, as before
+        }
+        push_frame(result.reply, reply_type, std::move(response).value());
+        return result;
+      }
+
+      default:
+        result.reply.push_back(encode_error(invalid_argument("unexpected frame")));
+        result.close = true;
+        return result;
+    }
+  }
+
+  JobResult shed(const Status& status) override {
+    // Shed replies are always typed: a v1-only peer that gets shed reads
+    // an unknown frame type and treats the connection as failed, which is
+    // the correct outcome for it anyway.
+    JobResult result;
+    result.reply.push_back(encode_shed_frame(status));
+    result.close = true;
+    return result;
+  }
+
+  /// One contiguous kErrorStatus frame (header glued to payload — error
+  /// paths are cold, a copy is fine).
+  [[nodiscard]] static Bytes encode_shed_frame(const Status& status) {
+    Bytes payload = encode_error_status(status);
+    Bytes frame = encode_frame_header(FrameType::kErrorStatus, payload.size())
+                      .value();
+    append(frame, payload);
+    return frame;
+  }
+
+ private:
+  /// Typed kErrorStatus for v2 peers, legacy kError text otherwise.
+  [[nodiscard]] Bytes encode_error(const Status& status) const {
+    Bytes payload = peer_v2_ ? encode_error_status(status)
+                             : to_bytes(status.to_string());
+    const FrameType type =
+        peer_v2_ ? FrameType::kErrorStatus : FrameType::kError;
+    Bytes frame = encode_frame_header(type, payload.size()).value();
+    append(frame, payload);
+    return frame;
+  }
+
+  /// Queues header + payload as separate buffers; the reactor's vectored
+  /// write sends both without a gluing copy.
+  static void push_frame(std::vector<Bytes>& out, FrameType type,
+                         Bytes payload) {
+    out.push_back(encode_frame_header(type, payload.size()).value());
+    out.push_back(std::move(payload));
+  }
+
+  core::ProxyHandler* proxy_;
+  /// Set once the peer sends any v2 frame; only ever touched by the one
+  /// thread currently driving this connection (see reactor.hpp).
+  bool peer_v2_ = false;
+};
 
 }  // namespace
 
@@ -26,208 +198,38 @@ Result<std::unique_ptr<ProxyServer>> ProxyServer::start(core::ProxyHandler& prox
                                                         Options options) {
   auto listener = TcpListener::bind(port);
   if (!listener) return listener.status();
+
+  Reactor::Options reactor_options;
+  reactor_options.shards = options.shards;
+  reactor_options.dispatch_workers = options.workers;
+  reactor_options.dispatch_queue =
+      std::max<std::size_t>(1, options.max_pending_connections);
+  reactor_options.queue_timeout = options.queue_timeout;
+  reactor_options.io_budget = options.io_budget;
+  reactor_options.idle_ttl = options.idle_ttl;
+  reactor_options.max_connections = options.max_connections;
+  reactor_options.accept_fault = std::move(options.accept_fault);
+  core::ProxyHandler* handler = &proxy;
+  reactor_options.protocol_factory = [handler] {
+    return std::make_unique<FrameProtocol>(handler);
+  };
+  reactor_options.encode_shed = [](const Status& status) {
+    return FrameProtocol::encode_shed_frame(status);
+  };
+
+  auto reactor = Reactor::start(std::move(listener).value(),
+                                std::move(reactor_options));
+  if (!reactor) return reactor.status();
   return std::unique_ptr<ProxyServer>(
-      new ProxyServer(proxy, std::move(listener).value(), options));
+      new ProxyServer(proxy, std::move(reactor).value()));
 }
 
-ProxyServer::ProxyServer(core::ProxyHandler& proxy, TcpListener listener,
-                         Options options)
-    : proxy_(&proxy),
-      listener_(std::move(listener)),
-      options_(options),
-      pool_(resolve_workers(options.workers),
-            std::max<std::size_t>(1, options.max_pending_connections)) {
-  accept_thread_ = std::thread([this] { accept_loop(); });
-}
+ProxyServer::ProxyServer(core::ProxyHandler& proxy,
+                         std::unique_ptr<Reactor> reactor)
+    : proxy_(&proxy), reactor_(std::move(reactor)) {}
 
 ProxyServer::~ProxyServer() { stop(); }
 
-void ProxyServer::stop() {
-  stopping_.store(true);
-  listener_.close();
-  if (accept_thread_.joinable()) accept_thread_.join();
-  // No thread can be inside accept() anymore: free the port for rebinding.
-  listener_.release();
-  {
-    // Unblock workers parked in recv on live client connections.
-    MutexLock lock(connections_mutex_);
-    for (const auto& [id, stream] : live_) stream->shutdown_both();
-  }
-  // Drains queued connection tasks (each sees stopping_, reaps, returns)
-  // and joins the workers. Idempotent.
-  pool_.shutdown();
-  MutexLock lock(connections_mutex_);
-  live_.clear();
-}
-
-void ProxyServer::reap(std::uint64_t connection_id) {
-  {
-    MutexLock lock(connections_mutex_);
-    if (live_.erase(connection_id) == 0) return;  // already cleared by stop()
-  }
-  reaped_.fetch_add(1, std::memory_order_relaxed);
-}
-
-void ProxyServer::accept_loop() {
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    auto accepted = listener_.accept();
-    if (!accepted) break;  // listener closed or fatal error
-    connections_.fetch_add(1, std::memory_order_relaxed);
-    auto stream = std::make_shared<TcpStream>(std::move(accepted).value());
-    std::uint64_t id = 0;
-    {
-      MutexLock lock(connections_mutex_);
-      id = next_connection_id_++;
-      live_.emplace(id, stream);
-    }
-    const Deadline queue_deadline = options_.queue_timeout > 0
-                                        ? Deadline::after(options_.queue_timeout)
-                                        : Deadline();
-    const bool queued = pool_.try_submit([this, id, stream, queue_deadline] {
-      if (queue_deadline.expired() &&
-          !stopping_.load(std::memory_order_relaxed)) {
-        // The connection waited in the pending queue past its deadline: its
-        // client has almost certainly timed out and retried elsewhere.
-        // Serving it now would burn a worker on abandoned work, so shed it
-        // (typed, so a live client can tell overload from a dead proxy).
-        FrameWriteOptions write_options;
-        if (options_.io_budget > 0) {
-          write_options.io_deadline = Deadline::after(options_.io_budget);
-        }
-        (void)write_frame(
-            *stream, FrameType::kErrorStatus,
-            encode_error_status(
-                overloaded("server busy: connection expired in accept queue")),
-            write_options);
-        reap(id);
-        queue_expired_.fetch_add(1, std::memory_order_relaxed);
-        shed_.fetch_add(1, std::memory_order_relaxed);
-        return;
-      }
-      serve_connection(*stream);
-      reap(id);
-    });
-    if (!queued) {
-      // Every worker is busy and the pending queue is full: shed the
-      // connection instead of accumulating it (the bounded analogue of a
-      // saturated server resetting connections).
-      (void)write_frame(*stream, FrameType::kError, to_bytes("server busy"));
-      reap(id);
-      shed_.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-}
-
-void ProxyServer::serve_connection(TcpStream& stream) {
-  // Once the peer sends any v2 frame it understands typed errors; until
-  // then every error keeps the legacy kError text shape, byte for byte.
-  bool peer_v2 = false;
-
-  // Reply/error writes are bounded by the request's remaining budget (if
-  // any) and the server's own io_budget, so one stalled reader cannot
-  // wedge a worker.
-  const auto write_deadline = [this](const Deadline& request) {
-    return options_.io_budget > 0
-               ? request.min(Deadline::after(options_.io_budget))
-               : request;
-  };
-  const auto send_error = [&](const Status& status, const Deadline& request) {
-    FrameWriteOptions write_options;
-    write_options.io_deadline = write_deadline(request);
-    if (peer_v2) {
-      return write_frame(stream, FrameType::kErrorStatus,
-                         encode_error_status(status), write_options);
-    }
-    return write_frame(stream, FrameType::kError, to_bytes(status.to_string()),
-                       write_options);
-  };
-
-  while (!stopping_.load(std::memory_order_relaxed)) {
-    // Waiting for the next frame is unbounded (idle sessions are legal);
-    // once a header arrives the body must finish within io_budget.
-    FrameReadOptions read_options;
-    read_options.body_budget = options_.io_budget;
-    auto frame = read_frame(stream, read_options);
-    if (!frame) return;  // clean close, broken peer, or slow-writer bound
-    if (frame.value().v2) peer_v2 = true;
-
-    // The client's remaining end-to-end budget, carried on v2 frames.
-    const Deadline request_deadline =
-        frame.value().v2 ? Deadline::from_budget_millis(frame.value().budget_millis)
-                         : Deadline();
-
-    switch (frame.value().type) {
-      case FrameType::kHello: {
-        if (frame.value().payload.size() != crypto::kX25519KeySize) {
-          (void)send_error(invalid_argument("bad hello"), request_deadline);
-          return;
-        }
-        crypto::X25519Key client_pub;
-        std::memcpy(client_pub.data(), frame.value().payload.data(),
-                    client_pub.size());
-        auto response = proxy_->handshake(client_pub);
-        if (!response) {
-          (void)send_error(response.status(), request_deadline);
-          return;
-        }
-        Bytes payload;
-        core::wire::put_u64(payload, response.value().session_id);
-        const Bytes quote = response.value().quote.serialize();
-        core::wire::put_u32(payload, static_cast<std::uint32_t>(quote.size()));
-        append(payload, quote);
-        append(payload, response.value().server_ephemeral_pub);
-        FrameWriteOptions write_options;
-        write_options.io_deadline = write_deadline(request_deadline);
-        if (!write_frame(stream, FrameType::kHelloReply, payload, write_options)
-                 .is_ok()) {
-          return;
-        }
-        break;
-      }
-
-      case FrameType::kQuery:
-      case FrameType::kBatchQuery: {
-        // Identical host-side handling: the frame carries session id +
-        // one sealed record; whether that record holds one query or a
-        // batch is decided inside the enclave. Only the reply frame type
-        // mirrors the request's.
-        const FrameType reply_type = frame.value().type == FrameType::kQuery
-                                         ? FrameType::kQueryReply
-                                         : FrameType::kBatchReply;
-        std::size_t offset = 0;
-        auto session = core::wire::get_u64(frame.value().payload, offset);
-        if (!session) {
-          (void)send_error(invalid_argument("bad query frame"), request_deadline);
-          return;
-        }
-        auto response = proxy_->handle_query_record(
-            session.value(), ByteSpan(frame.value().payload).subspan(offset),
-            request_deadline);
-        if (!response) {
-          Status status = response.status();
-          if (peer_v2 && status.code() == StatusCode::kUnavailable) {
-            // On the query path UNAVAILABLE means the handler's own
-            // dependency (fleet worker, enclave) is the problem — tell the
-            // client so it stops retrying a proxy that cannot help it.
-            status = upstream_down(status.message());
-          }
-          if (!send_error(status, request_deadline).is_ok()) return;
-          break;
-        }
-        FrameWriteOptions write_options;
-        write_options.io_deadline = write_deadline(request_deadline);
-        if (!write_frame(stream, reply_type, response.value(), write_options)
-                 .is_ok()) {
-          return;
-        }
-        break;
-      }
-
-      default:
-        (void)send_error(invalid_argument("unexpected frame"), request_deadline);
-        return;
-    }
-  }
-}
+void ProxyServer::stop() { reactor_->stop(); }
 
 }  // namespace xsearch::net

@@ -7,33 +7,34 @@
 // of the deployment — it moves ciphertext between sockets and the enclave
 // and never sees a plaintext query.
 //
-// Connections are served by a fixed `common` ThreadPool (the paper's
-// "multiple threads" proxy host, §4.1) instead of one thread per
-// connection, and every accepted stream is tracked in a registry that is
-// reaped as soon as the connection finishes — server memory is O(live
-// connections), not O(connections ever served). When all workers are busy
-// and the pending queue is full, new connections are shed with a "server
-// busy" error rather than queued without bound; queued connections whose
-// wait exceeded `queue_timeout` are shed (typed OVERLOADED) when a worker
-// finally picks them up, instead of serving requests whose clients gave up.
+// Connections are served by a net::Reactor: event-loop shards multiplex
+// every socket with epoll instead of parking one pool thread per
+// connection, frames are parsed incrementally (zero-copy FrameCursor) out
+// of each connection's receive buffer, and only complete requests are
+// copied once and executed on a small dispatch worker pool. An idle
+// session costs a buffer and a table entry, which is what lets one proxy
+// host the paper's tens of thousands of mostly-idle clients.
+//
+// Overload behavior is typed and layered (all counted in stats): accept
+// past `max_connections` answers OVERLOADED and closes; EMFILE/ENFILE at
+// accept pauses the accept loop briefly instead of spinning; a request
+// that finds the dispatch queue full, waited past `queue_timeout`, or
+// whose own deadline expired while queued is shed with a typed error
+// before the handler runs.
 //
 // Deadline handling: v2 frames carry the client's remaining budget; the
 // server converts it to a local Deadline, refuses already-expired requests
-// before the handler runs (typed DEADLINE_EXCEEDED, exactly-once safe), and
-// bounds reply writes by it. Clients that ever sent a v2 frame get typed
-// kErrorStatus replies (OVERLOADED/UPSTREAM_DOWN/...); v1 peers keep the
-// legacy kError text frames, byte for byte.
+// before the handler runs (typed DEADLINE_EXCEEDED, exactly-once safe).
+// Clients that ever sent a v2 frame get typed kErrorStatus replies
+// (OVERLOADED/UPSTREAM_DOWN/...); v1 peers keep the legacy kError text
+// frames, byte for byte.
 #pragma once
 
-#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <memory>
-#include <thread>
-#include <unordered_map>
 
-#include "common/mutex.hpp"
-#include "common/thread_pool.hpp"
-#include "net/frame.hpp"
+#include "net/reactor.hpp"
 #include "net/socket.hpp"
 #include "xsearch/proxy.hpp"
 
@@ -42,25 +43,37 @@ namespace xsearch::net {
 class ProxyServer {
  public:
   struct Options {
-    /// Connection-serving threads (0 = max(8, hardware_concurrency)).
-    /// A worker is occupied for the lifetime of the connection it serves.
+    /// Dispatch workers running enclave/handler work (0 = max(8,
+    /// hardware_concurrency)). Workers are occupied per *request*, not per
+    /// connection — idle sessions hold no worker.
     std::size_t workers = 0;
-    /// Accepted connections that may wait for a free worker; beyond this
-    /// the server sheds new connections with a "server busy" error.
-    /// Size `workers` for the expected number of concurrently *live*
-    /// sessions and keep this queue small if clients must fail fast.
+    /// Requests that may wait for a free dispatch worker; beyond this the
+    /// server sheds with a typed "server busy" error.
     std::size_t max_pending_connections = 128;
-    /// How long a queued connection may wait for a worker before being
-    /// shed with a typed OVERLOADED error instead of served (its client
-    /// has likely timed out already). 0 = wait forever (historical).
+    /// How long a queued request may wait for a worker before being shed
+    /// with a typed OVERLOADED error instead of served (its client has
+    /// likely timed out already). 0 = wait forever (historical).
     Nanos queue_timeout = 0;
     /// Budget for reading a frame's body once its header arrived (slow-
-    /// writer bound) and for writing replies. 0 = unbounded. Waiting for
-    /// the NEXT frame is always unbounded — idle connections are legal.
+    /// writer bound) and for draining replies to slow readers. 0 =
+    /// unbounded. Waiting for the NEXT frame is always unbounded — idle
+    /// connections are legal — unless `idle_ttl` says otherwise.
     Nanos io_budget = 0;
+    /// Event-loop shards (0 = 1). Each shard multiplexes its share of the
+    /// connections on one epoll descriptor.
+    std::size_t shards = 0;
+    /// Reap sessions idle longer than this (no frame in progress, nothing
+    /// to write). 0 = never.
+    Nanos idle_ttl = 0;
+    /// Hard cap on live connections, enforced at accept with a typed
+    /// OVERLOADED reply; set below RLIMIT_NOFILE so the typed shed fires
+    /// before the kernel's EMFILE. 0 = unbounded.
+    std::size_t max_connections = 0;
+    /// Test seam: simulate an errno at accept time (see Reactor::Options).
+    std::function<int()> accept_fault;
   };
 
-  /// Binds loopback:`port` (0 = ephemeral) and starts the accept loop.
+  /// Binds loopback:`port` (0 = ephemeral) and starts the reactor.
   [[nodiscard]] static Result<std::unique_ptr<ProxyServer>> start(
       core::ProxyHandler& proxy, std::uint16_t port = 0);
   [[nodiscard]] static Result<std::unique_ptr<ProxyServer>> start(
@@ -71,61 +84,53 @@ class ProxyServer {
   ProxyServer(const ProxyServer&) = delete;
   ProxyServer& operator=(const ProxyServer&) = delete;
 
-  [[nodiscard]] std::uint16_t port() const { return listener_.port(); }
+  [[nodiscard]] std::uint16_t port() const { return reactor_->port(); }
 
-  /// Stops accepting, unblocks and reaps all live connections, joins the
-  /// worker pool. Idempotent.
+  /// Stops accepting, closes every connection, joins the shard loops and
+  /// dispatch workers. Idempotent; the port rebinds immediately after.
   void stop();
 
   /// Connections accepted over the server's lifetime.
   [[nodiscard]] std::uint64_t connections_served() const {
-    return connections_.load(std::memory_order_relaxed);
+    return reactor_->accepted();
   }
-  /// Connections removed from the registry (finished or shed).
+  /// Connections fully torn down (finished, failed, or shed).
   [[nodiscard]] std::uint64_t connections_reaped() const {
-    return reaped_.load(std::memory_order_relaxed);
+    return reactor_->reaped();
   }
-  /// Connections refused with "server busy" because the pool was saturated.
+  /// Connections/requests refused with a typed "server busy" error.
   [[nodiscard]] std::uint64_t connections_shed() const {
-    return shed_.load(std::memory_order_relaxed);
+    return reactor_->shed();
   }
-  /// Queued connections shed because their wait exceeded `queue_timeout`
-  /// (also counted in `connections_shed`).
+  /// Requests shed because they waited past `queue_timeout` (also counted
+  /// in `connections_shed`).
   [[nodiscard]] std::uint64_t queue_expired() const {
-    return queue_expired_.load(std::memory_order_relaxed);
+    return reactor_->queue_expired();
   }
-  /// Connections currently registered (live or awaiting a worker).
+  /// Requests refused (typed DEADLINE_EXCEEDED) because their own deadline
+  /// expired while queued, before the handler ran.
+  [[nodiscard]] std::uint64_t deadline_expired() const {
+    return reactor_->deadline_expired();
+  }
+  /// Accept attempts that hit EMFILE/ENFILE; each pauses the accept loop
+  /// briefly instead of spinning.
+  [[nodiscard]] std::uint64_t fd_exhausted() const {
+    return reactor_->fd_exhausted();
+  }
+  /// Sessions reaped by `idle_ttl`.
+  [[nodiscard]] std::uint64_t idle_reaped() const {
+    return reactor_->idle_reaped();
+  }
+  /// Connections currently live.
   [[nodiscard]] std::size_t active_connections() const {
-    MutexLock lock(connections_mutex_);
-    return live_.size();
+    return reactor_->active_connections();
   }
 
  private:
-  ProxyServer(core::ProxyHandler& proxy, TcpListener listener, Options options);
-
-  void accept_loop();
-  void serve_connection(TcpStream& stream);
-  void reap(std::uint64_t connection_id);
+  ProxyServer(core::ProxyHandler& proxy, std::unique_ptr<Reactor> reactor);
 
   core::ProxyHandler* proxy_;
-  TcpListener listener_;
-  Options options_;
-  std::atomic<bool> stopping_{false};
-  std::atomic<std::uint64_t> connections_{0};
-  std::atomic<std::uint64_t> reaped_{0};
-  std::atomic<std::uint64_t> shed_{0};
-  std::atomic<std::uint64_t> queue_expired_{0};
-
-  // Live connection registry: lets stop() unblock workers parked in recv,
-  // and is the quantity `active_connections` reports. Entries are reaped by
-  // the worker when its connection closes.
-  mutable Mutex connections_mutex_;
-  std::unordered_map<std::uint64_t, std::shared_ptr<TcpStream>> live_
-      XS_GUARDED_BY(connections_mutex_);
-  std::uint64_t next_connection_id_ XS_GUARDED_BY(connections_mutex_) = 1;
-
-  ThreadPool pool_;
-  std::thread accept_thread_;
+  std::unique_ptr<Reactor> reactor_;
 };
 
 }  // namespace xsearch::net

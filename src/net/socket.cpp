@@ -1,21 +1,36 @@
 #include "net/socket.hpp"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
 namespace xsearch::net {
 
 namespace {
+
 [[nodiscard]] std::string errno_message(const char* what) {
   return std::string(what) + ": " + std::strerror(errno);
 }
+
+[[nodiscard]] Status set_fd_nonblocking(int fd, bool enabled) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return unavailable(errno_message("fcntl(F_GETFL)"));
+  const int wanted = enabled ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  if (wanted != flags && ::fcntl(fd, F_SETFL, wanted) != 0) {
+    return unavailable(errno_message("fcntl(F_SETFL)"));
+  }
+  return Status::ok();
+}
+
 }  // namespace
 
 void FileDescriptor::reset() {
@@ -108,6 +123,65 @@ Result<Bytes> TcpStream::read_exact(std::size_t n, const Deadline& deadline) {
   return out;
 }
 
+Status TcpStream::set_nonblocking(bool enabled) {
+  return set_fd_nonblocking(fd_.get(), enabled);
+}
+
+Result<IoProgress> TcpStream::read_some(std::span<std::uint8_t> out) {
+  IoProgress progress;
+  if (out.empty()) return progress;
+  for (;;) {
+    const ssize_t r = ::recv(fd_.get(), out.data(), out.size(), 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        progress.would_block = true;
+        return progress;
+      }
+      return unavailable(errno_message("recv"));
+    }
+    if (r == 0) {
+      progress.eof = true;
+      return progress;
+    }
+    progress.bytes = static_cast<std::size_t>(r);
+    return progress;
+  }
+}
+
+Result<IoProgress> TcpStream::write_some(std::span<const ConstBuffer> buffers) {
+  IoProgress progress;
+  // Cap the gather list well under IOV_MAX; anything longer flushes over
+  // multiple calls anyway once the socket buffer fills.
+  constexpr std::size_t kMaxIov = 64;
+  iovec iov[kMaxIov];
+  std::size_t count = 0;
+  for (const ConstBuffer& buffer : buffers) {
+    if (buffer.size == 0) continue;
+    iov[count].iov_base = const_cast<std::uint8_t*>(buffer.data);
+    iov[count].iov_len = buffer.size;
+    if (++count == kMaxIov) break;
+  }
+  if (count == 0) return progress;
+
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = count;
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd_.get(), &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        progress.would_block = true;
+        return progress;
+      }
+      return unavailable(errno_message("sendmsg"));
+    }
+    progress.bytes = static_cast<std::size_t>(n);
+    return progress;
+  }
+}
+
 void TcpStream::shutdown_write() {
   if (fd_.valid()) (void)::shutdown(fd_.get(), SHUT_WR);
 }
@@ -130,7 +204,7 @@ Result<TcpListener> TcpListener::bind(std::uint16_t port) {
   if (::bind(fd.get(), reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     return unavailable(errno_message("bind"));
   }
-  if (::listen(fd.get(), 64) != 0) {
+  if (::listen(fd.get(), SOMAXCONN) != 0) {
     return unavailable(errno_message("listen"));
   }
 
@@ -161,6 +235,43 @@ Result<TcpStream> TcpListener::accept() {
   const int one = 1;
   (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
   return TcpStream(FileDescriptor(client));
+}
+
+Result<TcpListener::Accepted> TcpListener::accept_nonblocking() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd < 0 || closed_.load(std::memory_order_acquire)) {
+    return unavailable("listener closed");
+  }
+  for (;;) {
+    const int client = ::accept4(fd, nullptr, nullptr, SOCK_NONBLOCK);
+    if (client < 0) {
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        Accepted accepted;
+        accepted.would_block = true;
+        return accepted;
+      }
+      if (errno == EMFILE || errno == ENFILE) {
+        Accepted accepted;
+        accepted.fd_exhausted = true;
+        return accepted;
+      }
+      return unavailable(errno_message("accept4"));
+    }
+    if (closed_.load(std::memory_order_acquire)) {
+      ::close(client);
+      return unavailable("listener closed");
+    }
+    const int one = 1;
+    (void)::setsockopt(client, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    Accepted accepted;
+    accepted.stream = TcpStream(FileDescriptor(client));
+    return accepted;
+  }
+}
+
+Status TcpListener::set_nonblocking(bool enabled) {
+  return set_fd_nonblocking(fd_.load(std::memory_order_acquire), enabled);
 }
 
 void TcpListener::close() {

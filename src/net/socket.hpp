@@ -1,4 +1,5 @@
-// RAII TCP sockets (IPv4, blocking I/O with per-call deadlines).
+// RAII TCP sockets (IPv4, blocking I/O with per-call deadlines plus
+// nonblocking readiness-loop primitives).
 //
 // The deployment frontend of the X-Search proxy: the paper's prototype was
 // exercised over the network by third-party HTTP clients and wrk2; this
@@ -6,20 +7,28 @@
 // listener plus connected streams with exact-read/exact-write helpers, all
 // file descriptors owned RAII-style.
 //
-// Every I/O helper takes a `Deadline`: a finite deadline is enforced with
-// SO_RCVTIMEO/SO_SNDTIMEO (re-armed with the remaining budget on every
-// iteration of a partial read/write, so a peer trickling one byte per
-// timeout cannot stretch the call), and expiry surfaces as
+// Every blocking I/O helper takes a `Deadline`: a finite deadline is
+// enforced with SO_RCVTIMEO/SO_SNDTIMEO (re-armed with the remaining budget
+// on every iteration of a partial read/write, so a peer trickling one byte
+// per timeout cannot stretch the call), and expiry surfaces as
 // kDeadlineExceeded. The default Deadline is infinite, which preserves the
 // historical blocking behaviour.
 //
+// The nonblocking surface (`set_nonblocking`, `read_some`, `write_some`,
+// `accept_nonblocking`) is what net/reactor.hpp drives from its epoll
+// loops: single-shot calls that report would-block/EOF as data instead of
+// blocking, with gather writes for batched replies and accept-time
+// EMFILE/ENFILE detection so fd exhaustion is a typed event rather than an
+// accept-loop spin.
+//
 // `ByteStream` is the seam the frame layer reads/writes through; the chaos
-// harness (net/chaos.hpp) wraps a TcpStream behind the same interface to
+// harness (net/chaos.hpp) wraps a transport behind the same interface to
 // inject deterministic wire faults.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <span>
 #include <string>
 
 #include "common/bytes.hpp"
@@ -27,6 +36,22 @@
 #include "common/status.hpp"
 
 namespace xsearch::net {
+
+/// Outcome of one nonblocking I/O attempt. Exactly one of `bytes > 0`,
+/// `would_block`, or `eof` describes what happened; hard transport errors
+/// surface as a failed Result instead.
+struct IoProgress {
+  std::size_t bytes = 0;     // bytes moved by this call
+  bool would_block = false;  // kernel had no data / no buffer space
+  bool eof = false;          // orderly peer close (reads only)
+};
+
+/// One gather-write buffer (mirrors struct iovec without leaking the POSIX
+/// header into every includer).
+struct ConstBuffer {
+  const std::uint8_t* data = nullptr;
+  std::size_t size = 0;
+};
 
 /// Owning wrapper around a file descriptor.
 class FileDescriptor {
@@ -117,6 +142,24 @@ class TcpStream : public ByteStream {
 
   [[nodiscard]] bool valid() const override { return fd_.valid(); }
 
+  /// Switches the socket between blocking and nonblocking mode. The
+  /// nonblocking helpers below require nonblocking mode; the deadline-based
+  /// helpers above require blocking mode (SO_*TIMEO has no effect on a
+  /// nonblocking fd).
+  [[nodiscard]] Status set_nonblocking(bool enabled);
+
+  /// Nonblocking single-shot read into `out`. Returns the bytes moved, or
+  /// would_block/eof; ECONNRESET and friends fail the Result.
+  [[nodiscard]] Result<IoProgress> read_some(std::span<std::uint8_t> out);
+
+  /// Nonblocking gather write (sendmsg with MSG_NOSIGNAL): moves as many
+  /// bytes as the socket buffer accepts from the fronts of `buffers`.
+  [[nodiscard]] Result<IoProgress> write_some(
+      std::span<const ConstBuffer> buffers);
+
+  /// The raw descriptor, for epoll registration only — ownership stays here.
+  [[nodiscard]] int native_fd() const { return fd_.get(); }
+
   /// Half-closes the write side (signals EOF to the peer).
   void shutdown_write();
 
@@ -178,6 +221,31 @@ class TcpListener {
   /// Blocks until a client connects. Fails with UNAVAILABLE once the
   /// listener has been closed from another thread.
   [[nodiscard]] Result<TcpStream> accept();
+
+  /// Outcome of one nonblocking accept attempt. `stream` is connected (and
+  /// already nonblocking + TCP_NODELAY) only when both flags are false.
+  struct Accepted {
+    TcpStream stream;
+    bool would_block = false;
+    /// The process is out of descriptors (EMFILE/ENFILE). The pending
+    /// connection stays in the kernel backlog; the caller must back off
+    /// instead of retrying immediately (the condition does not clear by
+    /// itself, so a tight retry loop is a busy spin).
+    bool fd_exhausted = false;
+  };
+
+  /// Nonblocking accept (requires set_nonblocking(true)). Transient
+  /// per-connection errors (ECONNABORTED, EINTR) are retried internally;
+  /// UNAVAILABLE once the listener has been closed.
+  [[nodiscard]] Result<Accepted> accept_nonblocking();
+
+  /// Switches the listening socket between blocking and nonblocking mode.
+  [[nodiscard]] Status set_nonblocking(bool enabled);
+
+  /// The raw descriptor, for epoll registration only — ownership stays here.
+  [[nodiscard]] int native_fd() const {
+    return fd_.load(std::memory_order_acquire);
+  }
 
   /// Unblocks pending accept()s, refuses new connections, and prevents new
   /// accepts. Idempotent and safe to call concurrently with accept(). The

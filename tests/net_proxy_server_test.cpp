@@ -65,66 +65,119 @@ TEST(ProxyServerPool, ReapsFinishedConnections) {
   server.value()->stop();
 }
 
-TEST(ProxyServerPool, ShedsConnectionsBeyondWorkersPlusQueue) {
+TEST(ProxyServerPool, ShedsConnectionsBeyondHardCap) {
   sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
   core::XSearchProxy proxy(nullptr, authority, saturation_options());
   ProxyServer::Options options;
-  options.workers = 1;
-  options.max_pending_connections = 1;
+  options.max_connections = 2;
   auto server = ProxyServer::start(proxy, 0, options);
   ASSERT_TRUE(server.is_ok());
 
-  // Occupy the single worker: a completed round trip proves its connection
-  // task is running (not queued).
-  RemoteBroker occupant("127.0.0.1", server.value()->port(), authority,
-                        proxy.measurement(), 1);
-  ASSERT_TRUE(occupant.search("hold the worker").is_ok());
+  // Two connections fill the hard cap. Idle is enough: the cap bounds live
+  // sockets, not busy workers (idle sessions hold no worker anymore).
+  auto first = TcpStream::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(first.is_ok());
+  auto second = TcpStream::connect("127.0.0.1", server.value()->port());
+  ASSERT_TRUE(second.is_ok());
+  ASSERT_TRUE(
+      eventually([&] { return server.value()->active_connections() == 2; }));
 
-  // Second connection parks in the pending queue (capacity 1).
-  auto queued = TcpStream::connect("127.0.0.1", server.value()->port());
-  ASSERT_TRUE(queued.is_ok());
-  ASSERT_TRUE(eventually([&] { return server.value()->connections_served() == 2; }));
-
-  // Third connection finds workers busy and the queue full: shed with an
-  // explicit error instead of waiting forever.
+  // Third connection is over the cap: shed at accept with a typed
+  // OVERLOADED error instead of admitted (or EMFILE'd) silently.
   auto shed = TcpStream::connect("127.0.0.1", server.value()->port());
   ASSERT_TRUE(shed.is_ok());
   ASSERT_TRUE(eventually([&] { return server.value()->connections_shed() == 1; }));
   auto reply = read_frame(shed.value());
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
-  EXPECT_EQ(reply.value().type, FrameType::kError);
-  EXPECT_EQ(to_string(reply.value().payload), "server busy");
+  EXPECT_EQ(reply.value().type, FrameType::kErrorStatus);
+  const Status shed_status = decode_error_status(reply.value().payload);
+  EXPECT_EQ(shed_status.code(), StatusCode::kOverloaded);
+  EXPECT_NE(shed_status.message().find("server busy"), std::string::npos);
+  // ...and the connection is closed after the error frame.
+  auto after = read_frame(shed.value());
+  EXPECT_FALSE(after.is_ok());
+
+  // The shed connection is not admitted: the cap still has room for the
+  // live pair, and the admitted ones keep working.
+  EXPECT_EQ(server.value()->active_connections(), 2u);
+  RemoteBroker broker("127.0.0.1", server.value()->port(), authority,
+                      proxy.measurement(), 9);
+  first.value().shutdown_both();  // make room under the cap
+  ASSERT_TRUE(eventually(
+      [&] { return server.value()->active_connections() <= 1; }));
+  ASSERT_TRUE(broker.search("after shed").is_ok());
 
   server.value()->stop();
 }
 
-TEST(ProxyServerPool, QueuedConnectionPastTimeoutIsShedTyped) {
+/// ProxyHandler wrapper that parks query handling on a gate, so a test can
+/// hold the single dispatch worker busy for a controlled window.
+class GateHandler final : public core::ProxyHandler {
+ public:
+  explicit GateHandler(core::ProxyHandler& inner) : inner_(&inner) {}
+
+  Result<core::HandshakeResponse> handshake(
+      const crypto::X25519Key& client_ephemeral_pub,
+      std::uint64_t proposed_session_id) override {
+    return inner_->handshake(client_ephemeral_pub, proposed_session_id);
+  }
+
+  Result<Bytes> handle_query_record(std::uint64_t session_id,
+                                    ByteSpan record) override {
+    entered_.fetch_add(1, std::memory_order_release);
+    while (!open_.load(std::memory_order_acquire)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return inner_->handle_query_record(session_id, record);
+  }
+
+  [[nodiscard]] sgx::Measurement measurement() const override {
+    return inner_->measurement();
+  }
+
+  [[nodiscard]] int entered() const {
+    return entered_.load(std::memory_order_acquire);
+  }
+  void open_gate() { open_.store(true, std::memory_order_release); }
+
+ private:
+  core::ProxyHandler* inner_;
+  std::atomic<int> entered_{0};
+  std::atomic<bool> open_{false};
+};
+
+TEST(ProxyServerPool, QueuedRequestPastTimeoutIsShedTyped) {
   sgx::AttestationAuthority authority(to_bytes("pool-test-root"));
   core::XSearchProxy proxy(nullptr, authority, saturation_options());
+  GateHandler gate(proxy);
   ProxyServer::Options options;
   options.workers = 1;
   options.max_pending_connections = 1;
   options.queue_timeout = 30 * kMilli;
-  auto server = ProxyServer::start(proxy, 0, options);
+  auto server = ProxyServer::start(gate, 0, options);
   ASSERT_TRUE(server.is_ok());
 
-  // Occupy the single worker for the connection's lifetime.
-  std::optional<RemoteBroker> occupant;
-  occupant.emplace("127.0.0.1", server.value()->port(), authority,
-                   proxy.measurement(), 1);
-  ASSERT_TRUE(occupant->search("hold the worker").is_ok());
+  // Occupy the single dispatch worker: the broker's search blocks inside
+  // the gated handler.
+  RemoteBroker occupant("127.0.0.1", server.value()->port(), authority,
+                        proxy.measurement(), 1);
+  ASSERT_TRUE(occupant.connect().is_ok());
+  std::thread occupant_search([&] { (void)occupant.search("hold the worker"); });
+  ASSERT_TRUE(eventually([&] { return gate.entered() == 1; }));
 
-  // Second connection parks in the pending queue...
+  // A second client's handshake request now parks in the dispatch queue...
   auto queued = TcpStream::connect("127.0.0.1", server.value()->port());
   ASSERT_TRUE(queued.is_ok());
-  ASSERT_TRUE(eventually([&] { return server.value()->connections_served() == 2; }));
+  const Bytes hello(crypto::kX25519KeySize, 0x42);
+  ASSERT_TRUE(write_frame(queued.value(), FrameType::kHello, hello).is_ok());
 
   // ...well past its queue deadline (its client would have given up).
   std::this_thread::sleep_for(std::chrono::milliseconds(200));
 
-  // The worker frees up and picks the queued connection: instead of serving
+  // The worker frees up and picks the queued request: instead of serving
   // abandoned work it sheds it with a typed OVERLOADED error.
-  occupant.reset();
+  gate.open_gate();
+  occupant_search.join();
   auto reply = read_frame(queued.value());
   ASSERT_TRUE(reply.is_ok()) << reply.status().to_string();
   EXPECT_EQ(reply.value().type, FrameType::kErrorStatus);
